@@ -1,0 +1,207 @@
+// Package bdbms is a database management system for biological data,
+// reproducing the system described in "bdbms — A Database Management System
+// for Biological Data" (CIDR 2007). It extends a from-scratch embedded
+// relational engine with the paper's four contributions:
+//
+//   - annotation and provenance management at multiple granularities,
+//     queried and propagated through A-SQL (ANNOTATION, PROMOTE, AWHERE,
+//     AHAVING, FILTER);
+//   - local dependency tracking via procedural dependencies, with automatic
+//     re-computation of executable derivations and outdated marks for the
+//     rest;
+//   - content-based update authorization (approval workflow with
+//     automatically generated inverse statements) on top of GRANT/REVOKE;
+//   - non-traditional access methods: an SP-GiST framework (trie, kd-tree,
+//     point quadtree) and the SBC-tree over RLE-compressed sequences.
+//
+// Basic usage:
+//
+//	db := bdbms.Open()
+//	defer db.Close()
+//	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
+//	db.MustExec(`INSERT INTO Gene VALUES ('JW0080', 'ATGATGG')`)
+//	res, _ := db.Exec(`SELECT * FROM Gene ANNOTATION(*)`)
+//	fmt.Println(bdbms.Render(res))
+package bdbms
+
+import (
+	"fmt"
+	"strings"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/authz"
+	"bdbms/internal/core"
+	"bdbms/internal/dependency"
+	"bdbms/internal/exec"
+	"bdbms/internal/pager"
+	"bdbms/internal/provenance"
+	"bdbms/internal/storage"
+)
+
+// Re-exported result types: queries return Results made of Rows whose cells
+// carry propagated annotations.
+type (
+	// Result is the outcome of executing one A-SQL statement.
+	Result = exec.Result
+	// Row is one result row with per-column annotations.
+	Row = exec.ARow
+	// Session executes statements on behalf of a specific user.
+	Session = exec.Session
+	// Annotation is a stored annotation record.
+	Annotation = annotation.Annotation
+	// Region is a rectangle of annotated cells (columns x rows).
+	Region = annotation.Region
+)
+
+// Options configures Open.
+type Options struct {
+	// DataFile, when non-empty, backs the database with a page file on disk
+	// instead of memory.
+	DataFile string
+	// PoolSize is the buffer pool capacity in pages (0 = default).
+	PoolSize int
+	// CellLevelAnnotations selects the naive per-cell annotation storage
+	// scheme instead of the compact rectangle scheme (used for ablations).
+	CellLevelAnnotations bool
+	// EnforceAuth enables GRANT/REVOKE privilege checks on every statement.
+	EnforceAuth bool
+}
+
+// DB is an open bdbms database.
+type DB struct {
+	inner *core.DB
+	pgr   pager.Pager
+}
+
+// Open creates an in-memory database with default options.
+func Open() *DB {
+	db, _ := OpenWith(Options{})
+	return db
+}
+
+// OpenWith creates a database with the given options.
+func OpenWith(opts Options) (*DB, error) {
+	var pgr pager.Pager
+	if opts.DataFile != "" {
+		fp, err := pager.OpenFile(opts.DataFile)
+		if err != nil {
+			return nil, err
+		}
+		pgr = fp
+	}
+	coreOpts := core.Options{
+		Pager:       pgr,
+		PoolSize:    opts.PoolSize,
+		EnforceAuth: opts.EnforceAuth,
+	}
+	if opts.CellLevelAnnotations {
+		coreOpts.AnnotationStore = annotation.NewCellStore()
+	}
+	return &DB{inner: core.Open(coreOpts), pgr: pgr}, nil
+}
+
+// Close flushes buffered pages and closes the data file when one is used.
+func (db *DB) Close() error {
+	if err := db.inner.Close(); err != nil {
+		return err
+	}
+	if db.pgr != nil {
+		return db.pgr.Close()
+	}
+	return nil
+}
+
+// Exec runs one A-SQL statement as the admin user.
+func (db *DB) Exec(sql string) (*Result, error) { return db.inner.Exec(sql) }
+
+// ExecAll runs a semicolon-separated A-SQL script as the admin user.
+func (db *DB) ExecAll(sql string) ([]*Result, error) { return db.inner.ExecAll(sql) }
+
+// MustExec runs one statement and panics on error; convenient in examples.
+func (db *DB) MustExec(sql string) *Result {
+	res, err := db.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("bdbms: %v (statement: %s)", err, sql))
+	}
+	return res
+}
+
+// Session returns an execution session for the given user, subject to
+// GRANT/REVOKE checks when the database was opened with EnforceAuth.
+func (db *DB) Session(user string) *Session { return db.inner.Session(user) }
+
+// Storage exposes the underlying storage engine (tables, indexes, I/O stats).
+func (db *DB) Storage() *storage.Engine { return db.inner.Storage() }
+
+// Annotations exposes the annotation manager.
+func (db *DB) Annotations() *annotation.Manager { return db.inner.Annotations() }
+
+// Provenance exposes the provenance manager.
+func (db *DB) Provenance() *provenance.Manager { return db.inner.Provenance() }
+
+// Dependencies exposes the dependency manager.
+func (db *DB) Dependencies() *dependency.Manager { return db.inner.Dependencies() }
+
+// Authorization exposes the authorization manager.
+func (db *DB) Authorization() *authz.Manager { return db.inner.Authorization() }
+
+// Render formats a query result as a textual grid, listing each row's
+// propagated annotations beneath it — the CLI's (and the examples')
+// stand-in for the visualization tool discussed in Section 3.2.
+func Render(res *Result) string {
+	var b strings.Builder
+	if res == nil {
+		return ""
+	}
+	if res.Message != "" {
+		b.WriteString(res.Message)
+		b.WriteString("\n")
+	}
+	if len(res.Columns) == 0 {
+		return b.String()
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row.Values))
+		for c, v := range row.Values {
+			s := v.String()
+			if len(s) > 40 {
+				s = s[:37] + "..."
+			}
+			cells[r][c] = s
+			if c < len(widths) && len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	writeRow := func(parts []string) {
+		for i, p := range parts {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(p)
+			for pad := len(p); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(res.Columns)
+	sep := make([]string, len(res.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for r, row := range res.Rows {
+		writeRow(cells[r])
+		for _, ann := range row.AnnotationsFlat() {
+			fmt.Fprintf(&b, "    [%s by %s] %s\n", ann.AnnTable, ann.Author, ann.PlainBody())
+		}
+	}
+	fmt.Fprintf(&b, "(%d row(s))\n", len(res.Rows))
+	return b.String()
+}

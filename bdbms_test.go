@@ -1,0 +1,168 @@
+package bdbms
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bdbms/internal/dependency"
+	"bdbms/internal/provenance"
+	"bdbms/internal/value"
+)
+
+func TestOpenExecQueryRender(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	db.MustExec("CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, GSequence SEQUENCE)")
+	db.MustExec("CREATE ANNOTATION TABLE GAnnotation ON Gene")
+	db.MustExec("INSERT INTO Gene VALUES ('JW0080', 'mraW', 'ATGATGG'), ('JW0055', 'yabP', 'ATGAAAG')")
+	db.MustExec(`ADD ANNOTATION TO Gene.GAnnotation
+		VALUE '<Annotation>obtained from RegulonDB</Annotation>'
+		ON (SELECT * FROM Gene WHERE GID = 'JW0080')`)
+
+	res, err := db.Exec("SELECT GID, GName FROM Gene ANNOTATION(GAnnotation) ORDER BY GID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	rendered := Render(res)
+	if !strings.Contains(rendered, "JW0080") || !strings.Contains(rendered, "RegulonDB") {
+		t.Errorf("render = %s", rendered)
+	}
+	if !strings.Contains(rendered, "(2 row(s))") {
+		t.Errorf("render footer missing: %s", rendered)
+	}
+	if Render(nil) != "" {
+		t.Error("nil render should be empty")
+	}
+	ddl := db.MustExec("CREATE TABLE T2 (x INT)")
+	if !strings.Contains(Render(ddl), "created") {
+		t.Error("DDL render missing message")
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExec should panic on bad SQL")
+		}
+	}()
+	db.MustExec("THIS IS NOT SQL")
+}
+
+func TestExecAllAndManagers(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	results, err := db.ExecAll(`
+		CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE);
+		CREATE TABLE Protein (PName TEXT, GID TEXT, PSequence SEQUENCE, PFunction TEXT);
+		INSERT INTO Gene VALUES ('JW0080', 'ATGATG');
+		INSERT INTO Protein VALUES ('pmraW', 'JW0080', 'MKV', 'Cell wall formation');
+	`)
+	if err != nil || len(results) != 4 {
+		t.Fatalf("ExecAll: %v (%d results)", err, len(results))
+	}
+
+	// Direct manager access: dependency rule + cascade.
+	dep := db.Dependencies()
+	if _, err := dep.AddRule(dependency.Rule{
+		Sources: []dependency.ColumnRef{{Table: "Protein", Column: "PSequence"}},
+		Targets: []dependency.ColumnRef{{Table: "Protein", Column: "PFunction"}},
+		Proc:    dependency.Procedure{Name: "Lab experiment"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("UPDATE Protein SET PSequence = 'MKVNEW' WHERE GID = 'JW0080'")
+	if !dep.IsOutdated("Protein", 1, "PFunction") {
+		t.Error("dependency cascade not wired through the facade")
+	}
+
+	// Provenance through the facade.
+	prov := db.Provenance()
+	prov.RegisterAgent("loader")
+	if _, err := prov.Attach("loader", "Gene",
+		provenance.Record{Source: "RegulonDB", Action: provenance.ActionCopy},
+		[]Region{{Table: "Gene", ColStart: 0, ColEnd: 1, RowStart: 1, RowEnd: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := prov.Sources("Gene", 1, 0); len(got) != 1 || got[0] != "RegulonDB" {
+		t.Errorf("sources = %v", got)
+	}
+
+	// Authorization and storage access.
+	db.Authorization().Grant("bob", "Gene", "SELECT")
+	if !db.Authorization().Check("bob", "Gene", "SELECT") {
+		t.Error("authorization manager not wired")
+	}
+	if db.Storage().PagerStats().Allocs == 0 {
+		t.Error("storage stats not reachable")
+	}
+	if db.Annotations().Count("Gene") != 1 {
+		t.Error("annotation manager not wired")
+	}
+}
+
+func TestSessionsAndEnforcement(t *testing.T) {
+	db, err := OpenWith(Options{EnforceAuth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Authorization().MakeAdmin("admin")
+	db.MustExec("CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY)")
+	db.MustExec("INSERT INTO Gene VALUES ('JW0080')")
+
+	bob := db.Session("bob")
+	if _, err := bob.Exec("SELECT * FROM Gene"); err == nil {
+		t.Error("bob should be denied before GRANT")
+	}
+	db.MustExec("GRANT SELECT ON Gene TO bob")
+	if _, err := bob.Exec("SELECT * FROM Gene"); err != nil {
+		t.Errorf("bob denied after GRANT: %v", err)
+	}
+}
+
+func TestFileBackedDatabase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bdbms.data")
+	db, err := OpenWith(Options{DataFile: path, PoolSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)")
+	for i := 0; i < 200; i++ {
+		db.MustExec("INSERT INTO Gene VALUES ('JW" + value.NewInt(int64(i)).String() + "', 'ATGATGATG')")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The page file exists and is non-trivial.
+	if db.Storage().PagerStats().Writes == 0 {
+		t.Error("no pages written to the data file")
+	}
+	if _, err := OpenWith(Options{DataFile: filepath.Join(t.TempDir(), "missing-dir", "x.db")}); err == nil {
+		t.Error("opening a data file in a missing directory should fail")
+	}
+}
+
+func TestCellLevelAnnotationOption(t *testing.T) {
+	db, err := OpenWith(Options{CellLevelAnnotations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Annotations().StoreName() != "cell" {
+		t.Errorf("store = %s", db.Annotations().StoreName())
+	}
+	db.MustExec("CREATE TABLE G (a TEXT, b TEXT)")
+	db.MustExec("CREATE ANNOTATION TABLE Ann ON G")
+	db.MustExec("INSERT INTO G VALUES ('x', 'y'), ('z', 'w')")
+	db.MustExec(`ADD ANNOTATION TO G.Ann VALUE '<Annotation>note</Annotation>' ON (SELECT * FROM G)`)
+	// 2 rows x 2 columns = 4 cell records under the naive scheme.
+	if got := db.Annotations().StorageRecords(); got != 4 {
+		t.Errorf("cell records = %d", got)
+	}
+}

@@ -1,0 +1,465 @@
+// Package bdbms benchmarks regenerate the paper's evaluation as Go
+// benchmarks: one Benchmark per experiment E1-E9 of DESIGN.md plus the
+// ablations it calls out. cmd/bdbms-bench prints the corresponding
+// paper-style tables; EXPERIMENTS.md records a captured run.
+package bdbms
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/biogen"
+	"bdbms/internal/btree"
+	"bdbms/internal/dependency"
+	"bdbms/internal/provenance"
+	"bdbms/internal/rtree"
+	"bdbms/internal/sbctree"
+	"bdbms/internal/spgist"
+	"bdbms/internal/stringbtree"
+	"bdbms/internal/value"
+)
+
+// --- shared workload builders -------------------------------------------------------------
+
+func benchStructures(n int) []string {
+	return biogen.New(11).SecondaryStructures(n, 256, 768, 14)
+}
+
+func buildSBC(seqs []string) *sbctree.Index {
+	ix := sbctree.New()
+	for i, s := range seqs {
+		ix.Insert(int64(i+1), s)
+	}
+	return ix
+}
+
+func buildStringBTree(seqs []string) *stringbtree.Index {
+	ix := stringbtree.New()
+	for i, s := range seqs {
+		ix.Insert(int64(i+1), s)
+	}
+	return ix
+}
+
+// --- E1: storage reduction ------------------------------------------------------------------
+
+func BenchmarkE1StorageReduction(b *testing.B) {
+	seqs := benchStructures(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sbc := buildSBC(seqs)
+		sbt := buildStringBTree(seqs)
+		ratio := float64(sbt.StorageBytes()) / float64(sbc.StorageBytes())
+		b.ReportMetric(ratio, "storage-reduction-x")
+	}
+}
+
+// --- E2: insertion I/O ------------------------------------------------------------------------
+
+func BenchmarkE2InsertionIO(b *testing.B) {
+	seqs := benchStructures(500)
+	for _, name := range []string{"StringBTree", "SBCTree"} {
+		b.Run(name, func(b *testing.B) {
+			var writes uint64
+			for i := 0; i < b.N; i++ {
+				if name == "SBCTree" {
+					ix := buildSBC(seqs)
+					writes = ix.IOStats().NodeWrites
+				} else {
+					ix := buildStringBTree(seqs)
+					writes = ix.IOStats().NodeWrites
+				}
+			}
+			b.ReportMetric(float64(writes), "node-writes")
+		})
+	}
+}
+
+// --- E3: search latency -----------------------------------------------------------------------
+
+func BenchmarkE3SearchLatency(b *testing.B) {
+	seqs := benchStructures(500)
+	sbc := buildSBC(seqs)
+	sbt := buildStringBTree(seqs)
+	patterns := make([]string, 200)
+	for i := range patterns {
+		src := seqs[i%len(seqs)]
+		start := (i * 31) % (len(src) - 16)
+		patterns[i] = src[start : start+5+(i%8)]
+	}
+	b.Run("SBCTree/substring", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sbc.SubstringSearch(patterns[i%len(patterns)])
+		}
+	})
+	b.Run("StringBTree/substring", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sbt.SubstringSearch(patterns[i%len(patterns)])
+		}
+	})
+	b.Run("SBCTree/prefix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sbc.PrefixSearch(patterns[i%len(patterns)])
+		}
+	})
+	b.Run("StringBTree/prefix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sbt.PrefixSearch(patterns[i%len(patterns)])
+		}
+	})
+}
+
+// --- E4: SP-GiST vs B+-tree / R-tree ------------------------------------------------------------
+
+func BenchmarkE4SPGiSTVsBTree(b *testing.B) {
+	gen := biogen.New(7)
+	pts := gen.Points(20000, 10000)
+	kd := spgist.New(spgist.KDTreeOps{})
+	quad := spgist.New(spgist.QuadtreeOps{})
+	rt := rtree.New()
+	for i, p := range pts {
+		kd.Insert(spgist.Point{X: p[0], Y: p[1]}, i)
+		quad.Insert(spgist.Point{X: p[0], Y: p[1]}, i)
+		rt.Insert(rtree.NewPoint(p[0], p[1]), i)
+	}
+	queries := gen.Points(512, 10000)
+	b.Run("kdtree/knn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			_, _ = kd.KNN(spgist.Point{X: q[0], Y: q[1]}, 5)
+		}
+	})
+	b.Run("rtree/knn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			rt.Nearest(q[0], q[1], 5)
+		}
+	})
+	b.Run("kdtree/range", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			kd.Search(spgist.RangeQuery{MinX: q[0], MinY: q[1], MaxX: q[0] + 100, MaxY: q[1] + 100})
+		}
+	})
+	b.Run("quadtree/range", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			quad.Search(spgist.RangeQuery{MinX: q[0], MinY: q[1], MaxX: q[0] + 100, MaxY: q[1] + 100})
+		}
+	})
+	b.Run("rtree/range", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			rt.SearchAll(rtree.Rect{MinX: q[0], MinY: q[1], MaxX: q[0] + 100, MaxY: q[1] + 100})
+		}
+	})
+
+	words := gen.Keywords(20000, 12)
+	trie := spgist.New(spgist.TrieOps{})
+	bt := btree.New(btree.DefaultOrder)
+	for i, w := range words {
+		trie.Insert(w, i)
+		bt.Insert([]byte(w), nil)
+	}
+	b.Run("trie/regex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trie.Search(spgist.RegexQuery{Pattern: words[i%len(words)][:2] + ".*"})
+		}
+	})
+	b.Run("btree/regex-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pattern := words[i%len(words)][:2] + ".*"
+			bt.Ascend(func(k []byte, _ [][]byte) bool {
+				spgist.MatchSimpleRegex(pattern, string(k))
+				return true
+			})
+		}
+	})
+}
+
+// --- E5: annotation storage schemes ---------------------------------------------------------------
+
+func annotationWorkload(b *testing.B, cellLevel bool) {
+	b.Helper()
+	opts := Options{CellLevelAnnotations: cellLevel}
+	db, err := OpenWith(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, GSequence SEQUENCE)`)
+	db.MustExec(`CREATE ANNOTATION TABLE Ann ON Gene`)
+	gen := biogen.New(3)
+	const rows = 800
+	for i := 0; i < rows; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO Gene VALUES ('%s', '%s', '%s')`,
+			biogen.GeneID(i), gen.GeneName(i), gen.DNASequence(12)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.MustExec(`ADD ANNOTATION TO Gene.Ann VALUE '<Annotation>column note</Annotation>' ON (SELECT GSequence FROM Gene)`)
+		db.MustExec(`SELECT GID, GSequence FROM Gene ANNOTATION(Ann) LIMIT 100`)
+	}
+	b.ReportMetric(float64(db.Annotations().StorageRecords())/float64(b.N), "records-per-annotation")
+}
+
+func BenchmarkE5AnnotationStorageSchemes(b *testing.B) {
+	b.Run("rectangle", func(b *testing.B) { annotationWorkload(b, false) })
+	b.Run("per-cell", func(b *testing.B) { annotationWorkload(b, true) })
+}
+
+// --- E6: annotation propagation -------------------------------------------------------------------
+
+func e6Database(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := Open()
+	db.MustExec(`CREATE TABLE DB1_Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, GSequence SEQUENCE)`)
+	db.MustExec(`CREATE TABLE DB2_Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, GSequence SEQUENCE)`)
+	db.MustExec(`CREATE ANNOTATION TABLE GAnnotation ON DB1_Gene`)
+	db.MustExec(`CREATE ANNOTATION TABLE GAnnotation ON DB2_Gene`)
+	gen := biogen.New(5)
+	for i := 0; i < rows; i++ {
+		id, name, seq := biogen.GeneID(i), gen.GeneName(i), gen.DNASequence(24)
+		db.MustExec(fmt.Sprintf(`INSERT INTO DB1_Gene VALUES ('%s', '%s', '%s')`, id, name, seq))
+		if i%2 == 0 {
+			db.MustExec(fmt.Sprintf(`INSERT INTO DB2_Gene VALUES ('%s', '%s', '%s')`, id, name, seq))
+		}
+	}
+	db.MustExec(`ADD ANNOTATION TO DB1_Gene.GAnnotation VALUE '<Annotation>obtained from RegulonDB</Annotation>' ON (SELECT * FROM DB1_Gene)`)
+	db.MustExec(`ADD ANNOTATION TO DB2_Gene.GAnnotation VALUE '<Annotation>obtained from GenoBase</Annotation>' ON (SELECT GSequence FROM DB2_Gene)`)
+	return db
+}
+
+func BenchmarkE6AnnotationPropagation(b *testing.B) {
+	db := e6Database(b, 500)
+	defer db.Close()
+	query := `SELECT GID, GName, GSequence FROM DB1_Gene ANNOTATION(GAnnotation)
+	          INTERSECT
+	          SELECT GID, GName, GSequence FROM DB2_Gene ANNOTATION(GAnnotation)`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestE6ASQLEquivalence checks the single A-SQL statement returns exactly the
+// common genes with annotations consolidated from both tables.
+func TestE6ASQLEquivalence(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE DB1_Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
+	db.MustExec(`CREATE TABLE DB2_Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
+	db.MustExec(`CREATE ANNOTATION TABLE A ON DB1_Gene`)
+	db.MustExec(`CREATE ANNOTATION TABLE A ON DB2_Gene`)
+	db.MustExec(`INSERT INTO DB1_Gene VALUES ('g1', 'AAA'), ('g2', 'CCC')`)
+	db.MustExec(`INSERT INTO DB2_Gene VALUES ('g1', 'AAA'), ('g3', 'TTT')`)
+	db.MustExec(`ADD ANNOTATION TO DB1_Gene.A VALUE '<Annotation>from DB1</Annotation>' ON (SELECT * FROM DB1_Gene)`)
+	db.MustExec(`ADD ANNOTATION TO DB2_Gene.A VALUE '<Annotation>from DB2</Annotation>' ON (SELECT * FROM DB2_Gene)`)
+	res := db.MustExec(`SELECT GID, GSequence FROM DB1_Gene ANNOTATION(A)
+		INTERSECT SELECT GID, GSequence FROM DB2_Gene ANNOTATION(A)`)
+	if len(res.Rows) != 1 || res.Rows[0].Values[0].Text() != "g1" {
+		t.Fatalf("intersection = %v", res.Rows)
+	}
+	if n := len(res.Rows[0].AnnotationsFlat()); n != 2 {
+		t.Errorf("annotations from both sides = %d, want 2", n)
+	}
+}
+
+// --- E7: dependency cascade -------------------------------------------------------------------------
+
+func BenchmarkE7OutdatedBitmaps(b *testing.B) {
+	bm := dependency.NewBitmap("Protein", 4)
+	for row := int64(1); row <= 200; row++ {
+		bm.Set(row*10, 3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bm.CompressedSize(10000)
+	}
+	b.ReportMetric(bm.CompressionRatio(10000), "compression-x")
+}
+
+// TestE7DependencyCascade verifies the Figure 9 cascade shape at the facade level.
+func TestE7DependencyCascade(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
+	db.MustExec(`CREATE TABLE Protein (PName TEXT, GID TEXT, PSequence SEQUENCE, PFunction TEXT)`)
+	db.MustExec(`CREATE INDEX ON Protein (GID)`)
+	db.MustExec(`INSERT INTO Gene VALUES ('JW0080', 'ATGATG')`)
+	db.MustExec(`INSERT INTO Protein VALUES ('pmraW', 'JW0080', 'MX', 'Cell wall formation')`)
+	dep := db.Dependencies()
+	dep.AddRule(dependency.Rule{
+		Sources: []dependency.ColumnRef{{Table: "Gene", Column: "GSequence"}},
+		Targets: []dependency.ColumnRef{{Table: "Protein", Column: "PSequence"}},
+		Proc: dependency.Procedure{Name: "Prediction tool P", Executable: true,
+			Apply: func(in []value.Value) (value.Value, error) {
+				return value.NewSequence(biogen.Translate(in[0].Text())), nil
+			}},
+		Link: &dependency.Link{SourceColumn: "GID", TargetColumn: "GID"},
+	})
+	dep.AddRule(dependency.Rule{
+		Sources: []dependency.ColumnRef{{Table: "Protein", Column: "PSequence"}},
+		Targets: []dependency.ColumnRef{{Table: "Protein", Column: "PFunction"}},
+		Proc:    dependency.Procedure{Name: "Lab experiment", Executable: false},
+	})
+	db.MustExec(`UPDATE Gene SET GSequence = 'CCCGGGAAA' WHERE GID = 'JW0080'`)
+	if dep.IsOutdated("Protein", 1, "PSequence") {
+		t.Error("PSequence is recomputable and must not be outdated")
+	}
+	if !dep.IsOutdated("Protein", 1, "PFunction") {
+		t.Error("PFunction must be outdated")
+	}
+	seq, _ := db.Storage().Tables()[1].GetColumn(1, "PSequence")
+	if seq.Text() != biogen.Translate("CCCGGGAAA") {
+		t.Errorf("PSequence not recomputed: %q", seq.Text())
+	}
+}
+
+// --- E8: approval overhead -----------------------------------------------------------------------------
+
+func BenchmarkE8ApprovalOverhead(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			db := Open()
+			defer db.Close()
+			db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
+			if mode == "on" {
+				db.MustExec(`START CONTENT APPROVAL ON Gene APPROVED BY labadmin`)
+			}
+			gen := biogen.New(4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db.MustExec(fmt.Sprintf(`INSERT INTO Gene VALUES ('G%d', '%s')`, i, gen.DNASequence(20)))
+			}
+		})
+	}
+}
+
+// TestE8ApprovalInverse verifies the inverse-statement semantics end to end.
+func TestE8ApprovalInverse(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
+	db.MustExec(`START CONTENT APPROVAL ON Gene APPROVED BY labadmin`)
+	db.Authorization().MakeAdmin("labadmin")
+	db.MustExec(`INSERT INTO Gene VALUES ('JW0080', 'ATG')`)
+	for _, op := range db.Authorization().Pending("Gene") {
+		if err := db.Authorization().Approve(op.ID, "labadmin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.MustExec(`UPDATE Gene SET GSequence = 'BAD' WHERE GID = 'JW0080'`)
+	pending := db.Authorization().Pending("Gene")
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d", len(pending))
+	}
+	admin := db.Session("labadmin")
+	if _, err := admin.Exec(fmt.Sprintf("DISAPPROVE OPERATION %d", pending[0].ID)); err != nil {
+		t.Fatal(err)
+	}
+	res := db.MustExec(`SELECT GSequence FROM Gene WHERE GID = 'JW0080'`)
+	if res.Rows[0].Values[0].Text() != "ATG" {
+		t.Errorf("rollback failed: %q", res.Rows[0].Values[0].Text())
+	}
+}
+
+// --- E9: provenance ---------------------------------------------------------------------------------------
+
+func BenchmarkE9ProvenanceLookup(b *testing.B) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
+	gen := biogen.New(6)
+	const rows = 500
+	for i := 0; i < rows; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO Gene VALUES ('%s', '%s')`, biogen.GeneID(i), gen.DNASequence(12)))
+	}
+	prov := db.Provenance()
+	prov.RegisterAgent("integrator")
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	prov.Attach("integrator", "Gene",
+		provenance.Record{Source: "S1", Action: provenance.ActionCopy, Time: base},
+		[]annotation.Region{annotation.RowsRegion("Gene", 1, rows, 2)})
+	prov.Attach("integrator", "Gene",
+		provenance.Record{Source: "S3", Action: provenance.ActionOverwrite, Time: base.AddDate(0, 1, 0)},
+		[]annotation.Region{annotation.ColumnRegion("Gene", 1, rows)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prov.SourceAt("Gene", int64(i%rows)+1, 1, base.AddDate(0, 6, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestE9ProvenanceQueries verifies the Figure 8 source-at-time semantics at
+// the facade level.
+func TestE9ProvenanceQueries(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
+	db.MustExec(`INSERT INTO Gene VALUES ('JW0080', 'ATG')`)
+	prov := db.Provenance()
+	prov.RegisterAgent("loader")
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	prov.Attach("loader", "Gene", provenance.Record{Source: "S2", Action: provenance.ActionCopy, Time: base},
+		[]annotation.Region{annotation.RowsRegion("Gene", 1, 1, 2)})
+	prov.Attach("loader", "Gene", provenance.Record{Source: "S3", Action: provenance.ActionOverwrite, Time: base.AddDate(0, 1, 0)},
+		[]annotation.Region{annotation.ColumnRegion("Gene", 1, 1)})
+	e, err := prov.SourceAt("Gene", 1, 1, base.AddDate(0, 0, 10))
+	if err != nil || e.Record.Source != "S2" {
+		t.Fatalf("early source = %+v, %v", e.Record, err)
+	}
+	e, err = prov.SourceAt("Gene", 1, 1, base.AddDate(0, 2, 0))
+	if err != nil || e.Record.Source != "S3" {
+		t.Fatalf("late source = %+v, %v", e.Record, err)
+	}
+}
+
+// --- ablations --------------------------------------------------------------------------------------------
+
+// BenchmarkAblationSBCSecondLevel compares the SBC-tree with and without its
+// R-tree second level on single-run queries (DESIGN.md section 4).
+func BenchmarkAblationSBCSecondLevel(b *testing.B) {
+	seqs := benchStructures(500)
+	with := sbctree.New()
+	without := sbctree.NewWithoutSecondLevel()
+	for i, s := range seqs {
+		with.Insert(int64(i+1), s)
+		without.Insert(int64(i+1), s)
+	}
+	b.Run("with-rtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			with.SubstringSearch("HHHHHHHHHHHHHHHHHHHH")
+		}
+	})
+	b.Run("linear-runs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			without.SubstringSearch("HHHHHHHHHHHHHHHHHHHH")
+		}
+	})
+}
+
+// BenchmarkAblationBufferPool measures insertion I/O sensitivity to the buffer
+// pool size (E2 sweep).
+func BenchmarkAblationBufferPool(b *testing.B) {
+	for _, pool := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
+			gen := biogen.New(2)
+			for i := 0; i < b.N; i++ {
+				db, _ := OpenWith(Options{PoolSize: pool})
+				db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
+				for j := 0; j < 500; j++ {
+					db.MustExec(fmt.Sprintf(`INSERT INTO Gene VALUES ('%s', '%s')`, biogen.GeneID(j), gen.DNASequence(40)))
+				}
+				stats := db.Storage().PagerStats()
+				b.ReportMetric(float64(stats.Reads+stats.Writes), "page-ios")
+				db.Close()
+			}
+		})
+	}
+}

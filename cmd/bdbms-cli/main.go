@@ -1,0 +1,108 @@
+// Command bdbms-cli is an interactive A-SQL shell over a bdbms database.
+// Statements are read from standard input (terminated by ';') and results are
+// rendered as textual grids with propagated annotations listed under each
+// row — the textual stand-in for the spreadsheet visualization tool the paper
+// discusses in Section 3.2.
+//
+// Usage:
+//
+//	bdbms-cli [-data file.db] [-user name] [-enforce-auth] [-script file.sql]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bdbms"
+)
+
+func main() {
+	dataFile := flag.String("data", "", "back the database with this page file (default: in-memory)")
+	user := flag.String("user", "admin", "user to run statements as")
+	enforce := flag.Bool("enforce-auth", false, "enable GRANT/REVOKE privilege checks")
+	script := flag.String("script", "", "execute this A-SQL script file before reading stdin")
+	quiet := flag.Bool("quiet", false, "suppress the banner and prompts")
+	flag.Parse()
+
+	db, err := bdbms.OpenWith(bdbms.Options{DataFile: *dataFile, EnforceAuth: *enforce})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bdbms-cli:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	if *enforce {
+		db.Authorization().MakeAdmin("admin")
+	}
+	session := db.Session(*user)
+
+	if !*quiet {
+		fmt.Println("bdbms — a database management system for biological data")
+		fmt.Println("Enter A-SQL statements terminated by ';'.  \\q quits, \\tables lists tables.")
+	}
+
+	run := func(sql string) {
+		res, err := session.Exec(sql)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Print(bdbms.Render(res))
+	}
+
+	if *script != "" {
+		content, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bdbms-cli:", err)
+			os.Exit(1)
+		}
+		results, err := session.ExecAll(string(content))
+		for _, res := range results {
+			fmt.Print(bdbms.Render(res))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var buf strings.Builder
+	if !*quiet {
+		fmt.Print("bdbms> ")
+	}
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case "\\q", "\\quit", "exit", "quit":
+			return
+		case "\\tables":
+			for _, tbl := range db.Storage().Tables() {
+				fmt.Printf("%s (%d rows)\n", tbl.Name(), tbl.RowCount())
+				for _, ann := range db.Storage().Catalog().AnnotationTables(tbl.Name()) {
+					fmt.Printf("  annotation table: %s [%s]\n", ann.Name, ann.Category)
+				}
+			}
+			if !*quiet {
+				fmt.Print("bdbms> ")
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			run(buf.String())
+			buf.Reset()
+			if !*quiet {
+				fmt.Print("bdbms> ")
+			}
+		}
+	}
+	if buf.Len() > 0 && strings.TrimSpace(buf.String()) != "" {
+		run(buf.String())
+	}
+}

@@ -1,0 +1,83 @@
+// Command annotation_curation reproduces the annotation-management scenario
+// of Figures 2-7 of the paper: two gene tables imported from different
+// databases, annotations A1-A3 and B1-B5 at cell / tuple / column
+// granularity, archival of an obsolete annotation, and the "common genes with
+// all their annotations" query that takes three manual SQL steps but a single
+// A-SQL statement.
+package main
+
+import (
+	"fmt"
+
+	"bdbms"
+)
+
+func main() {
+	db := bdbms.Open()
+	defer db.Close()
+
+	db.MustExec(`CREATE TABLE DB1_Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, GSequence SEQUENCE)`)
+	db.MustExec(`CREATE TABLE DB2_Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, GSequence SEQUENCE)`)
+	db.MustExec(`CREATE ANNOTATION TABLE GAnnotation ON DB1_Gene CATEGORY 'comment'`)
+	db.MustExec(`CREATE ANNOTATION TABLE GAnnotation ON DB2_Gene CATEGORY 'comment'`)
+
+	db.MustExec(`INSERT INTO DB1_Gene VALUES
+		('JW0080', 'mraW', 'ATGATGGAAAA'),
+		('JW0082', 'ftsI', 'ATGAAAGCAGC'),
+		('JW0055', 'yabP', 'ATGAAAGTATC'),
+		('JW0078', 'fruR', 'GTGAAACTGGA')`)
+	db.MustExec(`INSERT INTO DB2_Gene VALUES
+		('JW0080', 'mraW', 'ATGATGGAAAA'),
+		('JW0041', 'fixB', 'ATGAACACGTT'),
+		('JW0037', 'caiB', 'ATGGATCATCT'),
+		('JW0027', 'ispH', 'ATGCAGATCCT'),
+		('JW0055', 'yabP', 'ATGAAAGTATC')`)
+
+	// A1..A3 over DB1_Gene, B1/B3/B5 over DB2_Gene (Figure 2).
+	db.MustExec(`ADD ANNOTATION TO DB1_Gene.GAnnotation
+		VALUE '<Annotation>These genes are published in Smith et al. 2006</Annotation>'
+		ON (SELECT * FROM DB1_Gene WHERE GID = 'JW0080' OR GID = 'JW0082')`)
+	db.MustExec(`ADD ANNOTATION TO DB1_Gene.GAnnotation
+		VALUE '<Annotation>These genes were obtained from RegulonDB</Annotation>'
+		ON (SELECT * FROM DB1_Gene WHERE GID = 'JW0082' OR GID = 'JW0055' OR GID = 'JW0078')`)
+	db.MustExec(`ADD ANNOTATION TO DB1_Gene.GAnnotation
+		VALUE '<Annotation>Involved in methyltransferase activity</Annotation>'
+		ON (SELECT GSequence FROM DB1_Gene WHERE GID = 'JW0080')`)
+	db.MustExec(`ADD ANNOTATION TO DB2_Gene.GAnnotation
+		VALUE '<Annotation>Curated by user admin</Annotation>'
+		ON (SELECT * FROM DB2_Gene WHERE GID = 'JW0080' OR GID = 'JW0041' OR GID = 'JW0037')`)
+	db.MustExec(`ADD ANNOTATION TO DB2_Gene.GAnnotation
+		VALUE '<Annotation>obtained from GenoBase</Annotation>'
+		ON (SELECT GSequence FROM DB2_Gene)`)
+	db.MustExec(`ADD ANNOTATION TO DB2_Gene.GAnnotation
+		VALUE '<Annotation>This gene has an unknown function</Annotation>'
+		ON (SELECT * FROM DB2_Gene WHERE GID = 'JW0080')`)
+
+	fmt.Println("== The paper's example query: genes common to both databases,")
+	fmt.Println("   with annotations consolidated from both (one A-SQL statement) ==")
+	common := db.MustExec(`
+		SELECT GID, GName, GSequence FROM DB1_Gene ANNOTATION(GAnnotation)
+		INTERSECT
+		SELECT GID, GName, GSequence FROM DB2_Gene ANNOTATION(GAnnotation)`)
+	fmt.Print(bdbms.Render(common))
+
+	fmt.Println("== Annotation-based filtering: only lineage annotations (FILTER) ==")
+	lineage := db.MustExec(`SELECT GID, GSequence FROM DB2_Gene ANNOTATION(GAnnotation)
+		FILTER ANN.VALUE LIKE '%GenoBase%'`)
+	fmt.Print(bdbms.Render(lineage))
+
+	fmt.Println("== The gene's function became known: archive annotation B5 ==")
+	db.MustExec(`ARCHIVE ANNOTATION FROM DB2_Gene.GAnnotation
+		ON (SELECT * FROM DB2_Gene WHERE GID = 'JW0080')`)
+	after := db.MustExec(`SELECT GID FROM DB2_Gene ANNOTATION(GAnnotation) WHERE GID = 'JW0080'`)
+	fmt.Print(bdbms.Render(after))
+
+	fmt.Println("== ... and restore it when the uncertainty returns ==")
+	db.MustExec(`RESTORE ANNOTATION FROM DB2_Gene.GAnnotation
+		ON (SELECT * FROM DB2_Gene WHERE GID = 'JW0080')`)
+	restored := db.MustExec(`SELECT GID FROM DB2_Gene ANNOTATION(GAnnotation) WHERE GID = 'JW0080'`)
+	fmt.Print(bdbms.Render(restored))
+
+	fmt.Printf("Annotation storage records under the %s scheme: %d\n",
+		db.Annotations().StoreName(), db.Annotations().StorageRecords())
+}

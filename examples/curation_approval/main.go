@@ -1,0 +1,66 @@
+// Command curation_approval reproduces Figure 11 and Section 6 of the paper:
+// lab members may update the gene table, but under content-based approval
+// every update is logged with an automatically generated inverse statement;
+// the lab administrator reviews the log, approves good changes and
+// disapproves bad ones, whose inverse statements are executed to roll them
+// back — while the pending data stays visible in the meantime.
+package main
+
+import (
+	"fmt"
+
+	"bdbms"
+)
+
+func main() {
+	db := bdbms.Open()
+	defer db.Close()
+
+	auth := db.Authorization()
+	auth.AddToGroup("alice", "labmembers")
+	auth.AddToGroup("bob", "labmembers")
+	auth.AddToGroup("drsmith", "labadmins")
+	auth.Grant("labmembers", "Gene", "SELECT", "INSERT", "UPDATE", "DELETE")
+	auth.Grant("labadmins", "Gene", "ALL")
+
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, GSequence SEQUENCE)`)
+	db.MustExec(`INSERT INTO Gene VALUES ('JW0080', 'mraW', 'ATGATGGAAAA')`)
+	db.MustExec(`START CONTENT APPROVAL ON Gene COLUMNS (GSequence, GName) APPROVED BY labadmins`)
+
+	// Lab members update the data; the changes apply immediately but are
+	// logged as pending.
+	alice := db.Session("alice")
+	bob := db.Session("bob")
+	must(alice.Exec(`UPDATE Gene SET GSequence = 'ATGATGGAAAACCC' WHERE GID = 'JW0080'`))
+	must(bob.Exec(`INSERT INTO Gene VALUES ('JW0099', 'bogus', 'NNNNN')`))
+
+	fmt.Println("Pending operations (visible to the lab administrator):")
+	pending := db.MustExec(`SHOW PENDING OPERATIONS FOR Gene`)
+	fmt.Print(bdbms.Render(pending))
+
+	fmt.Println("Pending data is already visible to readers:")
+	fmt.Print(bdbms.Render(db.MustExec(`SELECT GID, GName FROM Gene ORDER BY GID`)))
+
+	// The administrator approves Alice's update and disapproves Bob's insert;
+	// disapproval executes the stored inverse statement.
+	admin := db.Session("drsmith")
+	aliceOp := pending.Rows[0].Values[0].Int()
+	bobOp := pending.Rows[1].Values[0].Int()
+	must(admin.Exec(fmt.Sprintf("APPROVE OPERATION %d", aliceOp)))
+	must(admin.Exec(fmt.Sprintf("DISAPPROVE OPERATION %d", bobOp)))
+
+	fmt.Println("After review (the bogus gene is gone, the curated update stays):")
+	fmt.Print(bdbms.Render(db.MustExec(`SELECT GID, GName, GSequence FROM Gene ORDER BY GID`)))
+
+	fmt.Println("Operation log summary:")
+	for status, n := range auth.Summary("Gene") {
+		fmt.Printf("  %-12s %d\n", status, n)
+	}
+}
+
+func must(res *bdbms.Result, err error) *bdbms.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

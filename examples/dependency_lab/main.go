@@ -1,0 +1,101 @@
+// Command dependency_lab reproduces Figures 1, 9 and 10 of the paper: genes,
+// the proteins predicted from them and the functions determined by lab
+// experiments, linked by procedural dependencies. Modifying a gene sequence
+// automatically re-runs the executable prediction tool, marks the
+// non-recomputable protein function outdated (the bitmap of Figure 10), and
+// propagates OUTDATED warnings with query answers until the curator
+// revalidates the cell.
+package main
+
+import (
+	"fmt"
+
+	"bdbms"
+	"bdbms/internal/biogen"
+	"bdbms/internal/dependency"
+	"bdbms/internal/value"
+)
+
+func main() {
+	db := bdbms.Open()
+	defer db.Close()
+
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, GSequence SEQUENCE)`)
+	db.MustExec(`CREATE TABLE Protein (PName TEXT, GID TEXT, PSequence SEQUENCE, PFunction TEXT)`)
+	db.MustExec(`CREATE INDEX ON Protein (GID)`)
+
+	gen := biogen.New(42)
+	genes := gen.Genes(3, 90)
+	names := []string{"mraW", "ftsI", "yabP"}
+	functions := []string{"Exhibitor", "Cell wall formation", "Hypothetical protein"}
+	for i, g := range genes {
+		db.MustExec(fmt.Sprintf(`INSERT INTO Gene VALUES ('%s', '%s', '%s')`, g.ID, names[i], g.Sequence))
+		db.MustExec(fmt.Sprintf(`INSERT INTO Protein VALUES ('p%s', '%s', '%s', '%s')`,
+			names[i], g.ID, biogen.Translate(g.Sequence), functions[i]))
+	}
+
+	dep := db.Dependencies()
+	// Rule 1: Gene.GSequence --(prediction tool P, executable)--> Protein.PSequence
+	mustRule(dep, dependency.Rule{
+		Sources: []dependency.ColumnRef{{Table: "Gene", Column: "GSequence"}},
+		Targets: []dependency.ColumnRef{{Table: "Protein", Column: "PSequence"}},
+		Proc: dependency.Procedure{
+			Name: "Prediction tool P", Executable: true,
+			Apply: func(in []value.Value) (value.Value, error) {
+				return value.NewSequence(biogen.Translate(in[0].Text())), nil
+			},
+		},
+		Link: &dependency.Link{SourceColumn: "GID", TargetColumn: "GID"},
+	})
+	// Rule 2: Protein.PSequence --(lab experiment, non-executable)--> Protein.PFunction
+	mustRule(dep, dependency.Rule{
+		Sources: []dependency.ColumnRef{{Table: "Protein", Column: "PSequence"}},
+		Targets: []dependency.ColumnRef{{Table: "Protein", Column: "PFunction"}},
+		Proc:    dependency.Procedure{Name: "Lab experiment", Executable: false},
+	})
+
+	fmt.Println("Declared procedural dependencies:")
+	for _, r := range dep.Rules().Rules() {
+		fmt.Println("  ", r)
+	}
+	fmt.Println("Derived rules (the paper's Rule 4):")
+	for _, r := range dep.Rules().DeriveRules(3) {
+		fmt.Println("  ", r)
+	}
+	closure := dep.Rules().ProcedureClosure("Prediction tool P")
+	fmt.Printf("Closure of procedure P (everything to re-verify if P changes): %v\n\n", closure)
+
+	fmt.Println("Modifying the sequence of gene JW0000 ...")
+	newSeq := biogen.New(7).DNASequence(90)
+	db.MustExec(fmt.Sprintf(`UPDATE Gene SET GSequence = '%s' WHERE GID = 'JW0000'`, newSeq))
+
+	fmt.Println("Cascade events:")
+	for _, ev := range dep.Events() {
+		action := "marked OUTDATED"
+		if ev.Recomputed {
+			action = "recomputed automatically"
+		}
+		fmt.Printf("  %s row %d col %d: %s (rule: %s)\n", ev.Cell.Table, ev.Cell.RowID, ev.Cell.Col, action, ev.Rule.Proc.Name)
+	}
+
+	bm := dep.Bitmap("Protein")
+	fmt.Printf("\nOutdated bitmap for Protein (Figure 10): %d set bit(s), RLE-compressed %dB vs raw %dB\n",
+		bm.Count(), bm.CompressedSize(3), bm.RawSize(3))
+
+	fmt.Println("\nQuerying the proteins — outdated cells carry a warning annotation:")
+	res := db.MustExec(`SELECT PName, PFunction FROM Protein`)
+	fmt.Print(bdbms.Render(res))
+
+	fmt.Println("The curator re-verifies pmraW's function and revalidates the cell:")
+	if err := dep.Revalidate("Protein", 1, "PFunction"); err != nil {
+		panic(err)
+	}
+	res = db.MustExec(`SELECT PName, PFunction FROM Protein WHERE PName = 'pmraW'`)
+	fmt.Print(bdbms.Render(res))
+}
+
+func mustRule(dep *dependency.Manager, r dependency.Rule) {
+	if _, err := dep.AddRule(r); err != nil {
+		panic(err)
+	}
+}

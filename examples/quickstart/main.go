@@ -1,0 +1,48 @@
+// Command quickstart shows the minimal bdbms workflow: create a gene table,
+// attach an annotation table, insert data, annotate it at several
+// granularities with ADD ANNOTATION, and query it back with the A-SQL
+// ANNOTATION clause so annotations propagate with the answer.
+package main
+
+import (
+	"fmt"
+
+	"bdbms"
+)
+
+func main() {
+	db := bdbms.Open()
+	defer db.Close()
+
+	db.MustExec(`CREATE TABLE Gene (
+		GID TEXT NOT NULL PRIMARY KEY,
+		GName TEXT,
+		GSequence SEQUENCE)`)
+	db.MustExec(`CREATE ANNOTATION TABLE GAnnotation ON Gene CATEGORY 'comment'`)
+
+	db.MustExec(`INSERT INTO Gene VALUES
+		('JW0080', 'mraW', 'ATGATGGAAAA'),
+		('JW0082', 'ftsI', 'ATGAAAGCAGC'),
+		('JW0055', 'yabP', 'ATGAAAGTATC')`)
+
+	// Annotate a whole tuple ...
+	db.MustExec(`ADD ANNOTATION TO Gene.GAnnotation
+		VALUE '<Annotation>Curated by user admin</Annotation>'
+		ON (SELECT * FROM Gene WHERE GID = 'JW0080')`)
+	// ... and a single column across every row.
+	db.MustExec(`ADD ANNOTATION TO Gene.GAnnotation
+		VALUE '<Annotation>Sequences obtained from RegulonDB</Annotation>'
+		ON (SELECT GSequence FROM Gene)`)
+
+	res := db.MustExec(`SELECT GID, GName PROMOTE (GSequence)
+		FROM Gene ANNOTATION(GAnnotation)
+		ORDER BY GID`)
+	fmt.Println("Genes with their propagated annotations:")
+	fmt.Print(bdbms.Render(res))
+
+	// Annotation-based querying: which genes carry a curation note?
+	curated := db.MustExec(`SELECT GID FROM Gene ANNOTATION(GAnnotation)
+		AWHERE ANN.VALUE LIKE '%Curated%'`)
+	fmt.Println("Genes with a curation annotation:")
+	fmt.Print(bdbms.Render(curated))
+}

@@ -1,0 +1,324 @@
+package authz
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bdbms/internal/catalog"
+	"bdbms/internal/storage"
+	"bdbms/internal/value"
+	"bdbms/internal/wal"
+)
+
+func newEngine(t *testing.T) (*storage.Engine, *storage.Table) {
+	t.Helper()
+	eng := storage.NewMemoryEngine()
+	tbl, err := eng.CreateTable(&catalog.Schema{
+		Name: "Gene",
+		Columns: []catalog.Column{
+			{Name: "GID", Type: value.Text, NotNull: true},
+			{Name: "GName", Type: value.Text},
+			{Name: "GSequence", Type: value.Sequence},
+		},
+		PrimaryKey: "GID",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, tbl
+}
+
+func geneRow(id, name, seq string) value.Row {
+	return value.Row{value.NewText(id), value.NewText(name), value.NewSequence(seq)}
+}
+
+func TestGrantRevokeCheck(t *testing.T) {
+	eng, _ := newEngine(t)
+	m := NewManager(eng)
+	m.CreateUser("alice")
+	if m.Check("alice", "Gene", PrivSelect) {
+		t.Error("no grant yet")
+	}
+	m.Grant("alice", "Gene", PrivSelect, PrivInsert)
+	if !m.Check("alice", "Gene", PrivSelect) || !m.Check("alice", "Gene", PrivInsert) {
+		t.Error("direct grant failed")
+	}
+	if m.Check("alice", "Gene", PrivDelete) {
+		t.Error("ungranted privilege")
+	}
+	if err := m.Require("alice", "Gene", PrivDelete); !errors.Is(err, ErrPermissionDenied) {
+		t.Errorf("Require: %v", err)
+	}
+	if err := m.Require("alice", "Gene", PrivSelect); err != nil {
+		t.Errorf("Require granted: %v", err)
+	}
+	m.Revoke("alice", "Gene", PrivSelect)
+	if m.Check("alice", "Gene", PrivSelect) {
+		t.Error("revoke failed")
+	}
+	// Revoking something never granted is a no-op.
+	m.Revoke("bob", "Gene", PrivAll)
+
+	// Group grants.
+	m.AddToGroup("bob", "labmembers")
+	m.Grant("labmembers", "Gene", PrivAll)
+	for _, p := range []Privilege{PrivSelect, PrivInsert, PrivUpdate, PrivDelete} {
+		if !m.Check("bob", "Gene", p) {
+			t.Errorf("group grant missing %s", p)
+		}
+	}
+	m.Revoke("labmembers", "Gene", PrivAll)
+	if m.Check("bob", "Gene", PrivSelect) {
+		t.Error("group revoke failed")
+	}
+	if !m.MemberOf("bob", "labmembers") || m.MemberOf("alice", "labmembers") {
+		t.Error("MemberOf wrong")
+	}
+	if !m.UserExists("alice") || m.UserExists("carol") {
+		t.Error("UserExists wrong")
+	}
+
+	// Admins bypass checks.
+	m.MakeAdmin("root")
+	if !m.Check("root", "Gene", PrivDelete) {
+		t.Error("admin should pass all checks")
+	}
+}
+
+func TestStartStopContentApproval(t *testing.T) {
+	eng, _ := newEngine(t)
+	m := NewManager(eng)
+	if err := m.StartContentApproval("NoTable", nil, "admin"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := m.StartContentApproval("Gene", []string{"GSequence"}, "labadmin"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Monitored("Gene") || !m.Monitored("Gene", "GSequence") {
+		t.Error("monitoring not active")
+	}
+	if m.Monitored("Gene", "GName") {
+		t.Error("GName is not monitored")
+	}
+	cfg := m.ApprovalConfigFor("gene")
+	if cfg == nil || cfg.Approver != "labadmin" {
+		t.Errorf("config = %+v", cfg)
+	}
+	if len(m.Approvers()) != 1 || m.Approvers()[0] != "labadmin" {
+		t.Errorf("Approvers = %v", m.Approvers())
+	}
+	// Stop one column of a column-scoped config removes just that column.
+	if err := m.StopContentApproval("Gene", []string{"GSequence"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Monitored("Gene") {
+		t.Error("no monitored columns left; approval should be off")
+	}
+	if err := m.StopContentApproval("Gene", nil); !errors.Is(err, ErrNoApproval) {
+		t.Errorf("stop when off: %v", err)
+	}
+	// Whole-table monitoring and stop.
+	m.StartContentApproval("Gene", nil, "labadmin")
+	if !m.Monitored("Gene", "GName") {
+		t.Error("whole-table config monitors all columns")
+	}
+	if err := m.StopContentApproval("Gene", nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Monitored("Gene") {
+		t.Error("stop-all failed")
+	}
+	// Partial stop on a multi-column config keeps the rest.
+	m.StartContentApproval("Gene", []string{"GName", "GSequence"}, "labadmin")
+	if err := m.StopContentApproval("Gene", []string{"GName"}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Monitored("Gene", "GSequence") || m.Monitored("Gene", "GName") {
+		t.Error("partial stop wrong")
+	}
+}
+
+func TestRecordOperationGeneratesInverse(t *testing.T) {
+	eng, tbl := newEngine(t)
+	m := NewManager(eng)
+	m.StartContentApproval("Gene", nil, "labadmin")
+
+	rowID, _ := tbl.Insert(geneRow("JW0080", "mraW", "ATG"))
+	op, err := m.RecordOperation("alice", OpInsert, "Gene", rowID, nil, geneRow("JW0080", "mraW", "ATG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Status != StatusPending || op.ID != 1 {
+		t.Errorf("op = %+v", op)
+	}
+	if !strings.Contains(op.Statement, "INSERT INTO Gene") {
+		t.Errorf("statement = %q", op.Statement)
+	}
+	if !strings.Contains(op.Inverse, "DELETE FROM Gene") {
+		t.Errorf("inverse = %q", op.Inverse)
+	}
+
+	oldRow, _ := tbl.Get(rowID)
+	newRow := geneRow("JW0080", "mraW", "ATGCCC")
+	tbl.Update(rowID, newRow)
+	opU, err := m.RecordOperation("alice", OpUpdate, "Gene", rowID, oldRow, newRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(opU.Inverse, "UPDATE Gene SET") || !strings.Contains(opU.Inverse, "'ATG'") {
+		t.Errorf("update inverse = %q", opU.Inverse)
+	}
+
+	delRow, _ := tbl.Get(rowID)
+	tbl.Delete(rowID)
+	opD, err := m.RecordOperation("alice", OpDelete, "Gene", rowID, delRow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(opD.Inverse, "INSERT INTO Gene VALUES") {
+		t.Errorf("delete inverse = %q", opD.Inverse)
+	}
+
+	// The operation log is mirrored in the WAL.
+	approvalRecords := 0
+	for _, rec := range eng.WAL().Records() {
+		if rec.Kind == wal.KindApproval {
+			approvalRecords++
+		}
+	}
+	if approvalRecords != 3 {
+		t.Errorf("WAL approval records = %d", approvalRecords)
+	}
+
+	// Errors.
+	if _, err := m.RecordOperation("alice", OpInsert, "NoTable", 1, nil, nil); err == nil {
+		t.Error("unknown table should fail")
+	}
+	eng.CreateTable(&catalog.Schema{Name: "Free", Columns: []catalog.Column{{Name: "x", Type: value.Int}}})
+	if _, err := m.RecordOperation("alice", OpInsert, "Free", 1, nil, nil); !errors.Is(err, ErrNoApproval) {
+		t.Errorf("unmonitored table: %v", err)
+	}
+}
+
+func TestApproveDisapproveWorkflow(t *testing.T) {
+	eng, tbl := newEngine(t)
+	m := NewManager(eng)
+	m.StartContentApproval("Gene", nil, "labadmins")
+	m.AddToGroup("drsmith", "labadmins")
+	m.CreateUser("mallory")
+
+	// Pending data is visible immediately (the paper allows viewing pending
+	// data); approval only confirms it, disapproval rolls it back.
+	rowID, _ := tbl.Insert(geneRow("JW0080", "mraW", "ATG"))
+	op, _ := m.RecordOperation("alice", OpInsert, "Gene", rowID, nil, geneRow("JW0080", "mraW", "ATG"))
+
+	if len(m.Pending("Gene")) != 1 {
+		t.Fatal("expected one pending op")
+	}
+	if err := m.Approve(op.ID, "mallory"); !errors.Is(err, ErrNotApprover) {
+		t.Errorf("non-approver approve: %v", err)
+	}
+	if err := m.Approve(op.ID, "drsmith"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Approve(op.ID, "drsmith"); !errors.Is(err, ErrAlreadyDecided) {
+		t.Errorf("double approve: %v", err)
+	}
+	if got, _ := m.Operation(op.ID); got.Status != StatusApproved || got.Approver != "drsmith" {
+		t.Errorf("op after approve = %+v", got)
+	}
+	if _, err := m.Operation(999); !errors.Is(err, ErrOpNotFound) {
+		t.Errorf("missing op: %v", err)
+	}
+
+	// Disapproval of an UPDATE restores the old values.
+	oldRow, _ := tbl.Get(rowID)
+	tbl.UpdateColumn(rowID, "GSequence", value.NewSequence("ATGCCCGGG"))
+	newRow, _ := tbl.Get(rowID)
+	opU, _ := m.RecordOperation("alice", OpUpdate, "Gene", rowID, oldRow, newRow)
+	affected, err := m.Disapprove(opU.ID, "drsmith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 || affected[0] != rowID {
+		t.Errorf("affected = %v", affected)
+	}
+	v, _ := tbl.GetColumn(rowID, "GSequence")
+	if v.Text() != "ATG" {
+		t.Errorf("update not rolled back: %q", v.Text())
+	}
+	if _, err := m.Disapprove(opU.ID, "drsmith"); !errors.Is(err, ErrAlreadyDecided) {
+		t.Errorf("double disapprove: %v", err)
+	}
+
+	// Disapproval of an INSERT deletes the row.
+	rowID2, _ := tbl.Insert(geneRow("JW0090", "yabP", "GGG"))
+	opI, _ := m.RecordOperation("bob", OpInsert, "Gene", rowID2, nil, geneRow("JW0090", "yabP", "GGG"))
+	if _, err := m.Disapprove(opI.ID, "drsmith"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Get(rowID2); err == nil {
+		t.Error("disapproved insert should be gone")
+	}
+
+	// Disapproval of a DELETE re-inserts the old row.
+	delRow, _ := tbl.Get(rowID)
+	tbl.Delete(rowID)
+	opD, _ := m.RecordOperation("bob", OpDelete, "Gene", rowID, delRow, nil)
+	affected, err = m.Disapprove(opD.ID, "drsmith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 {
+		t.Fatalf("affected = %v", affected)
+	}
+	restored, err := tbl.Get(affected[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored[0].Text() != "JW0080" {
+		t.Errorf("restored row = %v", restored)
+	}
+
+	// Admins can decide anything.
+	m.MakeAdmin("root")
+	rowID3, _ := tbl.Insert(geneRow("JW0100", "x", "C"))
+	opA, _ := m.RecordOperation("bob", OpInsert, "Gene", rowID3, nil, geneRow("JW0100", "x", "C"))
+	if err := m.Approve(opA.ID, "root"); err != nil {
+		t.Errorf("admin approve: %v", err)
+	}
+
+	// Summary counts statuses.
+	sum := m.Summary("Gene")
+	if sum[StatusApproved] != 2 || sum[StatusDisapproved] != 3 {
+		t.Errorf("summary = %v", sum)
+	}
+	if len(m.Operations("", "")) != 5 {
+		t.Errorf("all ops = %d", len(m.Operations("", "")))
+	}
+	// Approve/Disapprove of unknown op.
+	if err := m.Approve(999, "root"); !errors.Is(err, ErrOpNotFound) {
+		t.Errorf("approve missing: %v", err)
+	}
+	if _, err := m.Disapprove(999, "root"); !errors.Is(err, ErrOpNotFound) {
+		t.Errorf("disapprove missing: %v", err)
+	}
+	// Non-approver cannot disapprove.
+	rowID4, _ := tbl.Insert(geneRow("JW0110", "y", "T"))
+	opN, _ := m.RecordOperation("bob", OpInsert, "Gene", rowID4, nil, geneRow("JW0110", "y", "T"))
+	if _, err := m.Disapprove(opN.ID, "mallory"); !errors.Is(err, ErrNotApprover) {
+		t.Errorf("non-approver disapprove: %v", err)
+	}
+}
+
+func TestMonitorsColumn(t *testing.T) {
+	cfg := &ApprovalConfig{Table: "Gene", Columns: []string{"GSequence"}}
+	if !cfg.MonitorsColumn("gsequence") || cfg.MonitorsColumn("GName") {
+		t.Error("MonitorsColumn wrong")
+	}
+	all := &ApprovalConfig{Table: "Gene"}
+	if !all.MonitorsColumn("anything") {
+		t.Error("empty column list monitors everything")
+	}
+}

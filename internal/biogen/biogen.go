@@ -1,0 +1,321 @@
+// Package biogen generates the synthetic biological workloads used by the
+// examples, tests and benchmarks. It substitutes for the proprietary E. coli
+// and protein-structure datasets the paper's prototype was driven by: what the
+// experiments need is data with the right shape (alphabets, run-length
+// distributions, table layouts of Figures 2-3 and 9, annotation mixes), not
+// the real sequences.
+//
+// All generators are deterministic given a seed, so experiments are
+// reproducible run to run.
+package biogen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Gene mirrors the DB1_Gene / DB2_Gene tables of Figures 2-3: an identifier,
+// a short name and a DNA sequence.
+type Gene struct {
+	ID       string
+	Name     string
+	Sequence string
+}
+
+// Protein mirrors the Protein table of Figure 9: a name, the gene it derives
+// from, its primary sequence and a functional annotation.
+type Protein struct {
+	Name     string
+	GeneID   string
+	Sequence string
+	Function string
+}
+
+// MatchRecord mirrors the GeneMatching table of Figure 9(b): two gene
+// sequences and the BLAST-like E-value relating them.
+type MatchRecord struct {
+	Gene1  string
+	Gene2  string
+	Evalue float64
+}
+
+// Generator produces deterministic synthetic biological data.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+var (
+	dnaAlphabet       = []byte("ACGT")
+	proteinAlphabet   = []byte("ACDEFGHIKLMNPQRSTVWY")
+	secondaryAlphabet = []byte("HEL")
+	geneNamePrefixes  = []string{"mra", "yab", "fts", "fru", "isp", "cai", "fix", "thr", "dna", "rec", "lac", "ara", "trp", "gal", "pur"}
+	geneNameSuffixes  = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	functions         = []string{
+		"Hypothetical protein", "Cell wall formation", "Exhibitor",
+		"Methyltransferase activity", "DNA repair", "Transcription regulator",
+		"Membrane transporter", "Kinase activity", "Ribosomal protein",
+		"Oxidoreductase",
+	}
+)
+
+// DNASequence returns a uniform random DNA sequence of length n.
+func (g *Generator) DNASequence(n int) string {
+	return g.randomString(dnaAlphabet, n)
+}
+
+// ProteinSequence returns a random protein primary sequence of length n,
+// always starting with methionine (M) like real translated proteins.
+func (g *Generator) ProteinSequence(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	s := g.randomString(proteinAlphabet, n-1)
+	return "M" + s
+}
+
+// SecondaryStructure returns a protein secondary-structure string of length
+// roughly n over the alphabet {H, E, L} with geometrically distributed run
+// lengths of the given mean. Long runs are what make RLE compression (and the
+// SBC-tree) effective — this mirrors the example in Figure 12.
+func (g *Generator) SecondaryStructure(n int, meanRunLen float64) string {
+	if n <= 0 {
+		return ""
+	}
+	if meanRunLen < 1 {
+		meanRunLen = 1
+	}
+	var b strings.Builder
+	b.Grow(n)
+	prev := byte(0)
+	for b.Len() < n {
+		ch := secondaryAlphabet[g.rng.Intn(len(secondaryAlphabet))]
+		if ch == prev {
+			continue
+		}
+		prev = ch
+		run := 1 + int(g.rng.ExpFloat64()*(meanRunLen-1))
+		if run > n-b.Len() {
+			run = n - b.Len()
+		}
+		for i := 0; i < run; i++ {
+			b.WriteByte(ch)
+		}
+	}
+	return b.String()
+}
+
+func (g *Generator) randomString(alphabet []byte, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[g.rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// GeneID returns the i-th synthetic gene identifier in the JWnnnn style used
+// by the paper's figures.
+func GeneID(i int) string { return fmt.Sprintf("JW%04d", i) }
+
+// GeneName returns a plausible short gene name for index i.
+func (g *Generator) GeneName(i int) string {
+	prefix := geneNamePrefixes[i%len(geneNamePrefixes)]
+	suffix := geneNameSuffixes[(i/len(geneNamePrefixes))%len(geneNameSuffixes)]
+	return prefix + string(suffix)
+}
+
+// Genes generates n genes with sequences of the given length.
+func (g *Generator) Genes(n, seqLen int) []Gene {
+	out := make([]Gene, n)
+	for i := range out {
+		out[i] = Gene{
+			ID:       GeneID(i),
+			Name:     g.GeneName(i),
+			Sequence: g.DNASequence(seqLen),
+		}
+	}
+	return out
+}
+
+// ProteinsFor derives one protein per gene, simulating the prediction tool P
+// of Figure 9(a): the protein sequence is a deterministic translation of the
+// gene sequence and the function is drawn from a fixed vocabulary.
+func (g *Generator) ProteinsFor(genes []Gene) []Protein {
+	out := make([]Protein, len(genes))
+	for i, gene := range genes {
+		out[i] = Protein{
+			Name:     "p" + gene.Name,
+			GeneID:   gene.ID,
+			Sequence: Translate(gene.Sequence),
+			Function: functions[i%len(functions)],
+		}
+	}
+	return out
+}
+
+// Translate deterministically maps a DNA sequence to a protein-like sequence
+// (codon by codon). It stands in for the paper's "prediction tool P": it is
+// executable by the database and non-invertible (many codons map to the same
+// amino acid).
+func Translate(dna string) string {
+	if len(dna) < 3 {
+		return "M"
+	}
+	var b strings.Builder
+	b.Grow(len(dna)/3 + 1)
+	b.WriteByte('M')
+	for i := 0; i+3 <= len(dna); i += 3 {
+		idx := 0
+		for j := 0; j < 3; j++ {
+			idx = idx*4 + dnaIndex(dna[i+j])
+		}
+		b.WriteByte(proteinAlphabet[idx%len(proteinAlphabet)])
+	}
+	return b.String()
+}
+
+func dnaIndex(c byte) int {
+	switch c {
+	case 'A':
+		return 0
+	case 'C':
+		return 1
+	case 'G':
+		return 2
+	default:
+		return 3
+	}
+}
+
+// SecondaryStructures generates n secondary-structure sequences whose lengths
+// are uniform in [minLen, maxLen] with the given mean run length.
+func (g *Generator) SecondaryStructures(n, minLen, maxLen int, meanRunLen float64) []string {
+	out := make([]string, n)
+	for i := range out {
+		length := minLen
+		if maxLen > minLen {
+			length += g.rng.Intn(maxLen - minLen + 1)
+		}
+		out[i] = g.SecondaryStructure(length, meanRunLen)
+	}
+	return out
+}
+
+// Similarity computes a BLAST-like similarity between two sequences: the
+// fraction of shared k-mers (k=4). It is deterministic, cheap and monotone in
+// sequence similarity, which is all the dependency-tracking experiments need
+// from "BLAST-2.2.15".
+func Similarity(a, b string) float64 {
+	const k = 4
+	if len(a) < k || len(b) < k {
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	kmers := make(map[string]struct{}, len(a))
+	for i := 0; i+k <= len(a); i++ {
+		kmers[a[i:i+k]] = struct{}{}
+	}
+	shared := 0
+	total := 0
+	for i := 0; i+k <= len(b); i++ {
+		total++
+		if _, ok := kmers[b[i:i+k]]; ok {
+			shared++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(shared) / float64(total)
+}
+
+// EValue converts a similarity score into a BLAST-style E-value: highly
+// similar pairs get tiny E-values. The mapping is monotone and deterministic.
+func EValue(similarity float64, length int) float64 {
+	if similarity <= 0 {
+		return 10
+	}
+	exponent := similarity * float64(length) / 8
+	if exponent > 300 {
+		exponent = 300
+	}
+	ev := 1.0
+	for i := 0; i < int(exponent); i++ {
+		ev /= 10
+	}
+	return ev
+}
+
+// Matches builds a GeneMatching-style table relating the first n genes
+// pairwise (i, i+1), as in Figure 9(b).
+func (g *Generator) Matches(genes []Gene, n int) []MatchRecord {
+	if n > len(genes)-1 {
+		n = len(genes) - 1
+	}
+	out := make([]MatchRecord, 0, n)
+	for i := 0; i < n; i++ {
+		a, b := genes[i], genes[i+1]
+		sim := Similarity(a.Sequence, b.Sequence)
+		out = append(out, MatchRecord{
+			Gene1:  a.Sequence,
+			Gene2:  b.Sequence,
+			Evalue: EValue(sim, len(a.Sequence)),
+		})
+	}
+	return out
+}
+
+// AnnotationText returns the i-th synthetic annotation body, cycling through
+// phrasing similar to the paper's A1..A3 / B1..B5 annotations.
+func (g *Generator) AnnotationText(i int) string {
+	templates := []string{
+		"These genes were obtained from RegulonDB",
+		"These genes are published in study %d",
+		"Involved in methyltransferase activity",
+		"Curated by user admin",
+		"possibly split by frameshift",
+		"obtained from GenoBase",
+		"pseudogene",
+		"This gene has an unknown function",
+		"Verified by lab experiment %d",
+		"Imported by integration tool run %d",
+	}
+	tmpl := templates[i%len(templates)]
+	if strings.Contains(tmpl, "%d") {
+		return fmt.Sprintf(tmpl, i)
+	}
+	return tmpl
+}
+
+// Points generates n 2-D points in [0, scale) x [0, scale), used as the
+// multidimensional workload (protein feature vectors) for experiment E4.
+func (g *Generator) Points(n int, scale float64) [][2]float64 {
+	out := make([][2]float64, n)
+	for i := range out {
+		out[i] = [2]float64{g.rng.Float64() * scale, g.rng.Float64() * scale}
+	}
+	return out
+}
+
+// Keywords generates n keyword strings over the protein alphabet with lengths
+// in [3, maxLen], used for the trie / prefix-match workload of E4.
+func (g *Generator) Keywords(n, maxLen int) []string {
+	if maxLen < 3 {
+		maxLen = 3
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.randomString(proteinAlphabet, 3+g.rng.Intn(maxLen-2))
+	}
+	return out
+}

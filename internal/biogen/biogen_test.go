@@ -1,0 +1,227 @@
+package biogen
+
+import (
+	"strings"
+	"testing"
+
+	"bdbms/internal/rle"
+)
+
+func TestDNASequence(t *testing.T) {
+	g := New(1)
+	s := g.DNASequence(500)
+	if len(s) != 500 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		if !strings.ContainsRune("ACGT", rune(s[i])) {
+			t.Fatalf("bad character %c", s[i])
+		}
+	}
+	if g.DNASequence(0) != "" {
+		t.Error("zero length should be empty")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(42).DNASequence(100)
+	b := New(42).DNASequence(100)
+	if a != b {
+		t.Error("same seed must give same sequence")
+	}
+	c := New(43).DNASequence(100)
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestProteinSequence(t *testing.T) {
+	g := New(2)
+	p := g.ProteinSequence(50)
+	if len(p) != 50 || p[0] != 'M' {
+		t.Fatalf("protein = %q", p)
+	}
+	if g.ProteinSequence(0) != "" {
+		t.Error("zero length protein")
+	}
+}
+
+func TestSecondaryStructureRuns(t *testing.T) {
+	g := New(3)
+	s := g.SecondaryStructure(2000, 12)
+	if len(s) != 2000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != 'H' && s[i] != 'E' && s[i] != 'L' {
+			t.Fatalf("bad char %c", s[i])
+		}
+	}
+	seq := rle.Encode(s)
+	avgRun := float64(seq.Len()) / float64(seq.NumRuns())
+	if avgRun < 4 {
+		t.Errorf("mean run length %.1f too short for meanRunLen=12", avgRun)
+	}
+	if g.SecondaryStructure(0, 10) != "" {
+		t.Error("zero length structure")
+	}
+	if len(g.SecondaryStructure(10, 0)) != 10 {
+		t.Error("meanRunLen floor failed")
+	}
+}
+
+func TestGeneIDsAndNames(t *testing.T) {
+	if GeneID(80) != "JW0080" {
+		t.Errorf("GeneID(80) = %s", GeneID(80))
+	}
+	g := New(4)
+	names := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		names[g.GeneName(i)] = true
+	}
+	if len(names) < 30 {
+		t.Errorf("gene names not diverse enough: %d distinct", len(names))
+	}
+}
+
+func TestGenesAndProteins(t *testing.T) {
+	g := New(5)
+	genes := g.Genes(10, 120)
+	if len(genes) != 10 {
+		t.Fatal("wrong gene count")
+	}
+	for i, gene := range genes {
+		if gene.ID != GeneID(i) || len(gene.Sequence) != 120 {
+			t.Errorf("gene %d malformed: %+v", i, gene)
+		}
+	}
+	prots := g.ProteinsFor(genes)
+	if len(prots) != 10 {
+		t.Fatal("wrong protein count")
+	}
+	for i, p := range prots {
+		if p.GeneID != genes[i].ID {
+			t.Errorf("protein %d not linked to gene", i)
+		}
+		if p.Sequence != Translate(genes[i].Sequence) {
+			t.Errorf("protein %d sequence is not the translation", i)
+		}
+		if p.Function == "" {
+			t.Errorf("protein %d missing function", i)
+		}
+	}
+}
+
+func TestTranslateDeterministicNonInvertible(t *testing.T) {
+	a := Translate("ATGCATGCA")
+	b := Translate("ATGCATGCA")
+	if a != b {
+		t.Error("translate must be deterministic")
+	}
+	if a[0] != 'M' {
+		t.Error("translation starts with M")
+	}
+	if Translate("AT") != "M" {
+		t.Error("short sequence translates to M")
+	}
+	// Changing the gene changes the protein (dependency propagation premise).
+	if Translate("ATGCATGCA") == Translate("TTTTTTTTT") {
+		t.Error("different genes should usually give different proteins")
+	}
+}
+
+func TestSimilarityAndEValue(t *testing.T) {
+	s := New(6).DNASequence(200)
+	if Similarity(s, s) != 1 {
+		t.Error("self similarity must be 1")
+	}
+	other := New(7).DNASequence(200)
+	sim := Similarity(s, other)
+	if sim < 0 || sim > 1 {
+		t.Errorf("similarity out of range: %f", sim)
+	}
+	if Similarity("AB", "AB") != 1 || Similarity("AB", "CD") != 0 {
+		t.Error("short-sequence similarity wrong")
+	}
+	if EValue(1, 200) >= EValue(0.1, 200) {
+		t.Error("higher similarity must give lower E-value")
+	}
+	if EValue(0, 200) != 10 {
+		t.Error("zero similarity E-value should be 10")
+	}
+	if EValue(1, 100000) <= 0 {
+		t.Error("E-value must stay positive")
+	}
+}
+
+func TestMatches(t *testing.T) {
+	g := New(8)
+	genes := g.Genes(5, 100)
+	m := g.Matches(genes, 10)
+	if len(m) != 4 {
+		t.Fatalf("matches = %d, want 4 (clamped)", len(m))
+	}
+	for _, rec := range m {
+		if rec.Evalue <= 0 {
+			t.Error("evalue must be positive")
+		}
+	}
+}
+
+func TestAnnotationText(t *testing.T) {
+	g := New(9)
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		txt := g.AnnotationText(i)
+		if txt == "" {
+			t.Fatal("empty annotation")
+		}
+		seen[txt] = true
+	}
+	if len(seen) < 8 {
+		t.Errorf("annotation texts not diverse: %d", len(seen))
+	}
+}
+
+func TestPointsAndKeywords(t *testing.T) {
+	g := New(10)
+	pts := g.Points(100, 50)
+	if len(pts) != 100 {
+		t.Fatal("wrong point count")
+	}
+	for _, p := range pts {
+		if p[0] < 0 || p[0] >= 50 || p[1] < 0 || p[1] >= 50 {
+			t.Fatalf("point out of range: %v", p)
+		}
+	}
+	kws := g.Keywords(100, 10)
+	if len(kws) != 100 {
+		t.Fatal("wrong keyword count")
+	}
+	for _, k := range kws {
+		if len(k) < 3 || len(k) > 10 {
+			t.Fatalf("keyword length out of range: %q", k)
+		}
+	}
+	short := g.Keywords(5, 1)
+	for _, k := range short {
+		if len(k) != 3 {
+			t.Errorf("maxLen floor failed: %q", k)
+		}
+	}
+}
+
+func TestSecondaryStructureCompressesWell(t *testing.T) {
+	// The premise of experiment E1: secondary structures with long runs give
+	// roughly an order of magnitude compression.
+	g := New(11)
+	structures := g.SecondaryStructures(20, 500, 1000, 15)
+	totalRatio := 0.0
+	for _, s := range structures {
+		totalRatio += rle.Encode(s).CompressionRatio()
+	}
+	avg := totalRatio / float64(len(structures))
+	if avg < 2 {
+		t.Errorf("average compression ratio %.2f; expected well above 2", avg)
+	}
+}

@@ -1,0 +1,401 @@
+// Package btree implements an order-configurable B+-tree over byte-string
+// keys. It is the workhorse index of bdbms: secondary indexes on table
+// columns, the suffix layer of the String B-tree baseline and of the SBC-tree
+// are all instances of this tree.
+//
+// Keys are compared bytewise (callers use value.EncodeKey or their own
+// order-preserving encodings). Duplicate keys are allowed; each key maps to a
+// list of values. Node accesses are counted so experiments can report
+// simulated I/Os: descending one level costs one read, writing or splitting a
+// node costs one write.
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DefaultOrder is the default maximum number of keys per node. With 4 KB
+// pages and ~64-byte keys this is a realistic fan-out.
+const DefaultOrder = 64
+
+// ErrNotFound is returned by Delete when the (key, value) pair is absent.
+var ErrNotFound = errors.New("btree: key not found")
+
+// IOStats counts simulated node I/Os.
+type IOStats struct {
+	// NodeReads counts node visits during descents and scans.
+	NodeReads uint64
+	// NodeWrites counts node modifications (inserts, deletes, splits).
+	NodeWrites uint64
+	// Splits counts node splits.
+	Splits uint64
+}
+
+// Entry is a key with its values, as returned by scans.
+type Entry struct {
+	Key    []byte
+	Values [][]byte
+}
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][][]byte // leaf only: vals[i] are the values for keys[i]
+	children []*node    // internal only: len(children) == len(keys)+1
+	next     *node      // leaf only: right sibling for range scans
+}
+
+// Tree is a B+-tree. It is not safe for concurrent mutation; the storage
+// engine serialises writers per table.
+type Tree struct {
+	root  *node
+	order int
+	size  int // number of (key,value) pairs
+	keys  int // number of distinct keys
+	bytes int // total bytes of keys and values stored (for storage accounting)
+	stats IOStats
+}
+
+// New creates an empty tree with the given order (maximum keys per node).
+// Orders below 4 are raised to 4.
+func New(order int) *Tree {
+	if order < 4 {
+		order = 4
+	}
+	return &Tree{root: &node{leaf: true}, order: order}
+}
+
+// Len returns the number of (key, value) pairs stored.
+func (t *Tree) Len() int { return t.size }
+
+// NumKeys returns the number of distinct keys stored.
+func (t *Tree) NumKeys() int { return t.keys }
+
+// KeyBytes returns the total number of key and value bytes stored, the
+// storage-footprint measure used by experiment E1.
+func (t *Tree) KeyBytes() int { return t.bytes }
+
+// Stats returns the simulated I/O counters.
+func (t *Tree) Stats() IOStats { return t.stats }
+
+// ResetStats zeroes the simulated I/O counters.
+func (t *Tree) ResetStats() { t.stats = IOStats{} }
+
+// Height returns the height of the tree (1 for a single leaf).
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+		h++
+	}
+	return h
+}
+
+// EstimatePages estimates how many fixed-size pages the tree would occupy on
+// disk given its stored bytes plus per-entry overhead.
+func (t *Tree) EstimatePages(pageSize int) int {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	overhead := t.size * 8 // slot + pointer overhead per entry
+	total := t.bytes + overhead
+	pages := total / pageSize
+	if total%pageSize != 0 {
+		pages++
+	}
+	if pages == 0 {
+		pages = 1
+	}
+	return pages
+}
+
+// Insert adds value under key. Duplicate (key, value) pairs are stored once
+// per call (the tree does not deduplicate values).
+func (t *Tree) Insert(key, value []byte) {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	median, right := t.insert(t.root, k, v)
+	if right != nil {
+		newRoot := &node{
+			leaf:     false,
+			keys:     [][]byte{median},
+			children: []*node{t.root, right},
+		}
+		t.root = newRoot
+		t.stats.NodeWrites++
+	}
+}
+
+func (t *Tree) insert(n *node, key, value []byte) (median []byte, right *node) {
+	t.stats.NodeReads++
+	if n.leaf {
+		idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if idx < len(n.keys) && bytes.Equal(n.keys[idx], key) {
+			n.vals[idx] = append(n.vals[idx], value)
+		} else {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[idx+1:], n.keys[idx:])
+			n.keys[idx] = key
+			n.vals = append(n.vals, nil)
+			copy(n.vals[idx+1:], n.vals[idx:])
+			n.vals[idx] = [][]byte{value}
+			t.keys++
+		}
+		t.size++
+		t.bytes += len(key) + len(value)
+		t.stats.NodeWrites++
+		if len(n.keys) > t.order {
+			return t.splitLeaf(n)
+		}
+		return nil, nil
+	}
+	idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+	median, right = t.insert(n.children[idx], key, value)
+	if right == nil {
+		return nil, nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[idx+1:], n.keys[idx:])
+	n.keys[idx] = median
+	n.children = append(n.children, nil)
+	copy(n.children[idx+2:], n.children[idx+1:])
+	n.children[idx+1] = right
+	t.stats.NodeWrites++
+	if len(n.keys) > t.order {
+		return t.splitInternal(n)
+	}
+	return nil, nil
+}
+
+func (t *Tree) splitLeaf(n *node) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	right := &node{
+		leaf: true,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		vals: append([][][]byte(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = right
+	t.stats.Splits++
+	t.stats.NodeWrites += 2
+	return right.keys[0], right
+}
+
+func (t *Tree) splitInternal(n *node) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	median := n.keys[mid]
+	right := &node{
+		leaf:     false,
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	t.stats.Splits++
+	t.stats.NodeWrites += 2
+	return median, right
+}
+
+// Get returns all values stored under key, or nil when absent.
+func (t *Tree) Get(key []byte) [][]byte {
+	n := t.root
+	for {
+		t.stats.NodeReads++
+		if n.leaf {
+			idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+			if idx < len(n.keys) && bytes.Equal(n.keys[idx], key) {
+				out := make([][]byte, len(n.vals[idx]))
+				copy(out, n.vals[idx])
+				return out
+			}
+			return nil
+		}
+		idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+		n = n.children[idx]
+	}
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key []byte) bool { return t.Get(key) != nil }
+
+// Delete removes one occurrence of (key, value) from the tree. When value is
+// nil all values under key are removed. Underflowed nodes are not rebalanced
+// (deletes are rare in the bdbms workloads; space is reclaimed on rebuild),
+// but the reported size and byte counts stay exact.
+func (t *Tree) Delete(key, value []byte) error {
+	n := t.root
+	for {
+		t.stats.NodeReads++
+		if n.leaf {
+			idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+			if idx >= len(n.keys) || !bytes.Equal(n.keys[idx], key) {
+				return ErrNotFound
+			}
+			if value == nil {
+				for _, v := range n.vals[idx] {
+					t.bytes -= len(key) + len(v)
+				}
+				t.size -= len(n.vals[idx])
+				n.keys = append(n.keys[:idx], n.keys[idx+1:]...)
+				n.vals = append(n.vals[:idx], n.vals[idx+1:]...)
+				t.keys--
+				t.stats.NodeWrites++
+				return nil
+			}
+			for i, v := range n.vals[idx] {
+				if bytes.Equal(v, value) {
+					n.vals[idx] = append(n.vals[idx][:i], n.vals[idx][i+1:]...)
+					t.size--
+					t.bytes -= len(key) + len(v)
+					if len(n.vals[idx]) == 0 {
+						n.keys = append(n.keys[:idx], n.keys[idx+1:]...)
+						n.vals = append(n.vals[:idx], n.vals[idx+1:]...)
+						t.keys--
+					}
+					t.stats.NodeWrites++
+					return nil
+				}
+			}
+			return ErrNotFound
+		}
+		idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+		n = n.children[idx]
+	}
+}
+
+// findLeaf descends to the leaf that would contain key, returning the leaf and
+// the index of the first key >= key within it (possibly == len(keys)).
+func (t *Tree) findLeaf(key []byte) (*node, int) {
+	n := t.root
+	for !n.leaf {
+		t.stats.NodeReads++
+		idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+		n = n.children[idx]
+	}
+	t.stats.NodeReads++
+	idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+	return n, idx
+}
+
+// AscendRange calls fn for every entry with start <= key < end, in key order.
+// A nil end means "to the last key". Iteration stops early when fn returns
+// false.
+func (t *Tree) AscendRange(start, end []byte, fn func(key []byte, values [][]byte) bool) {
+	n, idx := t.findLeaf(start)
+	for n != nil {
+		for ; idx < len(n.keys); idx++ {
+			if end != nil && bytes.Compare(n.keys[idx], end) >= 0 {
+				return
+			}
+			if !fn(n.keys[idx], n.vals[idx]) {
+				return
+			}
+		}
+		n = n.next
+		if n != nil {
+			t.stats.NodeReads++
+		}
+		idx = 0
+	}
+}
+
+// AscendPrefix calls fn for every entry whose key has the given prefix.
+func (t *Tree) AscendPrefix(prefix []byte, fn func(key []byte, values [][]byte) bool) {
+	t.AscendRange(prefix, nil, func(key []byte, values [][]byte) bool {
+		if !bytes.HasPrefix(key, prefix) {
+			return false
+		}
+		return fn(key, values)
+	})
+}
+
+// Ascend calls fn for every entry in key order.
+func (t *Tree) Ascend(fn func(key []byte, values [][]byte) bool) {
+	t.AscendRange(nil, nil, fn)
+}
+
+// Entries returns all entries in key order; intended for tests and small trees.
+func (t *Tree) Entries() []Entry {
+	var out []Entry
+	t.Ascend(func(key []byte, values [][]byte) bool {
+		vs := make([][]byte, len(values))
+		copy(vs, values)
+		out = append(out, Entry{Key: append([]byte(nil), key...), Values: vs})
+		return true
+	})
+	return out
+}
+
+// RankOf returns the number of distinct keys strictly less than key. Combined
+// with AscendRange this gives the positional ("3-sided") queries the SBC-tree
+// needs.
+func (t *Tree) RankOf(key []byte) int {
+	rank := 0
+	t.Ascend(func(k []byte, _ [][]byte) bool {
+		if bytes.Compare(k, key) < 0 {
+			rank++
+			return true
+		}
+		return false
+	})
+	return rank
+}
+
+// Validate checks the structural invariants of the tree (key ordering inside
+// nodes, separator correctness, leaf chaining) and returns an error describing
+// the first violation. It is used by property-based tests.
+func (t *Tree) Validate() error {
+	var prevLeafKey []byte
+	var walk func(n *node, lo, hi []byte) error
+	walk = func(n *node, lo, hi []byte) error {
+		for i := 1; i < len(n.keys); i++ {
+			if bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+				return fmt.Errorf("btree: keys out of order in node: %q >= %q", n.keys[i-1], n.keys[i])
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("btree: key %q below lower bound %q", k, lo)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 && !n.leaf {
+				return fmt.Errorf("btree: separator %q above upper bound %q", k, hi)
+			}
+		}
+		if n.leaf {
+			for _, k := range n.keys {
+				if prevLeafKey != nil && bytes.Compare(prevLeafKey, k) >= 0 {
+					return fmt.Errorf("btree: leaf chain out of order: %q >= %q", prevLeafKey, k)
+				}
+				prevLeafKey = k
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: internal node with %d keys has %d children", len(n.keys), len(n.children))
+		}
+		for i, c := range n.children {
+			var childLo, childHi []byte
+			if i > 0 {
+				childLo = n.keys[i-1]
+			} else {
+				childLo = lo
+			}
+			if i < len(n.keys) {
+				childHi = n.keys[i]
+			} else {
+				childHi = hi
+			}
+			if err := walk(c, childLo, childHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, nil, nil)
+}

@@ -1,0 +1,287 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val-%d", i)) }
+
+func TestInsertGet(t *testing.T) {
+	tr := New(8)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), val(i))
+	}
+	if tr.Len() != n || tr.NumKeys() != n {
+		t.Fatalf("Len=%d NumKeys=%d, want %d", tr.Len(), tr.NumKeys(), n)
+	}
+	for i := 0; i < n; i++ {
+		vs := tr.Get(key(i))
+		if len(vs) != 1 || !bytes.Equal(vs[0], val(i)) {
+			t.Fatalf("Get(%s) = %q", key(i), vs)
+		}
+	}
+	if tr.Get([]byte("absent")) != nil {
+		t.Error("absent key should return nil")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New(8)
+	k := []byte("gene-JW0080")
+	tr.Insert(k, []byte("a"))
+	tr.Insert(k, []byte("b"))
+	tr.Insert(k, []byte("c"))
+	vs := tr.Get(k)
+	if len(vs) != 3 {
+		t.Fatalf("got %d values, want 3", len(vs))
+	}
+	if tr.NumKeys() != 1 || tr.Len() != 3 {
+		t.Errorf("NumKeys=%d Len=%d", tr.NumKeys(), tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 100; i++ {
+		tr.Insert(key(i), val(i))
+	}
+	if err := tr.Delete(key(50), val(50)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Get(key(50)) != nil {
+		t.Error("deleted key still present")
+	}
+	if err := tr.Delete(key(50), val(50)); err != ErrNotFound {
+		t.Errorf("double delete: %v", err)
+	}
+	if tr.Len() != 99 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+
+	// Delete one of several values.
+	k := []byte("multi")
+	tr.Insert(k, []byte("x"))
+	tr.Insert(k, []byte("y"))
+	if err := tr.Delete(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	vs := tr.Get(k)
+	if len(vs) != 1 || !bytes.Equal(vs[0], []byte("y")) {
+		t.Errorf("remaining values = %q", vs)
+	}
+	// Delete all values under a key with nil value.
+	if err := tr.Delete(k, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Get(k) != nil {
+		t.Error("key should be gone after nil-value delete")
+	}
+	if err := tr.Delete([]byte("nope"), nil); err != ErrNotFound {
+		t.Errorf("delete absent: %v", err)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New(6)
+	for i := 0; i < 200; i++ {
+		tr.Insert(key(i), val(i))
+	}
+	var got []string
+	tr.AscendRange(key(10), key(20), func(k []byte, _ [][]byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("range [10,20) returned %d keys", len(got))
+	}
+	if got[0] != string(key(10)) || got[9] != string(key(19)) {
+		t.Errorf("range bounds wrong: %v", got)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Error("range not sorted")
+	}
+
+	// Early termination.
+	count := 0
+	tr.AscendRange(nil, nil, func(k []byte, _ [][]byte) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early termination visited %d", count)
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	tr := New(8)
+	words := []string{"HHH", "HHL", "HLE", "LEE", "LLL", "HH", "H"}
+	for _, w := range words {
+		tr.Insert([]byte(w), []byte("v"))
+	}
+	var got []string
+	tr.AscendPrefix([]byte("HH"), func(k []byte, _ [][]byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"HH", "HHH", "HHL"}
+	if len(got) != len(want) {
+		t.Fatalf("prefix scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("prefix scan[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEntriesSortedAndComplete(t *testing.T) {
+	tr := New(5)
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, i := range perm {
+		tr.Insert(key(i), val(i))
+	}
+	entries := tr.Entries()
+	if len(entries) != 500 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if bytes.Compare(entries[i-1].Key, entries[i].Key) >= 0 {
+			t.Fatal("entries not sorted")
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 50; i++ {
+		tr.Insert(key(i), val(i))
+	}
+	if r := tr.RankOf(key(0)); r != 0 {
+		t.Errorf("RankOf(first) = %d", r)
+	}
+	if r := tr.RankOf(key(25)); r != 25 {
+		t.Errorf("RankOf(25) = %d", r)
+	}
+	if r := tr.RankOf([]byte("zzz")); r != 50 {
+		t.Errorf("RankOf(max) = %d", r)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 5000; i++ {
+		tr.Insert(key(i), nil)
+	}
+	h := tr.Height()
+	if h < 3 || h > 7 {
+		t.Errorf("height = %d for 5000 keys at order 8", h)
+	}
+}
+
+func TestStatsAndPages(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 100; i++ {
+		tr.Insert(key(i), val(i))
+	}
+	st := tr.Stats()
+	if st.NodeReads == 0 || st.NodeWrites == 0 || st.Splits == 0 {
+		t.Errorf("stats not tracked: %+v", st)
+	}
+	tr.ResetStats()
+	if tr.Stats() != (IOStats{}) {
+		t.Error("ResetStats failed")
+	}
+	if tr.EstimatePages(4096) < 1 {
+		t.Error("EstimatePages must be >= 1")
+	}
+	if tr.KeyBytes() == 0 {
+		t.Error("KeyBytes not tracked")
+	}
+	empty := New(4)
+	if empty.EstimatePages(0) != 1 {
+		t.Error("empty tree occupies one page")
+	}
+}
+
+func TestMinimumOrder(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 100; i++ {
+		tr.Insert(key(i), nil)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tree contents match a reference map under random inserts/deletes.
+func TestQuickAgainstReferenceMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(8)
+	ref := map[string]int{}
+	for op := 0; op < 5000; op++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		if rng.Intn(3) != 0 {
+			tr.Insert([]byte(k), []byte("v"))
+			ref[k]++
+		} else if ref[k] > 0 {
+			if err := tr.Delete([]byte(k), []byte("v")); err != nil {
+				t.Fatalf("delete %s: %v", k, err)
+			}
+			ref[k]--
+			if ref[k] == 0 {
+				delete(ref, k)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for k, n := range ref {
+		vs := tr.Get([]byte(k))
+		if len(vs) != n {
+			t.Fatalf("key %s: tree has %d values, reference %d", k, len(vs), n)
+		}
+		total += n
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len = %d, reference %d", tr.Len(), total)
+	}
+}
+
+// Property: ascending iteration yields sorted keys for arbitrary key sets.
+func TestQuickSortedIteration(t *testing.T) {
+	f := func(keys []string) bool {
+		tr := New(6)
+		for _, k := range keys {
+			tr.Insert([]byte(k), nil)
+		}
+		prev := []byte(nil)
+		ok := true
+		tr.Ascend(func(k []byte, _ [][]byte) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				ok = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+		return ok && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

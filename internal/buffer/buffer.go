@@ -1,0 +1,193 @@
+// Package buffer implements a fixed-capacity buffer pool over a pager with
+// LRU replacement, pin counting and dirty-page write-back. The pool is what
+// turns logical page requests from the heap and the access methods into the
+// physical I/Os counted by the pager (experiment E2's sensitivity sweep varies
+// the pool capacity).
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"bdbms/internal/pager"
+)
+
+// Errors returned by the pool.
+var (
+	// ErrPoolFull is returned when every frame is pinned and a new page is requested.
+	ErrPoolFull = errors.New("buffer: all frames pinned")
+	// ErrNotPinned is returned when unpinning a page that is not resident or not pinned.
+	ErrNotPinned = errors.New("buffer: page not pinned")
+)
+
+// Stats summarises pool behaviour.
+type Stats struct {
+	// Hits counts requests served from the pool.
+	Hits uint64
+	// Misses counts requests that required a pager read.
+	Misses uint64
+	// Evictions counts pages evicted to make room.
+	Evictions uint64
+	// WriteBacks counts dirty pages flushed to the pager.
+	WriteBacks uint64
+}
+
+type frame struct {
+	id    pager.PageID
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list when unpinned
+}
+
+// Pool is an LRU buffer pool. All methods are safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	pgr      pager.Pager
+	capacity int
+	frames   map[pager.PageID]*frame
+	lru      *list.List // of pager.PageID, front = most recently used
+	stats    Stats
+}
+
+// New creates a pool of the given capacity (in pages) over p.
+// Capacity must be at least 1.
+func New(p pager.Pager, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		pgr:      p,
+		capacity: capacity,
+		frames:   make(map[pager.PageID]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the pool capacity in pages.
+func (b *Pool) Capacity() int { return b.capacity }
+
+// Stats returns a snapshot of the pool counters.
+func (b *Pool) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Allocate creates a new page via the pager and returns it pinned with a
+// zeroed buffer.
+func (b *Pool) Allocate() (pager.PageID, []byte, error) {
+	id, err := b.pgr.Allocate()
+	if err != nil {
+		return pager.InvalidPageID, nil, err
+	}
+	data, err := b.Fetch(id)
+	if err != nil {
+		return pager.InvalidPageID, nil, err
+	}
+	return id, data, nil
+}
+
+// Fetch pins page id and returns its in-pool buffer. Callers may mutate the
+// buffer; they must call MarkDirty to have the change written back, and
+// Unpin when done.
+func (b *Pool) Fetch(id pager.PageID) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fr, ok := b.frames[id]; ok {
+		b.stats.Hits++
+		fr.pins++
+		if fr.elem != nil {
+			b.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		return fr.data, nil
+	}
+	b.stats.Misses++
+	if err := b.ensureRoomLocked(); err != nil {
+		return nil, err
+	}
+	data, err := b.pgr.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	fr := &frame{id: id, data: data, pins: 1}
+	b.frames[id] = fr
+	return fr.data, nil
+}
+
+// ensureRoomLocked evicts the least recently used unpinned page if the pool
+// is at capacity. The caller must hold the mutex.
+func (b *Pool) ensureRoomLocked() error {
+	if len(b.frames) < b.capacity {
+		return nil
+	}
+	el := b.lru.Back()
+	if el == nil {
+		return ErrPoolFull
+	}
+	victimID := el.Value.(pager.PageID)
+	victim := b.frames[victimID]
+	if victim.dirty {
+		if err := b.pgr.Write(victim.id, victim.data); err != nil {
+			return fmt.Errorf("buffer: evict write-back: %w", err)
+		}
+		b.stats.WriteBacks++
+	}
+	b.lru.Remove(el)
+	delete(b.frames, victimID)
+	b.stats.Evictions++
+	return nil
+}
+
+// MarkDirty records that the pinned page id was modified.
+func (b *Pool) MarkDirty(id pager.PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fr, ok := b.frames[id]; ok {
+		fr.dirty = true
+	}
+}
+
+// Unpin releases one pin on page id. When the pin count reaches zero the page
+// becomes evictable.
+func (b *Pool) Unpin(id pager.PageID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fr, ok := b.frames[id]
+	if !ok || fr.pins == 0 {
+		return ErrNotPinned
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = b.lru.PushFront(id)
+	}
+	return nil
+}
+
+// FlushAll writes every dirty resident page back to the pager. Pages remain
+// resident and keep their pin counts.
+func (b *Pool) FlushAll() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, fr := range b.frames {
+		if !fr.dirty {
+			continue
+		}
+		if err := b.pgr.Write(fr.id, fr.data); err != nil {
+			return fmt.Errorf("buffer: flush page %d: %w", fr.id, err)
+		}
+		fr.dirty = false
+		b.stats.WriteBacks++
+	}
+	return nil
+}
+
+// Resident returns the number of pages currently in the pool.
+func (b *Pool) Resident() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}

@@ -1,0 +1,127 @@
+// Package core wires the bdbms subsystems — the storage engine, the
+// annotation, provenance, dependency and authorization managers, and the
+// A-SQL executor — into a single database object. The public root package
+// bdbms is a thin facade over this package.
+package core
+
+import (
+	"fmt"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/authz"
+	"bdbms/internal/dependency"
+	"bdbms/internal/exec"
+	"bdbms/internal/pager"
+	"bdbms/internal/provenance"
+	"bdbms/internal/storage"
+)
+
+// Options configures a database instance.
+type Options struct {
+	// Pager is the backing page store; nil means in-memory.
+	Pager pager.Pager
+	// PoolSize is the buffer pool capacity in pages; <= 0 uses the default.
+	PoolSize int
+	// AnnotationStore selects the annotation storage scheme; nil means the
+	// compact rectangle scheme.
+	AnnotationStore annotation.Store
+	// EnforceAuth enables GRANT/REVOKE checks on sessions by default.
+	EnforceAuth bool
+}
+
+// DB is an open bdbms database.
+type DB struct {
+	eng  *storage.Engine
+	ann  *annotation.Manager
+	prov *provenance.Manager
+	dep  *dependency.Manager
+	auth *authz.Manager
+	opts Options
+}
+
+// resolver adapts the storage engine to annotation.TableResolver.
+type resolver struct{ eng *storage.Engine }
+
+// ColumnCount implements annotation.TableResolver.
+func (r resolver) ColumnCount(table string) (int, error) {
+	tbl, err := r.eng.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return len(tbl.Schema().Columns), nil
+}
+
+// MaxRowID implements annotation.TableResolver.
+func (r resolver) MaxRowID(table string) (int64, error) {
+	tbl, err := r.eng.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.NextRowID() - 1, nil
+}
+
+// Open creates a database with the given options.
+func Open(opts Options) *DB {
+	eng := storage.NewEngine(storage.Config{Pager: opts.Pager, PoolSize: opts.PoolSize})
+	var annOpts []annotation.Option
+	if opts.AnnotationStore != nil {
+		annOpts = append(annOpts, annotation.WithStore(opts.AnnotationStore))
+	}
+	ann := annotation.NewManager(eng.Catalog(), resolver{eng: eng}, annOpts...)
+	db := &DB{
+		eng:  eng,
+		ann:  ann,
+		prov: provenance.NewManager(ann),
+		dep:  dependency.NewManager(eng),
+		auth: authz.NewManager(eng),
+		opts: opts,
+	}
+	return db
+}
+
+// Storage returns the storage engine.
+func (db *DB) Storage() *storage.Engine { return db.eng }
+
+// Annotations returns the annotation manager.
+func (db *DB) Annotations() *annotation.Manager { return db.ann }
+
+// Provenance returns the provenance manager.
+func (db *DB) Provenance() *provenance.Manager { return db.prov }
+
+// Dependencies returns the dependency manager.
+func (db *DB) Dependencies() *dependency.Manager { return db.dep }
+
+// Authorization returns the authorization manager.
+func (db *DB) Authorization() *authz.Manager { return db.auth }
+
+// Session creates an A-SQL execution session for the given user.
+func (db *DB) Session(user string) *exec.Session {
+	return &exec.Session{
+		Eng:         db.eng,
+		Ann:         db.ann,
+		Prov:        db.prov,
+		Dep:         db.dep,
+		Auth:        db.auth,
+		User:        user,
+		EnforceAuth: db.opts.EnforceAuth,
+	}
+}
+
+// Exec runs a single statement as the built-in admin user.
+func (db *DB) Exec(sql string) (*exec.Result, error) {
+	return db.Session("admin").Exec(sql)
+}
+
+// ExecAll runs a semicolon-separated script as the built-in admin user.
+func (db *DB) ExecAll(sql string) ([]*exec.Result, error) {
+	return db.Session("admin").ExecAll(sql)
+}
+
+// Close flushes buffered pages. The pager itself is owned by the caller when
+// one was supplied in Options.
+func (db *DB) Close() error {
+	if err := db.eng.FlushAll(); err != nil {
+		return fmt.Errorf("core: flush on close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/pager"
+)
+
+func TestOpenWiresAllManagers(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	if db.Storage() == nil || db.Annotations() == nil || db.Provenance() == nil ||
+		db.Dependencies() == nil || db.Authorization() == nil {
+		t.Fatal("managers not wired")
+	}
+	if db.Annotations().StoreName() != "rectangle" {
+		t.Errorf("default store = %s", db.Annotations().StoreName())
+	}
+	if _, err := db.Exec("CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := db.ExecAll("INSERT INTO Gene VALUES ('JW0080', 'ATG'); SELECT * FROM Gene;")
+	if err != nil || len(results) != 2 {
+		t.Fatalf("ExecAll: %v", err)
+	}
+	if len(results[1].Rows) != 1 {
+		t.Error("query result wrong")
+	}
+}
+
+func TestOpenWithCustomStoreAndPager(t *testing.T) {
+	db := Open(Options{
+		Pager:           pager.NewMem(),
+		PoolSize:        16,
+		AnnotationStore: annotation.NewCellStore(),
+		EnforceAuth:     true,
+	})
+	defer db.Close()
+	if db.Annotations().StoreName() != "cell" {
+		t.Errorf("store = %s", db.Annotations().StoreName())
+	}
+	db.Authorization().MakeAdmin("admin")
+	if _, err := db.Exec("CREATE TABLE G (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	// EnforceAuth propagates to sessions: an unknown user is denied.
+	bob := db.Session("bob")
+	if _, err := bob.Exec("SELECT a FROM G"); err == nil || !strings.Contains(err.Error(), "permission") {
+		t.Errorf("enforcement not propagated: %v", err)
+	}
+}
+
+func TestResolverAdapters(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	db.Exec("CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT)")
+	db.Exec("INSERT INTO Gene VALUES ('JW0080', 'mraW')")
+	r := resolver{eng: db.Storage()}
+	if n, err := r.ColumnCount("Gene"); err != nil || n != 2 {
+		t.Errorf("ColumnCount = %d, %v", n, err)
+	}
+	if m, err := r.MaxRowID("Gene"); err != nil || m != 1 {
+		t.Errorf("MaxRowID = %d, %v", m, err)
+	}
+	if _, err := r.ColumnCount("missing"); err == nil {
+		t.Error("missing table should fail")
+	}
+	if _, err := r.MaxRowID("missing"); err == nil {
+		t.Error("missing table should fail")
+	}
+}

@@ -1,0 +1,181 @@
+package dependency
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"bdbms/internal/rle"
+)
+
+// Bitmap tracks which cells of one table are outdated (Figure 10 of the
+// paper): bit (rowID, column) is set when the cell needs re-verification.
+// The in-memory representation is sparse (only rows with at least one set bit
+// are materialised); CompressedSize reports what a Run-Length-Encoded
+// serialisation of the full bitmap would occupy, the measure of E7.
+type Bitmap struct {
+	mu      sync.RWMutex
+	table   string
+	numCols int
+	rows    map[int64][]bool
+}
+
+// NewBitmap creates a bitmap for a table with numCols columns.
+func NewBitmap(table string, numCols int) *Bitmap {
+	if numCols < 1 {
+		numCols = 1
+	}
+	return &Bitmap{table: table, numCols: numCols, rows: make(map[int64][]bool)}
+}
+
+// Table returns the table this bitmap belongs to.
+func (b *Bitmap) Table() string { return b.table }
+
+// NumCols returns the column count of the bitmap.
+func (b *Bitmap) NumCols() int { return b.numCols }
+
+// Set marks cell (rowID, col) outdated.
+func (b *Bitmap) Set(rowID int64, col int) {
+	if col < 0 || col >= b.numCols {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	row, ok := b.rows[rowID]
+	if !ok {
+		row = make([]bool, b.numCols)
+		b.rows[rowID] = row
+	}
+	row[col] = true
+}
+
+// Clear resets cell (rowID, col).
+func (b *Bitmap) Clear(rowID int64, col int) {
+	if col < 0 || col >= b.numCols {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	row, ok := b.rows[rowID]
+	if !ok {
+		return
+	}
+	row[col] = false
+	for _, set := range row {
+		if set {
+			return
+		}
+	}
+	delete(b.rows, rowID)
+}
+
+// IsSet reports whether cell (rowID, col) is outdated.
+func (b *Bitmap) IsSet(rowID int64, col int) bool {
+	if col < 0 || col >= b.numCols {
+		return false
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	row, ok := b.rows[rowID]
+	return ok && row[col]
+}
+
+// RowOutdated reports whether any cell of the row is outdated.
+func (b *Bitmap) RowOutdated(rowID int64) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	row, ok := b.rows[rowID]
+	if !ok {
+		return false
+	}
+	for _, set := range row {
+		if set {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of outdated cells.
+func (b *Bitmap) Count() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := 0
+	for _, row := range b.rows {
+		for _, set := range row {
+			if set {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// OutdatedCells returns every outdated (rowID, col) pair, sorted.
+func (b *Bitmap) OutdatedCells() []Cell {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Cell
+	for rowID, row := range b.rows {
+		for col, set := range row {
+			if set {
+				out = append(out, Cell{Table: b.table, RowID: rowID, Col: col})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RowID != out[j].RowID {
+			return out[i].RowID < out[j].RowID
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// serialize renders the bitmap row-major as a '0'/'1' string over rows
+// [1, maxRowID], the form that is RLE-compressed on disk.
+func (b *Bitmap) serialize(maxRowID int64) string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var sb strings.Builder
+	sb.Grow(int(maxRowID) * b.numCols)
+	for rowID := int64(1); rowID <= maxRowID; rowID++ {
+		row, ok := b.rows[rowID]
+		for col := 0; col < b.numCols; col++ {
+			if ok && row[col] {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+	}
+	return sb.String()
+}
+
+// RawSize returns the size in bytes of the uncompressed bitmap covering rows
+// [1, maxRowID] at one byte per cell.
+func (b *Bitmap) RawSize(maxRowID int64) int {
+	return int(maxRowID) * b.numCols
+}
+
+// CompressedSize returns the size in bytes of the RLE-compressed bitmap
+// covering rows [1, maxRowID].
+func (b *Bitmap) CompressedSize(maxRowID int64) int {
+	return rle.Encode(b.serialize(maxRowID)).CompressedSize()
+}
+
+// CompressionRatio returns RawSize / CompressedSize for rows [1, maxRowID].
+func (b *Bitmap) CompressionRatio(maxRowID int64) float64 {
+	cs := b.CompressedSize(maxRowID)
+	if cs == 0 {
+		return 1
+	}
+	return float64(b.RawSize(maxRowID)) / float64(cs)
+}
+
+// Cell identifies one cell of a table.
+type Cell struct {
+	Table string
+	RowID int64
+	Col   int
+}

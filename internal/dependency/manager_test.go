@@ -1,0 +1,309 @@
+package dependency
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bdbms/internal/biogen"
+	"bdbms/internal/catalog"
+	"bdbms/internal/storage"
+	"bdbms/internal/value"
+)
+
+// buildFigure9 builds the Gene / Protein / GeneMatching tables of Figure 9
+// and returns the engine plus the populated tables.
+func buildFigure9(t *testing.T) (*storage.Engine, *storage.Table, *storage.Table, *storage.Table) {
+	t.Helper()
+	eng := storage.NewMemoryEngine()
+	gene, err := eng.CreateTable(&catalog.Schema{
+		Name: "Gene",
+		Columns: []catalog.Column{
+			{Name: "GID", Type: value.Text, NotNull: true},
+			{Name: "GName", Type: value.Text},
+			{Name: "GSequence", Type: value.Sequence},
+		},
+		PrimaryKey: "GID",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	protein, err := eng.CreateTable(&catalog.Schema{
+		Name: "Protein",
+		Columns: []catalog.Column{
+			{Name: "PName", Type: value.Text},
+			{Name: "GID", Type: value.Text},
+			{Name: "PSequence", Type: value.Sequence},
+			{Name: "PFunction", Type: value.Text},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matching, err := eng.CreateTable(&catalog.Schema{
+		Name: "GeneMatching",
+		Columns: []catalog.Column{
+			{Name: "Gene1", Type: value.Sequence},
+			{Name: "Gene2", Type: value.Sequence},
+			{Name: "Evalue", Type: value.Float},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := biogen.New(7)
+	genes := gen.Genes(3, 60)
+	names := []string{"mraW", "ftsI", "yabP"}
+	for i, g := range genes {
+		if _, err := gene.Insert(value.Row{
+			value.NewText(g.ID), value.NewText(names[i]), value.NewSequence(g.Sequence),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := protein.Insert(value.Row{
+			value.NewText("p" + names[i]), value.NewText(g.ID),
+			value.NewSequence(biogen.Translate(g.Sequence)),
+			value.NewText("Hypothetical protein"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := protein.CreateIndex("GID"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := matching.Insert(value.Row{
+		value.NewSequence(genes[0].Sequence), value.NewSequence(genes[1].Sequence),
+		value.NewFloat(biogen.EValue(biogen.Similarity(genes[0].Sequence, genes[1].Sequence), 60)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return eng, gene, protein, matching
+}
+
+// addPaperRules registers rules 1-3 of the paper against the engine.
+func addPaperRules(t *testing.T, m *Manager) {
+	t.Helper()
+	// Rule 1: Gene.GSequence -> Protein.PSequence via executable tool P.
+	if _, err := m.AddRule(Rule{
+		Sources: []ColumnRef{{Table: "Gene", Column: "GSequence"}},
+		Targets: []ColumnRef{{Table: "Protein", Column: "PSequence"}},
+		Proc: Procedure{
+			Name: "Prediction tool P", Executable: true, Invertible: false,
+			Apply: func(in []value.Value) (value.Value, error) {
+				if len(in) != 1 {
+					return value.Value{}, errors.New("want one input")
+				}
+				return value.NewSequence(biogen.Translate(in[0].Text())), nil
+			},
+		},
+		Link: &Link{SourceColumn: "GID", TargetColumn: "GID"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Rule 2: Protein.PSequence -> Protein.PFunction via non-executable lab experiment.
+	if _, err := m.AddRule(Rule{
+		Sources: []ColumnRef{{Table: "Protein", Column: "PSequence"}},
+		Targets: []ColumnRef{{Table: "Protein", Column: "PFunction"}},
+		Proc:    Procedure{Name: "Lab experiment", Executable: false, Invertible: false},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Rule 3: GeneMatching.Gene1, Gene2 -> Evalue via executable BLAST.
+	if _, err := m.AddRule(Rule{
+		Sources: []ColumnRef{{Table: "GeneMatching", Column: "Gene1"}, {Table: "GeneMatching", Column: "Gene2"}},
+		Targets: []ColumnRef{{Table: "GeneMatching", Column: "Evalue"}},
+		Proc: Procedure{
+			Name: "BLAST-2.2.15", Executable: true, Invertible: false,
+			Apply: func(in []value.Value) (value.Value, error) {
+				if len(in) != 2 {
+					return value.Value{}, fmt.Errorf("want two inputs, got %d", len(in))
+				}
+				sim := biogen.Similarity(in[0].Text(), in[1].Text())
+				return value.NewFloat(biogen.EValue(sim, len(in[0].Text()))), nil
+			},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRuleValidatesColumns(t *testing.T) {
+	eng, _, _, _ := buildFigure9(t)
+	m := NewManager(eng)
+	if _, err := m.AddRule(Rule{
+		Sources: []ColumnRef{{Table: "Gene", Column: "Missing"}},
+		Targets: []ColumnRef{{Table: "Protein", Column: "PSequence"}},
+		Proc:    Procedure{Name: "x"},
+	}); err == nil {
+		t.Error("unknown source column should fail")
+	}
+	if _, err := m.AddRule(Rule{
+		Sources: []ColumnRef{{Table: "NoTable", Column: "c"}},
+		Targets: []ColumnRef{{Table: "Protein", Column: "PSequence"}},
+		Proc:    Procedure{Name: "x"},
+	}); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := m.AddRule(Rule{
+		Sources: []ColumnRef{{Table: "Gene", Column: "GSequence"}},
+		Targets: []ColumnRef{{Table: "Protein", Column: "PSequence"}},
+		Proc:    Procedure{Name: "x"},
+		Link:    &Link{SourceColumn: "GID", TargetColumn: "Nope"},
+	}); err == nil {
+		t.Error("unknown link column should fail")
+	}
+}
+
+func TestCascadeFigure9(t *testing.T) {
+	eng, gene, protein, _ := buildFigure9(t)
+	m := NewManager(eng)
+	addPaperRules(t, m)
+
+	// Modify the first gene's sequence (JW0000, protein row 1).
+	oldProtSeq, _ := protein.GetColumn(1, "PSequence")
+	newGeneSeq := biogen.New(99).DNASequence(60)
+	if err := gene.UpdateColumn(1, "GSequence", value.NewSequence(newGeneSeq)); err != nil {
+		t.Fatal(err)
+	}
+	events, err := m.OnCellModified("Gene", 1, "GSequence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %v", events)
+	}
+
+	// PSequence was recomputed automatically (executable rule) ...
+	gotSeq, _ := protein.GetColumn(1, "PSequence")
+	if gotSeq.Text() != biogen.Translate(newGeneSeq) {
+		t.Errorf("PSequence not recomputed: %q", gotSeq.Text())
+	}
+	if gotSeq.Text() == oldProtSeq.Text() {
+		t.Error("PSequence should have changed")
+	}
+	if m.IsOutdated("Protein", 1, "PSequence") {
+		t.Error("recomputed cell must not be outdated")
+	}
+	// ... and PFunction was marked outdated (non-executable lab experiment),
+	// exactly the bitmap of Figure 10.
+	if !m.IsOutdated("Protein", 1, "PFunction") {
+		t.Error("PFunction should be outdated")
+	}
+	// Other proteins untouched.
+	if m.IsOutdated("Protein", 2, "PFunction") || m.IsOutdated("Protein", 2, "PSequence") {
+		t.Error("unrelated rows must not be affected")
+	}
+	// Events recorded both a recomputation and a mark.
+	var recomputed, marked int
+	for _, e := range m.Events() {
+		if e.Recomputed {
+			recomputed++
+		} else {
+			marked++
+		}
+	}
+	if recomputed != 1 || marked != 1 {
+		t.Errorf("recomputed=%d marked=%d", recomputed, marked)
+	}
+	// The outdated-cell report includes Protein.PFunction row 1.
+	cells := m.OutdatedCells()
+	if len(cells) != 1 || cells[0].Table != "Protein" || cells[0].RowID != 1 {
+		t.Errorf("outdated cells = %v", cells)
+	}
+	bodies := m.OutdatedAnnotationBodies()
+	if len(bodies) != 1 {
+		t.Fatalf("bodies = %v", bodies)
+	}
+	for _, body := range bodies {
+		if body == "" || !contains(body, "PFunction") {
+			t.Errorf("annotation body = %q", body)
+		}
+	}
+
+	// Revalidation clears the mark (Section 5, "Validating outdated data").
+	if err := m.Revalidate("Protein", 1, "PFunction"); err != nil {
+		t.Fatal(err)
+	}
+	if m.IsOutdated("Protein", 1, "PFunction") {
+		t.Error("revalidated cell still outdated")
+	}
+	if err := m.Revalidate("Protein", 1, "Nope"); err == nil {
+		t.Error("revalidate of unknown column should fail")
+	}
+	if err := m.Revalidate("NoTable", 1, "x"); err == nil {
+		t.Error("revalidate of unknown table should fail")
+	}
+}
+
+func TestCascadeExecutableRule3(t *testing.T) {
+	eng, _, _, matching := buildFigure9(t)
+	m := NewManager(eng)
+	addPaperRules(t, m)
+
+	// Changing Gene1 re-evaluates Evalue automatically (Rule 3 is executable).
+	oldEval, _ := matching.GetColumn(1, "Evalue")
+	if err := matching.UpdateColumn(1, "Gene1", value.NewSequence(biogen.New(5).DNASequence(60))); err != nil {
+		t.Fatal(err)
+	}
+	events, err := m.OnCellModified("GeneMatching", 1, "Gene1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || !events[0].Recomputed {
+		t.Fatalf("events = %+v", events)
+	}
+	newEval, _ := matching.GetColumn(1, "Evalue")
+	if newEval.Float() == oldEval.Float() {
+		t.Log("E-value unchanged (possible but unlikely); still recomputed")
+	}
+	if m.IsOutdated("GeneMatching", 1, "Evalue") {
+		t.Error("recomputed Evalue must not be outdated")
+	}
+}
+
+func TestCascadeUnknownColumnNoRules(t *testing.T) {
+	eng, _, _, _ := buildFigure9(t)
+	m := NewManager(eng)
+	addPaperRules(t, m)
+	events, err := m.OnCellModified("Gene", 1, "GName")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("no rules reference GName; events = %v", events)
+	}
+}
+
+func TestManagerBitmapAccessors(t *testing.T) {
+	eng, _, _, _ := buildFigure9(t)
+	m := NewManager(eng)
+	b := m.Bitmap("Protein")
+	if b.NumCols() != 4 {
+		t.Errorf("bitmap cols = %d", b.NumCols())
+	}
+	if m.Bitmap("Protein") != b {
+		t.Error("Bitmap should be cached per table")
+	}
+	if m.IsOutdated("NoSuchTable", 1, "x") || m.IsOutdated("Protein", 1, "NoCol") {
+		t.Error("unknown table/column should report not outdated")
+	}
+	// Bitmap for an unknown table still works (degenerate, 1 column).
+	if m.Bitmap("Ghost").NumCols() != 1 {
+		t.Error("ghost table bitmap")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		(len(s) > 0 && indexOf(s, sub) >= 0))
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,437 @@
+// Package dependency implements bdbms's local dependency tracking (Section 5
+// of the paper). It extends functional dependencies to Procedural
+// Dependencies: a dependency carries the procedure that derives the target
+// from the sources, plus whether that procedure is executable by the database
+// and whether it is invertible.
+//
+// The package provides:
+//
+//   - a rule store with reasoning: attribute closure, procedure closure,
+//     derivation of chained rules (Rule 1 + Rule 2 => Rule 4 in the paper),
+//     cycle and conflict detection;
+//   - cascade tracking over a storage engine: when a cell changes, targets of
+//     executable rules are recomputed automatically, targets of
+//     non-executable rules are marked outdated (Figure 9);
+//   - outdated bookkeeping as per-table bitmaps, compressible with RLE
+//     (Figure 10), plus revalidation.
+package dependency
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bdbms/internal/value"
+)
+
+// ColumnRef names a column of a user table.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference as Table.Column.
+func (c ColumnRef) String() string { return c.Table + "." + c.Column }
+
+func (c ColumnRef) key() string {
+	return strings.ToLower(c.Table) + "." + strings.ToLower(c.Column)
+}
+
+// Equal reports case-insensitive equality.
+func (c ColumnRef) Equal(o ColumnRef) bool { return c.key() == o.key() }
+
+// Procedure describes the derivation procedure of a rule.
+type Procedure struct {
+	// Name identifies the procedure ("Prediction tool P", "BLAST-2.2.15",
+	// "Lab experiment", or a chain like "P + Lab experiment").
+	Name string
+	// Executable reports whether the database can run the procedure itself.
+	Executable bool
+	// Invertible reports whether sources can be recomputed from targets.
+	Invertible bool
+	// Apply recomputes the target value from the source values. It must be
+	// set when Executable is true for automatic re-evaluation to happen.
+	Apply func(inputs []value.Value) (value.Value, error)
+}
+
+// Rule is one procedural dependency: Sources --Proc--> Targets.
+type Rule struct {
+	// ID is assigned by the manager when the rule is added.
+	ID int
+	// Sources are the columns the targets depend on.
+	Sources []ColumnRef
+	// Targets are the derived columns.
+	Targets []ColumnRef
+	// Proc is the derivation procedure with its characteristics.
+	Proc Procedure
+	// Link maps source rows to target rows when the tables differ: target
+	// rows are those whose Link.TargetColumn equals the source row's
+	// Link.SourceColumn. A nil Link means "same table, same row".
+	Link *Link
+	// Derived marks rules produced by DeriveRules rather than declared.
+	Derived bool
+}
+
+// Link is the row-correspondence of a cross-table rule (a foreign-key style
+// join: Protein.GID = Gene.GID).
+type Link struct {
+	SourceColumn string
+	TargetColumn string
+}
+
+// String renders the rule in the paper's arrow notation.
+func (r Rule) String() string {
+	src := make([]string, len(r.Sources))
+	for i, s := range r.Sources {
+		src[i] = s.String()
+	}
+	dst := make([]string, len(r.Targets))
+	for i, t := range r.Targets {
+		dst[i] = t.String()
+	}
+	flags := []string{}
+	if r.Proc.Executable {
+		flags = append(flags, "executable")
+	} else {
+		flags = append(flags, "non-executable")
+	}
+	if r.Proc.Invertible {
+		flags = append(flags, "invertible")
+	} else {
+		flags = append(flags, "non-invertible")
+	}
+	return fmt.Sprintf("%s --[%s (%s)]--> %s",
+		strings.Join(src, ", "), r.Proc.Name, strings.Join(flags, ", "), strings.Join(dst, ", "))
+}
+
+// Errors returned by the rule store.
+var (
+	// ErrInvalidRule is returned when adding a rule without sources or targets.
+	ErrInvalidRule = errors.New("dependency: invalid rule")
+	// ErrConflict is returned when a rule's target is already derived by a
+	// different procedure.
+	ErrConflict = errors.New("dependency: conflicting rules for target")
+)
+
+// RuleSet stores procedural dependency rules and reasons about them.
+type RuleSet struct {
+	rules  []Rule
+	nextID int
+}
+
+// NewRuleSet returns an empty rule set.
+func NewRuleSet() *RuleSet { return &RuleSet{nextID: 1} }
+
+// Add validates and stores a rule, returning the stored copy with its ID.
+// Adding a rule whose target already has a rule with a different procedure
+// returns ErrConflict (the paper calls for conflict detection); pass
+// allowConflict to override.
+func (rs *RuleSet) Add(r Rule) (Rule, error) {
+	if len(r.Sources) == 0 || len(r.Targets) == 0 {
+		return Rule{}, fmt.Errorf("%w: needs at least one source and one target", ErrInvalidRule)
+	}
+	if r.Proc.Name == "" {
+		return Rule{}, fmt.Errorf("%w: procedure name required", ErrInvalidRule)
+	}
+	for _, existing := range rs.rules {
+		if existing.Derived {
+			continue
+		}
+		for _, t := range r.Targets {
+			for _, et := range existing.Targets {
+				if t.Equal(et) && !strings.EqualFold(existing.Proc.Name, r.Proc.Name) {
+					return Rule{}, fmt.Errorf("%w: %s derived by both %q and %q",
+						ErrConflict, t, existing.Proc.Name, r.Proc.Name)
+				}
+			}
+		}
+	}
+	r.ID = rs.nextID
+	rs.nextID++
+	rs.rules = append(rs.rules, r)
+	return r, nil
+}
+
+// Rules returns all rules (declared and derived) in insertion order.
+func (rs *RuleSet) Rules() []Rule {
+	out := make([]Rule, len(rs.rules))
+	copy(out, rs.rules)
+	return out
+}
+
+// RulesFrom returns the declared rules having col among their sources.
+func (rs *RuleSet) RulesFrom(col ColumnRef) []Rule {
+	var out []Rule
+	for _, r := range rs.rules {
+		if r.Derived {
+			continue
+		}
+		for _, s := range r.Sources {
+			if s.Equal(col) {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RulesTo returns the declared rules having col among their targets.
+func (rs *RuleSet) RulesTo(col ColumnRef) []Rule {
+	var out []Rule
+	for _, r := range rs.rules {
+		if r.Derived {
+			continue
+		}
+		for _, t := range r.Targets {
+			if t.Equal(col) {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AttributeClosure returns every column transitively derivable from the given
+// columns (the closure of an attribute set under the procedural dependencies),
+// including the starting columns themselves, sorted by name.
+func (rs *RuleSet) AttributeClosure(cols ...ColumnRef) []ColumnRef {
+	closure := map[string]ColumnRef{}
+	for _, c := range cols {
+		closure[c.key()] = c
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, r := range rs.rules {
+			if r.Derived {
+				continue
+			}
+			allIn := true
+			for _, s := range r.Sources {
+				if _, ok := closure[s.key()]; !ok {
+					allIn = false
+					break
+				}
+			}
+			if !allIn {
+				continue
+			}
+			for _, t := range r.Targets {
+				if _, ok := closure[t.key()]; !ok {
+					closure[t.key()] = t
+					changed = true
+				}
+			}
+		}
+	}
+	return sortedRefs(closure)
+}
+
+// ProcedureClosure returns every column that transitively depends on the named
+// procedure: the targets of its rules plus everything derivable from them.
+// This answers "what must be re-verified if BLAST is upgraded?".
+func (rs *RuleSet) ProcedureClosure(procName string) []ColumnRef {
+	var seeds []ColumnRef
+	for _, r := range rs.rules {
+		if r.Derived {
+			continue
+		}
+		if strings.EqualFold(r.Proc.Name, procName) {
+			seeds = append(seeds, r.Targets...)
+		}
+	}
+	if len(seeds) == 0 {
+		return nil
+	}
+	closure := map[string]ColumnRef{}
+	for _, s := range seeds {
+		closure[s.key()] = s
+	}
+	// Follow rules whose sources include any column already in the closure.
+	changed := true
+	for changed {
+		changed = false
+		for _, r := range rs.rules {
+			if r.Derived {
+				continue
+			}
+			hit := false
+			for _, s := range r.Sources {
+				if _, ok := closure[s.key()]; ok {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			for _, t := range r.Targets {
+				if _, ok := closure[t.key()]; !ok {
+					closure[t.key()] = t
+					changed = true
+				}
+			}
+		}
+	}
+	return sortedRefs(closure)
+}
+
+func sortedRefs(m map[string]ColumnRef) []ColumnRef {
+	out := make([]ColumnRef, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// DeriveRules composes declared rules into chained rules (the paper's Rule 4:
+// Gene.GSequence -> Protein.PFunction via "P, lab experiment"). A derived
+// chain is executable only when every step is executable and invertible only
+// when every step is invertible. Newly derived rules are stored (marked
+// Derived) and returned. Chains longer than maxDepth steps are not explored.
+func (rs *RuleSet) DeriveRules(maxDepth int) []Rule {
+	if maxDepth < 2 {
+		maxDepth = 2
+	}
+	exists := func(src, dst ColumnRef) bool {
+		for _, r := range rs.rules {
+			for _, s := range r.Sources {
+				for _, t := range r.Targets {
+					if s.Equal(src) && t.Equal(dst) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	var derived []Rule
+	// Breadth-first composition of declared rules.
+	type path struct {
+		src   ColumnRef
+		dst   ColumnRef
+		procs []Procedure
+		link  *Link
+	}
+	var frontier []path
+	for _, r := range rs.rules {
+		if r.Derived {
+			continue
+		}
+		for _, s := range r.Sources {
+			for _, t := range r.Targets {
+				frontier = append(frontier, path{src: s, dst: t, procs: []Procedure{r.Proc}, link: r.Link})
+			}
+		}
+	}
+	declared := append([]Rule(nil), rs.rules...)
+	for depth := 2; depth <= maxDepth; depth++ {
+		var next []path
+		for _, p := range frontier {
+			for _, r := range declared {
+				if r.Derived {
+					continue
+				}
+				for _, s := range r.Sources {
+					if !s.Equal(p.dst) {
+						continue
+					}
+					for _, t := range r.Targets {
+						if t.Equal(p.src) {
+							continue // would be a cycle
+						}
+						np := path{src: p.src, dst: t, procs: append(append([]Procedure(nil), p.procs...), r.Proc), link: p.link}
+						next = append(next, np)
+						if exists(np.src, np.dst) {
+							continue
+						}
+						names := make([]string, len(np.procs))
+						exec, inv := true, true
+						for i, pr := range np.procs {
+							names[i] = pr.Name
+							exec = exec && pr.Executable
+							inv = inv && pr.Invertible
+						}
+						dr := Rule{
+							Sources: []ColumnRef{np.src},
+							Targets: []ColumnRef{np.dst},
+							Proc: Procedure{
+								Name:       strings.Join(names, " + "),
+								Executable: exec,
+								Invertible: inv,
+							},
+							Link:    np.link,
+							Derived: true,
+						}
+						dr.ID = rs.nextID
+						rs.nextID++
+						rs.rules = append(rs.rules, dr)
+						derived = append(derived, dr)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return derived
+}
+
+// DetectCycles returns the columns involved in any dependency cycle among the
+// declared rules (empty when the dependency graph is acyclic).
+func (rs *RuleSet) DetectCycles() []ColumnRef {
+	// Build adjacency: source column -> target columns.
+	adj := map[string][]ColumnRef{}
+	nodes := map[string]ColumnRef{}
+	for _, r := range rs.rules {
+		if r.Derived {
+			continue
+		}
+		for _, s := range r.Sources {
+			nodes[s.key()] = s
+			for _, t := range r.Targets {
+				nodes[t.key()] = t
+				adj[s.key()] = append(adj[s.key()], t)
+			}
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	inCycle := map[string]ColumnRef{}
+	var stack []string
+	var visit func(k string)
+	visit = func(k string) {
+		color[k] = gray
+		stack = append(stack, k)
+		for _, t := range adj[k] {
+			tk := t.key()
+			switch color[tk] {
+			case white:
+				visit(tk)
+			case gray:
+				// Found a back edge: everything from tk on the stack is cyclic.
+				for i := len(stack) - 1; i >= 0; i-- {
+					inCycle[stack[i]] = nodes[stack[i]]
+					if stack[i] == tk {
+						break
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[k] = black
+	}
+	for k := range nodes {
+		if color[k] == white {
+			visit(k)
+		}
+	}
+	return sortedRefs(inCycle)
+}

@@ -1,0 +1,265 @@
+package dependency
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+var (
+	geneSeq    = ColumnRef{Table: "Gene", Column: "GSequence"}
+	protSeq    = ColumnRef{Table: "Protein", Column: "PSequence"}
+	protFunc   = ColumnRef{Table: "Protein", Column: "PFunction"}
+	matchG1    = ColumnRef{Table: "GeneMatching", Column: "Gene1"}
+	matchG2    = ColumnRef{Table: "GeneMatching", Column: "Gene2"}
+	matchEval  = ColumnRef{Table: "GeneMatching", Column: "Evalue"}
+	predToolP  = Procedure{Name: "Prediction tool P", Executable: true, Invertible: false}
+	labExp     = Procedure{Name: "Lab experiment", Executable: false, Invertible: false}
+	blastProc  = Procedure{Name: "BLAST-2.2.15", Executable: true, Invertible: false}
+	paperRule1 = Rule{Sources: []ColumnRef{geneSeq}, Targets: []ColumnRef{protSeq}, Proc: predToolP}
+	paperRule2 = Rule{Sources: []ColumnRef{protSeq}, Targets: []ColumnRef{protFunc}, Proc: labExp}
+	paperRule3 = Rule{Sources: []ColumnRef{matchG1, matchG2}, Targets: []ColumnRef{matchEval}, Proc: blastProc}
+)
+
+func paperRuleSet(t *testing.T) *RuleSet {
+	t.Helper()
+	rs := NewRuleSet()
+	for _, r := range []Rule{paperRule1, paperRule2, paperRule3} {
+		if _, err := rs.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rs
+}
+
+func TestColumnRef(t *testing.T) {
+	if !geneSeq.Equal(ColumnRef{Table: "gene", Column: "gsequence"}) {
+		t.Error("Equal should be case-insensitive")
+	}
+	if geneSeq.String() != "Gene.GSequence" {
+		t.Errorf("String = %s", geneSeq.String())
+	}
+}
+
+func TestAddRuleValidation(t *testing.T) {
+	rs := NewRuleSet()
+	if _, err := rs.Add(Rule{Targets: []ColumnRef{protSeq}, Proc: predToolP}); !errors.Is(err, ErrInvalidRule) {
+		t.Errorf("no sources: %v", err)
+	}
+	if _, err := rs.Add(Rule{Sources: []ColumnRef{geneSeq}, Proc: predToolP}); !errors.Is(err, ErrInvalidRule) {
+		t.Errorf("no targets: %v", err)
+	}
+	if _, err := rs.Add(Rule{Sources: []ColumnRef{geneSeq}, Targets: []ColumnRef{protSeq}, Proc: Procedure{}}); !errors.Is(err, ErrInvalidRule) {
+		t.Errorf("no procedure name: %v", err)
+	}
+	r, err := rs.Add(paperRule1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 1 {
+		t.Errorf("ID = %d", r.ID)
+	}
+	if r.String() == "" || !strings.Contains(r.String(), "non-invertible") {
+		t.Errorf("String = %s", r.String())
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	rs := NewRuleSet()
+	rs.Add(paperRule1)
+	// Same target, different procedure: conflict.
+	other := Rule{Sources: []ColumnRef{geneSeq}, Targets: []ColumnRef{protSeq},
+		Proc: Procedure{Name: "Other tool", Executable: true}}
+	if _, err := rs.Add(other); !errors.Is(err, ErrConflict) {
+		t.Errorf("conflict: %v", err)
+	}
+	// Same target, same procedure name: allowed (e.g. an extra source).
+	same := Rule{Sources: []ColumnRef{geneSeq}, Targets: []ColumnRef{protSeq}, Proc: predToolP}
+	if _, err := rs.Add(same); err != nil {
+		t.Errorf("same procedure should be allowed: %v", err)
+	}
+}
+
+func TestRulesFromTo(t *testing.T) {
+	rs := paperRuleSet(t)
+	if got := rs.RulesFrom(geneSeq); len(got) != 1 || got[0].Proc.Name != predToolP.Name {
+		t.Errorf("RulesFrom(GSequence) = %v", got)
+	}
+	if got := rs.RulesTo(protFunc); len(got) != 1 || got[0].Proc.Name != labExp.Name {
+		t.Errorf("RulesTo(PFunction) = %v", got)
+	}
+	if got := rs.RulesFrom(matchEval); len(got) != 0 {
+		t.Errorf("RulesFrom(Evalue) = %v", got)
+	}
+	if len(rs.Rules()) != 3 {
+		t.Errorf("Rules() = %d", len(rs.Rules()))
+	}
+}
+
+func TestAttributeClosure(t *testing.T) {
+	rs := paperRuleSet(t)
+	closure := rs.AttributeClosure(geneSeq)
+	// GSequence+ = {GSequence, PSequence, PFunction}
+	if len(closure) != 3 {
+		t.Fatalf("closure = %v", closure)
+	}
+	want := map[string]bool{"gene.gsequence": true, "protein.psequence": true, "protein.pfunction": true}
+	for _, c := range closure {
+		if !want[c.key()] {
+			t.Errorf("unexpected member %s", c)
+		}
+	}
+	// Closure of Gene1 alone does not include Evalue (Rule 3 needs both sources).
+	c1 := rs.AttributeClosure(matchG1)
+	if len(c1) != 1 {
+		t.Errorf("closure(Gene1) = %v", c1)
+	}
+	c12 := rs.AttributeClosure(matchG1, matchG2)
+	if len(c12) != 3 {
+		t.Errorf("closure(Gene1,Gene2) = %v", c12)
+	}
+}
+
+func TestProcedureClosure(t *testing.T) {
+	rs := paperRuleSet(t)
+	// Everything depending on prediction tool P: PSequence and (transitively) PFunction.
+	got := rs.ProcedureClosure("prediction tool p")
+	if len(got) != 2 {
+		t.Fatalf("procedure closure = %v", got)
+	}
+	if !got[0].Equal(protFunc) && !got[1].Equal(protFunc) {
+		t.Errorf("PFunction missing from closure: %v", got)
+	}
+	// BLAST's closure is just Evalue.
+	got = rs.ProcedureClosure("BLAST-2.2.15")
+	if len(got) != 1 || !got[0].Equal(matchEval) {
+		t.Errorf("BLAST closure = %v", got)
+	}
+	if rs.ProcedureClosure("unknown") != nil {
+		t.Error("unknown procedure closure should be nil")
+	}
+}
+
+func TestDeriveRulesPaperRule4(t *testing.T) {
+	rs := paperRuleSet(t)
+	derived := rs.DeriveRules(3)
+	if len(derived) == 0 {
+		t.Fatal("expected at least one derived rule")
+	}
+	var rule4 *Rule
+	for i, d := range derived {
+		if len(d.Sources) == 1 && d.Sources[0].Equal(geneSeq) &&
+			len(d.Targets) == 1 && d.Targets[0].Equal(protFunc) {
+			rule4 = &derived[i]
+		}
+	}
+	if rule4 == nil {
+		t.Fatalf("Rule 4 (GSequence -> PFunction) not derived: %v", derived)
+	}
+	// The chain P + lab experiment is non-executable and non-invertible.
+	if rule4.Proc.Executable {
+		t.Error("derived chain must be non-executable (lab experiment step)")
+	}
+	if rule4.Proc.Invertible {
+		t.Error("derived chain must be non-invertible")
+	}
+	if !strings.Contains(rule4.Proc.Name, predToolP.Name) || !strings.Contains(rule4.Proc.Name, labExp.Name) {
+		t.Errorf("chain name = %q", rule4.Proc.Name)
+	}
+	if !rule4.Derived {
+		t.Error("derived flag not set")
+	}
+	// Deriving again must not duplicate.
+	if again := rs.DeriveRules(3); len(again) != 0 {
+		t.Errorf("second derivation added %d rules", len(again))
+	}
+}
+
+func TestDetectCycles(t *testing.T) {
+	rs := paperRuleSet(t)
+	if got := rs.DetectCycles(); len(got) != 0 {
+		t.Errorf("acyclic graph reported cycle: %v", got)
+	}
+	// Add PFunction -> GSequence to close a cycle.
+	rs.Add(Rule{Sources: []ColumnRef{protFunc}, Targets: []ColumnRef{geneSeq},
+		Proc: Procedure{Name: "Back-annotation"}})
+	cyc := rs.DetectCycles()
+	if len(cyc) < 3 {
+		t.Fatalf("cycle members = %v", cyc)
+	}
+	keys := map[string]bool{}
+	for _, c := range cyc {
+		keys[c.key()] = true
+	}
+	for _, want := range []ColumnRef{geneSeq, protSeq, protFunc} {
+		if !keys[want.key()] {
+			t.Errorf("cycle should include %s", want)
+		}
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap("Protein", 4)
+	if b.Table() != "Protein" || b.NumCols() != 4 {
+		t.Error("metadata wrong")
+	}
+	b.Set(2, 3)
+	b.Set(3, 3)
+	b.Set(2, 0)
+	if !b.IsSet(2, 3) || b.IsSet(1, 3) || b.IsSet(2, 1) {
+		t.Error("IsSet wrong")
+	}
+	if !b.RowOutdated(2) || b.RowOutdated(5) {
+		t.Error("RowOutdated wrong")
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	cells := b.OutdatedCells()
+	if len(cells) != 3 || cells[0] != (Cell{Table: "Protein", RowID: 2, Col: 0}) {
+		t.Errorf("cells = %v", cells)
+	}
+	b.Clear(2, 3)
+	if b.IsSet(2, 3) || b.Count() != 2 {
+		t.Error("Clear failed")
+	}
+	b.Clear(2, 0)
+	if b.RowOutdated(2) {
+		t.Error("row should be clean after clearing all its bits")
+	}
+	// Out-of-range coordinates are ignored.
+	b.Set(1, 99)
+	b.Set(1, -1)
+	b.Clear(1, 99)
+	if b.IsSet(1, 99) || b.Count() != 1 {
+		t.Error("out-of-range handling wrong")
+	}
+	// Zero column count is clamped.
+	if NewBitmap("X", 0).NumCols() != 1 {
+		t.Error("NumCols clamp failed")
+	}
+}
+
+func TestBitmapCompression(t *testing.T) {
+	// A mostly-zero bitmap (the common case: few outdated cells) compresses
+	// far better than its raw form — the premise of using RLE in Figure 10.
+	b := NewBitmap("Protein", 4)
+	for row := int64(100); row < 110; row++ {
+		b.Set(row, 3)
+	}
+	const maxRow = 10000
+	raw := b.RawSize(maxRow)
+	compressed := b.CompressedSize(maxRow)
+	if raw != 40000 {
+		t.Errorf("raw = %d", raw)
+	}
+	if compressed >= raw/10 {
+		t.Errorf("compressed %d not much smaller than raw %d", compressed, raw)
+	}
+	if b.CompressionRatio(maxRow) < 10 {
+		t.Errorf("ratio = %.1f", b.CompressionRatio(maxRow))
+	}
+	if NewBitmap("Empty", 2).CompressionRatio(0) != 1 {
+		t.Error("empty bitmap ratio should be 1")
+	}
+}

@@ -1,0 +1,601 @@
+// Package exec executes parsed A-SQL statements against the bdbms managers:
+// the storage engine, the annotation manager (propagation semantics of
+// Section 3.4), the provenance manager, the dependency manager (outdated
+// marks attached to query answers, Section 5) and the authorization manager
+// (GRANT/REVOKE checks and content-based approval, Section 6).
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/authz"
+	"bdbms/internal/catalog"
+	"bdbms/internal/dependency"
+	"bdbms/internal/provenance"
+	"bdbms/internal/sqlparse"
+	"bdbms/internal/storage"
+	"bdbms/internal/value"
+)
+
+// Errors returned by the executor.
+var (
+	// ErrUnsupported is returned for statements the executor cannot run.
+	ErrUnsupported = errors.New("exec: unsupported statement")
+	// ErrUnknownColumn is returned when an expression references an unknown column.
+	ErrUnknownColumn = errors.New("exec: unknown column")
+	// ErrAmbiguousColumn is returned when an unqualified column matches several tables.
+	ErrAmbiguousColumn = errors.New("exec: ambiguous column")
+)
+
+// OutdatedAnnTable is the synthetic annotation table name used when the
+// dependency manager flags a propagated cell as outdated.
+const OutdatedAnnTable = "Outdated"
+
+// Session executes statements on behalf of one user.
+type Session struct {
+	// Eng is the storage engine.
+	Eng *storage.Engine
+	// Ann is the annotation manager.
+	Ann *annotation.Manager
+	// Prov is the provenance manager (may be nil).
+	Prov *provenance.Manager
+	// Dep is the dependency manager (may be nil).
+	Dep *dependency.Manager
+	// Auth is the authorization manager (may be nil).
+	Auth *authz.Manager
+	// User is the identity running the statements.
+	User string
+	// EnforceAuth enables GRANT/REVOKE privilege checks on every statement.
+	EnforceAuth bool
+}
+
+// ARow is one result row: values plus, per output column, the annotations
+// propagated to that cell.
+type ARow struct {
+	Values value.Row
+	Anns   [][]*annotation.Annotation
+}
+
+// AnnotationsFlat returns every distinct annotation attached to the row.
+func (r ARow) AnnotationsFlat() []*annotation.Annotation {
+	seen := map[int64]bool{}
+	var out []*annotation.Annotation
+	for _, cell := range r.Anns {
+		for _, a := range cell {
+			// Synthetic annotations (e.g. outdated marks) have ID 0 and are
+			// kept individually; stored annotations are deduplicated by ID.
+			if a.ID != 0 {
+				if seen[a.ID] {
+					continue
+				}
+				seen[a.ID] = true
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Columns are the output column names (empty for DDL/DML).
+	Columns []string
+	// Rows are the result rows (empty for DDL/DML).
+	Rows []ARow
+	// Affected is the number of rows affected by DML.
+	Affected int
+	// Message summarises DDL/utility statements.
+	Message string
+}
+
+// Exec parses and executes a single A-SQL statement.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecAll parses and executes a semicolon-separated script, returning the
+// result of each statement.
+func (s *Session) ExecAll(sql string) ([]*Result, error) {
+	stmts, err := sqlparse.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for _, stmt := range stmts {
+		res, err := s.ExecStmt(stmt)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		return s.execSelect(st)
+	case *sqlparse.InsertStmt:
+		return s.execInsert(st)
+	case *sqlparse.UpdateStmt:
+		return s.execUpdate(st)
+	case *sqlparse.DeleteStmt:
+		return s.execDelete(st)
+	case *sqlparse.CreateTableStmt:
+		return s.execCreateTable(st)
+	case *sqlparse.DropTableStmt:
+		return s.execDropTable(st)
+	case *sqlparse.CreateIndexStmt:
+		return s.execCreateIndex(st)
+	case *sqlparse.CreateAnnotationTableStmt:
+		return s.execCreateAnnotationTable(st)
+	case *sqlparse.DropAnnotationTableStmt:
+		return s.execDropAnnotationTable(st)
+	case *sqlparse.AddAnnotationStmt:
+		return s.execAddAnnotation(st)
+	case *sqlparse.ArchiveAnnotationStmt:
+		return s.execArchiveRestore(st)
+	case *sqlparse.StartContentApprovalStmt:
+		return s.execStartApproval(st)
+	case *sqlparse.StopContentApprovalStmt:
+		return s.execStopApproval(st)
+	case *sqlparse.GrantStmt:
+		return s.execGrantRevoke(st)
+	case *sqlparse.ApproveStmt:
+		return s.execApprove(st)
+	case *sqlparse.ShowPendingStmt:
+		return s.execShowPending(st)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupported, stmt)
+	}
+}
+
+func (s *Session) require(table string, priv authz.Privilege) error {
+	if !s.EnforceAuth || s.Auth == nil {
+		return nil
+	}
+	return s.Auth.Require(s.User, table, priv)
+}
+
+// --- DDL ---------------------------------------------------------------------------
+
+func (s *Session) execCreateTable(st *sqlparse.CreateTableStmt) (*Result, error) {
+	schema := &catalog.Schema{Name: st.Table}
+	for _, col := range st.Columns {
+		schema.Columns = append(schema.Columns, catalog.Column{
+			Name: col.Name, Type: col.Type, NotNull: col.NotNull,
+		})
+		if col.PrimaryKey {
+			schema.PrimaryKey = col.Name
+		}
+	}
+	if _, err := s.Eng.CreateTable(schema); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("table %s created", st.Table)}, nil
+}
+
+func (s *Session) execDropTable(st *sqlparse.DropTableStmt) (*Result, error) {
+	if err := s.Eng.DropTable(st.Table); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("table %s dropped", st.Table)}, nil
+}
+
+func (s *Session) execCreateIndex(st *sqlparse.CreateIndexStmt) (*Result, error) {
+	tbl, err := s.Eng.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := tbl.CreateIndex(st.Column); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("index on %s(%s) created", st.Table, st.Column)}, nil
+}
+
+func (s *Session) execCreateAnnotationTable(st *sqlparse.CreateAnnotationTableStmt) (*Result, error) {
+	if err := s.Ann.CreateAnnotationTable(st.UserTable, st.Name, st.Category, false); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("annotation table %s created on %s", st.Name, st.UserTable)}, nil
+}
+
+func (s *Session) execDropAnnotationTable(st *sqlparse.DropAnnotationTableStmt) (*Result, error) {
+	if err := s.Ann.DropAnnotationTable(st.UserTable, st.Name); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("annotation table %s dropped from %s", st.Name, st.UserTable)}, nil
+}
+
+// --- DML ---------------------------------------------------------------------------
+
+func (s *Session) execInsert(st *sqlparse.InsertStmt) (*Result, error) {
+	if err := s.require(st.Table, authz.PrivInsert); err != nil {
+		return nil, err
+	}
+	tbl, err := s.Eng.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	affected := 0
+	for _, exprRow := range st.Rows {
+		row := make(value.Row, len(schema.Columns))
+		for i := range row {
+			row[i] = value.NewNull()
+		}
+		if len(st.Columns) == 0 {
+			if len(exprRow) != len(schema.Columns) {
+				return nil, fmt.Errorf("%w: INSERT expects %d values, got %d",
+					catalog.ErrSchemaMismatch, len(schema.Columns), len(exprRow))
+			}
+			for i, e := range exprRow {
+				v, err := s.evalConst(e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+		} else {
+			if len(exprRow) != len(st.Columns) {
+				return nil, fmt.Errorf("%w: INSERT column/value count mismatch", catalog.ErrSchemaMismatch)
+			}
+			for i, colName := range st.Columns {
+				idx := schema.ColumnIndex(colName)
+				if idx < 0 {
+					return nil, fmt.Errorf("%w: %s.%s", catalog.ErrColumnNotFound, st.Table, colName)
+				}
+				v, err := s.evalConst(exprRow[i])
+				if err != nil {
+					return nil, err
+				}
+				row[idx] = v
+			}
+		}
+		rowID, err := tbl.Insert(row)
+		if err != nil {
+			return nil, err
+		}
+		affected++
+		s.afterWrite(authz.OpInsert, tbl, rowID, nil, row, schema.ColumnNames())
+	}
+	return &Result{Affected: affected, Message: fmt.Sprintf("%d row(s) inserted", affected)}, nil
+}
+
+func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
+	if err := s.require(st.Table, authz.PrivUpdate); err != nil {
+		return nil, err
+	}
+	tbl, err := s.Eng.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.matchingRows(tbl, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	affected := 0
+	for _, rowID := range rows {
+		oldRow, err := tbl.Get(rowID)
+		if err != nil {
+			return nil, err
+		}
+		newRow := oldRow.Clone()
+		var changedCols []string
+		for _, set := range st.Set {
+			idx := schema.ColumnIndex(set.Column)
+			if idx < 0 {
+				return nil, fmt.Errorf("%w: %s.%s", catalog.ErrColumnNotFound, st.Table, set.Column)
+			}
+			v, err := s.evalRowExpr(set.Value, tbl, rowID, oldRow)
+			if err != nil {
+				return nil, err
+			}
+			newRow[idx] = v
+			changedCols = append(changedCols, set.Column)
+		}
+		if err := tbl.Update(rowID, newRow); err != nil {
+			return nil, err
+		}
+		affected++
+		s.afterWrite(authz.OpUpdate, tbl, rowID, oldRow, newRow, changedCols)
+	}
+	return &Result{Affected: affected, Message: fmt.Sprintf("%d row(s) updated", affected)}, nil
+}
+
+func (s *Session) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
+	if err := s.require(st.Table, authz.PrivDelete); err != nil {
+		return nil, err
+	}
+	tbl, err := s.Eng.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.matchingRows(tbl, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, rowID := range rows {
+		oldRow, err := tbl.Get(rowID)
+		if err != nil {
+			return nil, err
+		}
+		if err := tbl.Delete(rowID); err != nil {
+			return nil, err
+		}
+		affected++
+		s.afterWrite(authz.OpDelete, tbl, rowID, oldRow, nil, tbl.Schema().ColumnNames())
+	}
+	return &Result{Affected: affected, Message: fmt.Sprintf("%d row(s) deleted", affected)}, nil
+}
+
+// afterWrite runs the cross-cutting concerns of a completed write: the
+// content-approval log and the dependency cascade.
+func (s *Session) afterWrite(kind authz.OpKind, tbl *storage.Table, rowID int64, oldRow, newRow value.Row, changedCols []string) {
+	if s.Auth != nil && s.Auth.Monitored(tbl.Name(), changedCols...) {
+		_, _ = s.Auth.RecordOperation(s.User, kind, tbl.Name(), rowID, oldRow, newRow)
+	}
+	if s.Dep != nil && kind != authz.OpDelete {
+		for _, col := range changedCols {
+			_, _ = s.Dep.OnCellModified(tbl.Name(), rowID, col)
+		}
+	}
+}
+
+// matchingRows returns the RowIDs of tbl satisfying where (all rows when nil).
+func (s *Session) matchingRows(tbl *storage.Table, where sqlparse.Expr) ([]int64, error) {
+	var out []int64
+	var evalErr error
+	scanErr := tbl.Scan(func(rowID int64, row value.Row) bool {
+		if where == nil {
+			out = append(out, rowID)
+			return true
+		}
+		v, err := s.evalRowExpr(where, tbl, rowID, row)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if v.Type() == value.Bool && v.Bool() {
+			out = append(out, rowID)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// evalConst evaluates an expression with no row context (literals and
+// arithmetic over literals).
+func (s *Session) evalConst(e sqlparse.Expr) (value.Value, error) {
+	return evalExpr(e, func(col *sqlparse.ColumnExpr) (value.Value, error) {
+		return value.Value{}, fmt.Errorf("%w: %s in constant context", ErrUnknownColumn, col.Column)
+	}, nil)
+}
+
+// evalRowExpr evaluates an expression against a single table row.
+func (s *Session) evalRowExpr(e sqlparse.Expr, tbl *storage.Table, rowID int64, row value.Row) (value.Value, error) {
+	schema := tbl.Schema()
+	return evalExpr(e, func(col *sqlparse.ColumnExpr) (value.Value, error) {
+		if col.Table != "" && !strings.EqualFold(col.Table, tbl.Name()) && !strings.EqualFold(col.Table, "ANN") {
+			return value.Value{}, fmt.Errorf("%w: %s.%s", ErrUnknownColumn, col.Table, col.Column)
+		}
+		idx := schema.ColumnIndex(col.Column)
+		if idx < 0 {
+			return value.Value{}, fmt.Errorf("%w: %s", ErrUnknownColumn, col.Column)
+		}
+		return row[idx], nil
+	}, nil)
+}
+
+// --- annotation commands --------------------------------------------------------------
+
+// selectRegions runs the ON (SELECT ...) of an annotation command and
+// translates its output into storage regions of the target user table.
+func (s *Session) selectRegions(sel *sqlparse.SelectStmt, userTable string) ([]annotation.Region, error) {
+	plan, err := s.buildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := s.Eng.Table(userTable)
+	if err != nil {
+		return nil, err
+	}
+	numCols := len(tbl.Schema().Columns)
+
+	// Collect the RowIDs contributed by the target table and the ordinals of
+	// the projected columns that belong to it.
+	rowIDs := map[int64]bool{}
+	for _, r := range plan.rows {
+		for _, o := range r.origins {
+			if strings.EqualFold(o.table, userTable) {
+				rowIDs[o.rowID] = true
+			}
+		}
+	}
+	var ids []int64
+	for id := range rowIDs {
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	colOrdinals := map[int]bool{}
+	star := false
+	for _, item := range plan.items {
+		if item.star {
+			star = true
+			continue
+		}
+		if item.sourceTable != "" && strings.EqualFold(item.sourceTable, userTable) && item.sourceCol >= 0 {
+			colOrdinals[item.sourceCol] = true
+		}
+	}
+	var regions []annotation.Region
+	if star || len(colOrdinals) == 0 {
+		regions = annotation.RegionsForRows(tbl.Name(), ids, 0, numCols-1)
+	} else {
+		for ord := range colOrdinals {
+			regions = append(regions, annotation.RegionsForRows(tbl.Name(), ids, ord, ord)...)
+		}
+	}
+	return regions, nil
+}
+
+func (s *Session) execAddAnnotation(st *sqlparse.AddAnnotationStmt) (*Result, error) {
+	total := 0
+	for _, target := range st.Targets {
+		regions, err := s.selectRegions(st.On, target.UserTable)
+		if err != nil {
+			return nil, err
+		}
+		if len(regions) == 0 {
+			continue
+		}
+		if _, err := s.Ann.Add(target.UserTable, target.AnnTable, st.Body, s.User, regions); err != nil {
+			return nil, err
+		}
+		total++
+	}
+	return &Result{Affected: total, Message: fmt.Sprintf("annotation added to %d table(s)", total)}, nil
+}
+
+func parseTimeBound(text string) (time.Time, error) {
+	if text == "" {
+		return time.Time{}, nil
+	}
+	for _, layout := range []string{time.RFC3339Nano, time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
+		if t, err := time.Parse(layout, text); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("exec: bad timestamp %q", text)
+}
+
+func (s *Session) execArchiveRestore(st *sqlparse.ArchiveAnnotationStmt) (*Result, error) {
+	from, err := parseTimeBound(st.From)
+	if err != nil {
+		return nil, err
+	}
+	to, err := parseTimeBound(st.To)
+	if err != nil {
+		return nil, err
+	}
+	tr := annotation.TimeRange{From: from, To: to}
+	total := 0
+	for _, target := range st.Targets {
+		regions, err := s.selectRegions(st.On, target.UserTable)
+		if err != nil {
+			return nil, err
+		}
+		if st.Restore {
+			total += s.Ann.Restore(target.UserTable, []string{target.AnnTable}, tr, regions)
+		} else {
+			total += s.Ann.Archive(target.UserTable, []string{target.AnnTable}, tr, regions)
+		}
+	}
+	verb := "archived"
+	if st.Restore {
+		verb = "restored"
+	}
+	return &Result{Affected: total, Message: fmt.Sprintf("%d annotation(s) %s", total, verb)}, nil
+}
+
+// --- authorization commands --------------------------------------------------------------
+
+func (s *Session) execStartApproval(st *sqlparse.StartContentApprovalStmt) (*Result, error) {
+	if s.Auth == nil {
+		return nil, fmt.Errorf("%w: no authorization manager", ErrUnsupported)
+	}
+	if err := s.Auth.StartContentApproval(st.Table, st.Columns, st.Approver); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("content approval started on %s (approver %s)", st.Table, st.Approver)}, nil
+}
+
+func (s *Session) execStopApproval(st *sqlparse.StopContentApprovalStmt) (*Result, error) {
+	if s.Auth == nil {
+		return nil, fmt.Errorf("%w: no authorization manager", ErrUnsupported)
+	}
+	if err := s.Auth.StopContentApproval(st.Table, st.Columns); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("content approval stopped on %s", st.Table)}, nil
+}
+
+func (s *Session) execGrantRevoke(st *sqlparse.GrantStmt) (*Result, error) {
+	if s.Auth == nil {
+		return nil, fmt.Errorf("%w: no authorization manager", ErrUnsupported)
+	}
+	var privs []authz.Privilege
+	for _, p := range st.Privileges {
+		privs = append(privs, authz.Privilege(strings.ToUpper(p)))
+	}
+	if st.Revoke {
+		s.Auth.Revoke(st.Principal, st.Table, privs...)
+		return &Result{Message: fmt.Sprintf("revoked %s on %s from %s", strings.Join(st.Privileges, ","), st.Table, st.Principal)}, nil
+	}
+	s.Auth.Grant(st.Principal, st.Table, privs...)
+	return &Result{Message: fmt.Sprintf("granted %s on %s to %s", strings.Join(st.Privileges, ","), st.Table, st.Principal)}, nil
+}
+
+func (s *Session) execApprove(st *sqlparse.ApproveStmt) (*Result, error) {
+	if s.Auth == nil {
+		return nil, fmt.Errorf("%w: no authorization manager", ErrUnsupported)
+	}
+	if st.Disapprove {
+		affected, err := s.Auth.Disapprove(st.OpID, s.User)
+		if err != nil {
+			return nil, err
+		}
+		// Disapproval rolled data back: re-run the dependency cascade over the
+		// restored rows so downstream values are re-marked.
+		if s.Dep != nil {
+			if op, err := s.Auth.Operation(st.OpID); err == nil {
+				if tbl, err := s.Eng.Table(op.Table); err == nil {
+					for _, rowID := range affected {
+						for _, col := range tbl.Schema().ColumnNames() {
+							_, _ = s.Dep.OnCellModified(op.Table, rowID, col)
+						}
+					}
+				}
+			}
+		}
+		return &Result{Affected: len(affected), Message: fmt.Sprintf("operation %d disapproved; inverse executed", st.OpID)}, nil
+	}
+	if err := s.Auth.Approve(st.OpID, s.User); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("operation %d approved", st.OpID)}, nil
+}
+
+func (s *Session) execShowPending(st *sqlparse.ShowPendingStmt) (*Result, error) {
+	if s.Auth == nil {
+		return nil, fmt.Errorf("%w: no authorization manager", ErrUnsupported)
+	}
+	res := &Result{Columns: []string{"op_id", "user", "table", "kind", "statement", "inverse", "status"}}
+	for _, op := range s.Auth.Operations(st.Table, authz.StatusPending) {
+		res.Rows = append(res.Rows, ARow{Values: value.Row{
+			value.NewInt(op.ID), value.NewText(op.User), value.NewText(op.Table),
+			value.NewText(string(op.Kind)), value.NewText(op.Statement),
+			value.NewText(op.Inverse), value.NewText(string(op.Status)),
+		}})
+	}
+	return res, nil
+}

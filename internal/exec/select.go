@@ -1,0 +1,900 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/authz"
+	"bdbms/internal/sqlparse"
+	"bdbms/internal/storage"
+	"bdbms/internal/value"
+)
+
+// origin records which base-table row contributed to an intermediate row.
+type origin struct {
+	table string
+	rowID int64
+}
+
+// execRow is an intermediate row flowing through the SELECT pipeline: the
+// concatenated values of the FROM tables, per-value annotation sets, and the
+// originating (table, RowID) pairs.
+type execRow struct {
+	values  value.Row
+	anns    [][]*annotation.Annotation
+	origins []origin
+	// group holds the member rows when this row represents a GROUP BY group.
+	group []execRow
+}
+
+// binding describes one value slot of an execRow.
+type binding struct {
+	table  string // real table name
+	alias  string
+	column string
+	colIdx int // ordinal within the source table
+}
+
+// planItem is one resolved projection item.
+type planItem struct {
+	star        bool
+	name        string
+	expr        sqlparse.Expr
+	promote     []sqlparse.ColumnExpr
+	sourceTable string
+	sourceCol   int
+}
+
+// selectPlan carries the intermediate state of one SELECT evaluation.
+type selectPlan struct {
+	bindings []binding
+	rows     []execRow
+	items    []planItem
+}
+
+// execSelect evaluates an A-SQL SELECT and produces the final result.
+func (s *Session) execSelect(st *sqlparse.SelectStmt) (*Result, error) {
+	plan, err := s.buildSelect(st)
+	if err != nil {
+		return nil, err
+	}
+	cols, rows, err := s.project(st, plan)
+	if err != nil {
+		return nil, err
+	}
+	if st.Distinct {
+		rows = dedupeRows(rows)
+	}
+	if st.SetOp != sqlparse.SetNone {
+		rightRes, err := s.execSelect(st.SetRight)
+		if err != nil {
+			return nil, err
+		}
+		rows, err = applySetOp(st.SetOp, rows, rightRes.Rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(st.OrderBy) > 0 {
+		if err := orderRows(rows, cols, st.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if st.Limit >= 0 && len(rows) > st.Limit {
+		rows = rows[:st.Limit]
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+// buildSelect evaluates FROM / WHERE / AWHERE / GROUP BY / HAVING / AHAVING /
+// FILTER, leaving projection to the caller (the annotation commands reuse the
+// pre-projection rows to compute regions).
+func (s *Session) buildSelect(st *sqlparse.SelectStmt) (*selectPlan, error) {
+	plan := &selectPlan{}
+
+	// FROM: load each table and build the cross product.
+	type source struct {
+		ref  sqlparse.TableRef
+		tbl  *storage.Table
+		rows []execRow
+	}
+	var sources []source
+	for _, ref := range st.From {
+		if err := s.require(ref.Table, authz.PrivSelect); err != nil {
+			return nil, err
+		}
+		tbl, err := s.Eng.Table(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := s.loadTable(tbl, ref)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, source{ref: ref, tbl: tbl, rows: rows})
+		for i, col := range tbl.Schema().Columns {
+			plan.bindings = append(plan.bindings, binding{
+				table: tbl.Name(), alias: ref.Alias, column: col.Name, colIdx: i,
+			})
+		}
+	}
+	// Cross product.
+	rows := []execRow{{}}
+	for _, src := range sources {
+		var next []execRow
+		for _, left := range rows {
+			for _, right := range src.rows {
+				combined := execRow{
+					values:  append(append(value.Row{}, left.values...), right.values...),
+					anns:    append(append([][]*annotation.Annotation{}, left.anns...), right.anns...),
+					origins: append(append([]origin{}, left.origins...), right.origins...),
+				}
+				next = append(next, combined)
+			}
+		}
+		rows = next
+	}
+	if len(sources) == 0 {
+		rows = nil
+	}
+
+	// WHERE.
+	if st.Where != nil {
+		var kept []execRow
+		for _, r := range rows {
+			ok, err := s.evalBool(st.Where, plan.bindings, r, nil)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	// AWHERE: a tuple passes when at least one of its annotations satisfies
+	// the condition.
+	if st.AWhere != nil {
+		var kept []execRow
+		for _, r := range rows {
+			match := false
+			for _, cell := range r.anns {
+				for _, a := range cell {
+					ok, err := evalAnnBool(st.AWhere, a)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						match = true
+						break
+					}
+				}
+				if match {
+					break
+				}
+			}
+			if match {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	// GROUP BY: combine member tuples into one row per group, unioning their
+	// annotations (the paper's semantics for grouping operators).
+	needsGrouping := len(st.GroupBy) > 0 || hasAggregate(st.Items) || st.Having != nil
+	if needsGrouping {
+		grouped, err := s.groupRows(st, plan.bindings, rows)
+		if err != nil {
+			return nil, err
+		}
+		rows = grouped
+	}
+	if st.Having != nil {
+		var kept []execRow
+		for _, r := range rows {
+			ok, err := s.evalBool(st.Having, plan.bindings, r, r.group)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	if st.AHaving != nil {
+		var kept []execRow
+		for _, r := range rows {
+			match := false
+			for _, cell := range r.anns {
+				for _, a := range cell {
+					ok, err := evalAnnBool(st.AHaving, a)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						match = true
+						break
+					}
+				}
+				if match {
+					break
+				}
+			}
+			if match {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	// FILTER: keep every tuple but drop annotations failing the condition.
+	if st.Filter != nil {
+		for i := range rows {
+			for c, cell := range rows[i].anns {
+				var kept []*annotation.Annotation
+				for _, a := range cell {
+					ok, err := evalAnnBool(st.Filter, a)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						kept = append(kept, a)
+					}
+				}
+				rows[i].anns[c] = kept
+			}
+		}
+	}
+
+	plan.rows = rows
+	// Resolve projection items (used both by project and by selectRegions).
+	for _, item := range st.Items {
+		pi := planItem{star: item.Star, expr: item.Expr, promote: item.Promote, name: item.Alias, sourceCol: -1}
+		if col, ok := item.Expr.(*sqlparse.ColumnExpr); ok && !item.Star {
+			if idx, b, err := resolveColumn(plan.bindings, col); err == nil {
+				pi.sourceTable = b.table
+				pi.sourceCol = b.colIdx
+				if pi.name == "" {
+					pi.name = b.column
+				}
+				_ = idx
+			}
+		}
+		if pi.name == "" && !item.Star {
+			pi.name = exprName(item.Expr)
+		}
+		plan.items = append(plan.items, pi)
+	}
+	return plan, nil
+}
+
+// loadTable scans a table into execRows, attaching the requested annotations
+// and any outdated marks from the dependency manager.
+func (s *Session) loadTable(tbl *storage.Table, ref sqlparse.TableRef) ([]execRow, error) {
+	wantAnnotations := len(ref.Annotations) > 0
+	filter := annotation.Filter{}
+	if wantAnnotations && ref.Annotations[0] != "*" {
+		filter.AnnTables = ref.Annotations
+	}
+	numCols := len(tbl.Schema().Columns)
+	var out []execRow
+	err := tbl.Scan(func(rowID int64, row value.Row) bool {
+		r := execRow{
+			values:  row.Clone(),
+			anns:    make([][]*annotation.Annotation, numCols),
+			origins: []origin{{table: tbl.Name(), rowID: rowID}},
+		}
+		if wantAnnotations {
+			for c := 0; c < numCols; c++ {
+				r.anns[c] = s.Ann.ForCell(tbl.Name(), rowID, c, filter)
+			}
+		}
+		if s.Dep != nil {
+			for c := 0; c < numCols; c++ {
+				if s.Dep.Bitmap(tbl.Name()).IsSet(rowID, c) {
+					r.anns[c] = append(r.anns[c], &annotation.Annotation{
+						AnnTable:  OutdatedAnnTable,
+						UserTable: tbl.Name(),
+						Author:    "system:dependency-tracker",
+						Body: fmt.Sprintf("<Annotation>OUTDATED: %s.%s of row %d needs re-verification</Annotation>",
+							tbl.Name(), tbl.Schema().Columns[c].Name, rowID),
+						Regions: []annotation.Region{annotation.CellRegion(tbl.Name(), rowID, c)},
+					})
+				}
+			}
+		}
+		out = append(out, r)
+		return true
+	})
+	return out, err
+}
+
+// groupRows groups rows by the GROUP BY columns (or into a single group when
+// none are given), unioning annotations column-wise across group members.
+func (s *Session) groupRows(st *sqlparse.SelectStmt, bindings []binding, rows []execRow) ([]execRow, error) {
+	var keyIdx []int
+	for _, col := range st.GroupBy {
+		idx, _, err := resolveColumn(bindings, &col)
+		if err != nil {
+			return nil, err
+		}
+		keyIdx = append(keyIdx, idx)
+	}
+	groups := map[string]*execRow{}
+	var order []string
+	for _, r := range rows {
+		var keyParts []string
+		for _, idx := range keyIdx {
+			keyParts = append(keyParts, r.values[idx].String())
+		}
+		key := strings.Join(keyParts, "\x00")
+		g, ok := groups[key]
+		if !ok {
+			copyRow := execRow{
+				values:  r.values.Clone(),
+				anns:    make([][]*annotation.Annotation, len(r.anns)),
+				origins: append([]origin{}, r.origins...),
+			}
+			for c := range r.anns {
+				copyRow.anns[c] = append([]*annotation.Annotation{}, r.anns[c]...)
+			}
+			g = &copyRow
+			groups[key] = g
+			order = append(order, key)
+		} else {
+			for c := range r.anns {
+				g.anns[c] = unionAnnotations(g.anns[c], r.anns[c])
+			}
+			g.origins = append(g.origins, r.origins...)
+		}
+		g.group = append(g.group, r)
+	}
+	var out []execRow
+	for _, key := range order {
+		out = append(out, *groups[key])
+	}
+	return out, nil
+}
+
+// project applies the projection items (including PROMOTE and *) and returns
+// the output column names and rows.
+func (s *Session) project(st *sqlparse.SelectStmt, plan *selectPlan) ([]string, []ARow, error) {
+	var cols []string
+	type outCol struct {
+		item  *planItem
+		index int // value index for star expansion; -1 for expression items
+	}
+	var outCols []outCol
+	for i := range plan.items {
+		item := &plan.items[i]
+		if item.star {
+			for idx, b := range plan.bindings {
+				cols = append(cols, b.column)
+				outCols = append(outCols, outCol{item: item, index: idx})
+			}
+			continue
+		}
+		cols = append(cols, item.name)
+		outCols = append(outCols, outCol{item: item, index: -1})
+	}
+
+	var rows []ARow
+	for _, r := range plan.rows {
+		out := ARow{
+			Values: make(value.Row, 0, len(outCols)),
+			Anns:   make([][]*annotation.Annotation, 0, len(outCols)),
+		}
+		for _, oc := range outCols {
+			if oc.index >= 0 { // star expansion: direct value copy
+				out.Values = append(out.Values, r.values[oc.index])
+				out.Anns = append(out.Anns, append([]*annotation.Annotation{}, r.anns[oc.index]...))
+				continue
+			}
+			v, err := s.evalValue(oc.item.expr, plan.bindings, r, r.group)
+			if err != nil {
+				return nil, nil, err
+			}
+			out.Values = append(out.Values, v)
+			// Annotation propagation: a projected column keeps the annotations
+			// of its source cell; PROMOTE copies annotations from other columns.
+			var anns []*annotation.Annotation
+			if col, ok := oc.item.expr.(*sqlparse.ColumnExpr); ok {
+				if idx, _, err := resolveColumn(plan.bindings, col); err == nil {
+					anns = append(anns, r.anns[idx]...)
+				}
+			}
+			for _, pcol := range oc.item.promote {
+				if idx, _, err := resolveColumn(plan.bindings, &pcol); err == nil {
+					anns = unionAnnotations(anns, r.anns[idx])
+				}
+			}
+			out.Anns = append(out.Anns, anns)
+		}
+		rows = append(rows, out)
+	}
+	return cols, rows, nil
+}
+
+// --- set operations, distinct, order -----------------------------------------------------
+
+func rowKey(r ARow) string {
+	parts := make([]string, len(r.Values))
+	for i, v := range r.Values {
+		parts[i] = v.Type().String() + ":" + v.String()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func dedupeRows(rows []ARow) []ARow {
+	seen := map[string]int{}
+	var out []ARow
+	for _, r := range rows {
+		key := rowKey(r)
+		if idx, ok := seen[key]; ok {
+			// Duplicate elimination unions the annotations of the combined
+			// tuples (Section 3.4).
+			for c := range out[idx].Anns {
+				if c < len(r.Anns) {
+					out[idx].Anns[c] = unionAnnotations(out[idx].Anns[c], r.Anns[c])
+				}
+			}
+			continue
+		}
+		seen[key] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
+func applySetOp(op sqlparse.SetOp, left, right []ARow) ([]ARow, error) {
+	if len(left) > 0 && len(right) > 0 && len(left[0].Values) != len(right[0].Values) {
+		return nil, fmt.Errorf("%w: set operands have different column counts", ErrUnsupported)
+	}
+	rightByKey := map[string][]ARow{}
+	for _, r := range right {
+		rightByKey[rowKey(r)] = append(rightByKey[rowKey(r)], r)
+	}
+	switch op {
+	case sqlparse.SetIntersect:
+		var out []ARow
+		seen := map[string]bool{}
+		for _, l := range left {
+			key := rowKey(l)
+			if seen[key] {
+				continue
+			}
+			matches, ok := rightByKey[key]
+			if !ok {
+				continue
+			}
+			seen[key] = true
+			merged := l
+			for _, m := range matches {
+				for c := range merged.Anns {
+					if c < len(m.Anns) {
+						merged.Anns[c] = unionAnnotations(merged.Anns[c], m.Anns[c])
+					}
+				}
+			}
+			out = append(out, merged)
+		}
+		return out, nil
+	case sqlparse.SetUnion:
+		return dedupeRows(append(append([]ARow{}, left...), right...)), nil
+	case sqlparse.SetExcept:
+		var out []ARow
+		seen := map[string]bool{}
+		for _, l := range left {
+			key := rowKey(l)
+			if _, inRight := rightByKey[key]; inRight || seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, l)
+		}
+		return out, nil
+	default:
+		return left, nil
+	}
+}
+
+func orderRows(rows []ARow, cols []string, orderBy []sqlparse.OrderItem) error {
+	type orderKey struct {
+		idx  int
+		desc bool
+	}
+	var keys []orderKey
+	for _, item := range orderBy {
+		col, ok := item.Expr.(*sqlparse.ColumnExpr)
+		if !ok {
+			return fmt.Errorf("%w: ORDER BY supports output columns only", ErrUnsupported)
+		}
+		idx := -1
+		for i, name := range cols {
+			if strings.EqualFold(name, col.Column) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("%w: ORDER BY column %s", ErrUnknownColumn, col.Column)
+		}
+		keys = append(keys, orderKey{idx: idx, desc: item.Desc})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c, err := rows[i].Values[k.idx].Compare(rows[j].Values[k.idx])
+			if err != nil || c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// --- expression evaluation ---------------------------------------------------------------
+
+// resolveColumn finds the value index and binding of a column reference.
+func resolveColumn(bindings []binding, col *sqlparse.ColumnExpr) (int, binding, error) {
+	matches := -1
+	var matched binding
+	count := 0
+	for i, b := range bindings {
+		if !strings.EqualFold(b.column, col.Column) {
+			continue
+		}
+		if col.Table != "" && !strings.EqualFold(col.Table, b.alias) && !strings.EqualFold(col.Table, b.table) {
+			continue
+		}
+		matches = i
+		matched = b
+		count++
+		if col.Table != "" {
+			// Qualified references are unambiguous once matched.
+			return matches, matched, nil
+		}
+	}
+	if count == 0 {
+		return 0, binding{}, fmt.Errorf("%w: %s", ErrUnknownColumn, col.Column)
+	}
+	if count > 1 {
+		return 0, binding{}, fmt.Errorf("%w: %s", ErrAmbiguousColumn, col.Column)
+	}
+	return matches, matched, nil
+}
+
+func exprName(e sqlparse.Expr) string {
+	switch ex := e.(type) {
+	case *sqlparse.ColumnExpr:
+		return ex.Column
+	case *sqlparse.AggregateExpr:
+		if ex.Star {
+			return strings.ToLower(ex.Func) + "_all"
+		}
+		return strings.ToLower(ex.Func) + "_" + ex.Column.Column
+	default:
+		return "expr"
+	}
+}
+
+func hasAggregate(items []sqlparse.SelectItem) bool {
+	for _, it := range items {
+		if _, ok := it.Expr.(*sqlparse.AggregateExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// evalValue evaluates an expression over an execRow (with optional group
+// members for aggregates).
+func (s *Session) evalValue(e sqlparse.Expr, bindings []binding, r execRow, group []execRow) (value.Value, error) {
+	colFn := func(col *sqlparse.ColumnExpr) (value.Value, error) {
+		idx, _, err := resolveColumn(bindings, col)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return r.values[idx], nil
+	}
+	aggFn := func(agg *sqlparse.AggregateExpr) (value.Value, error) {
+		members := group
+		if members == nil {
+			members = []execRow{r}
+		}
+		return evalAggregate(agg, bindings, members)
+	}
+	return evalExpr(e, colFn, aggFn)
+}
+
+func (s *Session) evalBool(e sqlparse.Expr, bindings []binding, r execRow, group []execRow) (bool, error) {
+	v, err := s.evalValue(e, bindings, r, group)
+	if err != nil {
+		return false, err
+	}
+	return v.Type() == value.Bool && v.Bool(), nil
+}
+
+func evalAggregate(agg *sqlparse.AggregateExpr, bindings []binding, members []execRow) (value.Value, error) {
+	if agg.Star {
+		if agg.Func != "COUNT" {
+			return value.Value{}, fmt.Errorf("%w: %s(*)", ErrUnsupported, agg.Func)
+		}
+		return value.NewInt(int64(len(members))), nil
+	}
+	idx, _, err := resolveColumn(bindings, agg.Column)
+	if err != nil {
+		return value.Value{}, err
+	}
+	var vals []value.Value
+	for _, m := range members {
+		if !m.values[idx].IsNull() {
+			vals = append(vals, m.values[idx])
+		}
+	}
+	switch agg.Func {
+	case "COUNT":
+		return value.NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		sum := 0.0
+		for _, v := range vals {
+			sum += v.Float()
+		}
+		if agg.Func == "SUM" {
+			return value.NewFloat(sum), nil
+		}
+		if len(vals) == 0 {
+			return value.NewNull(), nil
+		}
+		return value.NewFloat(sum / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return value.NewNull(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := v.Compare(best)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if (agg.Func == "MIN" && c < 0) || (agg.Func == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return value.Value{}, fmt.Errorf("%w: aggregate %s", ErrUnsupported, agg.Func)
+	}
+}
+
+type colResolver func(*sqlparse.ColumnExpr) (value.Value, error)
+type aggResolver func(*sqlparse.AggregateExpr) (value.Value, error)
+
+// evalExpr evaluates an expression with the given column and aggregate
+// resolvers.
+func evalExpr(e sqlparse.Expr, col colResolver, agg aggResolver) (value.Value, error) {
+	switch ex := e.(type) {
+	case *sqlparse.LiteralExpr:
+		return ex.Value, nil
+	case *sqlparse.ColumnExpr:
+		return col(ex)
+	case *sqlparse.AggregateExpr:
+		if agg == nil {
+			return value.Value{}, fmt.Errorf("%w: aggregate outside grouping context", ErrUnsupported)
+		}
+		return agg(ex)
+	case *sqlparse.UnaryExpr:
+		v, err := evalExpr(ex.Expr, col, agg)
+		if err != nil {
+			return value.Value{}, err
+		}
+		switch ex.Op {
+		case "NOT":
+			return value.NewBool(!(v.Type() == value.Bool && v.Bool())), nil
+		case "-":
+			if v.Type() == value.Int {
+				return value.NewInt(-v.Int()), nil
+			}
+			return value.NewFloat(-v.Float()), nil
+		default:
+			return value.Value{}, fmt.Errorf("%w: unary %s", ErrUnsupported, ex.Op)
+		}
+	case *sqlparse.IsNullExpr:
+		v, err := evalExpr(ex.Expr, col, agg)
+		if err != nil {
+			return value.Value{}, err
+		}
+		isNull := v.IsNull()
+		if ex.Negate {
+			isNull = !isNull
+		}
+		return value.NewBool(isNull), nil
+	case *sqlparse.BinaryExpr:
+		return evalBinary(ex, col, agg)
+	default:
+		return value.Value{}, fmt.Errorf("%w: expression %T", ErrUnsupported, e)
+	}
+}
+
+func evalBinary(ex *sqlparse.BinaryExpr, col colResolver, agg aggResolver) (value.Value, error) {
+	left, err := evalExpr(ex.Left, col, agg)
+	if err != nil {
+		return value.Value{}, err
+	}
+	// Short-circuit boolean operators.
+	switch ex.Op {
+	case "AND":
+		if !(left.Type() == value.Bool && left.Bool()) {
+			return value.NewBool(false), nil
+		}
+		right, err := evalExpr(ex.Right, col, agg)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewBool(right.Type() == value.Bool && right.Bool()), nil
+	case "OR":
+		if left.Type() == value.Bool && left.Bool() {
+			return value.NewBool(true), nil
+		}
+		right, err := evalExpr(ex.Right, col, agg)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewBool(right.Type() == value.Bool && right.Bool()), nil
+	}
+	right, err := evalExpr(ex.Right, col, agg)
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch ex.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if left.IsNull() || right.IsNull() {
+			return value.NewBool(false), nil
+		}
+		c, err := left.Compare(right)
+		if err != nil {
+			return value.Value{}, err
+		}
+		var ok bool
+		switch ex.Op {
+		case "=":
+			ok = c == 0
+		case "<>":
+			ok = c != 0
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		case ">=":
+			ok = c >= 0
+		}
+		return value.NewBool(ok), nil
+	case "LIKE":
+		return value.NewBool(likeMatch(right.Text(), left.String())), nil
+	case "+", "-", "*", "/":
+		if left.IsNull() || right.IsNull() {
+			return value.NewNull(), nil
+		}
+		lf, rf := left.Float(), right.Float()
+		var res float64
+		switch ex.Op {
+		case "+":
+			res = lf + rf
+		case "-":
+			res = lf - rf
+		case "*":
+			res = lf * rf
+		case "/":
+			if rf == 0 {
+				return value.NewNull(), nil
+			}
+			res = lf / rf
+		}
+		if left.Type() == value.Int && right.Type() == value.Int && ex.Op != "/" {
+			return value.NewInt(int64(res)), nil
+		}
+		return value.NewFloat(res), nil
+	default:
+		return value.Value{}, fmt.Errorf("%w: operator %s", ErrUnsupported, ex.Op)
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single character).
+func likeMatch(pattern, s string) bool {
+	return likeMatchAt(pattern, s, 0, 0)
+}
+
+func likeMatchAt(p, s string, pi, si int) bool {
+	for pi < len(p) {
+		switch p[pi] {
+		case '%':
+			// Collapse consecutive %.
+			for pi < len(p) && p[pi] == '%' {
+				pi++
+			}
+			if pi == len(p) {
+				return true
+			}
+			for k := si; k <= len(s); k++ {
+				if likeMatchAt(p, s, pi, k) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if si >= len(s) {
+				return false
+			}
+			pi++
+			si++
+		default:
+			if si >= len(s) || s[si] != p[pi] {
+				return false
+			}
+			pi++
+			si++
+		}
+	}
+	return si == len(s)
+}
+
+// evalAnnBool evaluates an AWHERE / AHAVING / FILTER condition against one
+// annotation. The pseudo-columns ANN.VALUE, ANN.TABLE, ANN.AUTHOR and
+// ANN.ARCHIVED resolve to the annotation's fields.
+func evalAnnBool(e sqlparse.Expr, a *annotation.Annotation) (bool, error) {
+	colFn := func(col *sqlparse.ColumnExpr) (value.Value, error) {
+		name := strings.ToUpper(col.Column)
+		if col.Table != "" && !strings.EqualFold(col.Table, "ANN") {
+			return value.Value{}, fmt.Errorf("%w: %s.%s in annotation condition", ErrUnknownColumn, col.Table, col.Column)
+		}
+		switch name {
+		case "VALUE", "BODY":
+			return value.NewText(a.PlainBody()), nil
+		case "TABLE", "ANNTABLE":
+			return value.NewText(a.AnnTable), nil
+		case "AUTHOR":
+			return value.NewText(a.Author), nil
+		case "ARCHIVED":
+			return value.NewBool(a.Archived), nil
+		case "CREATED":
+			return value.NewTimestamp(a.CreatedAt), nil
+		default:
+			return value.Value{}, fmt.Errorf("%w: annotation attribute %s", ErrUnknownColumn, col.Column)
+		}
+	}
+	v, err := evalExpr(e, colFn, nil)
+	if err != nil {
+		return false, err
+	}
+	return v.Type() == value.Bool && v.Bool(), nil
+}
+
+func unionAnnotations(a, b []*annotation.Annotation) []*annotation.Annotation {
+	seen := map[int64]bool{}
+	var out []*annotation.Annotation
+	appendAll := func(list []*annotation.Annotation) {
+		for _, ann := range list {
+			// Synthetic annotations (outdated marks) have ID 0; keep them all.
+			if ann.ID != 0 && seen[ann.ID] {
+				continue
+			}
+			if ann.ID != 0 {
+				seen[ann.ID] = true
+			}
+			out = append(out, ann)
+		}
+	}
+	appendAll(a)
+	appendAll(b)
+	return out
+}

@@ -1,0 +1,302 @@
+// Package heap implements slotted-page heap files over the buffer pool. A
+// heap file stores variable-length records addressed by RID (page, slot);
+// tables in the storage engine keep their encoded rows here.
+//
+// Page layout (all integers little-endian):
+//
+//	[0:2)  numSlots   uint16
+//	[2:4)  freeStart  uint16  -- offset where record space begins (grows down)
+//	[4:..) slot directory, 4 bytes per slot: offset uint16, length uint16
+//	...    free space
+//	...    record data packed at the end of the page
+//
+// A slot with length 0 is a tombstone (deleted record).
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"bdbms/internal/buffer"
+	"bdbms/internal/pager"
+)
+
+const (
+	headerSize = 4
+	slotSize   = 4
+)
+
+// MaxRecordSize is the largest record a heap file accepts: it must fit in a
+// single page alongside the header and one slot.
+const MaxRecordSize = pager.PageSize - headerSize - slotSize
+
+// RID identifies a record within a heap file.
+type RID struct {
+	Page pager.PageID
+	Slot uint16
+}
+
+// String renders the RID for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// Errors returned by heap files.
+var (
+	// ErrRecordTooLarge is returned when a record exceeds MaxRecordSize.
+	ErrRecordTooLarge = errors.New("heap: record too large")
+	// ErrNotFound is returned when a RID does not reference a live record.
+	ErrNotFound = errors.New("heap: record not found")
+)
+
+// File is a heap file: an ordered list of pages managed through a buffer pool.
+type File struct {
+	pool  *buffer.Pool
+	pages []pager.PageID
+	count int // live records
+}
+
+// New creates an empty heap file on the given pool.
+func New(pool *buffer.Pool) *File {
+	return &File{pool: pool}
+}
+
+// Open re-attaches a heap file to the pages it previously used (in page
+// order). The record count is recomputed by scanning.
+func Open(pool *buffer.Pool, pages []pager.PageID) (*File, error) {
+	f := &File{pool: pool, pages: append([]pager.PageID(nil), pages...)}
+	count := 0
+	err := f.Scan(func(RID, []byte) bool {
+		count++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.count = count
+	return f, nil
+}
+
+// Pages returns the page IDs backing this heap file, in order.
+func (f *File) Pages() []pager.PageID {
+	return append([]pager.PageID(nil), f.pages...)
+}
+
+// Count returns the number of live records.
+func (f *File) Count() int { return f.count }
+
+type pageHeader struct {
+	numSlots  uint16
+	freeStart uint16
+}
+
+func readHeader(p []byte) pageHeader {
+	return pageHeader{
+		numSlots:  binary.LittleEndian.Uint16(p[0:2]),
+		freeStart: binary.LittleEndian.Uint16(p[2:4]),
+	}
+}
+
+func writeHeader(p []byte, h pageHeader) {
+	binary.LittleEndian.PutUint16(p[0:2], h.numSlots)
+	binary.LittleEndian.PutUint16(p[2:4], h.freeStart)
+}
+
+func readSlot(p []byte, i uint16) (offset, length uint16) {
+	base := headerSize + int(i)*slotSize
+	return binary.LittleEndian.Uint16(p[base : base+2]), binary.LittleEndian.Uint16(p[base+2 : base+4])
+}
+
+func writeSlot(p []byte, i uint16, offset, length uint16) {
+	base := headerSize + int(i)*slotSize
+	binary.LittleEndian.PutUint16(p[base:base+2], offset)
+	binary.LittleEndian.PutUint16(p[base+2:base+4], length)
+}
+
+// freeSpace returns the free bytes between the slot directory and record data.
+func freeSpace(h pageHeader) int {
+	if h.freeStart == 0 {
+		// Fresh page: record space starts at the end.
+		return pager.PageSize - headerSize
+	}
+	return int(h.freeStart) - headerSize - int(h.numSlots)*slotSize
+}
+
+// Insert appends a record and returns its RID.
+func (f *File) Insert(record []byte) (RID, error) {
+	if len(record) > MaxRecordSize {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(record))
+	}
+	need := len(record) + slotSize
+	// Try the last page first (append-mostly workloads), then earlier pages.
+	order := make([]int, 0, len(f.pages))
+	for i := len(f.pages) - 1; i >= 0; i-- {
+		order = append(order, i)
+	}
+	for _, idx := range order {
+		rid, ok, err := f.tryInsert(f.pages[idx], record, need)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			f.count++
+			return rid, nil
+		}
+		// Only probe a couple of pages before extending the file, to keep
+		// inserts O(1) amortised.
+		if len(order) > 2 && idx == order[1] {
+			break
+		}
+	}
+	id, data, err := f.pool.Allocate()
+	if err != nil {
+		return RID{}, err
+	}
+	writeHeader(data, pageHeader{numSlots: 0, freeStart: pager.PageSize})
+	f.pool.MarkDirty(id)
+	if err := f.pool.Unpin(id); err != nil {
+		return RID{}, err
+	}
+	f.pages = append(f.pages, id)
+	rid, ok, err := f.tryInsert(id, record, need)
+	if err != nil {
+		return RID{}, err
+	}
+	if !ok {
+		return RID{}, errors.New("heap: fresh page cannot hold record")
+	}
+	f.count++
+	return rid, nil
+}
+
+func (f *File) tryInsert(id pager.PageID, record []byte, need int) (RID, bool, error) {
+	data, err := f.pool.Fetch(id)
+	if err != nil {
+		return RID{}, false, err
+	}
+	defer f.pool.Unpin(id)
+	h := readHeader(data)
+	if h.freeStart == 0 {
+		h.freeStart = pager.PageSize
+	}
+	if freeSpace(h) < need {
+		return RID{}, false, nil
+	}
+	offset := h.freeStart - uint16(len(record))
+	copy(data[offset:], record)
+	slot := h.numSlots
+	writeSlot(data, slot, offset, uint16(len(record)))
+	h.numSlots++
+	h.freeStart = offset
+	writeHeader(data, h)
+	f.pool.MarkDirty(id)
+	return RID{Page: id, Slot: slot}, true, nil
+}
+
+// Get returns the record at rid.
+func (f *File) Get(rid RID) ([]byte, error) {
+	data, err := f.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer f.pool.Unpin(rid.Page)
+	h := readHeader(data)
+	if rid.Slot >= h.numSlots {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	offset, length := readSlot(data, rid.Slot)
+	if length == 0 {
+		return nil, fmt.Errorf("%w: %s (deleted)", ErrNotFound, rid)
+	}
+	out := make([]byte, length)
+	copy(out, data[offset:int(offset)+int(length)])
+	return out, nil
+}
+
+// Delete tombstones the record at rid.
+func (f *File) Delete(rid RID) error {
+	data, err := f.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer f.pool.Unpin(rid.Page)
+	h := readHeader(data)
+	if rid.Slot >= h.numSlots {
+		return fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	offset, length := readSlot(data, rid.Slot)
+	if length == 0 {
+		return fmt.Errorf("%w: %s (already deleted)", ErrNotFound, rid)
+	}
+	writeSlot(data, rid.Slot, offset, 0)
+	f.pool.MarkDirty(rid.Page)
+	f.count--
+	return nil
+}
+
+// Update replaces the record at rid. When the new record still fits in the
+// original slot it is updated in place and the same RID is returned;
+// otherwise the old record is deleted and the new one inserted elsewhere,
+// returning the new RID.
+func (f *File) Update(rid RID, record []byte) (RID, error) {
+	if len(record) > MaxRecordSize {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(record))
+	}
+	data, err := f.pool.Fetch(rid.Page)
+	if err != nil {
+		return RID{}, err
+	}
+	h := readHeader(data)
+	if rid.Slot >= h.numSlots {
+		f.pool.Unpin(rid.Page)
+		return RID{}, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	offset, length := readSlot(data, rid.Slot)
+	if length == 0 {
+		f.pool.Unpin(rid.Page)
+		return RID{}, fmt.Errorf("%w: %s (deleted)", ErrNotFound, rid)
+	}
+	if len(record) <= int(length) {
+		copy(data[offset:], record)
+		writeSlot(data, rid.Slot, offset, uint16(len(record)))
+		f.pool.MarkDirty(rid.Page)
+		f.pool.Unpin(rid.Page)
+		return rid, nil
+	}
+	f.pool.Unpin(rid.Page)
+	if err := f.Delete(rid); err != nil {
+		return RID{}, err
+	}
+	return f.Insert(record)
+}
+
+// Scan calls fn for every live record in file order. Iteration stops early
+// when fn returns false.
+func (f *File) Scan(fn func(rid RID, record []byte) bool) error {
+	for _, id := range f.pages {
+		data, err := f.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		h := readHeader(data)
+		stop := false
+		for s := uint16(0); s < h.numSlots; s++ {
+			offset, length := readSlot(data, s)
+			if length == 0 {
+				continue
+			}
+			rec := make([]byte, length)
+			copy(rec, data[offset:int(offset)+int(length)])
+			if !fn(RID{Page: id, Slot: s}, rec) {
+				stop = true
+				break
+			}
+		}
+		if err := f.pool.Unpin(id); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

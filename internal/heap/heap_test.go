@@ -1,0 +1,249 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bdbms/internal/buffer"
+	"bdbms/internal/pager"
+)
+
+func newFile(t *testing.T) (*File, *pager.MemPager, *buffer.Pool) {
+	t.Helper()
+	p := pager.NewMem()
+	pool := buffer.New(p, 16)
+	return New(pool), p, pool
+}
+
+func TestInsertGet(t *testing.T) {
+	f, _, _ := newFile(t)
+	rid, err := f.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("got %q", got)
+	}
+	if f.Count() != 1 {
+		t.Errorf("count = %d", f.Count())
+	}
+}
+
+func TestManyInsertsAcrossPages(t *testing.T) {
+	f, p, _ := newFile(t)
+	const n = 2000
+	rids := make([]RID, n)
+	for i := 0; i < n; i++ {
+		rec := []byte(fmt.Sprintf("record-%06d-%s", i, string(make([]byte, 100))))
+		rid, err := f.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if p.NumPages() < 2 {
+		t.Fatal("expected the heap to span multiple pages")
+	}
+	for i, rid := range rids {
+		rec, err := f.Get(rid)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.HasPrefix(rec, []byte(fmt.Sprintf("record-%06d", i))) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+	if f.Count() != n {
+		t.Errorf("count = %d", f.Count())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f, _, _ := newFile(t)
+	rid, _ := f.Insert([]byte("x"))
+	if err := f.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get(rid); err == nil {
+		t.Error("deleted record still readable")
+	}
+	if err := f.Delete(rid); err == nil {
+		t.Error("double delete should fail")
+	}
+	if f.Count() != 0 {
+		t.Errorf("count = %d", f.Count())
+	}
+	if err := f.Delete(RID{Page: rid.Page, Slot: 99}); err == nil {
+		t.Error("bad slot should fail")
+	}
+}
+
+func TestUpdateInPlaceAndRelocate(t *testing.T) {
+	f, _, _ := newFile(t)
+	rid, _ := f.Insert([]byte("aaaaaaaaaa"))
+	// Smaller record: in place.
+	nrid, err := f.Update(rid, []byte("bb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrid != rid {
+		t.Error("small update should stay in place")
+	}
+	got, _ := f.Get(rid)
+	if string(got) != "bb" {
+		t.Errorf("got %q", got)
+	}
+	// Larger record: relocated.
+	big := bytes.Repeat([]byte("z"), 200)
+	nrid, err = f.Update(rid, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = f.Get(nrid)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("relocated record wrong: %v", err)
+	}
+	if _, err := f.Get(rid); nrid != rid && err == nil {
+		t.Error("old rid should be dead after relocation")
+	}
+	if f.Count() != 1 {
+		t.Errorf("count = %d", f.Count())
+	}
+	if _, err := f.Update(RID{Page: nrid.Page, Slot: 99}, []byte("x")); err == nil {
+		t.Error("updating bad slot should fail")
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	f, _, _ := newFile(t)
+	if _, err := f.Insert(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("oversized insert should fail")
+	}
+	rid, _ := f.Insert([]byte("ok"))
+	if _, err := f.Update(rid, make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("oversized update should fail")
+	}
+	// A maximum-size record must fit.
+	if _, err := f.Insert(make([]byte, MaxRecordSize)); err != nil {
+		t.Errorf("max-size insert failed: %v", err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	f, _, _ := newFile(t)
+	want := map[string]bool{}
+	var deleteRID RID
+	for i := 0; i < 500; i++ {
+		rec := fmt.Sprintf("rec-%d", i)
+		rid, err := f.Insert([]byte(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 250 {
+			deleteRID = rid
+		} else {
+			want[rec] = true
+		}
+	}
+	if err := f.Delete(deleteRID); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	err := f.Scan(func(rid RID, rec []byte) bool {
+		got[string(rec)] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan saw %d records, want %d", len(got), len(want))
+	}
+	// Early termination.
+	count := 0
+	f.Scan(func(RID, []byte) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestOpenRecoversFromPages(t *testing.T) {
+	p := pager.NewMem()
+	pool := buffer.New(p, 16)
+	f := New(pool)
+	for i := 0; i < 300; i++ {
+		if _, err := f.Insert([]byte(fmt.Sprintf("row %d with some padding to force pages", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(buffer.New(p, 16), f.Pages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Count() != 300 {
+		t.Fatalf("reopened count = %d", reopened.Count())
+	}
+}
+
+func TestRandomizedWorkload(t *testing.T) {
+	f, _, _ := newFile(t)
+	rng := rand.New(rand.NewSource(5))
+	live := map[RID][]byte{}
+	for op := 0; op < 3000; op++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert
+			rec := make([]byte, 1+rng.Intn(300))
+			rng.Read(rec)
+			rid, err := f.Insert(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live[rid] = append([]byte(nil), rec...)
+		case 2: // delete
+			for rid := range live {
+				if err := f.Delete(rid); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, rid)
+				break
+			}
+		case 3: // update
+			for rid, old := range live {
+				rec := make([]byte, 1+rng.Intn(300))
+				rng.Read(rec)
+				nrid, err := f.Update(rid, rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = old
+				delete(live, rid)
+				live[nrid] = append([]byte(nil), rec...)
+				break
+			}
+		}
+	}
+	if f.Count() != len(live) {
+		t.Fatalf("count %d, want %d", f.Count(), len(live))
+	}
+	for rid, want := range live {
+		got, err := f.Get(rid)
+		if err != nil {
+			t.Fatalf("get %s: %v", rid, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %s corrupted", rid)
+		}
+	}
+}

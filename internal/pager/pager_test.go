@@ -1,0 +1,123 @@
+package pager
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func testPagerBasics(t *testing.T, p Pager) {
+	t.Helper()
+	id0, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 == id1 {
+		t.Fatal("allocate must return distinct ids")
+	}
+	if p.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2", p.NumPages())
+	}
+
+	data := make([]byte, PageSize)
+	copy(data, []byte("hello bdbms"))
+	if err := p.Write(id1, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch")
+	}
+	zero, err := p.Read(id0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zero, make([]byte, PageSize)) {
+		t.Fatal("fresh page must be zeroed")
+	}
+
+	if _, err := p.Read(PageID(99)); err == nil {
+		t.Error("reading unallocated page should fail")
+	}
+	if err := p.Write(PageID(99), data); err == nil {
+		t.Error("writing unallocated page should fail")
+	}
+	if err := p.Write(id0, []byte("short")); err == nil {
+		t.Error("short write should fail")
+	}
+
+	st := p.Stats()
+	if st.Reads < 2 || st.Writes < 1 || st.Allocs != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	p.ResetStats()
+	if s := p.Stats(); s.Reads != 0 || s.Writes != 0 {
+		t.Errorf("ResetStats left %+v", s)
+	}
+}
+
+func TestMemPager(t *testing.T) {
+	p := NewMem()
+	testPagerBasics(t, p)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(); err == nil {
+		t.Error("allocate after close should fail")
+	}
+	if _, err := p.Read(0); err == nil {
+		t.Error("read after close should fail")
+	}
+}
+
+func TestFilePager(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	p, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testPagerBasics(t, p)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-open: pages and contents must persist.
+	p2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.NumPages() != 2 {
+		t.Fatalf("reopened NumPages = %d, want 2", p2.NumPages())
+	}
+	got, err := p2.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("hello bdbms")) {
+		t.Error("persisted page content lost")
+	}
+}
+
+func TestMemPagerIsolation(t *testing.T) {
+	p := NewMem()
+	id, _ := p.Allocate()
+	data := make([]byte, PageSize)
+	data[0] = 42
+	if err := p.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Read(id)
+	got[0] = 99 // mutating the returned buffer must not affect the store
+	again, _ := p.Read(id)
+	if again[0] != 42 {
+		t.Error("Read must return an isolated copy")
+	}
+}

@@ -1,0 +1,422 @@
+// Package rtree implements an in-memory R-tree over 2-D rectangles with
+// quadratic-split insertion, range (window) search, deletion, and nearest
+// neighbour search.
+//
+// In bdbms the R-tree plays three roles:
+//   - the second level of the SBC-tree, standing in for the 3-sided range
+//     structure exactly as the paper's own PostgreSQL prototype did;
+//   - the multidimensional baseline that SP-GiST indexes are compared against
+//     (experiment E4);
+//   - the spatial store behind the compact, rectangle-based annotation
+//     storage scheme of Figure 5 (columns on the X axis, tuples on the Y axis).
+package rtree
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Rect is an axis-aligned rectangle with inclusive bounds.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewPoint returns a degenerate rectangle covering the single point (x, y).
+func NewPoint(x, y float64) Rect { return Rect{MinX: x, MinY: y, MaxX: x, MaxY: y} }
+
+// Valid reports whether the rectangle's bounds are ordered.
+func (r Rect) Valid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+// Intersects reports whether r and o overlap (inclusive bounds).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Contains reports whether r fully contains o.
+func (r Rect) Contains(o Rect) bool {
+	return r.MinX <= o.MinX && o.MaxX <= r.MaxX && r.MinY <= o.MinY && o.MaxY <= r.MaxY
+}
+
+// ContainsPoint reports whether the point (x, y) lies inside r.
+func (r Rect) ContainsPoint(x, y float64) bool {
+	return r.MinX <= x && x <= r.MaxX && r.MinY <= y && y <= r.MaxY
+}
+
+// Union returns the smallest rectangle covering both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, o.MinX),
+		MinY: math.Min(r.MinY, o.MinY),
+		MaxX: math.Max(r.MaxX, o.MaxX),
+		MaxY: math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+// enlargement returns how much r's area grows to cover o.
+func (r Rect) enlargement(o Rect) float64 { return r.Union(o).Area() - r.Area() }
+
+// distanceToPoint returns the minimum Euclidean distance from (x, y) to r.
+func (r Rect) distanceToPoint(x, y float64) float64 {
+	dx := math.Max(math.Max(r.MinX-x, 0), x-r.MaxX)
+	dy := math.Max(math.Max(r.MinY-y, 0), y-r.MaxY)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Item is a rectangle with an opaque payload.
+type Item struct {
+	Rect Rect
+	Data interface{}
+}
+
+// ErrInvalidRect is returned when inserting a rectangle with inverted bounds.
+var ErrInvalidRect = errors.New("rtree: invalid rectangle")
+
+const (
+	maxEntries = 16
+	minEntries = 4
+)
+
+type rnode struct {
+	leaf     bool
+	bounds   Rect
+	items    []Item   // leaf
+	children []*rnode // internal
+}
+
+// Tree is an R-tree. Not safe for concurrent mutation.
+type Tree struct {
+	root  *rnode
+	size  int
+	reads uint64 // node visits, for simulated I/O accounting
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &rnode{leaf: true}} }
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// NodeReads returns the number of node visits performed so far (simulated I/O).
+func (t *Tree) NodeReads() uint64 { return t.reads }
+
+// ResetStats zeroes the node visit counter.
+func (t *Tree) ResetStats() { t.reads = 0 }
+
+// Insert adds an item.
+func (t *Tree) Insert(r Rect, data interface{}) error {
+	if !r.Valid() {
+		return ErrInvalidRect
+	}
+	item := Item{Rect: r, Data: data}
+	left, right := t.insert(t.root, item)
+	if right != nil {
+		t.root = &rnode{
+			leaf:     false,
+			children: []*rnode{left, right},
+			bounds:   left.bounds.Union(right.bounds),
+		}
+	}
+	t.size++
+	return nil
+}
+
+func (t *Tree) insert(n *rnode, item Item) (*rnode, *rnode) {
+	t.reads++
+	if n.leaf {
+		n.items = append(n.items, item)
+		n.recomputeBounds()
+		if len(n.items) > maxEntries {
+			return n.splitLeaf()
+		}
+		return n, nil
+	}
+	best := t.chooseSubtree(n, item.Rect)
+	left, right := t.insert(n.children[best], item)
+	n.children[best] = left
+	if right != nil {
+		n.children = append(n.children, right)
+	}
+	n.recomputeBounds()
+	if len(n.children) > maxEntries {
+		return n.splitInternal()
+	}
+	return n, nil
+}
+
+func (t *Tree) chooseSubtree(n *rnode, r Rect) int {
+	best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+	for i, c := range n.children {
+		enl := c.bounds.enlargement(r)
+		area := c.bounds.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+func (n *rnode) recomputeBounds() {
+	if n.leaf {
+		if len(n.items) == 0 {
+			n.bounds = Rect{}
+			return
+		}
+		b := n.items[0].Rect
+		for _, it := range n.items[1:] {
+			b = b.Union(it.Rect)
+		}
+		n.bounds = b
+		return
+	}
+	if len(n.children) == 0 {
+		n.bounds = Rect{}
+		return
+	}
+	b := n.children[0].bounds
+	for _, c := range n.children[1:] {
+		b = b.Union(c.bounds)
+	}
+	n.bounds = b
+}
+
+// splitLeaf splits an overflowing leaf along the axis with the widest spread.
+func (n *rnode) splitLeaf() (*rnode, *rnode) {
+	items := n.items
+	sortByX := spreadX(itemRects(items)) >= spreadY(itemRects(items))
+	sort.Slice(items, func(i, j int) bool {
+		if sortByX {
+			return items[i].Rect.MinX < items[j].Rect.MinX
+		}
+		return items[i].Rect.MinY < items[j].Rect.MinY
+	})
+	mid := len(items) / 2
+	if mid < minEntries {
+		mid = minEntries
+	}
+	left := &rnode{leaf: true, items: append([]Item(nil), items[:mid]...)}
+	right := &rnode{leaf: true, items: append([]Item(nil), items[mid:]...)}
+	left.recomputeBounds()
+	right.recomputeBounds()
+	return left, right
+}
+
+func (n *rnode) splitInternal() (*rnode, *rnode) {
+	children := n.children
+	rects := make([]Rect, len(children))
+	for i, c := range children {
+		rects[i] = c.bounds
+	}
+	sortByX := spreadX(rects) >= spreadY(rects)
+	sort.Slice(children, func(i, j int) bool {
+		if sortByX {
+			return children[i].bounds.MinX < children[j].bounds.MinX
+		}
+		return children[i].bounds.MinY < children[j].bounds.MinY
+	})
+	mid := len(children) / 2
+	if mid < minEntries {
+		mid = minEntries
+	}
+	left := &rnode{leaf: false, children: append([]*rnode(nil), children[:mid]...)}
+	right := &rnode{leaf: false, children: append([]*rnode(nil), children[mid:]...)}
+	left.recomputeBounds()
+	right.recomputeBounds()
+	return left, right
+}
+
+func itemRects(items []Item) []Rect {
+	rs := make([]Rect, len(items))
+	for i, it := range items {
+		rs[i] = it.Rect
+	}
+	return rs
+}
+
+func spreadX(rs []Rect) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rs {
+		lo = math.Min(lo, r.MinX)
+		hi = math.Max(hi, r.MaxX)
+	}
+	return hi - lo
+}
+
+func spreadY(rs []Rect) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rs {
+		lo = math.Min(lo, r.MinY)
+		hi = math.Max(hi, r.MaxY)
+	}
+	return hi - lo
+}
+
+// Search calls fn for every item whose rectangle intersects query. Iteration
+// stops early when fn returns false.
+func (t *Tree) Search(query Rect, fn func(Item) bool) {
+	t.search(t.root, query, fn)
+}
+
+func (t *Tree) search(n *rnode, query Rect, fn func(Item) bool) bool {
+	t.reads++
+	if n.leaf {
+		for _, it := range n.items {
+			if query.Intersects(it.Rect) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if query.Intersects(c.bounds) {
+			if !t.search(c, query, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SearchAll returns all items intersecting query.
+func (t *Tree) SearchAll(query Rect) []Item {
+	var out []Item
+	t.Search(query, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// Delete removes the first item whose rectangle equals r and whose data
+// satisfies match (a nil match removes the first rectangle-equal item). It
+// returns true when something was removed.
+func (t *Tree) Delete(r Rect, match func(data interface{}) bool) bool {
+	removed := t.delete(t.root, r, match)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func (t *Tree) delete(n *rnode, r Rect, match func(data interface{}) bool) bool {
+	t.reads++
+	if n.leaf {
+		for i, it := range n.items {
+			if it.Rect == r && (match == nil || match(it.Data)) {
+				n.items = append(n.items[:i], n.items[i+1:]...)
+				n.recomputeBounds()
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range n.children {
+		if c.bounds.Intersects(r) || c.bounds.Contains(r) {
+			if t.delete(c, r, match) {
+				n.recomputeBounds()
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Nearest returns the k items closest to point (x, y) by minimum distance
+// between the point and the item rectangle, nearest first.
+func (t *Tree) Nearest(x, y float64, k int) []Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	type cand struct {
+		item Item
+		dist float64
+	}
+	var cands []cand
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		t.reads++
+		if n.leaf {
+			for _, it := range n.items {
+				cands = append(cands, cand{item: it, dist: it.Rect.distanceToPoint(x, y)})
+			}
+			return
+		}
+		// Visit children ordered by distance; prune those that cannot beat the
+		// current k-th best.
+		order := make([]int, len(n.children))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return n.children[order[a]].bounds.distanceToPoint(x, y) < n.children[order[b]].bounds.distanceToPoint(x, y)
+		})
+		for _, idx := range order {
+			c := n.children[idx]
+			if len(cands) >= k {
+				sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+				cands = cands[:k]
+				if c.bounds.distanceToPoint(x, y) > cands[k-1].dist {
+					continue
+				}
+			}
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Item, len(cands))
+	for i, c := range cands {
+		out[i] = c.item
+	}
+	return out
+}
+
+// All returns every stored item (order unspecified).
+func (t *Tree) All() []Item {
+	var out []Item
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if n.leaf {
+			out = append(out, n.items...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Validate checks that every node's bounds cover its contents.
+func (t *Tree) Validate() error {
+	var walk func(n *rnode) error
+	walk = func(n *rnode) error {
+		if n.leaf {
+			for _, it := range n.items {
+				if !n.bounds.Contains(it.Rect) {
+					return errors.New("rtree: leaf bounds do not contain item")
+				}
+			}
+			return nil
+		}
+		for _, c := range n.children {
+			if !n.bounds.Contains(c.bounds) {
+				return errors.New("rtree: node bounds do not contain child")
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,213 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestRectGeometry(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	c := Rect{11, 11, 12, 12}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	if !a.Contains(Rect{2, 2, 3, 3}) {
+		t.Error("containment failed")
+	}
+	if a.Contains(b) {
+		t.Error("a should not contain b")
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 15, 15}) {
+		t.Errorf("union = %+v", u)
+	}
+	if a.Area() != 100 {
+		t.Errorf("area = %f", a.Area())
+	}
+	if !a.ContainsPoint(10, 10) || a.ContainsPoint(10.1, 10) {
+		t.Error("ContainsPoint inclusive bounds wrong")
+	}
+	if !NewPoint(3, 4).Valid() || (Rect{1, 1, 0, 0}).Valid() {
+		t.Error("Valid() wrong")
+	}
+}
+
+func TestInsertSearchPoints(t *testing.T) {
+	tr := New()
+	for x := 0; x < 20; x++ {
+		for y := 0; y < 20; y++ {
+			if err := tr.Insert(NewPoint(float64(x), float64(y)), [2]int{x, y}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tr.Len() != 400 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.SearchAll(Rect{5, 5, 7, 7})
+	if len(got) != 9 {
+		t.Fatalf("window search returned %d, want 9", len(got))
+	}
+	// Early termination.
+	count := 0
+	tr.Search(Rect{0, 0, 19, 19}, func(Item) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestInsertInvalidRect(t *testing.T) {
+	tr := New()
+	if err := tr.Insert(Rect{5, 5, 1, 1}, nil); err != ErrInvalidRect {
+		t.Fatalf("expected ErrInvalidRect, got %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(NewPoint(float64(i), float64(i)), i)
+	}
+	if !tr.Delete(NewPoint(50, 50), nil) {
+		t.Fatal("delete failed")
+	}
+	if tr.Len() != 99 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.SearchAll(NewPoint(50, 50)); len(got) != 0 {
+		t.Errorf("deleted point still found: %v", got)
+	}
+	if tr.Delete(NewPoint(50, 50), nil) {
+		t.Error("second delete should fail")
+	}
+	// Delete with matcher.
+	tr.Insert(NewPoint(1, 1), "a")
+	tr.Insert(NewPoint(1, 1), "b")
+	if !tr.Delete(NewPoint(1, 1), func(d interface{}) bool { return d == "b" }) {
+		t.Fatal("matched delete failed")
+	}
+	found := tr.SearchAll(NewPoint(1, 1))
+	for _, it := range found {
+		if it.Data == "b" {
+			t.Error("matched item not removed")
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	tr := New()
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			tr.Insert(NewPoint(float64(x), float64(y)), [2]int{x, y})
+		}
+	}
+	got := tr.Nearest(4.1, 4.1, 1)
+	if len(got) != 1 {
+		t.Fatalf("nearest returned %d", len(got))
+	}
+	if got[0].Data != [2]int{4, 4} {
+		t.Errorf("nearest = %v", got[0].Data)
+	}
+	got5 := tr.Nearest(0, 0, 5)
+	if len(got5) != 5 {
+		t.Fatalf("k=5 returned %d", len(got5))
+	}
+	// Distances must be non-decreasing.
+	prev := -1.0
+	for _, it := range got5 {
+		d := it.Rect.distanceToPoint(0, 0)
+		if d < prev {
+			t.Error("nearest results not ordered")
+		}
+		prev = d
+	}
+	if tr.Nearest(0, 0, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if New().Nearest(0, 0, 3) != nil {
+		t.Error("empty tree should return nil")
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New()
+	type pt struct{ x, y float64 }
+	pts := make([]pt, 500)
+	for i := range pts {
+		pts[i] = pt{rng.Float64() * 1000, rng.Float64() * 1000}
+		tr.Insert(NewPoint(pts[i].x, pts[i].y), i)
+	}
+	for q := 0; q < 20; q++ {
+		qx, qy := rng.Float64()*1000, rng.Float64()*1000
+		got := tr.Nearest(qx, qy, 3)
+		dists := make([]float64, len(pts))
+		for i, p := range pts {
+			dists[i] = math.Hypot(p.x-qx, p.y-qy)
+		}
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		for i, it := range got {
+			d := it.Rect.distanceToPoint(qx, qy)
+			if math.Abs(d-sorted[i]) > 1e-9 {
+				t.Fatalf("query %d: nearest[%d] dist %f, brute force %f", q, i, d, sorted[i])
+			}
+		}
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	rects := make([]Rect, 300)
+	for i := range rects {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		rects[i] = Rect{x, y, x + rng.Float64()*10, y + rng.Float64()*10}
+		tr.Insert(rects[i], i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 25; q++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		query := Rect{x, y, x + 15, y + 15}
+		want := 0
+		for _, r := range rects {
+			if query.Intersects(r) {
+				want++
+			}
+		}
+		if got := len(tr.SearchAll(query)); got != want {
+			t.Fatalf("query %d: got %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestAllAndStats(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Insert(NewPoint(float64(i), 0), i)
+	}
+	if len(tr.All()) != 50 {
+		t.Errorf("All returned %d", len(tr.All()))
+	}
+	if tr.NodeReads() == 0 {
+		t.Error("node reads not counted")
+	}
+	tr.ResetStats()
+	if tr.NodeReads() != 0 {
+		t.Error("ResetStats failed")
+	}
+}

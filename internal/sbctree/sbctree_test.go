@@ -1,0 +1,243 @@
+package sbctree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bdbms/internal/biogen"
+	"bdbms/internal/rle"
+	"bdbms/internal/stringbtree"
+)
+
+func figure12Sequences() map[int64]string {
+	// Short secondary-structure-like strings with long runs, as in Figure 12.
+	return map[int64]string{
+		1: "LLLEEEEEEEHHHHHHHHHHHHHHHHHHHHHHEEEEEELLEEELHHHHHHHHHHLL",
+		2: "LLLLLLLLHHHHHHHHHHHHHHHHLLLLEEEEEEEHHHHHHHHHHHHEEEEEEEEEE",
+		3: "LLLLHHHHHHHLLLLHHHHHHHHHHHHHHEEEEEEEEEEHHHHHHHEEEEEEEEHH",
+		4: "HHHHHHHHHHEEEELEEEEEEEEEELLLEEEEEEEELLLLHHHHHHHHHHHHHHHEEEE",
+		5: "EELLEEEELLLLLLLLHHHHHHHHHHHHHHHHHHHHEEEELEEEEEEEEEELEEEEEL",
+	}
+}
+
+func buildIndex(t *testing.T, seqs map[int64]string) *Index {
+	t.Helper()
+	ix := New()
+	for id, s := range seqs {
+		ix.Insert(id, s)
+	}
+	return ix
+}
+
+func TestInsertAndAccounting(t *testing.T) {
+	seqs := figure12Sequences()
+	ix := buildIndex(t, seqs)
+	if ix.Len() != len(seqs) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	totalRuns := 0
+	for _, s := range seqs {
+		totalRuns += rle.Encode(s).NumRuns()
+	}
+	if ix.NumEntries() != totalRuns {
+		t.Errorf("entries = %d, want %d (one per run)", ix.NumEntries(), totalRuns)
+	}
+	if ix.StorageBytes() == 0 || ix.EstimatePages(4096) < 1 {
+		t.Error("storage accounting missing")
+	}
+	if ix.CompressionRatio() <= 1 {
+		t.Errorf("compression ratio = %f", ix.CompressionRatio())
+	}
+	if seq, ok := ix.Sequence(1); !ok || seq.Decode() != seqs[1] {
+		t.Error("Sequence lookup wrong")
+	}
+	if _, ok := ix.Sequence(99); ok {
+		t.Error("missing sequence found")
+	}
+	if New().CompressionRatio() != 1 {
+		t.Error("empty index ratio should be 1")
+	}
+	if ix.EstimatePages(0) < 1 {
+		t.Error("EstimatePages with zero page size")
+	}
+}
+
+func TestSubstringSearchMatchesReference(t *testing.T) {
+	seqs := figure12Sequences()
+	ix := buildIndex(t, seqs)
+	patterns := []string{
+		"LLL", "EEEH", "HHLL", "HHHHHHHHHH", "EL", "LEEEL", "EEEEEELL",
+		"H", "L", "E", "XYZ", "HEL", "LLEE", "EEEELEEE",
+	}
+	for _, p := range patterns {
+		got := ix.SubstringSearch(p)
+		gotIDs := map[int64]int{}
+		for _, m := range got {
+			gotIDs[m.SeqID] = m.Pos
+		}
+		for id, s := range seqs {
+			wantPos := strings.Index(s, p)
+			pos, found := gotIDs[id]
+			if (wantPos >= 0) != found {
+				t.Errorf("pattern %q seq %d: found=%v, want %v", p, id, found, wantPos >= 0)
+				continue
+			}
+			if found && pos != wantPos {
+				t.Errorf("pattern %q seq %d: pos=%d, want %d", p, id, pos, wantPos)
+			}
+		}
+	}
+	if ix.SubstringSearch("") != nil {
+		t.Error("empty pattern should return nil")
+	}
+	if !ix.ContainsSequence("LLL") || ix.ContainsSequence("XQZ") {
+		t.Error("ContainsSequence wrong")
+	}
+}
+
+func TestPrefixSearch(t *testing.T) {
+	seqs := figure12Sequences()
+	ix := buildIndex(t, seqs)
+	for _, p := range []string{"LLL", "LLLL", "LLLE", "HHHH", "EE", "EELL", "X", "LLLLLLLLH"} {
+		var want []int64
+		for id, s := range seqs {
+			if strings.HasPrefix(s, p) {
+				want = append(want, id)
+			}
+		}
+		got := ix.PrefixSearch(p)
+		if len(got) != len(want) {
+			t.Errorf("prefix %q: got %v, want %d sequences", p, got, len(want))
+			continue
+		}
+		for _, id := range got {
+			if !strings.HasPrefix(seqs[id], p) {
+				t.Errorf("prefix %q: false positive %d", p, id)
+			}
+		}
+	}
+	if got := ix.PrefixSearch(""); len(got) != len(seqs) {
+		t.Errorf("empty prefix = %v", got)
+	}
+}
+
+func TestRangeSearch(t *testing.T) {
+	ix := New()
+	ix.Insert(1, "AAAA")
+	ix.Insert(2, "BBBB")
+	ix.Insert(3, "CCCC")
+	if got := ix.RangeSearch("AAAA", "CCCC"); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("range = %v", got)
+	}
+	if got := ix.RangeSearch("B", ""); len(got) != 2 {
+		t.Errorf("open range = %v", got)
+	}
+}
+
+func TestAgainstStringBTreeOnRandomWorkload(t *testing.T) {
+	// The SBC-tree and the String B-tree must agree on which sequences
+	// contain which patterns (E3's correctness premise).
+	gen := biogen.New(17)
+	structures := gen.SecondaryStructures(60, 100, 300, 10)
+	sbc := New()
+	sbt := stringbtree.New()
+	for i, s := range structures {
+		sbc.Insert(int64(i+1), s)
+		sbt.Insert(int64(i+1), s)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 60; q++ {
+		src := structures[rng.Intn(len(structures))]
+		start := rng.Intn(len(src) - 12)
+		pattern := src[start : start+4+rng.Intn(8)]
+
+		sbcIDs := map[int64]bool{}
+		for _, m := range sbc.SubstringSearch(pattern) {
+			sbcIDs[m.SeqID] = true
+		}
+		sbtIDs := map[int64]bool{}
+		for _, m := range sbt.SubstringSearch(pattern) {
+			sbtIDs[m.SeqID] = true
+		}
+		if len(sbcIDs) != len(sbtIDs) {
+			t.Fatalf("pattern %q: SBC found %d sequences, String B-tree %d", pattern, len(sbcIDs), len(sbtIDs))
+		}
+		for id := range sbtIDs {
+			if !sbcIDs[id] {
+				t.Fatalf("pattern %q: SBC missed sequence %d", pattern, id)
+			}
+		}
+	}
+}
+
+func TestStorageReductionVsStringBTree(t *testing.T) {
+	// E1's shape: indexing RLE-compressed secondary structures takes roughly
+	// an order of magnitude less space than indexing the uncompressed text.
+	gen := biogen.New(23)
+	structures := gen.SecondaryStructures(40, 200, 400, 15)
+	sbc := New()
+	sbt := stringbtree.New()
+	for i, s := range structures {
+		sbc.Insert(int64(i+1), s)
+		sbt.Insert(int64(i+1), s)
+	}
+	ratio := float64(sbt.StorageBytes()) / float64(sbc.StorageBytes())
+	if ratio < 4 {
+		t.Errorf("storage reduction ratio = %.1fx; expected well above 4x", ratio)
+	}
+	ioRatio := float64(sbt.IOStats().NodeWrites) / float64(sbc.IOStats().NodeWrites)
+	if ioRatio < 1.3 {
+		t.Errorf("insertion write ratio = %.2fx; SBC should need at least 30%% fewer writes", ioRatio)
+	}
+}
+
+func TestWithoutSecondLevelAgrees(t *testing.T) {
+	seqs := figure12Sequences()
+	with := New()
+	without := NewWithoutSecondLevel()
+	for id, s := range seqs {
+		with.Insert(id, s)
+		without.Insert(id, s)
+	}
+	for _, p := range []string{"H", "LLL", "HHHHHHHHHH", "EEEH"} {
+		a := with.SubstringSearch(p)
+		b := without.SubstringSearch(p)
+		if len(a) != len(b) {
+			t.Fatalf("pattern %q: with=%d without=%d", p, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("pattern %q: match %d differs: %v vs %v", p, i, a[i], b[i])
+			}
+		}
+	}
+	for _, p := range []string{"LLL", "EE"} {
+		a := with.PrefixSearch(p)
+		b := without.PrefixSearch(p)
+		if len(a) != len(b) {
+			t.Fatalf("prefix %q: with=%d without=%d", p, len(a), len(b))
+		}
+	}
+	// The second level contributes storage.
+	if with.StorageBytes() <= without.StorageBytes() {
+		t.Error("second level should add storage")
+	}
+	with.ResetIOStats()
+	if with.IOStats().NodeReads != 0 {
+		t.Error("ResetIOStats failed")
+	}
+}
+
+func TestInsertCompressedDirectly(t *testing.T) {
+	ix := New()
+	seq, err := rle.Parse("L3E7H22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.InsertCompressed(7, seq)
+	got := ix.SubstringSearch("EEEH")
+	if len(got) != 1 || got[0].SeqID != 7 {
+		t.Errorf("search = %v", got)
+	}
+}

@@ -1,0 +1,396 @@
+package spgist
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// --- kd-tree op-class ------------------------------------------------------------
+
+// kdPredicate is the split plane of a kd-tree inner node.
+type kdPredicate struct {
+	dim   int // 0 = X, 1 = Y
+	value float64
+}
+
+// KDTreeOps is the kd-tree op-class over Point keys: inner nodes split on
+// alternating dimensions at the median.
+type KDTreeOps struct{}
+
+// Name implements OpClass.
+func (KDTreeOps) Name() string { return "kd-tree" }
+
+func pointCoord(p Point, dim int) float64 {
+	if dim == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+// Choose implements OpClass.
+func (KDTreeOps) Choose(pred Predicate, key Key) int {
+	kp := pred.(kdPredicate)
+	p := key.(Point)
+	if pointCoord(p, kp.dim) < kp.value {
+		return 0
+	}
+	return 1
+}
+
+// PickSplit implements OpClass: split at the median of the dimension with the
+// larger spread.
+func (KDTreeOps) PickSplit(keys []Key) (Predicate, int, []int) {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, k := range keys {
+		p := k.(Point)
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	dim := 0
+	if maxY-minY > maxX-minX {
+		dim = 1
+	}
+	coords := make([]float64, len(keys))
+	for i, k := range keys {
+		coords[i] = pointCoord(k.(Point), dim)
+	}
+	sort.Float64s(coords)
+	median := coords[len(coords)/2]
+	pred := kdPredicate{dim: dim, value: median}
+	assignment := make([]int, len(keys))
+	for i, k := range keys {
+		if pointCoord(k.(Point), dim) < median {
+			assignment[i] = 0
+		} else {
+			assignment[i] = 1
+		}
+	}
+	return pred, 2, assignment
+}
+
+// Consistent implements OpClass for ExactQuery and RangeQuery.
+func (KDTreeOps) Consistent(pred Predicate, child int, q Query) bool {
+	kp := pred.(kdPredicate)
+	switch query := q.(type) {
+	case ExactQuery:
+		p := query.Key.(Point)
+		if child == 0 {
+			return pointCoord(p, kp.dim) < kp.value
+		}
+		return pointCoord(p, kp.dim) >= kp.value
+	case RangeQuery:
+		lo, hi := query.MinX, query.MaxX
+		if kp.dim == 1 {
+			lo, hi = query.MinY, query.MaxY
+		}
+		if child == 0 {
+			return lo < kp.value
+		}
+		return hi >= kp.value
+	default:
+		return true
+	}
+}
+
+// LeafConsistent implements OpClass.
+func (KDTreeOps) LeafConsistent(key Key, q Query) bool {
+	p := key.(Point)
+	switch query := q.(type) {
+	case ExactQuery:
+		qp := query.Key.(Point)
+		return p.X == qp.X && p.Y == qp.Y
+	case RangeQuery:
+		return p.X >= query.MinX && p.X <= query.MaxX && p.Y >= query.MinY && p.Y <= query.MaxY
+	default:
+		return false
+	}
+}
+
+// LowerBound implements Distancer: distance from q to the half-plane.
+func (KDTreeOps) LowerBound(pred Predicate, child int, q Point) float64 {
+	kp := pred.(kdPredicate)
+	c := pointCoord(q, kp.dim)
+	if child == 0 {
+		if c < kp.value {
+			return 0
+		}
+		return c - kp.value
+	}
+	if c >= kp.value {
+		return 0
+	}
+	return kp.value - c
+}
+
+// Distance implements Distancer.
+func (KDTreeOps) Distance(key Key, q Point) float64 {
+	p := key.(Point)
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// --- point quadtree op-class -------------------------------------------------------
+
+// quadPredicate is the centroid of a quadtree inner node.
+type quadPredicate struct {
+	cx, cy float64
+}
+
+// QuadtreeOps is the point-quadtree op-class over Point keys: inner nodes
+// split space into four quadrants around a centroid.
+type QuadtreeOps struct{}
+
+// Name implements OpClass.
+func (QuadtreeOps) Name() string { return "point-quadtree" }
+
+func quadrant(pred quadPredicate, p Point) int {
+	q := 0
+	if p.X >= pred.cx {
+		q |= 1
+	}
+	if p.Y >= pred.cy {
+		q |= 2
+	}
+	return q
+}
+
+// Choose implements OpClass.
+func (QuadtreeOps) Choose(pred Predicate, key Key) int {
+	return quadrant(pred.(quadPredicate), key.(Point))
+}
+
+// PickSplit implements OpClass: the centroid of the keys becomes the predicate.
+func (QuadtreeOps) PickSplit(keys []Key) (Predicate, int, []int) {
+	var sx, sy float64
+	for _, k := range keys {
+		p := k.(Point)
+		sx += p.X
+		sy += p.Y
+	}
+	pred := quadPredicate{cx: sx / float64(len(keys)), cy: sy / float64(len(keys))}
+	assignment := make([]int, len(keys))
+	for i, k := range keys {
+		assignment[i] = quadrant(pred, k.(Point))
+	}
+	return pred, 4, assignment
+}
+
+// Consistent implements OpClass.
+func (QuadtreeOps) Consistent(pred Predicate, child int, q Query) bool {
+	qp := pred.(quadPredicate)
+	switch query := q.(type) {
+	case ExactQuery:
+		return quadrant(qp, query.Key.(Point)) == child
+	case RangeQuery:
+		// Quadrant bounds.
+		xOK := false
+		if child&1 == 0 {
+			xOK = query.MinX < qp.cx
+		} else {
+			xOK = query.MaxX >= qp.cx
+		}
+		yOK := false
+		if child&2 == 0 {
+			yOK = query.MinY < qp.cy
+		} else {
+			yOK = query.MaxY >= qp.cy
+		}
+		return xOK && yOK
+	default:
+		return true
+	}
+}
+
+// LeafConsistent implements OpClass.
+func (QuadtreeOps) LeafConsistent(key Key, q Query) bool {
+	return KDTreeOps{}.LeafConsistent(key, q)
+}
+
+// LowerBound implements Distancer: distance from q to the quadrant.
+func (QuadtreeOps) LowerBound(pred Predicate, child int, q Point) float64 {
+	qp := pred.(quadPredicate)
+	var dx, dy float64
+	if child&1 == 0 { // x < cx
+		if q.X >= qp.cx {
+			dx = q.X - qp.cx
+		}
+	} else { // x >= cx
+		if q.X < qp.cx {
+			dx = qp.cx - q.X
+		}
+	}
+	if child&2 == 0 { // y < cy
+		if q.Y >= qp.cy {
+			dy = q.Y - qp.cy
+		}
+	} else {
+		if q.Y < qp.cy {
+			dy = qp.cy - q.Y
+		}
+	}
+	return math.Hypot(dx, dy)
+}
+
+// Distance implements Distancer.
+func (QuadtreeOps) Distance(key Key, q Point) float64 {
+	return KDTreeOps{}.Distance(key, q)
+}
+
+// --- trie op-class ------------------------------------------------------------------
+
+// triePredicate records the byte position inner-node children discriminate on.
+type triePredicate struct {
+	depth int
+}
+
+// trieFanout is 256 byte values plus one child for strings that end at depth.
+const trieFanout = 257
+
+// TrieOps is the character-trie op-class over string keys. It supports exact
+// match, prefix match and the limited regular-expression match of RegexQuery.
+type TrieOps struct{}
+
+// Name implements OpClass.
+func (TrieOps) Name() string { return "trie" }
+
+// Choose implements OpClass.
+func (TrieOps) Choose(pred Predicate, key Key) int {
+	tp := pred.(triePredicate)
+	s := key.(string)
+	if len(s) <= tp.depth {
+		return 256
+	}
+	return int(s[tp.depth])
+}
+
+// PickSplit implements OpClass: discriminate on the first byte position where
+// the keys differ.
+func (TrieOps) PickSplit(keys []Key) (Predicate, int, []int) {
+	// Find the length of the longest common prefix of all keys.
+	first := keys[0].(string)
+	lcp := len(first)
+	for _, k := range keys[1:] {
+		s := k.(string)
+		i := 0
+		for i < lcp && i < len(s) && s[i] == first[i] {
+			i++
+		}
+		if i < lcp {
+			lcp = i
+		}
+	}
+	pred := triePredicate{depth: lcp}
+	assignment := make([]int, len(keys))
+	for i, k := range keys {
+		s := k.(string)
+		if len(s) <= lcp {
+			assignment[i] = 256
+		} else {
+			assignment[i] = int(s[lcp])
+		}
+	}
+	return pred, trieFanout, assignment
+}
+
+// Consistent implements OpClass.
+func (TrieOps) Consistent(pred Predicate, child int, q Query) bool {
+	tp := pred.(triePredicate)
+	switch query := q.(type) {
+	case ExactQuery:
+		s := query.Key.(string)
+		if len(s) <= tp.depth {
+			return child == 256
+		}
+		return child == int(s[tp.depth])
+	case PrefixQuery:
+		if len(query.Prefix) <= tp.depth {
+			// Every child can contain strings extending the prefix; the
+			// end-of-string child can too (a key equal to the prefix).
+			return true
+		}
+		return child == int(query.Prefix[tp.depth])
+	case RegexQuery:
+		return regexChildConsistent(query.Pattern, tp.depth, child)
+	default:
+		return true
+	}
+}
+
+// LeafConsistent implements OpClass.
+func (TrieOps) LeafConsistent(key Key, q Query) bool {
+	s := key.(string)
+	switch query := q.(type) {
+	case ExactQuery:
+		return s == query.Key.(string)
+	case PrefixQuery:
+		return strings.HasPrefix(s, query.Prefix)
+	case RegexQuery:
+		return MatchSimpleRegex(query.Pattern, s)
+	default:
+		return false
+	}
+}
+
+// --- limited regular expressions -----------------------------------------------------
+
+// MatchSimpleRegex matches s against a limited anchored regular expression
+// supporting literal characters, '.' (any single character) and 'c*' / '.*'
+// (zero or more of the preceding element).
+func MatchSimpleRegex(pattern, s string) bool {
+	return matchRegexAt(pattern, s, 0, 0)
+}
+
+func matchRegexAt(p, s string, pi, si int) bool {
+	if pi == len(p) {
+		return si == len(s)
+	}
+	star := pi+1 < len(p) && p[pi+1] == '*'
+	if star {
+		// Zero occurrences.
+		if matchRegexAt(p, s, pi+2, si) {
+			return true
+		}
+		// One or more occurrences.
+		for si < len(s) && (p[pi] == '.' || s[si] == p[pi]) {
+			si++
+			if matchRegexAt(p, s, pi+2, si) {
+				return true
+			}
+		}
+		return false
+	}
+	if si < len(s) && (p[pi] == '.' || s[si] == p[pi]) {
+		return matchRegexAt(p, s, pi+1, si+1)
+	}
+	return false
+}
+
+// regexChildConsistent conservatively decides whether strings whose byte at
+// position depth equals child (or that end before depth, child == 256) can
+// match the pattern. It computes the set of characters the pattern allows at
+// the given position; patterns with '*' are treated as allowing anything from
+// that point on.
+func regexChildConsistent(pattern string, depth, child int) bool {
+	pos := 0
+	pi := 0
+	for pi < len(pattern) {
+		star := pi+1 < len(pattern) && pattern[pi+1] == '*'
+		if star {
+			// From here on any character (or end) is possible.
+			return true
+		}
+		if pos == depth {
+			if child == 256 {
+				return false // pattern still requires a character here
+			}
+			return pattern[pi] == '.' || int(pattern[pi]) == child
+		}
+		pos++
+		pi++
+	}
+	// Pattern consumed before reaching depth: only end-of-string child or
+	// nothing can match — strings longer than the pattern cannot match an
+	// anchored pattern without '*'.
+	return child == 256 && depth >= pos
+}

@@ -1,0 +1,315 @@
+// Package spgist implements an extensible index framework for
+// space-partitioning trees, modelled on SP-GiST (Section 7.1 of the paper).
+// The framework manages the tree structure, insertion, matching and
+// nearest-neighbour traversal; pluggable operator classes (OpClass) supply
+// the partitioning logic. Three op-classes are provided, mirroring the
+// instantiations the paper lists: a character trie, a kd-tree and a point
+// quadtree.
+package spgist
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// Key is an indexed key. Op-classes define the concrete type they accept
+// (Point for the kd-tree and quadtree, string for the trie).
+type Key interface{}
+
+// Predicate is the partitioning predicate stored in an inner node (split
+// plane, centroid, prefix depth, ...). Its concrete type is op-class private.
+type Predicate interface{}
+
+// Query is a search predicate. The built-in queries are ExactQuery,
+// RangeQuery, PrefixQuery and RegexQuery; op-classes declare which they
+// support via Consistent/LeafConsistent.
+type Query interface{}
+
+// Point is a 2-D point key used by the kd-tree and quadtree op-classes.
+type Point struct {
+	X, Y float64
+}
+
+// ExactQuery matches keys equal to Key.
+type ExactQuery struct {
+	Key Key
+}
+
+// RangeQuery matches points inside the inclusive rectangle.
+type RangeQuery struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// PrefixQuery matches strings having the given prefix.
+type PrefixQuery struct {
+	Prefix string
+}
+
+// RegexQuery matches strings against a limited regular-expression syntax
+// supporting literals, '.', '*' on single characters, and anchors implied at
+// both ends (the operations highlighted in the paper's SP-GiST work).
+type RegexQuery struct {
+	Pattern string
+}
+
+// Item is a search result.
+type Item struct {
+	Key  Key
+	Data interface{}
+}
+
+// OpClass supplies the partitioning behaviour of one index type.
+type OpClass interface {
+	// Name identifies the op-class.
+	Name() string
+	// Choose returns the child index (0..fanout-1) the key descends into at an
+	// inner node with the given predicate.
+	Choose(pred Predicate, key Key) int
+	// PickSplit partitions overflowing leaf keys: it returns the new inner
+	// node's predicate, the fan-out, and for each key the child it moves to.
+	PickSplit(keys []Key) (pred Predicate, fanout int, assignment []int)
+	// Consistent reports whether child i of an inner node with the given
+	// predicate can contain keys matching q.
+	Consistent(pred Predicate, child int, q Query) bool
+	// LeafConsistent reports whether a leaf key matches q.
+	LeafConsistent(key Key, q Query) bool
+}
+
+// Distancer is implemented by op-classes that support nearest-neighbour
+// search over Point keys.
+type Distancer interface {
+	// LowerBound returns a lower bound on the distance from q to any key in
+	// child i of an inner node with the given predicate.
+	LowerBound(pred Predicate, child int, q Point) float64
+	// Distance returns the distance from q to a leaf key.
+	Distance(key Key, q Point) float64
+}
+
+// ErrKNNUnsupported is returned by KNN for op-classes without Distancer.
+var ErrKNNUnsupported = errors.New("spgist: op-class does not support nearest-neighbour search")
+
+// DefaultLeafCapacity is the number of keys a leaf holds before it is split.
+const DefaultLeafCapacity = 32
+
+type node struct {
+	leaf     bool
+	keys     []Key
+	datas    []interface{}
+	pred     Predicate
+	children []*node
+}
+
+// Tree is an SP-GiST index instance.
+type Tree struct {
+	ops      OpClass
+	root     *node
+	leafCap  int
+	size     int
+	reads    uint64 // node visits, simulated I/O
+	maxDepth int
+}
+
+// New creates an empty index using the given op-class.
+func New(ops OpClass) *Tree {
+	return &Tree{ops: ops, root: &node{leaf: true}, leafCap: DefaultLeafCapacity, maxDepth: 128}
+}
+
+// Len returns the number of indexed keys.
+func (t *Tree) Len() int { return t.size }
+
+// OpClassName returns the name of the op-class in use.
+func (t *Tree) OpClassName() string { return t.ops.Name() }
+
+// NodeReads returns the node visits performed so far (simulated I/O).
+func (t *Tree) NodeReads() uint64 { return t.reads }
+
+// ResetStats zeroes the node visit counter.
+func (t *Tree) ResetStats() { t.reads = 0 }
+
+// Insert adds a key with its payload.
+func (t *Tree) Insert(key Key, data interface{}) {
+	t.insert(t.root, key, data, 0)
+	t.size++
+}
+
+func (t *Tree) insert(n *node, key Key, data interface{}, depth int) {
+	t.reads++
+	if !n.leaf {
+		child := t.ops.Choose(n.pred, key)
+		if child < 0 || child >= len(n.children) {
+			child = 0
+		}
+		if n.children[child] == nil {
+			n.children[child] = &node{leaf: true}
+		}
+		t.insert(n.children[child], key, data, depth+1)
+		return
+	}
+	n.keys = append(n.keys, key)
+	n.datas = append(n.datas, data)
+	if len(n.keys) <= t.leafCap || depth >= t.maxDepth {
+		return
+	}
+	// Split the leaf using the op-class's PickSplit.
+	pred, fanout, assignment := t.ops.PickSplit(n.keys)
+	if fanout < 2 {
+		return
+	}
+	// Guard against degenerate splits that put every key in one child.
+	first := assignment[0]
+	allSame := true
+	for _, a := range assignment {
+		if a != first {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		return
+	}
+	children := make([]*node, fanout)
+	for i, k := range n.keys {
+		c := assignment[i]
+		if c < 0 || c >= fanout {
+			c = 0
+		}
+		if children[c] == nil {
+			children[c] = &node{leaf: true}
+		}
+		children[c].keys = append(children[c].keys, k)
+		children[c].datas = append(children[c].datas, n.datas[i])
+	}
+	n.leaf = false
+	n.keys = nil
+	n.datas = nil
+	n.pred = pred
+	n.children = children
+}
+
+// Search returns every item matching q.
+func (t *Tree) Search(q Query) []Item {
+	var out []Item
+	t.search(t.root, q, &out)
+	return out
+}
+
+func (t *Tree) search(n *node, q Query, out *[]Item) {
+	if n == nil {
+		return
+	}
+	t.reads++
+	if n.leaf {
+		for i, k := range n.keys {
+			if t.ops.LeafConsistent(k, q) {
+				*out = append(*out, Item{Key: k, Data: n.datas[i]})
+			}
+		}
+		return
+	}
+	for i, c := range n.children {
+		if c == nil {
+			continue
+		}
+		if t.ops.Consistent(n.pred, i, q) {
+			t.search(c, q, out)
+		}
+	}
+}
+
+// Exact returns items whose key equals key.
+func (t *Tree) Exact(key Key) []Item { return t.Search(ExactQuery{Key: key}) }
+
+// knnCandidate is an entry in the best-first priority queue.
+type knnCandidate struct {
+	node *node
+	item *Item
+	dist float64
+}
+
+type knnQueue []knnCandidate
+
+func (q knnQueue) Len() int            { return len(q) }
+func (q knnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q knnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue) Push(x interface{}) { *q = append(*q, x.(knnCandidate)) }
+func (q *knnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// KNN returns the k keys nearest to q using best-first traversal. The
+// op-class must implement Distancer.
+func (t *Tree) KNN(q Point, k int) ([]Item, error) {
+	d, ok := t.ops.(Distancer)
+	if !ok {
+		return nil, ErrKNNUnsupported
+	}
+	if k <= 0 || t.size == 0 {
+		return nil, nil
+	}
+	pq := &knnQueue{{node: t.root, dist: 0}}
+	heap.Init(pq)
+	var out []Item
+	for pq.Len() > 0 && len(out) < k {
+		cand := heap.Pop(pq).(knnCandidate)
+		if cand.item != nil {
+			out = append(out, *cand.item)
+			continue
+		}
+		n := cand.node
+		if n == nil {
+			continue
+		}
+		t.reads++
+		if n.leaf {
+			for i, key := range n.keys {
+				item := Item{Key: key, Data: n.datas[i]}
+				heap.Push(pq, knnCandidate{item: &item, dist: d.Distance(key, q)})
+			}
+			continue
+		}
+		for i, c := range n.children {
+			if c == nil {
+				continue
+			}
+			heap.Push(pq, knnCandidate{node: c, dist: d.LowerBound(n.pred, i, q)})
+		}
+	}
+	return out, nil
+}
+
+// Stats describes the structure of the tree, for tests and diagnostics.
+type Stats struct {
+	Nodes  int
+	Leaves int
+	Keys   int
+	Depth  int
+}
+
+// Stats computes structural statistics.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n == nil {
+			return
+		}
+		s.Nodes++
+		if depth > s.Depth {
+			s.Depth = depth
+		}
+		if n.leaf {
+			s.Leaves++
+			s.Keys += len(n.keys)
+			return
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 1)
+	return s
+}

@@ -1,0 +1,300 @@
+package spgist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"bdbms/internal/biogen"
+)
+
+func insertPoints(t *testing.T, tr *Tree, pts [][2]float64) {
+	t.Helper()
+	for i, p := range pts {
+		tr.Insert(Point{X: p[0], Y: p[1]}, i)
+	}
+}
+
+func testPointOpClass(t *testing.T, ops OpClass) {
+	t.Helper()
+	gen := biogen.New(3)
+	pts := gen.Points(2000, 1000)
+	tr := New(ops)
+	insertPoints(t, tr, pts)
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	st := tr.Stats()
+	if st.Keys != 2000 || st.Leaves == 0 || st.Depth < 2 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Exact search finds exactly the inserted point.
+	for i := 0; i < 50; i++ {
+		p := pts[i]
+		got := tr.Exact(Point{X: p[0], Y: p[1]})
+		found := false
+		for _, item := range got {
+			if item.Data == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("exact search lost point %d", i)
+		}
+	}
+	if got := tr.Exact(Point{X: -1, Y: -1}); len(got) != 0 {
+		t.Errorf("absent point found: %v", got)
+	}
+
+	// Range search matches brute force.
+	rng := rand.New(rand.NewSource(1))
+	for q := 0; q < 20; q++ {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		query := RangeQuery{MinX: x, MinY: y, MaxX: x + 100, MaxY: y + 100}
+		want := 0
+		for _, p := range pts {
+			if p[0] >= query.MinX && p[0] <= query.MaxX && p[1] >= query.MinY && p[1] <= query.MaxY {
+				want++
+			}
+		}
+		if got := len(tr.Search(query)); got != want {
+			t.Fatalf("%s range query %d: got %d, want %d", ops.Name(), q, got, want)
+		}
+	}
+
+	// KNN matches brute force.
+	for q := 0; q < 10; q++ {
+		qx, qy := rng.Float64()*1000, rng.Float64()*1000
+		got, err := tr.KNN(Point{X: qx, Y: qy}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 5 {
+			t.Fatalf("KNN returned %d items", len(got))
+		}
+		dists := make([]float64, len(pts))
+		for i, p := range pts {
+			dists[i] = math.Hypot(p[0]-qx, p[1]-qy)
+		}
+		sort.Float64s(dists)
+		for i, item := range got {
+			p := item.Key.(Point)
+			d := math.Hypot(p.X-qx, p.Y-qy)
+			if math.Abs(d-dists[i]) > 1e-9 {
+				t.Fatalf("%s KNN[%d] dist %f, brute force %f", ops.Name(), i, d, dists[i])
+			}
+		}
+	}
+	if got, err := tr.KNN(Point{}, 0); err != nil || got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if tr.NodeReads() == 0 {
+		t.Error("node reads not counted")
+	}
+	tr.ResetStats()
+	if tr.NodeReads() != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestKDTreeOpClass(t *testing.T)   { testPointOpClass(t, KDTreeOps{}) }
+func TestQuadtreeOpClass(t *testing.T) { testPointOpClass(t, QuadtreeOps{}) }
+
+func TestOpClassNames(t *testing.T) {
+	if (KDTreeOps{}).Name() != "kd-tree" || (QuadtreeOps{}).Name() != "point-quadtree" || (TrieOps{}).Name() != "trie" {
+		t.Error("op-class names wrong")
+	}
+	if New(TrieOps{}).OpClassName() != "trie" {
+		t.Error("OpClassName wrong")
+	}
+}
+
+func TestTrieExactAndPrefix(t *testing.T) {
+	gen := biogen.New(9)
+	words := gen.Keywords(3000, 12)
+	tr := New(TrieOps{})
+	for i, w := range words {
+		tr.Insert(w, i)
+	}
+	if tr.Len() != 3000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Exact match.
+	for i := 0; i < 100; i++ {
+		got := tr.Exact(words[i])
+		ok := false
+		for _, item := range got {
+			if item.Data == i {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("exact match lost %q", words[i])
+		}
+	}
+	if len(tr.Exact("notaword!")) != 0 {
+		t.Error("absent word found")
+	}
+	// Prefix match against brute force.
+	prefixes := []string{"MA", "AC", "GH", words[0][:2], words[1][:3], ""}
+	for _, p := range prefixes {
+		want := 0
+		for _, w := range words {
+			if strings.HasPrefix(w, p) {
+				want++
+			}
+		}
+		got := len(tr.Search(PrefixQuery{Prefix: p}))
+		if got != want {
+			t.Fatalf("prefix %q: got %d, want %d", p, got, want)
+		}
+	}
+	// KNN is unsupported on the trie.
+	if _, err := tr.KNN(Point{}, 3); err != ErrKNNUnsupported {
+		t.Errorf("trie KNN: %v", err)
+	}
+}
+
+func TestTrieDuplicateKeys(t *testing.T) {
+	tr := New(TrieOps{})
+	for i := 0; i < 100; i++ {
+		tr.Insert("SAMEKEY", i)
+	}
+	tr.Insert("OTHER", -1)
+	if got := len(tr.Exact("SAMEKEY")); got != 100 {
+		t.Errorf("duplicate key search = %d", got)
+	}
+}
+
+func TestMatchSimpleRegex(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"ABC", "ABC", true},
+		{"ABC", "ABCD", false},
+		{"A.C", "ABC", true},
+		{"A.C", "AXC", true},
+		{"A.C", "AC", false},
+		{"A*", "", true},
+		{"A*", "AAAA", true},
+		{"A*B", "B", true},
+		{"A*B", "AAB", true},
+		{"A*B", "AABA", false},
+		{".*", "anything", true},
+		{"H.*L", "HEEL", true},
+		{"H.*L", "HEEK", false},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := MatchSimpleRegex(c.pattern, c.s); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestTrieRegexSearch(t *testing.T) {
+	words := []string{"HELLO", "HELP", "HEAP", "HEEL", "WORLD", "HALLO", "HE"}
+	tr := New(TrieOps{})
+	for i, w := range words {
+		tr.Insert(w, i)
+	}
+	check := func(pattern string) {
+		t.Helper()
+		want := map[string]bool{}
+		for _, w := range words {
+			if MatchSimpleRegex(pattern, w) {
+				want[w] = true
+			}
+		}
+		got := tr.Search(RegexQuery{Pattern: pattern})
+		if len(got) != len(want) {
+			t.Fatalf("regex %q: got %d results, want %d", pattern, len(got), len(want))
+		}
+		for _, item := range got {
+			if !want[item.Key.(string)] {
+				t.Fatalf("regex %q: unexpected match %q", pattern, item.Key)
+			}
+		}
+	}
+	for _, p := range []string{"HE.*", "H.L*LO", "HE", ".*L.*", "HEL.", "W.*"} {
+		check(p)
+	}
+}
+
+func TestTrieRegexLargeAgainstBruteForce(t *testing.T) {
+	gen := biogen.New(21)
+	words := gen.Keywords(2000, 8)
+	tr := New(TrieOps{})
+	for i, w := range words {
+		tr.Insert(w, i)
+	}
+	patterns := []string{"A.*", "M.C.*", ".*K", "AC.*D", "..G.*"}
+	for _, p := range patterns {
+		want := 0
+		for _, w := range words {
+			if MatchSimpleRegex(p, w) {
+				want++
+			}
+		}
+		got := len(tr.Search(RegexQuery{Pattern: p}))
+		if got != want {
+			t.Fatalf("regex %q: got %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestDegenerateInsertions(t *testing.T) {
+	// Identical points must not cause infinite splitting.
+	tr := New(KDTreeOps{})
+	for i := 0; i < 500; i++ {
+		tr.Insert(Point{X: 1, Y: 1}, i)
+	}
+	if tr.Len() != 500 {
+		t.Fatal("lost keys")
+	}
+	if got := len(tr.Exact(Point{X: 1, Y: 1})); got != 500 {
+		t.Errorf("exact on duplicates = %d", got)
+	}
+	// Same for the quadtree.
+	qt := New(QuadtreeOps{})
+	for i := 0; i < 500; i++ {
+		qt.Insert(Point{X: 2, Y: 2}, i)
+	}
+	if got := len(qt.Exact(Point{X: 2, Y: 2})); got != 500 {
+		t.Errorf("quadtree exact on duplicates = %d", got)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	tr := New(KDTreeOps{})
+	gen := biogen.New(2)
+	for i, p := range gen.Points(5000, 100) {
+		tr.Insert(Point{X: p[0], Y: p[1]}, i)
+	}
+	st := tr.Stats()
+	if st.Keys != 5000 {
+		t.Errorf("keys = %d", st.Keys)
+	}
+	if st.Depth < 4 || st.Depth > 64 {
+		t.Errorf("depth = %d", st.Depth)
+	}
+	if st.Nodes <= st.Leaves {
+		t.Errorf("nodes %d, leaves %d", st.Nodes, st.Leaves)
+	}
+}
+
+func TestExactQueryStringFormatting(t *testing.T) {
+	// Guard against accidental fmt.Stringer interference in Item keys.
+	tr := New(TrieOps{})
+	tr.Insert("ABC", 1)
+	items := tr.Search(ExactQuery{Key: "ABC"})
+	if len(items) != 1 || fmt.Sprintf("%v", items[0].Key) != "ABC" {
+		t.Errorf("items = %v", items)
+	}
+}

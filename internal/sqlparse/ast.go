@@ -1,0 +1,271 @@
+package sqlparse
+
+import "bdbms/internal/value"
+
+// Statement is any parsed A-SQL statement.
+type Statement interface{ stmt() }
+
+// --- expressions -----------------------------------------------------------------
+
+// Expr is a scalar or boolean expression.
+type Expr interface{ expr() }
+
+// ColumnExpr references a column, optionally qualified with a table name.
+// Annotation pseudo-columns use Table == "ANN" (e.g. ANN.VALUE, ANN.TABLE,
+// ANN.AUTHOR) inside AWHERE / AHAVING / FILTER conditions.
+type ColumnExpr struct {
+	Table  string
+	Column string
+}
+
+// LiteralExpr is a constant value.
+type LiteralExpr struct {
+	Value value.Value
+}
+
+// BinaryExpr is a binary operation: comparisons, AND, OR, LIKE, arithmetic.
+type BinaryExpr struct {
+	Op    string // =, <>, <, <=, >, >=, AND, OR, LIKE, +, -, *, /
+	Left  Expr
+	Right Expr
+}
+
+// UnaryExpr is NOT <expr> or - <expr>.
+type UnaryExpr struct {
+	Op   string // NOT, -
+	Expr Expr
+}
+
+// IsNullExpr is <expr> IS [NOT] NULL.
+type IsNullExpr struct {
+	Expr   Expr
+	Negate bool
+}
+
+// AggregateExpr is COUNT/SUM/AVG/MIN/MAX over a column (or * for COUNT).
+type AggregateExpr struct {
+	Func   string // COUNT, SUM, AVG, MIN, MAX
+	Column *ColumnExpr
+	Star   bool
+}
+
+func (*ColumnExpr) expr()    {}
+func (*LiteralExpr) expr()   {}
+func (*BinaryExpr) expr()    {}
+func (*UnaryExpr) expr()     {}
+func (*IsNullExpr) expr()    {}
+func (*AggregateExpr) expr() {}
+
+// --- SELECT ---------------------------------------------------------------------
+
+// SelectItem is one projection item, optionally with a PROMOTE list (the
+// A-SQL operator that copies annotations from other columns onto this one).
+type SelectItem struct {
+	// Star selects every column of every FROM table.
+	Star bool
+	// Expr is the projected expression (nil when Star).
+	Expr Expr
+	// Alias renames the output column.
+	Alias string
+	// Promote lists columns whose annotations are copied onto this item.
+	Promote []ColumnExpr
+}
+
+// TableRef is one FROM entry with its optional ANNOTATION clause and alias.
+type TableRef struct {
+	Table string
+	Alias string
+	// Annotations lists the annotation tables to propagate from this table
+	// (the A-SQL ANNOTATION(S1, S2, ...) operator). Empty means none;
+	// a single entry "*" means all annotation tables.
+	Annotations []string
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SetOp combines two SELECTs.
+type SetOp string
+
+// Set operations.
+const (
+	SetNone      SetOp = ""
+	SetUnion     SetOp = "UNION"
+	SetIntersect SetOp = "INTERSECT"
+	SetExcept    SetOp = "EXCEPT"
+)
+
+// SelectStmt is the A-SQL SELECT of Figure 7.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	// AWhere filters tuples by a condition over their annotations.
+	AWhere  Expr
+	GroupBy []ColumnExpr
+	Having  Expr
+	// AHaving filters groups by a condition over their annotations.
+	AHaving Expr
+	// Filter drops annotations (not tuples) that fail the condition.
+	Filter  Expr
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+	// Compound set operation with another SELECT.
+	SetOp    SetOp
+	SetRight *SelectStmt
+}
+
+func (*SelectStmt) stmt() {}
+
+// --- DML ------------------------------------------------------------------------
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// UpdateStmt is UPDATE t SET col = expr, ... [WHERE cond].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE cond].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*InsertStmt) stmt() {}
+func (*UpdateStmt) stmt() {}
+func (*DeleteStmt) stmt() {}
+
+// --- DDL ------------------------------------------------------------------------
+
+// ColumnDef is one column definition in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       value.Type
+	NotNull    bool
+	PrimaryKey bool
+}
+
+// CreateTableStmt is CREATE TABLE t (col TYPE ..., ...).
+type CreateTableStmt struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+// DropTableStmt is DROP TABLE t.
+type DropTableStmt struct {
+	Table string
+}
+
+// CreateIndexStmt is CREATE INDEX ON t (col).
+type CreateIndexStmt struct {
+	Table  string
+	Column string
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*CreateIndexStmt) stmt() {}
+
+// --- annotation commands (Figures 4 and 6) -----------------------------------------
+
+// CreateAnnotationTableStmt is CREATE ANNOTATION TABLE ann ON user [CATEGORY 'c'].
+type CreateAnnotationTableStmt struct {
+	Name      string
+	UserTable string
+	Category  string
+}
+
+// DropAnnotationTableStmt is DROP ANNOTATION TABLE ann ON user.
+type DropAnnotationTableStmt struct {
+	Name      string
+	UserTable string
+}
+
+// AddAnnotationStmt is ADD ANNOTATION TO t.ann [, t.ann2] VALUE 'body' ON (SELECT ...).
+type AddAnnotationStmt struct {
+	// Targets name the annotation tables (qualified as UserTable.AnnTable).
+	Targets []AnnotationTarget
+	Body    string
+	// On selects the data the annotation attaches to.
+	On *SelectStmt
+}
+
+// AnnotationTarget is a qualified annotation table name.
+type AnnotationTarget struct {
+	UserTable string
+	AnnTable  string
+}
+
+// ArchiveAnnotationStmt is ARCHIVE ANNOTATION FROM t.ann [BETWEEN 't1' AND 't2'] ON (SELECT ...).
+type ArchiveAnnotationStmt struct {
+	Targets []AnnotationTarget
+	From    string // RFC3339 or "2006-01-02 15:04:05" timestamps; "" = unbounded
+	To      string
+	On      *SelectStmt
+	// Restore flips the command to RESTORE ANNOTATION.
+	Restore bool
+}
+
+func (*CreateAnnotationTableStmt) stmt() {}
+func (*DropAnnotationTableStmt) stmt()   {}
+func (*AddAnnotationStmt) stmt()         {}
+func (*ArchiveAnnotationStmt) stmt()     {}
+
+// --- authorization commands (Figure 11) ---------------------------------------------
+
+// StartContentApprovalStmt is START CONTENT APPROVAL ON t [COLUMNS (c1, c2)] APPROVED BY user.
+type StartContentApprovalStmt struct {
+	Table    string
+	Columns  []string
+	Approver string
+}
+
+// StopContentApprovalStmt is STOP CONTENT APPROVAL ON t [COLUMNS (c1, c2)].
+type StopContentApprovalStmt struct {
+	Table   string
+	Columns []string
+}
+
+// GrantStmt is GRANT priv[, priv] ON t TO principal.
+type GrantStmt struct {
+	Privileges []string
+	Table      string
+	Principal  string
+	// Revoke flips the command to REVOKE ... FROM principal.
+	Revoke bool
+}
+
+// ApproveStmt is APPROVE OPERATION n  /  DISAPPROVE OPERATION n.
+type ApproveStmt struct {
+	OpID       int64
+	Disapprove bool
+}
+
+// ShowPendingStmt is SHOW PENDING OPERATIONS [FOR t].
+type ShowPendingStmt struct {
+	Table string
+}
+
+func (*StartContentApprovalStmt) stmt() {}
+func (*StopContentApprovalStmt) stmt()  {}
+func (*GrantStmt) stmt()                {}
+func (*ApproveStmt) stmt()              {}
+func (*ShowPendingStmt) stmt()          {}

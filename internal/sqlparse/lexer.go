@@ -1,0 +1,188 @@
+// Package sqlparse implements the lexer, AST and recursive-descent parser for
+// A-SQL, bdbms's extension of SQL (Sections 3 and 6 of the paper). On top of
+// a conventional SQL subset it supports the annotation DDL and DML commands
+// (CREATE/DROP ANNOTATION TABLE, ADD/ARCHIVE/RESTORE ANNOTATION), the
+// annotation-aware SELECT operators (ANNOTATION, PROMOTE, AWHERE, AHAVING,
+// FILTER) and the content-based approval commands (START/STOP CONTENT
+// APPROVAL).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokenEOF TokenKind = iota
+	TokenIdent
+	TokenKeyword
+	TokenNumber
+	TokenString
+	TokenSymbol
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// keywords recognised by the lexer (upper case).
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true, "GROUP": true,
+	"BY": true, "HAVING": true, "ORDER": true, "LIMIT": true, "AS": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "DROP": true, "TABLE": true, "INDEX": true,
+	"PRIMARY": true, "KEY": true, "NOT": true, "NULL": true, "AND": true,
+	"OR": true, "LIKE": true, "IN": true, "BETWEEN": true, "IS": true,
+	"INTERSECT": true, "UNION": true, "EXCEPT": true, "ALL": true,
+	"ANNOTATION": true, "ADD": true, "TO": true, "VALUE": true, "ON": true,
+	"ARCHIVE": true, "RESTORE": true, "PROMOTE": true, "AWHERE": true,
+	"AHAVING": true, "FILTER": true, "START": true, "STOP": true, "CONTENT": true,
+	"APPROVAL": true, "COLUMNS": true, "APPROVED": true, "GRANT": true,
+	"REVOKE": true, "ASC": true, "DESC": true, "COUNT": true, "SUM": true,
+	"AVG": true, "MIN": true, "MAX": true, "TRUE": true, "FALSE": true,
+	"CATEGORY": true, "APPROVE": true, "DISAPPROVE": true, "OPERATION": true,
+	"PENDING": true, "SHOW": true, "OPERATIONS": true, "FOR": true,
+}
+
+// Lexer splits an A-SQL statement into tokens.
+type Lexer struct {
+	input string
+	pos   int
+}
+
+// NewLexer returns a lexer over input.
+func NewLexer(input string) *Lexer { return &Lexer{input: input} }
+
+// Tokenize returns all tokens of the input, ending with an EOF token.
+func Tokenize(input string) ([]Token, error) {
+	lx := NewLexer(input)
+	var out []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokenEOF {
+			return out, nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	if lx.pos >= len(lx.input) {
+		return Token{Kind: TokenEOF, Pos: lx.pos}, nil
+	}
+	start := lx.pos
+	ch := lx.input[lx.pos]
+	switch {
+	case ch == '\'':
+		return lx.lexString()
+	case unicode.IsDigit(rune(ch)) || (ch == '.' && lx.pos+1 < len(lx.input) && unicode.IsDigit(rune(lx.input[lx.pos+1]))):
+		return lx.lexNumber()
+	case isIdentStart(ch):
+		return lx.lexIdent()
+	default:
+		// Multi-character symbols first.
+		for _, sym := range []string{"<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*", "+", "-", "/", ";"} {
+			if strings.HasPrefix(lx.input[lx.pos:], sym) {
+				lx.pos += len(sym)
+				return Token{Kind: TokenSymbol, Text: sym, Pos: start}, nil
+			}
+		}
+		return Token{}, fmt.Errorf("sqlparse: unexpected character %q at position %d", ch, lx.pos)
+	}
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.input) {
+		ch := lx.input[lx.pos]
+		if ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' {
+			lx.pos++
+			continue
+		}
+		if ch == '-' && lx.pos+1 < len(lx.input) && lx.input[lx.pos+1] == '-' {
+			for lx.pos < len(lx.input) && lx.input[lx.pos] != '\n' {
+				lx.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || unicode.IsLetter(rune(ch))
+}
+
+func isIdentPart(ch byte) bool {
+	return ch == '_' || unicode.IsLetter(rune(ch)) || unicode.IsDigit(rune(ch))
+}
+
+func (lx *Lexer) lexIdent() (Token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.input) && isIdentPart(lx.input[lx.pos]) {
+		lx.pos++
+	}
+	text := lx.input[start:lx.pos]
+	if keywords[strings.ToUpper(text)] {
+		return Token{Kind: TokenKeyword, Text: strings.ToUpper(text), Pos: start}, nil
+	}
+	return Token{Kind: TokenIdent, Text: text, Pos: start}, nil
+}
+
+func (lx *Lexer) lexNumber() (Token, error) {
+	start := lx.pos
+	seenDot := false
+	for lx.pos < len(lx.input) {
+		ch := lx.input[lx.pos]
+		if unicode.IsDigit(rune(ch)) {
+			lx.pos++
+			continue
+		}
+		if ch == '.' && !seenDot {
+			seenDot = true
+			lx.pos++
+			continue
+		}
+		if ch == 'e' || ch == 'E' {
+			if lx.pos+1 < len(lx.input) && (unicode.IsDigit(rune(lx.input[lx.pos+1])) || lx.input[lx.pos+1] == '-') {
+				lx.pos += 2
+				continue
+			}
+		}
+		break
+	}
+	return Token{Kind: TokenNumber, Text: lx.input[start:lx.pos], Pos: start}, nil
+}
+
+func (lx *Lexer) lexString() (Token, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.input) {
+		ch := lx.input[lx.pos]
+		if ch == '\'' {
+			if lx.pos+1 < len(lx.input) && lx.input[lx.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return Token{Kind: TokenString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(ch)
+		lx.pos++
+	}
+	return Token{}, fmt.Errorf("sqlparse: unterminated string starting at position %d", start)
+}

@@ -1,0 +1,1116 @@
+package sqlparse
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bdbms/internal/value"
+)
+
+// ErrSyntax is wrapped by all parse errors.
+var ErrSyntax = errors.New("sqlparse: syntax error")
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a single A-SQL statement (a trailing semicolon is allowed).
+func Parse(input string) (Statement, error) {
+	stmts, err := ParseAll(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("%w: empty statement", ErrSyntax)
+	}
+	if len(stmts) > 1 {
+		return nil, fmt.Errorf("%w: expected a single statement, got %d", ErrSyntax, len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated sequence of statements.
+func ParseAll(input string) ([]Statement, error) {
+	toks, err := Tokenize(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	var out []Statement
+	for {
+		for p.matchSymbol(";") {
+		}
+		if p.peek().Kind == TokenEOF {
+			return out, nil
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+		if !p.matchSymbol(";") && p.peek().Kind != TokenEOF {
+			return nil, p.errorf("expected ';' or end of input, found %q", p.peek().Text)
+		}
+	}
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokenEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s (near position %d)", ErrSyntax, fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+func (p *Parser) matchKeyword(kw string) bool {
+	if p.peek().Kind == TokenKeyword && p.peek().Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) peekKeyword(kw string) bool {
+	return p.peek().Kind == TokenKeyword && p.peek().Text == kw
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.matchKeyword(kw) {
+		return p.errorf("expected %s, found %q", kw, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *Parser) matchSymbol(sym string) bool {
+	if p.peek().Kind == TokenSymbol && p.peek().Text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSymbol(sym string) error {
+	if !p.matchSymbol(sym) {
+		return p.errorf("expected %q, found %q", sym, p.peek().Text)
+	}
+	return nil
+}
+
+// expectIdent consumes an identifier (keywords that double as names, like
+// VALUE or KEY, are accepted too).
+func (p *Parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.Kind == TokenIdent || t.Kind == TokenKeyword {
+		p.next()
+		return t.Text, nil
+	}
+	return "", p.errorf("expected identifier, found %q", t.Text)
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.Kind != TokenKeyword {
+		return nil, p.errorf("expected a statement keyword, found %q", t.Text)
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "ADD":
+		return p.parseAddAnnotation()
+	case "ARCHIVE", "RESTORE":
+		return p.parseArchiveRestore()
+	case "START":
+		return p.parseStartApproval()
+	case "STOP":
+		return p.parseStopApproval()
+	case "GRANT", "REVOKE":
+		return p.parseGrantRevoke()
+	case "APPROVE", "DISAPPROVE":
+		return p.parseApprove()
+	case "SHOW":
+		return p.parseShow()
+	default:
+		return nil, p.errorf("unsupported statement %q", t.Text)
+	}
+}
+
+// --- SELECT ---------------------------------------------------------------------
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.matchKeyword("DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, *item)
+		if !p.matchSymbol(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, *ref)
+		if !p.matchSymbol(",") {
+			break
+		}
+	}
+
+	var err error
+	if p.matchKeyword("WHERE") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.matchKeyword("AWHERE") {
+		if stmt.AWhere, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.matchKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, *col)
+			if !p.matchSymbol(",") {
+				break
+			}
+		}
+		if p.matchKeyword("HAVING") {
+			if stmt.Having, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if p.matchKeyword("AHAVING") {
+			if stmt.AHaving, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.matchKeyword("FILTER") {
+		if stmt.Filter, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.matchKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.matchKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.matchKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.matchSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.matchKeyword("LIMIT") {
+		t := p.next()
+		if t.Kind != TokenNumber {
+			return nil, p.errorf("expected a number after LIMIT, found %q", t.Text)
+		}
+		n, convErr := strconv.Atoi(t.Text)
+		if convErr != nil {
+			return nil, p.errorf("bad LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+
+	for _, op := range []SetOp{SetUnion, SetIntersect, SetExcept} {
+		if p.peekKeyword(string(op)) {
+			p.next()
+			p.matchKeyword("ALL")
+			right, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			stmt.SetOp = op
+			stmt.SetRight = right
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSelectItem() (*SelectItem, error) {
+	if p.matchSymbol("*") {
+		return &SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	item := &SelectItem{Expr: e}
+	if p.matchKeyword("PROMOTE") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item.Promote = append(item.Promote, *col)
+			if !p.matchSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.matchKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		item.Alias = alias
+	} else if p.peek().Kind == TokenIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRef() (*TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ref := &TableRef{Table: name}
+	if p.matchKeyword("ANNOTATION") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if p.matchSymbol("*") {
+			ref.Annotations = []string{"*"}
+		} else {
+			for {
+				ann, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				ref.Annotations = append(ref.Annotations, ann)
+				if !p.matchSymbol(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.matchKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref.Alias = alias
+	} else if p.peek().Kind == TokenIdent {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+func (p *Parser) parseColumnRef() (*ColumnExpr, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	col := &ColumnExpr{Column: first}
+	if p.matchSymbol(".") {
+		second, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		col.Table = first
+		col.Column = second
+	}
+	return col, nil
+}
+
+// --- expressions -------------------------------------------------------------------
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.matchKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Expr: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.matchKeyword("IS") {
+		negate := p.matchKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Expr: left, Negate: negate}, nil
+	}
+	if p.matchKeyword("LIKE") {
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "LIKE", Left: left, Right: right}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.peek().Kind == TokenSymbol && p.peek().Text == op {
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			norm := op
+			if norm == "!=" {
+				norm = "<>"
+			}
+			return &BinaryExpr{Op: norm, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.matchSymbol("+"):
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "+", Left: left, Right: right}
+		case p.matchSymbol("-"):
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "-", Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.matchSymbol("*"):
+			right, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "*", Left: left, Right: right}
+		case p.matchSymbol("/"):
+			right, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "/", Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokenNumber:
+		p.next()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &LiteralExpr{Value: value.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return &LiteralExpr{Value: value.NewInt(n)}, nil
+	case t.Kind == TokenString:
+		p.next()
+		return &LiteralExpr{Value: value.NewText(t.Text)}, nil
+	case t.Kind == TokenSymbol && t.Text == "(":
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.Kind == TokenSymbol && t.Text == "-":
+		p.next()
+		inner, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", Expr: inner}, nil
+	case t.Kind == TokenKeyword && (t.Text == "COUNT" || t.Text == "SUM" || t.Text == "AVG" || t.Text == "MIN" || t.Text == "MAX"):
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		agg := &AggregateExpr{Func: t.Text}
+		if p.matchSymbol("*") {
+			agg.Star = true
+		} else {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			agg.Column = col
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	case t.Kind == TokenKeyword && t.Text == "NULL":
+		p.next()
+		return &LiteralExpr{Value: value.NewNull()}, nil
+	case t.Kind == TokenKeyword && t.Text == "TRUE":
+		p.next()
+		return &LiteralExpr{Value: value.NewBool(true)}, nil
+	case t.Kind == TokenKeyword && t.Text == "FALSE":
+		p.next()
+		return &LiteralExpr{Value: value.NewBool(false)}, nil
+	case t.Kind == TokenIdent || (t.Kind == TokenKeyword && t.Text == "ANNOTATION") || (t.Kind == TokenKeyword && t.Text == "VALUE"):
+		return p.parseColumnRef()
+	default:
+		return nil, p.errorf("unexpected token %q in expression", t.Text)
+	}
+}
+
+// --- DML ------------------------------------------------------------------------
+
+func (p *Parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: table}
+	if p.matchSymbol("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if !p.matchSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.matchSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.matchSymbol(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: table}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, SetClause{Column: col, Value: e})
+		if !p.matchSymbol(",") {
+			break
+		}
+	}
+	if p.matchKeyword("WHERE") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: table}
+	if p.matchKeyword("WHERE") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+// --- DDL ------------------------------------------------------------------------
+
+func (p *Parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.matchKeyword("TABLE"):
+		return p.parseCreateTable()
+	case p.matchKeyword("ANNOTATION"):
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateAnnotationTable()
+	case p.matchKeyword("INDEX"):
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndexStmt{Table: table, Column: col}, nil
+	default:
+		return nil, p.errorf("expected TABLE, ANNOTATION TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *Parser) parseCreateTable() (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Table: name}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		colName, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := value.ParseType(typeName)
+		if err != nil {
+			return nil, p.errorf("unknown type %q", typeName)
+		}
+		def := ColumnDef{Name: colName, Type: typ}
+		for {
+			if p.matchKeyword("NOT") {
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+				def.NotNull = true
+				continue
+			}
+			if p.matchKeyword("PRIMARY") {
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				def.PrimaryKey = true
+				def.NotNull = true
+				continue
+			}
+			break
+		}
+		stmt.Columns = append(stmt.Columns, def)
+		if !p.matchSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseCreateAnnotationTable() (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	userTable, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateAnnotationTableStmt{Name: name, UserTable: userTable}
+	if p.matchKeyword("CATEGORY") {
+		t := p.next()
+		if t.Kind != TokenString && t.Kind != TokenIdent {
+			return nil, p.errorf("expected a category after CATEGORY")
+		}
+		stmt.Category = t.Text
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.matchKeyword("TABLE"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Table: name}, nil
+	case p.matchKeyword("ANNOTATION"):
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		userTable, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropAnnotationTableStmt{Name: name, UserTable: userTable}, nil
+	default:
+		return nil, p.errorf("expected TABLE or ANNOTATION TABLE after DROP")
+	}
+}
+
+// --- annotation commands -------------------------------------------------------------
+
+func (p *Parser) parseAnnotationTargets() ([]AnnotationTarget, error) {
+	var out []AnnotationTarget
+	for {
+		userTable, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("."); err != nil {
+			return nil, err
+		}
+		annTable, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AnnotationTarget{UserTable: userTable, AnnTable: annTable})
+		if !p.matchSymbol(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *Parser) parseParenSelect() (*SelectStmt, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseAddAnnotation() (Statement, error) {
+	if err := p.expectKeyword("ADD"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ANNOTATION"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TO"); err != nil {
+		return nil, err
+	}
+	targets, err := p.parseAnnotationTargets()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUE"); err != nil {
+		return nil, err
+	}
+	body := p.next()
+	if body.Kind != TokenString {
+		return nil, p.errorf("expected a string annotation body, found %q", body.Text)
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseParenSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &AddAnnotationStmt{Targets: targets, Body: body.Text, On: sel}, nil
+}
+
+func (p *Parser) parseArchiveRestore() (Statement, error) {
+	restore := false
+	if p.matchKeyword("RESTORE") {
+		restore = true
+	} else if err := p.expectKeyword("ARCHIVE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ANNOTATION"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	targets, err := p.parseAnnotationTargets()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &ArchiveAnnotationStmt{Targets: targets, Restore: restore}
+	if p.matchKeyword("BETWEEN") {
+		from := p.next()
+		if from.Kind != TokenString {
+			return nil, p.errorf("expected a timestamp string after BETWEEN")
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		to := p.next()
+		if to.Kind != TokenString {
+			return nil, p.errorf("expected a timestamp string after AND")
+		}
+		stmt.From, stmt.To = from.Text, to.Text
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	if stmt.On, err = p.parseParenSelect(); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// --- authorization commands -----------------------------------------------------------
+
+func (p *Parser) parseColumnsClause() ([]string, error) {
+	if !p.matchKeyword("COLUMNS") {
+		return nil, nil
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if !p.matchSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *Parser) parseStartApproval() (Statement, error) {
+	if err := p.expectKeyword("START"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("CONTENT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("APPROVAL"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parseColumnsClause()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("APPROVED"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	approver, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &StartContentApprovalStmt{Table: table, Columns: cols, Approver: approver}, nil
+}
+
+func (p *Parser) parseStopApproval() (Statement, error) {
+	if err := p.expectKeyword("STOP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("CONTENT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("APPROVAL"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parseColumnsClause()
+	if err != nil {
+		return nil, err
+	}
+	return &StopContentApprovalStmt{Table: table, Columns: cols}, nil
+}
+
+func (p *Parser) parseGrantRevoke() (Statement, error) {
+	revoke := false
+	if p.matchKeyword("REVOKE") {
+		revoke = true
+	} else if err := p.expectKeyword("GRANT"); err != nil {
+		return nil, err
+	}
+	stmt := &GrantStmt{Revoke: revoke}
+	for {
+		t := p.next()
+		if t.Kind != TokenKeyword && t.Kind != TokenIdent {
+			return nil, p.errorf("expected a privilege, found %q", t.Text)
+		}
+		stmt.Privileges = append(stmt.Privileges, strings.ToUpper(t.Text))
+		if !p.matchSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = table
+	if revoke {
+		if err := p.expectKeyword("FROM"); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+	}
+	principal, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Principal = principal
+	return stmt, nil
+}
+
+func (p *Parser) parseApprove() (Statement, error) {
+	disapprove := false
+	if p.matchKeyword("DISAPPROVE") {
+		disapprove = true
+	} else if err := p.expectKeyword("APPROVE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("OPERATION"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.Kind != TokenNumber {
+		return nil, p.errorf("expected an operation id, found %q", t.Text)
+	}
+	id, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return nil, p.errorf("bad operation id %q", t.Text)
+	}
+	return &ApproveStmt{OpID: id, Disapprove: disapprove}, nil
+}
+
+func (p *Parser) parseShow() (Statement, error) {
+	if err := p.expectKeyword("SHOW"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("PENDING"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("OPERATIONS"); err != nil {
+		return nil, err
+	}
+	stmt := &ShowPendingStmt{}
+	if p.matchKeyword("FOR") {
+		table, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Table = table
+	}
+	return stmt, nil
+}

@@ -1,0 +1,529 @@
+// Package storage ties the low-level substrates (pager, buffer pool, heap
+// files, B+-tree indexes, WAL, catalog) into the relational engine bdbms is
+// built on. It plays the role PostgreSQL played for the paper's prototype:
+// tables addressed by name, rows addressed by a stable RowID, secondary
+// indexes, and full scans feeding the A-SQL executor.
+//
+// RowIDs are monotonically increasing 64-bit integers assigned at insert
+// time. They are the Y axis of the rectangle-based annotation scheme
+// (Figure 5) and the row coordinate of the dependency manager's outdated
+// bitmaps (Figure 10), so they are exposed throughout the public API.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"bdbms/internal/btree"
+	"bdbms/internal/buffer"
+	"bdbms/internal/catalog"
+	"bdbms/internal/heap"
+	"bdbms/internal/pager"
+	"bdbms/internal/value"
+	"bdbms/internal/wal"
+)
+
+// Errors returned by the storage engine.
+var (
+	// ErrRowNotFound is returned when a RowID does not reference a live row.
+	ErrRowNotFound = errors.New("storage: row not found")
+	// ErrDuplicateKey is returned when inserting a duplicate primary key.
+	ErrDuplicateKey = errors.New("storage: duplicate primary key")
+	// ErrNoIndex is returned by index lookups on unindexed columns.
+	ErrNoIndex = errors.New("storage: column is not indexed")
+)
+
+// Config controls engine construction.
+type Config struct {
+	// Pager is the backing page store; nil means a fresh in-memory pager.
+	Pager pager.Pager
+	// PoolSize is the buffer pool capacity in pages; <= 0 means 256.
+	PoolSize int
+	// Catalog is an existing catalog to adopt; nil means a fresh one.
+	Catalog *catalog.Catalog
+	// Log is the write-ahead log; nil means a fresh in-memory log.
+	Log *wal.Log
+}
+
+// Engine is the storage engine: a set of named tables over one pager.
+type Engine struct {
+	mu     sync.RWMutex
+	pgr    pager.Pager
+	pool   *buffer.Pool
+	cat    *catalog.Catalog
+	log    *wal.Log
+	tables map[string]*Table
+}
+
+// NewEngine builds an engine from cfg.
+func NewEngine(cfg Config) *Engine {
+	pgr := cfg.Pager
+	if pgr == nil {
+		pgr = pager.NewMem()
+	}
+	poolSize := cfg.PoolSize
+	if poolSize <= 0 {
+		poolSize = 256
+	}
+	cat := cfg.Catalog
+	if cat == nil {
+		cat = catalog.New()
+	}
+	log := cfg.Log
+	if log == nil {
+		log = wal.NewMemory()
+	}
+	return &Engine{
+		pgr:    pgr,
+		pool:   buffer.New(pgr, poolSize),
+		cat:    cat,
+		log:    log,
+		tables: make(map[string]*Table),
+	}
+}
+
+// NewMemoryEngine returns an engine over a fresh in-memory pager with default
+// settings; the constructor used by tests, examples and benchmarks.
+func NewMemoryEngine() *Engine { return NewEngine(Config{}) }
+
+// Catalog returns the engine's schema catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// WAL returns the engine's write-ahead log.
+func (e *Engine) WAL() *wal.Log { return e.log }
+
+// PagerStats returns the physical I/O counters of the backing pager.
+func (e *Engine) PagerStats() pager.Stats { return e.pgr.Stats() }
+
+// ResetPagerStats zeroes the physical I/O counters.
+func (e *Engine) ResetPagerStats() { e.pgr.ResetStats() }
+
+// BufferStats returns the buffer pool counters.
+func (e *Engine) BufferStats() buffer.Stats { return e.pool.Stats() }
+
+// CreateTable registers schema in the catalog and creates its heap storage.
+// When the schema has a primary key, a unique index on it is created
+// automatically.
+func (e *Engine) CreateTable(schema *catalog.Schema) (*Table, error) {
+	if err := e.cat.CreateTable(schema); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		engine:   e,
+		schema:   schema,
+		file:     heap.New(e.pool),
+		rowIndex: make(map[int64]heap.RID),
+		indexes:  make(map[string]*btree.Tree),
+		nextRow:  1,
+	}
+	if schema.PrimaryKey != "" {
+		t.indexes[strings.ToLower(schema.PrimaryKey)] = btree.New(btree.DefaultOrder)
+	}
+	e.mu.Lock()
+	e.tables[strings.ToLower(schema.Name)] = t
+	e.mu.Unlock()
+	return t, nil
+}
+
+// DropTable removes a table, its heap data reference and its indexes.
+func (e *Engine) DropTable(name string) error {
+	if err := e.cat.DropTable(name); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.tables, strings.ToLower(name))
+	e.mu.Unlock()
+	return nil
+}
+
+// Table returns the named table.
+func (e *Engine) Table(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", catalog.ErrTableNotFound, name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the named table exists.
+func (e *Engine) HasTable(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Tables returns all tables sorted by name.
+func (e *Engine) Tables() []*Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i].schema.Name) < strings.ToLower(out[j].schema.Name)
+	})
+	return out
+}
+
+// FlushAll writes all dirty buffered pages back to the pager.
+func (e *Engine) FlushAll() error { return e.pool.FlushAll() }
+
+// Table is one relational table: a heap file of encoded rows plus optional
+// B+-tree secondary indexes.
+type Table struct {
+	engine   *Engine
+	mu       sync.RWMutex
+	schema   *catalog.Schema
+	file     *heap.File
+	rowIndex map[int64]heap.RID
+	indexes  map[string]*btree.Tree
+	nextRow  int64
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *catalog.Schema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rowIndex)
+}
+
+// NextRowID returns the RowID the next insert will receive. Used by the
+// annotation manager to translate "annotate the whole column" into a
+// half-open rectangle.
+func (t *Table) NextRowID() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nextRow
+}
+
+// encodeStored prefixes the row with its RowID so heap records are
+// self-describing.
+func encodeStored(rowID int64, row value.Row) []byte {
+	full := make(value.Row, 0, len(row)+1)
+	full = append(full, value.NewInt(rowID))
+	full = append(full, row...)
+	return value.EncodeRow(full)
+}
+
+func decodeStored(rec []byte) (int64, value.Row, error) {
+	full, err := value.DecodeRow(rec)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(full) == 0 || full[0].Type() != value.Int {
+		return 0, nil, fmt.Errorf("storage: malformed stored row")
+	}
+	return full[0].Int(), full[1:], nil
+}
+
+func rowIDBytes(rowID int64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(rowID))
+	return buf[:]
+}
+
+func rowIDFromBytes(b []byte) int64 {
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+// Insert validates, coerces and stores a row, returning its RowID.
+func (t *Table) Insert(row value.Row) (int64, error) {
+	coerced, err := t.schema.CoerceRow(row)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.schema.PrimaryKey != "" {
+		pkIdx := t.schema.ColumnIndex(t.schema.PrimaryKey)
+		pkTree := t.indexes[strings.ToLower(t.schema.PrimaryKey)]
+		if pkTree != nil && !coerced[pkIdx].IsNull() {
+			key := coerced[pkIdx].EncodeKey(nil)
+			if pkTree.Contains(key) {
+				return 0, fmt.Errorf("%w: %s = %s", ErrDuplicateKey, t.schema.PrimaryKey, coerced[pkIdx])
+			}
+		}
+	}
+	rowID := t.nextRow
+	rid, err := t.file.Insert(encodeStored(rowID, coerced))
+	if err != nil {
+		return 0, err
+	}
+	t.nextRow++
+	t.rowIndex[rowID] = rid
+	for col, tree := range t.indexes {
+		idx := t.schema.ColumnIndex(col)
+		if idx < 0 || coerced[idx].IsNull() {
+			continue
+		}
+		tree.Insert(coerced[idx].EncodeKey(nil), rowIDBytes(rowID))
+	}
+	if _, err := t.engine.log.Append(wal.KindInsert, t.schema.Name, encodeStored(rowID, coerced)); err != nil {
+		return 0, err
+	}
+	return rowID, nil
+}
+
+// Get returns the row with the given RowID.
+func (t *Table) Get(rowID int64) (value.Row, error) {
+	t.mu.RLock()
+	rid, ok := t.rowIndex[rowID]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s row %d", ErrRowNotFound, t.schema.Name, rowID)
+	}
+	rec, err := t.file.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	_, row, err := decodeStored(rec)
+	return row, err
+}
+
+// GetColumn returns a single cell.
+func (t *Table) GetColumn(rowID int64, column string) (value.Value, error) {
+	idx := t.schema.ColumnIndex(column)
+	if idx < 0 {
+		return value.Value{}, fmt.Errorf("%w: %s.%s", catalog.ErrColumnNotFound, t.schema.Name, column)
+	}
+	row, err := t.Get(rowID)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return row[idx], nil
+}
+
+// Update replaces the row with the given RowID.
+func (t *Table) Update(rowID int64, row value.Row) error {
+	coerced, err := t.schema.CoerceRow(row)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid, ok := t.rowIndex[rowID]
+	if !ok {
+		return fmt.Errorf("%w: %s row %d", ErrRowNotFound, t.schema.Name, rowID)
+	}
+	rec, err := t.file.Get(rid)
+	if err != nil {
+		return err
+	}
+	_, old, err := decodeStored(rec)
+	if err != nil {
+		return err
+	}
+	if t.schema.PrimaryKey != "" {
+		pkIdx := t.schema.ColumnIndex(t.schema.PrimaryKey)
+		pkTree := t.indexes[strings.ToLower(t.schema.PrimaryKey)]
+		if pkTree != nil && !coerced[pkIdx].IsNull() && !coerced[pkIdx].Equal(old[pkIdx]) {
+			key := coerced[pkIdx].EncodeKey(nil)
+			if pkTree.Contains(key) {
+				return fmt.Errorf("%w: %s = %s", ErrDuplicateKey, t.schema.PrimaryKey, coerced[pkIdx])
+			}
+		}
+	}
+	newRID, err := t.file.Update(rid, encodeStored(rowID, coerced))
+	if err != nil {
+		return err
+	}
+	t.rowIndex[rowID] = newRID
+	for col, tree := range t.indexes {
+		idx := t.schema.ColumnIndex(col)
+		if idx < 0 {
+			continue
+		}
+		if !old[idx].IsNull() {
+			_ = tree.Delete(old[idx].EncodeKey(nil), rowIDBytes(rowID))
+		}
+		if !coerced[idx].IsNull() {
+			tree.Insert(coerced[idx].EncodeKey(nil), rowIDBytes(rowID))
+		}
+	}
+	if _, err := t.engine.log.Append(wal.KindUpdate, t.schema.Name, encodeStored(rowID, coerced)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// UpdateColumn updates a single cell, leaving the rest of the row unchanged.
+func (t *Table) UpdateColumn(rowID int64, column string, v value.Value) error {
+	idx := t.schema.ColumnIndex(column)
+	if idx < 0 {
+		return fmt.Errorf("%w: %s.%s", catalog.ErrColumnNotFound, t.schema.Name, column)
+	}
+	row, err := t.Get(rowID)
+	if err != nil {
+		return err
+	}
+	updated := row.Clone()
+	updated[idx] = v
+	return t.Update(rowID, updated)
+}
+
+// Delete removes the row with the given RowID.
+func (t *Table) Delete(rowID int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid, ok := t.rowIndex[rowID]
+	if !ok {
+		return fmt.Errorf("%w: %s row %d", ErrRowNotFound, t.schema.Name, rowID)
+	}
+	rec, err := t.file.Get(rid)
+	if err != nil {
+		return err
+	}
+	_, old, err := decodeStored(rec)
+	if err != nil {
+		return err
+	}
+	if err := t.file.Delete(rid); err != nil {
+		return err
+	}
+	delete(t.rowIndex, rowID)
+	for col, tree := range t.indexes {
+		idx := t.schema.ColumnIndex(col)
+		if idx < 0 || old[idx].IsNull() {
+			continue
+		}
+		_ = tree.Delete(old[idx].EncodeKey(nil), rowIDBytes(rowID))
+	}
+	if _, err := t.engine.log.Append(wal.KindDelete, t.schema.Name, encodeStored(rowID, old)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Scan calls fn for every live row in RowID order. Iteration stops early when
+// fn returns false.
+func (t *Table) Scan(fn func(rowID int64, row value.Row) bool) error {
+	for _, rowID := range t.RowIDs() {
+		row, err := t.Get(rowID)
+		if errors.Is(err, ErrRowNotFound) || errors.Is(err, heap.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(rowID, row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RowIDs returns the live RowIDs in ascending order.
+func (t *Table) RowIDs() []int64 {
+	t.mu.RLock()
+	ids := make([]int64, 0, len(t.rowIndex))
+	for id := range t.rowIndex {
+		ids = append(ids, id)
+	}
+	t.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CreateIndex builds a B+-tree index on the named column, backfilling it from
+// existing rows. Creating an index twice is a no-op.
+func (t *Table) CreateIndex(column string) error {
+	idx := t.schema.ColumnIndex(column)
+	if idx < 0 {
+		return fmt.Errorf("%w: %s.%s", catalog.ErrColumnNotFound, t.schema.Name, column)
+	}
+	key := strings.ToLower(column)
+	t.mu.Lock()
+	if _, ok := t.indexes[key]; ok {
+		t.mu.Unlock()
+		return nil
+	}
+	tree := btree.New(btree.DefaultOrder)
+	t.indexes[key] = tree
+	t.mu.Unlock()
+
+	return t.Scan(func(rowID int64, row value.Row) bool {
+		if !row[idx].IsNull() {
+			tree.Insert(row[idx].EncodeKey(nil), rowIDBytes(rowID))
+		}
+		return true
+	})
+}
+
+// HasIndex reports whether the column has an index.
+func (t *Table) HasIndex(column string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[strings.ToLower(column)]
+	return ok
+}
+
+// LookupEqual returns the RowIDs whose indexed column equals v.
+func (t *Table) LookupEqual(column string, v value.Value) ([]int64, error) {
+	t.mu.RLock()
+	tree, ok := t.indexes[strings.ToLower(column)]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, t.schema.Name, column)
+	}
+	var out []int64
+	for _, vb := range tree.Get(v.EncodeKey(nil)) {
+		out = append(out, rowIDFromBytes(vb))
+	}
+	return out, nil
+}
+
+// LookupRange returns the RowIDs whose indexed column is in [lo, hi). A NULL
+// hi means "to the end".
+func (t *Table) LookupRange(column string, lo, hi value.Value) ([]int64, error) {
+	t.mu.RLock()
+	tree, ok := t.indexes[strings.ToLower(column)]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, t.schema.Name, column)
+	}
+	var start, end []byte
+	if !lo.IsNull() {
+		start = lo.EncodeKey(nil)
+	}
+	if !hi.IsNull() {
+		end = hi.EncodeKey(nil)
+	}
+	var out []int64
+	tree.AscendRange(start, end, func(_ []byte, values [][]byte) bool {
+		for _, vb := range values {
+			out = append(out, rowIDFromBytes(vb))
+		}
+		return true
+	})
+	return out, nil
+}
+
+// FindByPrimaryKey returns the RowID of the row whose primary key equals v,
+// or ErrRowNotFound.
+func (t *Table) FindByPrimaryKey(v value.Value) (int64, error) {
+	if t.schema.PrimaryKey == "" {
+		return 0, fmt.Errorf("storage: table %s has no primary key", t.schema.Name)
+	}
+	ids, err := t.LookupEqual(t.schema.PrimaryKey, v)
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("%w: %s pk %s", ErrRowNotFound, t.schema.Name, v)
+	}
+	return ids[0], nil
+}

@@ -1,0 +1,165 @@
+// Package stringbtree implements the baseline sequence index of the paper's
+// Section 7.2 experiments: a String B-tree style index over *uncompressed*
+// sequences. Every suffix of every sequence is inserted into a B+-tree (keys
+// truncated to a fixed length, with verification against the stored text),
+// supporting substring, prefix and range search.
+//
+// The SBC-tree (internal/sbctree) is compared against this index on storage
+// footprint (E1), insertion I/O (E2) and search latency (E3).
+package stringbtree
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+
+	"bdbms/internal/btree"
+)
+
+// MaxKeyLen is the number of suffix bytes stored as the B+-tree key. Longer
+// suffixes are truncated; matches are verified against the original text.
+const MaxKeyLen = 32
+
+// Match is one occurrence of a query pattern.
+type Match struct {
+	// SeqID is the identifier of the matching sequence.
+	SeqID int64
+	// Pos is the byte offset of the occurrence.
+	Pos int
+}
+
+// Index is a String B-tree style index over uncompressed sequences.
+type Index struct {
+	tree *btree.Tree
+	seqs map[int64]string
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{tree: btree.New(btree.DefaultOrder), seqs: make(map[int64]string)}
+}
+
+// Len returns the number of indexed sequences.
+func (ix *Index) Len() int { return len(ix.seqs) }
+
+// NumEntries returns the number of suffix entries in the underlying B+-tree.
+func (ix *Index) NumEntries() int { return ix.tree.Len() }
+
+// StorageBytes returns the bytes stored in the index (keys plus payloads),
+// the storage measure of experiment E1.
+func (ix *Index) StorageBytes() int { return ix.tree.KeyBytes() }
+
+// EstimatePages estimates the index footprint in pages of the given size.
+func (ix *Index) EstimatePages(pageSize int) int { return ix.tree.EstimatePages(pageSize) }
+
+// IOStats returns the simulated node I/O counters of the underlying B+-tree.
+func (ix *Index) IOStats() btree.IOStats { return ix.tree.Stats() }
+
+// ResetIOStats zeroes the I/O counters.
+func (ix *Index) ResetIOStats() { ix.tree.ResetStats() }
+
+// Sequence returns a stored sequence by ID.
+func (ix *Index) Sequence(id int64) (string, bool) {
+	s, ok := ix.seqs[id]
+	return s, ok
+}
+
+func payload(seqID int64, pos int) []byte {
+	buf := make([]byte, 12)
+	binary.BigEndian.PutUint64(buf[:8], uint64(seqID))
+	binary.BigEndian.PutUint32(buf[8:], uint32(pos))
+	return buf
+}
+
+func decodePayload(b []byte) (int64, int) {
+	return int64(binary.BigEndian.Uint64(b[:8])), int(binary.BigEndian.Uint32(b[8:]))
+}
+
+func truncate(s string) []byte {
+	if len(s) > MaxKeyLen {
+		s = s[:MaxKeyLen]
+	}
+	return []byte(s)
+}
+
+// Insert indexes sequence s under id. Every suffix of s becomes one B+-tree
+// entry.
+func (ix *Index) Insert(id int64, s string) {
+	ix.seqs[id] = s
+	for pos := 0; pos < len(s); pos++ {
+		ix.tree.Insert(truncate(s[pos:]), payload(id, pos))
+	}
+}
+
+// SubstringSearch returns every occurrence of pattern across the indexed
+// sequences, sorted by (SeqID, Pos).
+func (ix *Index) SubstringSearch(pattern string) []Match {
+	if pattern == "" {
+		return nil
+	}
+	var out []Match
+	probe := pattern
+	if len(probe) > MaxKeyLen {
+		probe = probe[:MaxKeyLen]
+	}
+	ix.tree.AscendPrefix([]byte(probe), func(_ []byte, values [][]byte) bool {
+		for _, v := range values {
+			id, pos := decodePayload(v)
+			s := ix.seqs[id]
+			if pos+len(pattern) <= len(s) && s[pos:pos+len(pattern)] == pattern {
+				out = append(out, Match{SeqID: id, Pos: pos})
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SeqID != out[j].SeqID {
+			return out[i].SeqID < out[j].SeqID
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}
+
+// PrefixSearch returns the IDs of sequences starting with pattern, sorted.
+func (ix *Index) PrefixSearch(pattern string) []int64 {
+	var out []int64
+	for _, m := range ix.SubstringSearch(pattern) {
+		if m.Pos == 0 {
+			out = append(out, m.SeqID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupe(out)
+}
+
+// RangeSearch returns the IDs of sequences s with lo <= s < hi, sorted.
+// An empty hi means "no upper bound".
+func (ix *Index) RangeSearch(lo, hi string) []int64 {
+	var out []int64
+	for id, s := range ix.seqs {
+		if strings.Compare(s, lo) >= 0 && (hi == "" || strings.Compare(s, hi) < 0) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ContainsSequence reports whether any indexed sequence contains pattern.
+func (ix *Index) ContainsSequence(pattern string) bool {
+	return len(ix.SubstringSearch(pattern)) > 0
+}
+
+func dedupe(ids []int64) []int64 {
+	if len(ids) <= 1 {
+		return ids
+	}
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package stringbtree
+
+import (
+	"strings"
+	"testing"
+
+	"bdbms/internal/biogen"
+)
+
+func TestInsertAndSubstringSearch(t *testing.T) {
+	ix := New()
+	seqs := map[int64]string{
+		1: "LLLEEEHHHH",
+		2: "HHHHLLEE",
+		3: "EEEELLLL",
+	}
+	for id, s := range seqs {
+		ix.Insert(id, s)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	total := 0
+	for _, s := range seqs {
+		total += len(s)
+	}
+	if ix.NumEntries() != total {
+		t.Errorf("entries = %d, want %d (one per suffix)", ix.NumEntries(), total)
+	}
+
+	for _, pattern := range []string{"LL", "EEH", "HHHH", "LE", "EEEE", "XYZ", "L"} {
+		got := ix.SubstringSearch(pattern)
+		want := 0
+		for id, s := range seqs {
+			for pos := 0; pos+len(pattern) <= len(s); pos++ {
+				if s[pos:pos+len(pattern)] == pattern {
+					want++
+					found := false
+					for _, m := range got {
+						if m.SeqID == id && m.Pos == pos {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("pattern %q: missing match (%d,%d)", pattern, id, pos)
+					}
+				}
+			}
+		}
+		if len(got) != want {
+			t.Errorf("pattern %q: got %d matches, want %d", pattern, len(got), want)
+		}
+	}
+	if ix.SubstringSearch("") != nil {
+		t.Error("empty pattern should return nil")
+	}
+	if !ix.ContainsSequence("LLEE") || ix.ContainsSequence("ZZZ") {
+		t.Error("ContainsSequence wrong")
+	}
+	if s, ok := ix.Sequence(1); !ok || s != seqs[1] {
+		t.Error("Sequence lookup wrong")
+	}
+	if _, ok := ix.Sequence(99); ok {
+		t.Error("missing sequence should not be found")
+	}
+}
+
+func TestPrefixSearch(t *testing.T) {
+	ix := New()
+	ix.Insert(1, "HHHLLL")
+	ix.Insert(2, "HHEELL")
+	ix.Insert(3, "LLLHHH")
+	got := ix.PrefixSearch("HH")
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("PrefixSearch(HH) = %v", got)
+	}
+	if len(ix.PrefixSearch("LLLH")) != 1 {
+		t.Error("PrefixSearch(LLLH) wrong")
+	}
+	if len(ix.PrefixSearch("X")) != 0 {
+		t.Error("absent prefix")
+	}
+}
+
+func TestRangeSearch(t *testing.T) {
+	ix := New()
+	ix.Insert(1, "AAA")
+	ix.Insert(2, "BBB")
+	ix.Insert(3, "CCC")
+	if got := ix.RangeSearch("AAA", "CCC"); len(got) != 2 {
+		t.Errorf("range [AAA,CCC) = %v", got)
+	}
+	if got := ix.RangeSearch("B", ""); len(got) != 2 {
+		t.Errorf("range [B,inf) = %v", got)
+	}
+}
+
+func TestLongSequencesAndTruncatedKeys(t *testing.T) {
+	gen := biogen.New(5)
+	ix := New()
+	seqs := gen.SecondaryStructures(20, 200, 400, 10)
+	for i, s := range seqs {
+		ix.Insert(int64(i+1), s)
+	}
+	// Patterns longer than MaxKeyLen must still verify correctly.
+	long := seqs[0][10 : 10+MaxKeyLen+8]
+	got := ix.SubstringSearch(long)
+	if len(got) == 0 {
+		t.Fatal("long pattern not found")
+	}
+	for _, m := range got {
+		s := seqs[m.SeqID-1]
+		if !strings.HasPrefix(s[m.Pos:], long) {
+			t.Fatal("false positive on long pattern")
+		}
+	}
+	if ix.StorageBytes() == 0 || ix.EstimatePages(4096) < 2 {
+		t.Error("storage accounting missing")
+	}
+	if ix.IOStats().NodeWrites == 0 {
+		t.Error("insertion I/O not tracked")
+	}
+	ix.ResetIOStats()
+	if ix.IOStats().NodeWrites != 0 {
+		t.Error("ResetIOStats failed")
+	}
+}

@@ -1,0 +1,258 @@
+// Package wal implements a minimal append-only write-ahead log. In bdbms the
+// log has two clients: the storage engine records row mutations for
+// durability, and the content-based approval manager (Section 6 of the paper)
+// keeps its operation log — every INSERT/UPDATE/DELETE together with the
+// automatically generated inverse statement — as tagged WAL records.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Kind tags the type of a log record.
+type Kind uint8
+
+// Log record kinds.
+const (
+	// KindInsert records a row insertion.
+	KindInsert Kind = iota + 1
+	// KindUpdate records a row update.
+	KindUpdate
+	// KindDelete records a row deletion.
+	KindDelete
+	// KindApproval records a content-approval decision.
+	KindApproval
+	// KindCheckpoint marks a checkpoint.
+	KindCheckpoint
+	// KindAnnotation records an annotation operation.
+	KindAnnotation
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "INSERT"
+	case KindUpdate:
+		return "UPDATE"
+	case KindDelete:
+		return "DELETE"
+	case KindApproval:
+		return "APPROVAL"
+	case KindCheckpoint:
+		return "CHECKPOINT"
+	case KindAnnotation:
+		return "ANNOTATION"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Record is a single log entry.
+type Record struct {
+	// LSN is the log sequence number, assigned on append, starting at 1.
+	LSN uint64
+	// Kind tags the record type.
+	Kind Kind
+	// Table is the table the record concerns ("" when not applicable).
+	Table string
+	// Payload is the record body (already serialised by the caller).
+	Payload []byte
+	// Time is when the record was appended.
+	Time time.Time
+}
+
+// ErrCorrupt is returned when reading a damaged log.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Log is an append-only record log. The zero value is not usable; construct
+// with NewMemory or Open.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	nextLSN uint64
+	file    *os.File // nil for memory-only logs
+}
+
+// NewMemory returns an in-memory log.
+func NewMemory() *Log { return &Log{nextLSN: 1} }
+
+// Open opens (or creates) a file-backed log, replaying existing records into
+// memory so they can be iterated.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{nextLSN: 1, file: f}
+	if err := l.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Log) replay() error {
+	if _, err := l.file.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReader(l.file)
+	for {
+		rec, err := readRecord(r)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		l.records = append(l.records, rec)
+		if rec.LSN >= l.nextLSN {
+			l.nextLSN = rec.LSN + 1
+		}
+	}
+	_, err := l.file.Seek(0, io.SeekEnd)
+	return err
+}
+
+// Append adds a record and returns its LSN.
+func (l *Log) Append(kind Kind, table string, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := Record{
+		LSN:     l.nextLSN,
+		Kind:    kind,
+		Table:   table,
+		Payload: append([]byte(nil), payload...),
+		Time:    time.Now().UTC(),
+	}
+	if l.file != nil {
+		if err := writeRecord(l.file, rec); err != nil {
+			return 0, err
+		}
+	}
+	l.records = append(l.records, rec)
+	l.nextLSN++
+	return rec.LSN, nil
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Records returns a copy of all records in LSN order.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Iterate calls fn for every record in LSN order, stopping early when fn
+// returns false.
+func (l *Log) Iterate(fn func(Record) bool) {
+	for _, rec := range l.Records() {
+		if !fn(rec) {
+			return
+		}
+	}
+}
+
+// Since returns all records with LSN strictly greater than lsn.
+func (l *Log) Since(lsn uint64) []Record {
+	var out []Record
+	l.Iterate(func(r Record) bool {
+		if r.LSN > lsn {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// Close flushes and closes a file-backed log. Memory logs become unusable for
+// appends only by convention (Close is a no-op for them).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	err := l.file.Close()
+	l.file = nil
+	return err
+}
+
+// --- on-disk record format ----------------------------------------------------
+//
+// Each record is framed as:
+//
+//	crc32(frame)  uint32
+//	frameLen      uint32
+//	frame: lsn uint64 | kind uint8 | unixNano int64 | tableLen uint16 | table | payload
+
+func writeRecord(w io.Writer, rec Record) error {
+	frame := make([]byte, 0, 32+len(rec.Table)+len(rec.Payload))
+	frame = binary.LittleEndian.AppendUint64(frame, rec.LSN)
+	frame = append(frame, byte(rec.Kind))
+	frame = binary.LittleEndian.AppendUint64(frame, uint64(rec.Time.UnixNano()))
+	frame = binary.LittleEndian.AppendUint16(frame, uint16(len(rec.Table)))
+	frame = append(frame, rec.Table...)
+	frame = append(frame, rec.Payload...)
+
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(frame))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(frame)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wal: write header: %w", err)
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wal: write frame: %w", err)
+	}
+	return nil
+}
+
+func readRecord(r io.Reader) (Record, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+	frameLen := binary.LittleEndian.Uint32(hdr[4:8])
+	frame := make([]byte, frameLen)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return Record{}, fmt.Errorf("%w: truncated frame", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(frame) != wantCRC {
+		return Record{}, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if len(frame) < 19 {
+		return Record{}, fmt.Errorf("%w: short frame", ErrCorrupt)
+	}
+	rec := Record{
+		LSN:  binary.LittleEndian.Uint64(frame[0:8]),
+		Kind: Kind(frame[8]),
+		Time: time.Unix(0, int64(binary.LittleEndian.Uint64(frame[9:17]))).UTC(),
+	}
+	tableLen := int(binary.LittleEndian.Uint16(frame[17:19]))
+	if len(frame) < 19+tableLen {
+		return Record{}, fmt.Errorf("%w: bad table length", ErrCorrupt)
+	}
+	rec.Table = string(frame[19 : 19+tableLen])
+	rec.Payload = append([]byte(nil), frame[19+tableLen:]...)
+	return rec, nil
+}

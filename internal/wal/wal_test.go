@@ -1,0 +1,138 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemoryAppendIterate(t *testing.T) {
+	l := NewMemory()
+	lsn1, err := l.Append(KindInsert, "Gene", []byte("row1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, _ := l.Append(KindDelete, "Gene", []byte("row1"))
+	if lsn1 != 1 || lsn2 != 2 {
+		t.Errorf("LSNs = %d, %d", lsn1, lsn2)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	recs := l.Records()
+	if recs[0].Kind != KindInsert || recs[1].Kind != KindDelete {
+		t.Error("kinds wrong")
+	}
+	if recs[0].Table != "Gene" || string(recs[0].Payload) != "row1" {
+		t.Error("payload wrong")
+	}
+	var seen int
+	l.Iterate(func(r Record) bool {
+		seen++
+		return false
+	})
+	if seen != 1 {
+		t.Errorf("early stop visited %d", seen)
+	}
+	since := l.Since(1)
+	if len(since) != 1 || since[0].LSN != 2 {
+		t.Errorf("Since(1) = %v", since)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("memory close: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindInsert: "INSERT", KindUpdate: "UPDATE", KindDelete: "DELETE",
+		KindApproval: "APPROVAL", KindCheckpoint: "CHECKPOINT", KindAnnotation: "ANNOTATION",
+		Kind(99): "KIND(99)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v != %s", k, want)
+		}
+	}
+}
+
+func TestFileLogPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := l.Append(KindUpdate, "Protein", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != 100 {
+		t.Fatalf("replayed %d records", l2.Len())
+	}
+	recs := l2.Records()
+	if recs[99].LSN != 100 || recs[99].Payload[0] != 99 {
+		t.Error("replayed record content wrong")
+	}
+	// Appending after reopen continues the LSN sequence.
+	lsn, err := l2.Append(KindCheckpoint, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 101 {
+		t.Errorf("next LSN = %d, want 101", lsn)
+	}
+}
+
+func TestCorruptLogDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(KindInsert, "T", []byte("payload"))
+	l.Close()
+
+	// Flip a byte in the middle of the file.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("corrupt log should fail to open")
+	}
+}
+
+func TestTruncatedLogStopsAtEOF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := Open(path)
+	l.Append(KindInsert, "T", []byte("first"))
+	l.Append(KindInsert, "T", []byte("second"))
+	l.Close()
+
+	data, _ := os.ReadFile(path)
+	// Drop the last 4 bytes, truncating the final record's frame.
+	os.WriteFile(path, data[:len(data)-4], 0o644)
+	if _, err := Open(path); err == nil {
+		t.Error("truncated frame should surface as corruption")
+	}
+}
+
+func TestOpenBadPath(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing-dir", "wal.log")); err == nil {
+		t.Error("open in missing directory should fail")
+	}
+}
