@@ -14,6 +14,16 @@
 //   - non-traditional access methods: an SP-GiST framework (trie, kd-tree,
 //     point quadtree) and the SBC-tree over RLE-compressed sequences.
 //
+// SELECT statements run through a planned, streaming executor
+// (internal/exec): the WHERE clause is decomposed into conjuncts,
+// single-table predicates are pushed below the join into the table scans,
+// predicates on indexed columns (primary keys and CREATE INDEX columns)
+// probe the B+-tree instead of scanning the heap, and equality conjuncts
+// between tables drive hash equi-joins rather than cross products.
+// Annotations, provenance origins and dependency-outdated marks are attached
+// lazily, only to the rows that survive filtering — so the A-SQL annotation
+// machinery costs nothing on queries that do not use it.
+//
 // Basic usage:
 //
 //	db := bdbms.Open()

@@ -1,0 +1,3 @@
+module bdbms
+
+go 1.24

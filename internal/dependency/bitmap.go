@@ -80,6 +80,16 @@ func (b *Bitmap) IsSet(rowID int64, col int) bool {
 	return ok && row[col]
 }
 
+// Any reports whether any cell of the table is outdated. Rows with no set
+// bits are evicted by Clear, so a non-empty row map means at least one set
+// bit; scans use this to skip per-row bitmap probing entirely on clean
+// tables.
+func (b *Bitmap) Any() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.rows) > 0
+}
+
 // RowOutdated reports whether any cell of the row is outdated.
 func (b *Bitmap) RowOutdated(rowID int64) bool {
 	b.mu.RLock()

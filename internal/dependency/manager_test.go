@@ -307,3 +307,18 @@ func indexOf(s, sub string) int {
 	}
 	return -1
 }
+
+func TestBitmapAny(t *testing.T) {
+	bm := NewBitmap("T", 3)
+	if bm.Any() {
+		t.Error("fresh bitmap reports Any")
+	}
+	bm.Set(5, 1)
+	if !bm.Any() {
+		t.Error("bitmap with a set bit reports !Any")
+	}
+	bm.Clear(5, 1)
+	if bm.Any() {
+		t.Error("cleared bitmap still reports Any")
+	}
+}

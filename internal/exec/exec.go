@@ -3,6 +3,31 @@
 // Section 3.4), the provenance manager, the dependency manager (outdated
 // marks attached to query answers, Section 5) and the authorization manager
 // (GRANT/REVOKE checks and content-based approval, Section 6).
+//
+// # SELECT pipeline
+//
+// SELECT evaluation is split between a planner and a streaming executor:
+//
+//	parse -> plan (planner.go) -> iterate (iterator.go) -> decorate -> group/project (select.go)
+//
+// The planner decomposes WHERE into AND-conjuncts and places each one as
+// low in the pipeline as possible: single-table conjuncts run inside the
+// table scan, constant comparisons on indexed columns become B+-tree probes
+// (storage.Table.IndexLookup / IndexRange), and two-table equality
+// conjuncts become the keys of hash equi-joins. Sources with no connecting
+// equality fall back to a block nested-loop join; conjuncts the planner
+// cannot place (aggregates, late-resolving references) are evaluated
+// residually, exactly as the naive executor would.
+//
+// The executor is a tree of Volcano-style pull iterators, so a join never
+// materializes the cross product of its inputs. Rows carry only values and
+// (table, RowID) origins while streaming; annotations and dependency
+// outdated marks are decorated onto the survivors afterwards, which makes
+// annotation propagation pay-per-result-row instead of pay-per-scanned-row.
+//
+// Session.NoOptimize bypasses all of this and runs the reference
+// materialize-then-filter implementation; the plan-equivalence tests assert
+// both paths return identical rows, ordering and annotations.
 package exec
 
 import (
@@ -51,6 +76,11 @@ type Session struct {
 	User string
 	// EnforceAuth enables GRANT/REVOKE privilege checks on every statement.
 	EnforceAuth bool
+	// NoOptimize forces SELECT onto the naive materialize-then-filter
+	// executor instead of the planned iterator pipeline. The naive path is
+	// the semantic reference: the plan-equivalence tests and the baseline
+	// benchmarks run with NoOptimize set.
+	NoOptimize bool
 }
 
 // ARow is one result row: values plus, per output column, the annotations

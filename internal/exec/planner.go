@@ -1,0 +1,695 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/dependency"
+	"bdbms/internal/sqlparse"
+	"bdbms/internal/storage"
+	"bdbms/internal/value"
+)
+
+// This file is the query planner in front of the streaming executor. It
+// decomposes the WHERE clause into AND-conjuncts and decides, per conjunct,
+// where in the pipeline it runs:
+//
+//   - single-table conjuncts are pushed below the join into the table scan;
+//     when such a conjunct is an equality or range comparison against a
+//     constant on an indexed column (primary key or CREATE INDEX column),
+//     the scan probes the B+-tree instead of walking the heap;
+//   - equality conjuncts between columns of two different tables become the
+//     keys of a hash equi-join; sources with no connecting equality fall
+//     back to a block nested-loop cross join;
+//   - everything else (conjuncts spanning several tables, aggregates,
+//     unresolvable references) is evaluated as a residual filter above the
+//     join it depends on.
+//
+// Pushed predicates that drive an index probe are re-applied as scan filters:
+// the probe only needs to produce a superset of the matching RowIDs, which
+// keeps the bound arithmetic below simple and safe.
+//
+// Result equivalence with the naive executor holds for every query that
+// evaluates without error. Error behavior on ill-typed queries can differ:
+// pushing a conjunct changes which rows it is evaluated against, so a
+// type-mismatch error may surface from a planned scan where the naive
+// cross product happened to be empty (and a residual conjunct's resolution
+// error may be suppressed when no rows survive the join). This is the
+// standard pushdown tradeoff; SQL leaves predicate evaluation order
+// unspecified.
+
+var errUnresolvedSlot = errors.New("exec: internal: unresolved predicate slot")
+
+// compareClass groups value types that Compare treats as one domain.
+type compareClass int
+
+const (
+	classOther compareClass = iota
+	classNumeric
+	classString
+	classBool
+	classTime
+)
+
+func classOf(t value.Type) compareClass {
+	switch t {
+	case value.Int, value.Float:
+		return classNumeric
+	case value.Text, value.Sequence:
+		return classString
+	case value.Bool:
+		return classBool
+	case value.Timestamp:
+		return classTime
+	default:
+		return classOther
+	}
+}
+
+// accessKind selects how a source's RowIDs are produced.
+type accessKind int
+
+const (
+	accessFullScan accessKind = iota
+	accessIndexEq
+	accessIndexRange
+)
+
+// accessPath describes the index probe of one source, when it has one.
+type accessPath struct {
+	kind     accessKind
+	column   string
+	eq       value.Value
+	lo, hi   value.Value // NULL = unbounded
+	loStrict bool
+	hiStrict bool
+}
+
+// sourcePlan is one FROM entry with its pushed predicates and access path.
+type sourcePlan struct {
+	ref     sqlparse.TableRef
+	tbl     *storage.Table
+	offset  int // first global value slot of this source
+	numCols int
+	access  accessPath
+	preds   []compiledPred // single-table conjuncts, applied inside the scan
+}
+
+// joinStep combines the accumulated left prefix with one more source.
+type joinStep struct {
+	right    *sourcePlan
+	leftKey  []joinKeyCol   // global slots into the left prefix row
+	rightKey []joinKeyCol   // local slots into the right source row
+	post     []compiledPred // multi-source conjuncts completed by this join
+}
+
+// physicalPlan is the planned FROM/WHERE pipeline of one SELECT.
+type physicalPlan struct {
+	sources []*sourcePlan
+	steps   []joinStep // len(sources)-1 entries
+	// residual holds WHERE parts the pipeline could not place (aggregates,
+	// unresolvable columns); they are evaluated naively on the final rows.
+	residual []sqlparse.Expr
+}
+
+// String renders the plan shape for tests and debugging, e.g.
+// "IndexScan(gene.gid =) -> HashJoin(protein) -> Filter".
+func (p *physicalPlan) String() string {
+	var b strings.Builder
+	for i, src := range p.sources {
+		if i > 0 {
+			step := p.steps[i-1]
+			if len(step.leftKey) > 0 {
+				fmt.Fprintf(&b, " -> HashJoin(%s", src.tbl.Name())
+			} else {
+				fmt.Fprintf(&b, " -> NestedLoop(%s", src.tbl.Name())
+			}
+			b.WriteString(describeScan(src))
+			b.WriteString(")")
+			if len(step.post) > 0 {
+				b.WriteString(" -> Filter")
+			}
+			continue
+		}
+		switch src.access.kind {
+		case accessIndexEq:
+			fmt.Fprintf(&b, "IndexScan(%s.%s =)", src.tbl.Name(), src.access.column)
+		case accessIndexRange:
+			fmt.Fprintf(&b, "IndexScan(%s.%s range)", src.tbl.Name(), src.access.column)
+		default:
+			fmt.Fprintf(&b, "SeqScan(%s)", src.tbl.Name())
+		}
+		if len(src.preds) > 0 {
+			b.WriteString(" -> Filter")
+		}
+	}
+	if len(p.residual) > 0 {
+		b.WriteString(" -> Residual")
+	}
+	return b.String()
+}
+
+func describeScan(src *sourcePlan) string {
+	switch src.access.kind {
+	case accessIndexEq:
+		return fmt.Sprintf(" via IndexScan(%s.%s =)", src.tbl.Name(), src.access.column)
+	case accessIndexRange:
+		return fmt.Sprintf(" via IndexScan(%s.%s range)", src.tbl.Name(), src.access.column)
+	default:
+		return ""
+	}
+}
+
+// --- conjunct analysis ---------------------------------------------------------------------
+
+// splitAnd flattens top-level ANDs into conjuncts.
+func splitAnd(e sqlparse.Expr, out []sqlparse.Expr) []sqlparse.Expr {
+	if bin, ok := e.(*sqlparse.BinaryExpr); ok && bin.Op == "AND" {
+		return splitAnd(bin.Right, splitAnd(bin.Left, out))
+	}
+	return append(out, e)
+}
+
+// walkColumns visits every ColumnExpr in e. It returns false if e contains an
+// aggregate (which cannot be pushed below grouping).
+func walkColumns(e sqlparse.Expr, fn func(*sqlparse.ColumnExpr)) bool {
+	switch ex := e.(type) {
+	case nil:
+		return true
+	case *sqlparse.ColumnExpr:
+		fn(ex)
+		return true
+	case *sqlparse.LiteralExpr:
+		return true
+	case *sqlparse.UnaryExpr:
+		return walkColumns(ex.Expr, fn)
+	case *sqlparse.IsNullExpr:
+		return walkColumns(ex.Expr, fn)
+	case *sqlparse.BinaryExpr:
+		return walkColumns(ex.Left, fn) && walkColumns(ex.Right, fn)
+	case *sqlparse.AggregateExpr:
+		return false
+	default:
+		return false
+	}
+}
+
+// analyzedConjunct is one WHERE conjunct with resolved column slots.
+type analyzedConjunct struct {
+	expr    sqlparse.Expr
+	slots   map[*sqlparse.ColumnExpr]int
+	sources map[int]bool // source indexes referenced
+	maxSrc  int
+}
+
+// analyzeConjunct resolves the conjunct's columns against the full binding
+// list. ok is false when the conjunct cannot be planned (aggregate or
+// resolution failure) and must run as a naive residual.
+func analyzeConjunct(e sqlparse.Expr, bindings []binding, slotSource []int) (analyzedConjunct, bool) {
+	ac := analyzedConjunct{
+		expr:    e,
+		slots:   make(map[*sqlparse.ColumnExpr]int),
+		sources: make(map[int]bool),
+	}
+	resolved := true
+	pure := walkColumns(e, func(col *sqlparse.ColumnExpr) {
+		idx, _, err := resolveColumn(bindings, col)
+		if err != nil {
+			resolved = false
+			return
+		}
+		ac.slots[col] = idx
+		src := slotSource[idx]
+		ac.sources[src] = true
+		if src > ac.maxSrc {
+			ac.maxSrc = src
+		}
+	})
+	return ac, pure && resolved
+}
+
+// constOperand evaluates e when it references no columns or aggregates; used
+// to recognize `col = <const>` index probes with computed constants.
+func (s *Session) constOperand(e sqlparse.Expr) (value.Value, bool) {
+	hasCol := false
+	pure := walkColumns(e, func(*sqlparse.ColumnExpr) { hasCol = true })
+	if !pure || hasCol {
+		return value.Value{}, false
+	}
+	v, err := s.evalConst(e)
+	if err != nil {
+		return value.Value{}, false
+	}
+	return v, true
+}
+
+// comparisonParts matches `col op const` / `const op col` and returns the
+// column, the constant and the op normalized to put the column on the left.
+func (s *Session) comparisonParts(e sqlparse.Expr) (*sqlparse.ColumnExpr, value.Value, string, bool) {
+	bin, ok := e.(*sqlparse.BinaryExpr)
+	if !ok {
+		return nil, value.Value{}, "", false
+	}
+	switch bin.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return nil, value.Value{}, "", false
+	}
+	if col, ok := bin.Left.(*sqlparse.ColumnExpr); ok {
+		if v, ok := s.constOperand(bin.Right); ok {
+			return col, v, bin.Op, true
+		}
+	}
+	if col, ok := bin.Right.(*sqlparse.ColumnExpr); ok {
+		if v, ok := s.constOperand(bin.Left); ok {
+			return col, v, flipOp(bin.Op), true
+		}
+	}
+	return nil, value.Value{}, "", false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// indexProbeValue converts a constant comparison operand to the indexed
+// column's type so its EncodeKey form matches the stored keys. exact reports
+// whether the conversion preserves the comparison (when false, the caller
+// must widen range bounds to inclusive; equality stays correct because the
+// original predicate is re-applied above the probe). usable is false when no
+// index probe can be derived at all.
+func indexProbeValue(colType value.Type, v value.Value) (probe value.Value, exact, usable bool) {
+	if v.IsNull() {
+		return value.Value{}, false, false
+	}
+	if v.Type() == colType {
+		return v, true, true
+	}
+	switch classOf(colType) {
+	case classNumeric:
+		if classOf(v.Type()) != classNumeric {
+			return value.Value{}, false, false
+		}
+		if colType == value.Float {
+			// Compare evaluates both sides as float64, so the cast IS the
+			// comparison semantics.
+			return value.NewFloat(v.Float()), true, true
+		}
+		// INT column, FLOAT constant: probe the nearest integers on either
+		// side; bounds become inclusive supersets unless f is integral.
+		f := v.Float()
+		if f > math.MaxInt64/2 || f < math.MinInt64/2 {
+			return value.Value{}, false, false
+		}
+		return value.NewInt(int64(math.Floor(f))), f == math.Trunc(f), true
+	case classString:
+		if classOf(v.Type()) != classString {
+			return value.Value{}, false, false
+		}
+		if colType == value.Sequence {
+			return value.NewSequence(v.Text()), true, true
+		}
+		return value.NewText(v.Text()), true, true
+	default:
+		// Bool/Timestamp probes require the exact type, handled above.
+		return value.Value{}, false, false
+	}
+}
+
+// --- planning ------------------------------------------------------------------------------
+
+// planSelect builds the physical FROM/WHERE plan. bindings and slotSource
+// describe the global value-slot layout (slotSource[i] = source index of
+// slot i).
+func (s *Session) planSelect(st *sqlparse.SelectStmt, sources []*sourcePlan, bindings []binding, slotSource []int) *physicalPlan {
+	plan := &physicalPlan{sources: sources}
+	if len(sources) == 0 {
+		// FROM is mandatory in the grammar; a programmatically built
+		// statement with no sources yields no rows, so WHERE is moot.
+		return plan
+	}
+
+	var conjuncts []analyzedConjunct
+	if st.Where != nil {
+		for _, e := range splitAnd(st.Where, nil) {
+			ac, ok := analyzeConjunct(e, bindings, slotSource)
+			if !ok {
+				plan.residual = append(plan.residual, e)
+				continue
+			}
+			conjuncts = append(conjuncts, ac)
+		}
+	}
+
+	// Push single-table conjuncts into their scans.
+	var multi []analyzedConjunct
+	for _, ac := range conjuncts {
+		if len(ac.sources) <= 1 {
+			src := sources[ac.maxSrc]
+			src.preds = append(src.preds, compiledPred{expr: ac.expr, slots: ac.slots})
+			continue
+		}
+		multi = append(multi, ac)
+	}
+
+	// Choose index access paths from the pushed predicates.
+	for _, src := range sources {
+		s.chooseAccessPath(src)
+	}
+
+	// Assign multi-table conjuncts to the join step that completes them,
+	// extracting hash keys from two-source equality conjuncts.
+	plan.steps = make([]joinStep, len(sources)-1)
+	for i := range plan.steps {
+		plan.steps[i].right = sources[i+1]
+	}
+	for _, ac := range multi {
+		step := &plan.steps[ac.maxSrc-1]
+		if lk, rk, ok := s.hashKeyParts(ac, sources, slotSource); ok {
+			step.leftKey = append(step.leftKey, lk)
+			step.rightKey = append(step.rightKey, rk)
+			continue
+		}
+		step.post = append(step.post, compiledPred{expr: ac.expr, slots: ac.slots})
+	}
+	return plan
+}
+
+// chooseAccessPath picks an index probe for the source from its pushed
+// predicates: the first constant equality on an indexed column wins,
+// otherwise every constant range conjunct on the first indexed range column
+// is merged into one [lo, hi] probe. The chosen conjuncts stay in src.preds,
+// so the probe may safely return a superset.
+func (s *Session) chooseAccessPath(src *sourcePlan) {
+	var rangeCol string
+	lo, hi := value.NewNull(), value.NewNull()
+	loStrict, hiStrict := false, false
+
+	for _, p := range src.preds {
+		col, cv, op, ok := s.comparisonParts(p.expr)
+		if !ok {
+			continue
+		}
+		name := col.Column
+		if !src.tbl.HasIndex(name) {
+			continue
+		}
+		colType := src.tbl.Schema().Columns[src.tbl.Schema().ColumnIndex(name)].Type
+		probe, exact, usable := indexProbeValue(colType, cv)
+		if !usable {
+			continue
+		}
+		if op == "=" {
+			// Even an inexact probe (e.g. INT column against a fractional
+			// constant) is safe: it yields a superset that the re-applied
+			// predicate filters out.
+			src.access = accessPath{kind: accessIndexEq, column: name, eq: probe}
+			return
+		}
+		if rangeCol == "" {
+			rangeCol = name
+		}
+		if name != rangeCol {
+			continue // merge ranges on one column only
+		}
+		switch op {
+		case ">", ">=":
+			strict := op == ">" && exact
+			if lo.IsNull() || tighterLow(probe, strict, lo, loStrict) {
+				lo, loStrict = probe, strict
+			}
+		case "<", "<=":
+			strict := op == "<" && exact
+			if !exact {
+				// Inexact upper bound: widen one key upward so no match is
+				// lost (e.g. INT col < 1.2 must include col = 1).
+				probe = value.NewInt(probe.Int() + 1)
+			}
+			if hi.IsNull() || tighterHigh(probe, strict, hi, hiStrict) {
+				hi, hiStrict = probe, strict
+			}
+		}
+	}
+	if rangeCol != "" && (!lo.IsNull() || !hi.IsNull()) {
+		src.access = accessPath{kind: accessIndexRange, column: rangeCol, lo: lo, hi: hi, loStrict: loStrict, hiStrict: hiStrict}
+	}
+}
+
+// tighterLow reports whether bound (a, aStrict) is a tighter lower bound than
+// (b, bStrict).
+func tighterLow(a value.Value, aStrict bool, b value.Value, bStrict bool) bool {
+	c, err := a.Compare(b)
+	if err != nil {
+		return false
+	}
+	return c > 0 || (c == 0 && aStrict && !bStrict)
+}
+
+func tighterHigh(a value.Value, aStrict bool, b value.Value, bStrict bool) bool {
+	c, err := a.Compare(b)
+	if err != nil {
+		return false
+	}
+	return c < 0 || (c == 0 && aStrict && !bStrict)
+}
+
+// hashKeyParts recognizes `left.col = right.col` conjuncts connecting the
+// join step's right source to the already-joined prefix. The two columns'
+// declared types must share a comparison class: hash lookup silently returns
+// "no match" where the naive `=` would raise a type error, so incomparable
+// pairs stay as post-join filters to preserve error behavior.
+func (s *Session) hashKeyParts(ac analyzedConjunct, sources []*sourcePlan, slotSource []int) (joinKeyCol, joinKeyCol, bool) {
+	bin, ok := ac.expr.(*sqlparse.BinaryExpr)
+	if !ok || bin.Op != "=" || len(ac.sources) != 2 {
+		return joinKeyCol{}, joinKeyCol{}, false
+	}
+	lcol, lok := bin.Left.(*sqlparse.ColumnExpr)
+	rcol, rok := bin.Right.(*sqlparse.ColumnExpr)
+	if !lok || !rok {
+		return joinKeyCol{}, joinKeyCol{}, false
+	}
+	lslot, rslot := ac.slots[lcol], ac.slots[rcol]
+	if slotSource[lslot] == slotSource[rslot] {
+		return joinKeyCol{}, joinKeyCol{}, false
+	}
+	// Normalize so l is the prefix side and r the new (right) source.
+	if slotSource[lslot] > slotSource[rslot] {
+		lslot, rslot = rslot, lslot
+	}
+	if slotSource[rslot] != ac.maxSrc {
+		return joinKeyCol{}, joinKeyCol{}, false
+	}
+	right := sources[slotSource[rslot]]
+	lType := columnTypeAt(sources, slotSource, lslot)
+	rType := columnTypeAt(sources, slotSource, rslot)
+	lClass, rClass := classOf(lType), classOf(rType)
+	if lClass != rClass || lClass == classOther {
+		return joinKeyCol{}, joinKeyCol{}, false
+	}
+	return joinKeyCol{slot: lslot, class: lClass},
+		joinKeyCol{slot: rslot - right.offset, class: rClass}, true
+}
+
+func columnTypeAt(sources []*sourcePlan, slotSource []int, slot int) value.Type {
+	src := sources[slotSource[slot]]
+	return src.tbl.Schema().Columns[slot-src.offset].Type
+}
+
+// resolveSources builds the source plans and the global value-slot layout
+// (bindings plus slot -> source mapping) for a FROM list. Both the executor
+// (buildSelect) and explainSelect derive the layout from here so plan
+// explanation can never diverge from plan execution.
+func (s *Session) resolveSources(from []sqlparse.TableRef) ([]*sourcePlan, []binding, []int, error) {
+	var sources []*sourcePlan
+	var bindings []binding
+	var slotSource []int
+	offset := 0
+	for si, ref := range from {
+		tbl, err := s.Eng.Table(ref.Table)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cols := tbl.Schema().Columns
+		sources = append(sources, &sourcePlan{ref: ref, tbl: tbl, offset: offset, numCols: len(cols)})
+		for i, col := range cols {
+			bindings = append(bindings, binding{table: tbl.Name(), alias: ref.Alias, column: col.Name, colIdx: i})
+			slotSource = append(slotSource, si)
+		}
+		offset += len(cols)
+	}
+	return sources, bindings, slotSource, nil
+}
+
+// explainSelect renders the physical plan the optimizer would choose for the
+// statement's FROM/WHERE pipeline; used by the plan-shape tests (and a
+// natural hook for a future EXPLAIN statement).
+func (s *Session) explainSelect(st *sqlparse.SelectStmt) (string, error) {
+	sources, bindings, slotSource, err := s.resolveSources(st.From)
+	if err != nil {
+		return "", err
+	}
+	return s.planSelect(st, sources, bindings, slotSource).String(), nil
+}
+
+// --- execution -----------------------------------------------------------------------------
+
+// scanRowIDs produces the source's candidate RowIDs per its access path.
+func scanRowIDs(src *sourcePlan) ([]int64, error) {
+	switch src.access.kind {
+	case accessIndexEq:
+		return src.tbl.IndexLookup(src.access.column, src.access.eq)
+	case accessIndexRange:
+		return src.tbl.IndexRange(src.access.column, src.access.lo, src.access.loStrict, src.access.hi, src.access.hiStrict)
+	default:
+		return src.tbl.RowIDs(), nil
+	}
+}
+
+// runPlan executes the pipeline and returns the surviving rows (values and
+// origins only; annotations are attached later by decorateRows).
+func (s *Session) runPlan(plan *physicalPlan, bindings []binding) ([]execRow, error) {
+	if len(plan.sources) == 0 {
+		return nil, nil
+	}
+	ids, err := scanRowIDs(plan.sources[0])
+	if err != nil {
+		return nil, err
+	}
+	var it rowIter = &scanIter{src: plan.sources[0], ids: ids}
+	for i := range plan.steps {
+		step := &plan.steps[i]
+		rids, err := scanRowIDs(step.right)
+		if err != nil {
+			return nil, err
+		}
+		rightRows, err := drainIter(&scanIter{src: step.right, ids: rids})
+		if err != nil {
+			return nil, err
+		}
+		if len(step.leftKey) > 0 {
+			it = newHashJoinIter(it, rightRows, step.leftKey, step.rightKey)
+		} else {
+			it = &crossJoinIter{left: it, right: rightRows}
+		}
+		if len(step.post) > 0 {
+			it = &filterIter{in: it, preds: step.post}
+		}
+	}
+	rows, err := drainIter(it)
+	if err != nil {
+		return nil, err
+	}
+	// Residual conjuncts (aggregates over single rows, late resolution
+	// errors) are evaluated exactly like the naive executor evaluates WHERE.
+	for _, e := range plan.residual {
+		kept := rows[:0]
+		for _, r := range rows {
+			ok, err := s.evalBool(e, bindings, r, nil)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	return rows, nil
+}
+
+// decorateRows attaches, per surviving row, the annotations requested by each
+// source's ANNOTATION clause and the dependency manager's outdated marks.
+// Doing this after the filter/join pipeline — instead of at scan time like
+// the naive executor — means annotation lookups run once per result row, not
+// once per scanned row. The per-table bitmap is fetched once (not per cell)
+// and skipped entirely when it has no set bits.
+func (s *Session) decorateRows(rows []execRow, sources []*sourcePlan) {
+	if len(rows) == 0 {
+		return
+	}
+	totalCols := 0
+	for _, src := range sources {
+		totalCols += src.numCols
+	}
+	type annSource struct {
+		name     string
+		offset   int
+		numCols  int
+		want     bool
+		filter   annotation.Filter
+		bm       *dependency.Bitmap
+		colNames []string
+	}
+	plans := make([]annSource, len(sources))
+	anyWork := false
+	for i, src := range sources {
+		as := annSource{
+			name:    src.tbl.Name(),
+			offset:  src.offset,
+			numCols: src.numCols,
+		}
+		if len(src.ref.Annotations) > 0 {
+			as.want = true
+			if src.ref.Annotations[0] != "*" {
+				as.filter.AnnTables = src.ref.Annotations
+			}
+		}
+		if s.Dep != nil {
+			if bm := s.Dep.Bitmap(src.tbl.Name()); bm.Any() {
+				as.bm = bm
+				as.colNames = src.tbl.Schema().ColumnNames()
+			}
+		}
+		if as.want || as.bm != nil {
+			anyWork = true
+		}
+		plans[i] = as
+	}
+	for i := range rows {
+		r := &rows[i]
+		r.anns = make([][]*annotation.Annotation, totalCols)
+		if !anyWork {
+			continue
+		}
+		for j := range plans {
+			as := &plans[j]
+			if !as.want && as.bm == nil {
+				continue
+			}
+			rowID := r.origins[j].rowID
+			if as.want {
+				for c := 0; c < as.numCols; c++ {
+					r.anns[as.offset+c] = s.Ann.ForCell(as.name, rowID, c, as.filter)
+				}
+			}
+			if as.bm != nil && as.bm.RowOutdated(rowID) {
+				for c := 0; c < as.numCols; c++ {
+					if as.bm.IsSet(rowID, c) {
+						r.anns[as.offset+c] = append(r.anns[as.offset+c], &annotation.Annotation{
+							AnnTable:  OutdatedAnnTable,
+							UserTable: as.name,
+							Author:    "system:dependency-tracker",
+							Body: fmt.Sprintf("<Annotation>OUTDATED: %s.%s of row %d needs re-verification</Annotation>",
+								as.name, as.colNames[c], rowID),
+							Regions: []annotation.Region{annotation.CellRegion(as.name, rowID, c)},
+						})
+					}
+				}
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"bdbms/internal/annotation"
 	"bdbms/internal/authz"
+	"bdbms/internal/dependency"
 	"bdbms/internal/sqlparse"
 	"bdbms/internal/storage"
 	"bdbms/internal/value"
@@ -91,69 +92,42 @@ func (s *Session) execSelect(st *sqlparse.SelectStmt) (*Result, error) {
 // buildSelect evaluates FROM / WHERE / AWHERE / GROUP BY / HAVING / AHAVING /
 // FILTER, leaving projection to the caller (the annotation commands reuse the
 // pre-projection rows to compute regions).
+//
+// FROM and WHERE normally run through the planner and the streaming iterator
+// pipeline (planner.go / iterator.go): single-table WHERE conjuncts are
+// pushed into the scans, indexed conjuncts probe the B+-tree, and equi-join
+// conjuncts drive hash joins. Session.NoOptimize forces the naive
+// materialize-then-filter path, kept as the semantic reference for the
+// plan-equivalence tests.
 func (s *Session) buildSelect(st *sqlparse.SelectStmt) (*selectPlan, error) {
 	plan := &selectPlan{}
 
-	// FROM: load each table and build the cross product.
-	type source struct {
-		ref  sqlparse.TableRef
-		tbl  *storage.Table
-		rows []execRow
-	}
-	var sources []source
+	// FROM: resolve sources and the global value-slot layout.
 	for _, ref := range st.From {
 		if err := s.require(ref.Table, authz.PrivSelect); err != nil {
 			return nil, err
 		}
-		tbl, err := s.Eng.Table(ref.Table)
-		if err != nil {
-			return nil, err
-		}
-		rows, err := s.loadTable(tbl, ref)
-		if err != nil {
-			return nil, err
-		}
-		sources = append(sources, source{ref: ref, tbl: tbl, rows: rows})
-		for i, col := range tbl.Schema().Columns {
-			plan.bindings = append(plan.bindings, binding{
-				table: tbl.Name(), alias: ref.Alias, column: col.Name, colIdx: i,
-			})
+	}
+	sources, bindings, slotSource, err := s.resolveSources(st.From)
+	if err != nil {
+		return nil, err
+	}
+	plan.bindings = bindings
+
+	var rows []execRow
+	if s.NoOptimize {
+		rows, err = s.buildRowsNaive(st, plan.bindings, sources)
+	} else {
+		phys := s.planSelect(st, sources, plan.bindings, slotSource)
+		rows, err = s.runPlan(phys, plan.bindings)
+		if err == nil {
+			s.decorateRows(rows, sources)
 		}
 	}
-	// Cross product.
-	rows := []execRow{{}}
-	for _, src := range sources {
-		var next []execRow
-		for _, left := range rows {
-			for _, right := range src.rows {
-				combined := execRow{
-					values:  append(append(value.Row{}, left.values...), right.values...),
-					anns:    append(append([][]*annotation.Annotation{}, left.anns...), right.anns...),
-					origins: append(append([]origin{}, left.origins...), right.origins...),
-				}
-				next = append(next, combined)
-			}
-		}
-		rows = next
-	}
-	if len(sources) == 0 {
-		rows = nil
+	if err != nil {
+		return nil, err
 	}
 
-	// WHERE.
-	if st.Where != nil {
-		var kept []execRow
-		for _, r := range rows {
-			ok, err := s.evalBool(st.Where, plan.bindings, r, nil)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
-	}
 	// AWHERE: a tuple passes when at least one of its annotations satisfies
 	// the condition.
 	if st.AWhere != nil {
@@ -272,6 +246,50 @@ func (s *Session) buildSelect(st *sqlparse.SelectStmt) (*selectPlan, error) {
 	return plan, nil
 }
 
+// buildRowsNaive is the reference FROM/WHERE implementation: load every
+// table with annotations attached eagerly, materialize the full cross
+// product, then filter. The planner-driven pipeline must return exactly the
+// same rows, annotations and ordering; the plan-equivalence tests compare
+// the two paths.
+func (s *Session) buildRowsNaive(st *sqlparse.SelectStmt, bindings []binding, sources []*sourcePlan) ([]execRow, error) {
+	rows := []execRow{{}}
+	for _, src := range sources {
+		srcRows, err := s.loadTable(src.tbl, src.ref)
+		if err != nil {
+			return nil, err
+		}
+		var next []execRow
+		for _, left := range rows {
+			for _, right := range srcRows {
+				combined := execRow{
+					values:  append(append(value.Row{}, left.values...), right.values...),
+					anns:    append(append([][]*annotation.Annotation{}, left.anns...), right.anns...),
+					origins: append(append([]origin{}, left.origins...), right.origins...),
+				}
+				next = append(next, combined)
+			}
+		}
+		rows = next
+	}
+	if len(sources) == 0 {
+		rows = nil
+	}
+	if st.Where != nil {
+		var kept []execRow
+		for _, r := range rows {
+			ok, err := s.evalBool(st.Where, bindings, r, nil)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	return rows, nil
+}
+
 // loadTable scans a table into execRows, attaching the requested annotations
 // and any outdated marks from the dependency manager.
 func (s *Session) loadTable(tbl *storage.Table, ref sqlparse.TableRef) ([]execRow, error) {
@@ -281,6 +299,15 @@ func (s *Session) loadTable(tbl *storage.Table, ref sqlparse.TableRef) ([]execRo
 		filter.AnnTables = ref.Annotations
 	}
 	numCols := len(tbl.Schema().Columns)
+	// Fetch the outdated bitmap once per scan (not once per cell) and skip
+	// the per-cell probing entirely when the table has no tracked
+	// dependencies.
+	var bm *dependency.Bitmap
+	if s.Dep != nil {
+		if b := s.Dep.Bitmap(tbl.Name()); b.Any() {
+			bm = b
+		}
+	}
 	var out []execRow
 	err := tbl.Scan(func(rowID int64, row value.Row) bool {
 		r := execRow{
@@ -293,9 +320,9 @@ func (s *Session) loadTable(tbl *storage.Table, ref sqlparse.TableRef) ([]execRo
 				r.anns[c] = s.Ann.ForCell(tbl.Name(), rowID, c, filter)
 			}
 		}
-		if s.Dep != nil {
+		if bm != nil && bm.RowOutdated(rowID) {
 			for c := 0; c < numCols; c++ {
-				if s.Dep.Bitmap(tbl.Name()).IsSet(rowID, c) {
+				if bm.IsSet(rowID, c) {
 					r.anns[c] = append(r.anns[c], &annotation.Annotation{
 						AnnTable:  OutdatedAnnTable,
 						UserTable: tbl.Name(),
@@ -421,19 +448,33 @@ func (s *Session) project(st *sqlparse.SelectStmt, plan *selectPlan) ([]string, 
 
 // --- set operations, distinct, order -----------------------------------------------------
 
-func rowKey(r ARow) string {
-	parts := make([]string, len(r.Values))
+// appendRowKey appends a distinctness key for the row to buf and returns the
+// extended buffer. Callers reuse one buffer across rows so keying a row costs
+// a single string allocation (the map key) instead of a string per cell plus
+// a join.
+func appendRowKey(buf []byte, r ARow) []byte {
 	for i, v := range r.Values {
-		parts[i] = v.Type().String() + ":" + v.String()
+		if i > 0 {
+			buf = append(buf, 0)
+		}
+		buf = append(buf, v.Type().String()...)
+		buf = append(buf, ':')
+		buf = append(buf, v.String()...)
 	}
-	return strings.Join(parts, "\x00")
+	return buf
+}
+
+func rowKey(r ARow) string {
+	return string(appendRowKey(nil, r))
 }
 
 func dedupeRows(rows []ARow) []ARow {
-	seen := map[string]int{}
+	seen := make(map[string]int, len(rows))
 	var out []ARow
+	var buf []byte
 	for _, r := range rows {
-		key := rowKey(r)
+		buf = appendRowKey(buf[:0], r)
+		key := string(buf)
 		if idx, ok := seen[key]; ok {
 			// Duplicate elimination unions the annotations of the combined
 			// tuples (Section 3.4).
@@ -454,9 +495,12 @@ func applySetOp(op sqlparse.SetOp, left, right []ARow) ([]ARow, error) {
 	if len(left) > 0 && len(right) > 0 && len(left[0].Values) != len(right[0].Values) {
 		return nil, fmt.Errorf("%w: set operands have different column counts", ErrUnsupported)
 	}
-	rightByKey := map[string][]ARow{}
+	rightByKey := make(map[string][]ARow, len(right))
+	var buf []byte
 	for _, r := range right {
-		rightByKey[rowKey(r)] = append(rightByKey[rowKey(r)], r)
+		buf = appendRowKey(buf[:0], r)
+		key := string(buf)
+		rightByKey[key] = append(rightByKey[key], r)
 	}
 	switch op {
 	case sqlparse.SetIntersect:

@@ -11,6 +11,7 @@
 package storage
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -489,26 +490,59 @@ func (t *Table) LookupEqual(column string, v value.Value) ([]int64, error) {
 // LookupRange returns the RowIDs whose indexed column is in [lo, hi). A NULL
 // hi means "to the end".
 func (t *Table) LookupRange(column string, lo, hi value.Value) ([]int64, error) {
+	return t.IndexRange(column, lo, false, hi, true)
+}
+
+// IndexLookup returns the RowIDs whose indexed column equals v, sorted
+// ascending. The sort makes index-assisted scans emit rows in the same
+// RowID order a heap scan would, which the query planner relies on to keep
+// plan choice invisible in result ordering.
+func (t *Table) IndexLookup(column string, v value.Value) ([]int64, error) {
+	ids, err := t.LookupEqual(column, v)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// IndexRange returns the RowIDs whose indexed column lies between lo and hi,
+// sorted ascending. A NULL bound is unbounded on that side; loStrict and
+// hiStrict exclude rows equal to the respective bound. Unlike LookupRange
+// (half-open [lo, hi)), both bounds default to inclusive, which is what
+// pushed-down >=, >, <=, < predicates need.
+func (t *Table) IndexRange(column string, lo value.Value, loStrict bool, hi value.Value, hiStrict bool) ([]int64, error) {
 	t.mu.RLock()
 	tree, ok := t.indexes[strings.ToLower(column)]
 	t.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, t.schema.Name, column)
 	}
-	var start, end []byte
+	var start, loKey, hiKey []byte
 	if !lo.IsNull() {
-		start = lo.EncodeKey(nil)
+		loKey = lo.EncodeKey(nil)
+		start = loKey
 	}
 	if !hi.IsNull() {
-		end = hi.EncodeKey(nil)
+		hiKey = hi.EncodeKey(nil)
 	}
 	var out []int64
-	tree.AscendRange(start, end, func(_ []byte, values [][]byte) bool {
+	tree.AscendRange(start, nil, func(key []byte, values [][]byte) bool {
+		if loStrict && loKey != nil && bytes.Equal(key, loKey) {
+			return true
+		}
+		if hiKey != nil {
+			c := bytes.Compare(key, hiKey)
+			if c > 0 || (c == 0 && hiStrict) {
+				return false
+			}
+		}
 		for _, vb := range values {
 			out = append(out, rowIDFromBytes(vb))
 		}
 		return true
 	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
 }
 

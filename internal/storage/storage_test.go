@@ -292,3 +292,85 @@ func TestNextRowID(t *testing.T) {
 		t.Error("NextRowID should advance")
 	}
 }
+
+func intSchema(name string) *catalog.Schema {
+	return &catalog.Schema{
+		Name: name,
+		Columns: []catalog.Column{
+			{Name: "ID", Type: value.Int, NotNull: true},
+			{Name: "N", Type: value.Int},
+		},
+		PrimaryKey: "ID",
+	}
+}
+
+func TestIndexLookupSorted(t *testing.T) {
+	e := NewMemoryEngine()
+	tbl, _ := e.CreateTable(intSchema("T"))
+	if err := tbl.CreateIndex("N"); err != nil {
+		t.Fatal(err)
+	}
+	// Insert duplicates of N=5 in non-ascending RowID-vs-key interleaving.
+	for i, n := range []int64{5, 9, 5, 1, 5} {
+		if _, err := tbl.Insert(value.Row{value.NewInt(int64(i + 1)), value.NewInt(n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := tbl.IndexLookup("N", value.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 3, 5}
+	if len(ids) != len(want) {
+		t.Fatalf("IndexLookup = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IndexLookup = %v, want %v (sorted by RowID)", ids, want)
+		}
+	}
+	if _, err := tbl.IndexLookup("NoSuch", value.NewInt(1)); !errors.Is(err, ErrNoIndex) {
+		t.Errorf("IndexLookup on unindexed column: err = %v, want ErrNoIndex", err)
+	}
+}
+
+func TestIndexRangeBounds(t *testing.T) {
+	e := NewMemoryEngine()
+	tbl, _ := e.CreateTable(intSchema("T"))
+	for id := int64(1); id <= 9; id++ {
+		if _, err := tbl.Insert(value.Row{value.NewInt(id), value.NewInt(id * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	null := value.NewNull()
+	cases := []struct {
+		lo, hi             value.Value
+		loStrict, hiStrict bool
+		want               []int64
+	}{
+		{value.NewInt(3), null, false, false, []int64{3, 4, 5, 6, 7, 8, 9}}, // ID >= 3
+		{value.NewInt(3), null, true, false, []int64{4, 5, 6, 7, 8, 9}},     // ID > 3
+		{null, value.NewInt(3), false, false, []int64{1, 2, 3}},             // ID <= 3
+		{null, value.NewInt(3), false, true, []int64{1, 2}},                 // ID < 3
+		{value.NewInt(2), value.NewInt(5), false, false, []int64{2, 3, 4, 5}},
+		{value.NewInt(2), value.NewInt(5), true, true, []int64{3, 4}},
+		{value.NewInt(7), value.NewInt(3), false, false, nil}, // empty range
+		{null, null, false, false, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}},
+	}
+	for _, tc := range cases {
+		got, err := tbl.IndexRange("ID", tc.lo, tc.loStrict, tc.hi, tc.hiStrict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("IndexRange(%v/%v, %v/%v) = %v, want %v", tc.lo, tc.loStrict, tc.hi, tc.hiStrict, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("IndexRange(%v/%v, %v/%v) = %v, want %v", tc.lo, tc.loStrict, tc.hi, tc.hiStrict, got, tc.want)
+				break
+			}
+		}
+	}
+}

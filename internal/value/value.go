@@ -468,8 +468,14 @@ func (v Value) EncodeKey(dst []byte) []byte {
 		binary.BigEndian.PutUint64(buf[:], uint64(v.i)^(1<<63))
 		dst = append(dst, buf[:]...)
 	case Float:
-		bits := math.Float64bits(v.f)
-		if v.f >= 0 {
+		f := v.f
+		if f == 0 {
+			// Canonicalize -0.0: Compare treats it as equal to +0.0, so the
+			// two must encode to the same key.
+			f = 0
+		}
+		bits := math.Float64bits(f)
+		if f >= 0 {
 			bits ^= 1 << 63
 		} else {
 			bits = ^bits

@@ -314,3 +314,14 @@ func TestQuickTextKeyOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEncodeKeyNegativeZero(t *testing.T) {
+	neg := NewFloat(math.Copysign(0, -1))
+	pos := NewFloat(0)
+	if c, err := neg.Compare(pos); err != nil || c != 0 {
+		t.Fatalf("Compare(-0.0, +0.0) = %d, %v", c, err)
+	}
+	if !bytes.Equal(neg.EncodeKey(nil), pos.EncodeKey(nil)) {
+		t.Errorf("EncodeKey(-0.0) != EncodeKey(+0.0): values that Compare equal must share a key")
+	}
+}
