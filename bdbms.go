@@ -14,29 +14,63 @@
 //   - non-traditional access methods: an SP-GiST framework (trie, kd-tree,
 //     point quadtree) and the SBC-tree over RLE-compressed sequences.
 //
-// SELECT statements run through a planned, streaming executor
-// (internal/exec): the WHERE clause is decomposed into conjuncts,
-// single-table predicates are pushed below the join into the table scans,
-// predicates on indexed columns (primary keys and CREATE INDEX columns)
-// probe the B+-tree instead of scanning the heap, and equality conjuncts
-// between tables drive hash equi-joins rather than cross products.
-// Annotations, provenance origins and dependency-outdated marks are attached
-// lazily, only to the rows that survive filtering — so the A-SQL annotation
-// machinery costs nothing on queries that do not use it.
+// # Querying
 //
-// Basic usage:
+// The primary query API follows Go database idioms: Query returns a *Rows
+// cursor that streams results row by row, and Prepare compiles a statement
+// with `?` placeholders once for repeated execution:
 //
 //	db := bdbms.Open()
 //	defer db.Close()
 //	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
-//	db.MustExec(`INSERT INTO Gene VALUES ('JW0080', 'ATGATGG')`)
-//	res, _ := db.Exec(`SELECT * FROM Gene ANNOTATION(*)`)
-//	fmt.Println(bdbms.Render(res))
+//
+//	ins, _ := db.Prepare(`INSERT INTO Gene VALUES (?, ?)`)
+//	ins.Exec("JW0080", "ATGATGG")
+//	ins.Exec("JW0082", "CCGGTTA")
+//
+//	rows, _ := db.Query(ctx, `SELECT GID, GSequence FROM Gene WHERE GID = ?`, "JW0080")
+//	defer rows.Close()
+//	for rows.Next() {
+//		var gid, seq string
+//		rows.Scan(&gid, &seq)
+//		fmt.Println(gid, seq, rows.Annotations())
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// A SELECT of streamable shape (no DISTINCT, grouping, ORDER BY or set
+// operation) is served lazily from the planned iterator pipeline
+// (internal/exec): the WHERE clause is decomposed into conjuncts,
+// single-table predicates are pushed below the join into the table scans,
+// predicates on indexed columns probe the B+-tree instead of scanning the
+// heap, and equality conjuncts between tables drive hash equi-joins. The
+// first row of an indexed point query is returned without materializing
+// anything else, annotations are attached only to rows actually fetched,
+// and canceling the Query context aborts the scan mid-flight.
+//
+// Prepared statements are parsed once and — for streamable SELECTs —
+// planned once, with the cached plan revalidated against the schema
+// version; re-executions only re-bind the `?` arguments.
+//
+// # Concurrency
+//
+// Sessions of one DB are safe for concurrent use: SELECTs share a read
+// lock and run in parallel, while DML, DDL, annotation and approval
+// statements serialize behind an exclusive lock. A streaming cursor holds
+// the read lock until it is closed or exhausted, so always Close the Rows.
+// Because a queued writer blocks new readers, finish (or Close) open
+// cursors before executing a write you wait on, and avoid opening nested
+// queries inside a Next loop while writers may be queued — either pattern
+// can deadlock, exactly as with a single-connection database/sql driver.
+//
+// Exec, ExecAll and MustExec remain as compatibility wrappers that drain a
+// cursor into a fully materialized Result.
 package bdbms
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"unicode/utf8"
 
 	"bdbms/internal/annotation"
 	"bdbms/internal/authz"
@@ -48,13 +82,17 @@ import (
 	"bdbms/internal/storage"
 )
 
-// Re-exported result types: queries return Results made of Rows whose cells
-// carry propagated annotations.
+// Re-exported result types: queries return Rows cursors (or materialized
+// Results) whose cells carry propagated annotations.
 type (
-	// Result is the outcome of executing one A-SQL statement.
+	// Result is the materialized outcome of executing one A-SQL statement.
 	Result = exec.Result
 	// Row is one result row with per-column annotations.
 	Row = exec.ARow
+	// Rows is a streaming cursor over a query result.
+	Rows = exec.Rows
+	// Stmt is a prepared statement with `?` placeholders.
+	Stmt = exec.Stmt
 	// Session executes statements on behalf of a specific user.
 	Session = exec.Session
 	// Annotation is a stored annotation record.
@@ -121,7 +159,19 @@ func (db *DB) Close() error {
 	return nil
 }
 
-// Exec runs one A-SQL statement as the admin user.
+// Query runs one A-SQL statement as the admin user and returns a cursor
+// over its result; args bind the statement's `?` placeholders. SELECTs of
+// streamable shape are served lazily — close the Rows when done.
+func (db *DB) Query(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	return db.inner.Query(ctx, sql, args...)
+}
+
+// Prepare parses (and for streamable SELECTs, plans) a statement once for
+// repeated execution with different `?` arguments, as the admin user.
+func (db *DB) Prepare(sql string) (*Stmt, error) { return db.inner.Prepare(sql) }
+
+// Exec runs one A-SQL statement as the admin user, materializing the full
+// result. It is a compatibility wrapper over Query.
 func (db *DB) Exec(sql string) (*Result, error) { return db.inner.Exec(sql) }
 
 // ExecAll runs a semicolon-separated A-SQL script as the admin user.
@@ -172,19 +222,16 @@ func Render(res *Result) string {
 	}
 	widths := make([]int, len(res.Columns))
 	for i, c := range res.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	cells := make([][]string, len(res.Rows))
 	for r, row := range res.Rows {
 		cells[r] = make([]string, len(row.Values))
 		for c, v := range row.Values {
-			s := v.String()
-			if len(s) > 40 {
-				s = s[:37] + "..."
-			}
+			s := TruncateCell(v.String(), 40)
 			cells[r][c] = s
-			if c < len(widths) && len(s) > widths[c] {
-				widths[c] = len(s)
+			if w := utf8.RuneCountInString(s); c < len(widths) && w > widths[c] {
+				widths[c] = w
 			}
 		}
 	}
@@ -194,7 +241,7 @@ func Render(res *Result) string {
 				b.WriteString(" | ")
 			}
 			b.WriteString(p)
-			for pad := len(p); pad < widths[i]; pad++ {
+			for pad := utf8.RuneCountInString(p); pad < widths[i]; pad++ {
 				b.WriteByte(' ')
 			}
 		}
@@ -214,4 +261,29 @@ func Render(res *Result) string {
 	}
 	fmt.Fprintf(&b, "(%d row(s))\n", len(res.Rows))
 	return b.String()
+}
+
+// TruncateCell shortens s to at most max display runes, appending "..." when
+// it cuts. Truncation happens on rune boundaries so multi-byte UTF-8
+// sequences are never split mid-rune. Render and the CLI use it for grid
+// cells. A max below 4 leaves no room for content plus the ellipsis and is
+// raised to 4.
+func TruncateCell(s string, max int) string {
+	if max < 4 {
+		max = 4
+	}
+	// Walk rune boundaries instead of materializing a []rune, so truncating
+	// a multi-megabyte sequence cell costs O(max), not O(len(s)).
+	n := 0
+	cut := -1
+	for i := range s {
+		if n == max-3 {
+			cut = i
+		}
+		n++
+		if n > max {
+			return s[:cut] + "..."
+		}
+	}
+	return s
 }

@@ -1,9 +1,14 @@
 package bdbms
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"unicode/utf8"
 
 	"bdbms/internal/dependency"
 	"bdbms/internal/provenance"
@@ -164,5 +169,180 @@ func TestCellLevelAnnotationOption(t *testing.T) {
 	// 2 rows x 2 columns = 4 cell records under the naive scheme.
 	if got := db.Annotations().StorageRecords(); got != 4 {
 		t.Errorf("cell records = %d", got)
+	}
+}
+
+// --- cursor API -------------------------------------------------------------------------
+
+// TestQueryFirstRowWithoutMaterializing asserts the streaming cursor's core
+// promise: fetching the first row of a query over a large table costs a
+// small, table-size-independent number of allocations. Materializing would
+// allocate several objects per row (5000 rows here).
+func TestQueryFirstRowWithoutMaterializing(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, Score INT)`)
+	ins, err := db.Prepare(`INSERT INTO Gene VALUES (?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 5000
+	for i := 0; i < rows; i++ {
+		if _, err := ins.Exec(fmt.Sprintf("G%05d", i), "name", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		r, err := db.Query(context.Background(), `SELECT GID, GName FROM Gene`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Next() {
+			t.Fatal("no rows")
+		}
+		r.Close()
+	})
+	// A materialized result would need >= 3 allocations per row (ARow
+	// values, anns, slice growth) — 15000+ here. The streaming path is a
+	// few hundred (dominated by parse + the RowID listing).
+	if allocs > float64(rows) {
+		t.Errorf("first row cost %.0f allocations; cursor appears to materialize", allocs)
+	}
+	t.Logf("first-row allocations over %d rows: %.0f", rows, allocs)
+}
+
+// TestQueryContextCancelFacade is the acceptance check that a canceled
+// context aborts a long scan with context.Canceled at the public API.
+func TestQueryContextCancelFacade(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE T (A INT)`)
+	for i := 0; i < 500; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO T VALUES (%d)`, i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := db.Query(ctx, `SELECT A FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("first row: %v", rows.Err())
+	}
+	cancel()
+	for rows.Next() {
+	}
+	if !errors.Is(rows.Err(), context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", rows.Err())
+	}
+}
+
+// TestConcurrentSessions is the stress test of the engine-wide session
+// lock: parallel streaming readers and one writer run against the same DB.
+// It must pass under -race (CI runs the test step with -race).
+func TestConcurrentSessions(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, Score INT)`)
+	db.MustExec(`CREATE ANNOTATION TABLE Ann ON Gene`)
+	for i := 0; i < 300; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO Gene VALUES ('G%04d', 'n%d', %d)`, i, i, i%7))
+	}
+	db.MustExec(`ADD ANNOTATION TO Gene.Ann VALUE '<Annotation>seed</Annotation>' ON (SELECT GName FROM Gene)`)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sess := db.Session(fmt.Sprintf("reader%d", id))
+			q, err := sess.Prepare(`SELECT GID, GName FROM Gene ANNOTATION(Ann) WHERE Score = ?`)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, err := q.Query(context.Background(), i%7)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for rows.Next() {
+					if len(rows.Row().Values) != 2 {
+						t.Error("short row")
+					}
+				}
+				rows.Close()
+				if rows.Err() != nil {
+					t.Error(rows.Err())
+					return
+				}
+			}
+		}(g)
+	}
+	writer := db.Session("writer")
+	ins, err := writer.Prepare(`INSERT INTO Gene VALUES (?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, err := writer.Prepare(`UPDATE Gene SET Score = ? WHERE GID = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		if _, err := ins.Exec(fmt.Sprintf("W%04d", i), "w", i%7); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := upd.Exec((i+1)%7, fmt.Sprintf("W%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%40 == 0 {
+			// Mix in DDL so prepared readers exercise plan invalidation.
+			if _, err := writer.Exec(`CREATE INDEX ON Gene (Score)`); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	res := db.MustExec(`SELECT COUNT(*) FROM Gene`)
+	if res.Rows[0].Values[0].Int() != 420 {
+		t.Errorf("row count = %v", res.Rows[0].Values[0])
+	}
+}
+
+// TestRenderRuneTruncation verifies cells are truncated on rune boundaries:
+// multi-byte UTF-8 content must never be split mid-sequence.
+func TestRenderRuneTruncation(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE Note (ID INT NOT NULL PRIMARY KEY, Body TEXT)`)
+	long := strings.Repeat("génèse→", 12) // multi-byte runes, > 40 runes
+	stmt, err := db.Prepare(`INSERT INTO Note VALUES (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Exec(1, long); err != nil {
+		t.Fatal(err)
+	}
+	res := db.MustExec(`SELECT ID, Body FROM Note`)
+	rendered := Render(res)
+	if !utf8.ValidString(rendered) {
+		t.Fatalf("Render produced invalid UTF-8: %q", rendered)
+	}
+	if !strings.Contains(rendered, "...") {
+		t.Error("long cell was not truncated")
+	}
+	if got := TruncateCell(long, 40); utf8.RuneCountInString(got) != 40 || !utf8.ValidString(got) {
+		t.Errorf("TruncateCell = %q (%d runes)", got, utf8.RuneCountInString(got))
+	}
+	if got := TruncateCell("short", 40); got != "short" {
+		t.Errorf("TruncateCell(short) = %q", got)
 	}
 }

@@ -5,6 +5,7 @@
 package bdbms
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -496,6 +497,107 @@ func BenchmarkHashJoin(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPreparedSelect measures prepared re-execution against
+// parse-per-call Exec on an indexed point query: the prepared path skips the
+// parser and reuses the cached physical plan (a deferred B+-tree probe bound
+// to the `?` argument), so each execution only re-binds and probes.
+func BenchmarkPreparedSelect(b *testing.B) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, Score INT)`)
+	gen := biogen.New(9)
+	const rows = 10000
+	ins, err := db.Prepare(`INSERT INTO Gene VALUES (?, ?, ?)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := ins.Exec(biogen.GeneID(i), gen.GeneName(i), i%97); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ids := make([]string, 64)
+	for i := range ids {
+		ids[i] = biogen.GeneID(i * 151 % rows)
+	}
+	b.Run("exec-per-call", func(b *testing.B) {
+		s := db.Session("admin")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Exec(fmt.Sprintf(`SELECT GID, GName FROM Gene WHERE GID = '%s'`, ids[i%len(ids)]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				b.Fatalf("point query returned %d rows", len(res.Rows))
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		stmt, err := db.Session("admin").Prepare(`SELECT GID, GName FROM Gene WHERE GID = ?`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := stmt.Exec(ids[i%len(ids)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				b.Fatalf("point query returned %d rows", len(res.Rows))
+			}
+		}
+	})
+}
+
+// BenchmarkQueryFirstRow measures time-to-first-row of a full-table SELECT
+// through the streaming cursor versus draining the materialized Exec result,
+// the visible win of the lazy Rows API.
+func BenchmarkQueryFirstRow(b *testing.B) {
+	db := Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, Score INT)`)
+	ins, err := db.Prepare(`INSERT INTO Gene VALUES (?, ?, ?)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := biogen.New(12)
+	const rows = 5000
+	for i := 0; i < rows; i++ {
+		if _, err := ins.Exec(biogen.GeneID(i), gen.GeneName(i), i%97); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cursor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := db.Query(context.Background(), `SELECT GID, GName FROM Gene`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.Next() {
+				b.Fatal("no rows")
+			}
+			r.Close()
+		}
+	})
+	b.Run("exec-materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Exec(`SELECT GID, GName FROM Gene`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != rows {
+				b.Fatal("short result")
+			}
+		}
+	})
 }
 
 // BenchmarkDistinct measures the DISTINCT deduplication path, whose row keys

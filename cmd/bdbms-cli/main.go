@@ -4,6 +4,10 @@
 // row — the textual stand-in for the spreadsheet visualization tool the paper
 // discusses in Section 3.2.
 //
+// Results stream: the shell pulls rows through the database's cursor API
+// (Query) and prints each one as it arrives, so a SELECT over a large table
+// starts printing immediately and never buffers the whole grid in memory.
+//
 // Usage:
 //
 //	bdbms-cli [-data file.db] [-user name] [-enforce-auth] [-script file.sql]
@@ -11,12 +15,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"unicode/utf8"
 
 	"bdbms"
+	"bdbms/internal/sqlparse"
 )
 
 func main() {
@@ -43,13 +51,19 @@ func main() {
 		fmt.Println("Enter A-SQL statements terminated by ';'.  \\q quits, \\tables lists tables.")
 	}
 
-	run := func(sql string) {
-		res, err := session.Exec(sql)
+	run := func(sql string) bool {
+		rows, err := session.Query(context.Background(), sql)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			return
+			return false
 		}
-		fmt.Print(bdbms.Render(res))
+		defer rows.Close()
+		streamResult(os.Stdout, rows)
+		if err := rows.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		return true
 	}
 
 	if *script != "" {
@@ -58,13 +72,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bdbms-cli:", err)
 			os.Exit(1)
 		}
-		results, err := session.ExecAll(string(content))
-		for _, res := range results {
-			fmt.Print(bdbms.Render(res))
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+		// Validate the whole script before executing anything, so a syntax
+		// error cannot leave the database half-migrated.
+		if _, err := sqlparse.ParseAll(string(content)); err != nil {
+			fmt.Fprintln(os.Stderr, "bdbms-cli:", err)
 			os.Exit(1)
+		}
+		for _, stmt := range sqlparse.SplitStatements(string(content)) {
+			if !run(stmt) {
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -105,4 +122,62 @@ func main() {
 	if buf.Len() > 0 && strings.TrimSpace(buf.String()) != "" {
 		run(buf.String())
 	}
+}
+
+// streamResult prints a cursor's result as it is pulled: the header first,
+// then one line per row the moment the row arrives, with the row's
+// annotations listed beneath it. Column widths are fixed from the header
+// (cells are truncated to 40 runes), trading the perfectly-fitted grid of
+// bdbms.Render for output that streams.
+func streamResult(w io.Writer, rows *bdbms.Rows) {
+	if msg := rows.Message(); msg != "" {
+		fmt.Fprintln(w, msg)
+	}
+	cols := rows.Columns()
+	if len(cols) == 0 {
+		return
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = utf8.RuneCountInString(c)
+		if widths[i] < 8 {
+			widths[i] = 8
+		}
+	}
+	writeRow := func(parts []string) {
+		for i, p := range parts {
+			if i > 0 {
+				fmt.Fprint(w, " | ")
+			}
+			fmt.Fprint(w, p)
+			// Pad by rune count, not bytes, so multi-byte cells align.
+			for pad := utf8.RuneCountInString(p); pad < widths[i]; pad++ {
+				fmt.Fprint(w, " ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(cols)
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	n := 0
+	cells := make([]string, len(cols))
+	for rows.Next() {
+		row := rows.Row()
+		for i := range cells {
+			cells[i] = ""
+			if i < len(row.Values) {
+				cells[i] = bdbms.TruncateCell(row.Values[i].String(), 40)
+			}
+		}
+		writeRow(cells)
+		for _, ann := range row.AnnotationsFlat() {
+			fmt.Fprintf(w, "    [%s by %s] %s\n", ann.AnnTable, ann.Author, ann.PlainBody())
+		}
+		n++
+	}
+	fmt.Fprintf(w, "(%d row(s))\n", n)
 }

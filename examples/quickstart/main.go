@@ -1,11 +1,14 @@
-// Command quickstart shows the minimal bdbms workflow: create a gene table,
-// attach an annotation table, insert data, annotate it at several
-// granularities with ADD ANNOTATION, and query it back with the A-SQL
-// ANNOTATION clause so annotations propagate with the answer.
+// Command quickstart shows the minimal bdbms workflow with the cursor API:
+// create a gene table, load it through a prepared INSERT, annotate it at
+// several granularities with ADD ANNOTATION, and stream the annotated answer
+// back with Query — Prepare/Query/Rows are the primary idioms, with
+// MustExec/Render as the convenience layer for one-off statements.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"bdbms"
 )
@@ -13,6 +16,7 @@ import (
 func main() {
 	db := bdbms.Open()
 	defer db.Close()
+	ctx := context.Background()
 
 	db.MustExec(`CREATE TABLE Gene (
 		GID TEXT NOT NULL PRIMARY KEY,
@@ -20,10 +24,21 @@ func main() {
 		GSequence SEQUENCE)`)
 	db.MustExec(`CREATE ANNOTATION TABLE GAnnotation ON Gene CATEGORY 'comment'`)
 
-	db.MustExec(`INSERT INTO Gene VALUES
-		('JW0080', 'mraW', 'ATGATGGAAAA'),
-		('JW0082', 'ftsI', 'ATGAAAGCAGC'),
-		('JW0055', 'yabP', 'ATGAAAGTATC')`)
+	// Prepared statements parse (and plan) once; each Exec re-binds the `?`
+	// placeholders.
+	ins, err := db.Prepare(`INSERT INTO Gene VALUES (?, ?, ?)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range []struct{ id, name, seq string }{
+		{"JW0080", "mraW", "ATGATGGAAAA"},
+		{"JW0082", "ftsI", "ATGAAAGCAGC"},
+		{"JW0055", "yabP", "ATGAAAGTATC"},
+	} {
+		if _, err := ins.Exec(g.id, g.name, g.seq); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	// Annotate a whole tuple ...
 	db.MustExec(`ADD ANNOTATION TO Gene.GAnnotation
@@ -34,15 +49,52 @@ func main() {
 		VALUE '<Annotation>Sequences obtained from RegulonDB</Annotation>'
 		ON (SELECT GSequence FROM Gene)`)
 
-	res := db.MustExec(`SELECT GID, GName PROMOTE (GSequence)
-		FROM Gene ANNOTATION(GAnnotation)
-		ORDER BY GID`)
+	// Query streams: each Next pulls one row through the executor pipeline,
+	// with its propagated annotations attached, and the `?` binds the LIKE
+	// pattern per execution.
 	fmt.Println("Genes with their propagated annotations:")
-	fmt.Print(bdbms.Render(res))
+	rows, err := db.Query(ctx, `SELECT GID, GName PROMOTE (GSequence)
+		FROM Gene ANNOTATION(GAnnotation)
+		WHERE GID LIKE ?`, "JW%")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rows.Next() {
+		var gid, name string
+		if err := rows.Scan(&gid, &name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s | %s\n", gid, name)
+		for _, ann := range rows.Row().AnnotationsFlat() {
+			fmt.Printf("    [%s by %s] %s\n", ann.AnnTable, ann.Author, ann.PlainBody())
+		}
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
 
-	// Annotation-based querying: which genes carry a curation note?
-	curated := db.MustExec(`SELECT GID FROM Gene ANNOTATION(GAnnotation)
-		AWHERE ANN.VALUE LIKE '%Curated%'`)
+	// Annotation-based querying: which genes carry a curation note? The
+	// AWHERE condition binds its pattern as a parameter too.
+	curated, err := db.Query(ctx, `SELECT GID FROM Gene ANNOTATION(GAnnotation)
+		AWHERE ANN.VALUE LIKE ?`, "%Curated%")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Genes with a curation annotation:")
-	fmt.Print(bdbms.Render(curated))
+	for curated.Next() {
+		var gid string
+		if err := curated.Scan(&gid); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(gid)
+	}
+	curated.Close()
+	if err := curated.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The materializing compatibility layer is still there for one-offs.
+	fmt.Println("Full grid via Render:")
+	fmt.Print(bdbms.Render(db.MustExec(`SELECT GID, GName FROM Gene ORDER BY GID`)))
 }

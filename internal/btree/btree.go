@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // DefaultOrder is the default maximum number of keys per node. With 4 KB
@@ -56,7 +57,17 @@ type Tree struct {
 	size  int // number of (key,value) pairs
 	keys  int // number of distinct keys
 	bytes int // total bytes of keys and values stored (for storage accounting)
-	stats IOStats
+	// stats counters are atomic: read-only tree operations (Get, scans) are
+	// issued concurrently by parallel SELECT sessions and still count their
+	// simulated I/Os.
+	stats ioCounters
+}
+
+// ioCounters is the internal atomic representation of IOStats.
+type ioCounters struct {
+	nodeReads  atomic.Uint64
+	nodeWrites atomic.Uint64
+	splits     atomic.Uint64
 }
 
 // New creates an empty tree with the given order (maximum keys per node).
@@ -78,11 +89,21 @@ func (t *Tree) NumKeys() int { return t.keys }
 // storage-footprint measure used by experiment E1.
 func (t *Tree) KeyBytes() int { return t.bytes }
 
-// Stats returns the simulated I/O counters.
-func (t *Tree) Stats() IOStats { return t.stats }
+// Stats returns a snapshot of the simulated I/O counters.
+func (t *Tree) Stats() IOStats {
+	return IOStats{
+		NodeReads:  t.stats.nodeReads.Load(),
+		NodeWrites: t.stats.nodeWrites.Load(),
+		Splits:     t.stats.splits.Load(),
+	}
+}
 
 // ResetStats zeroes the simulated I/O counters.
-func (t *Tree) ResetStats() { t.stats = IOStats{} }
+func (t *Tree) ResetStats() {
+	t.stats.nodeReads.Store(0)
+	t.stats.nodeWrites.Store(0)
+	t.stats.splits.Store(0)
+}
 
 // Height returns the height of the tree (1 for a single leaf).
 func (t *Tree) Height() int {
@@ -126,12 +147,12 @@ func (t *Tree) Insert(key, value []byte) {
 			children: []*node{t.root, right},
 		}
 		t.root = newRoot
-		t.stats.NodeWrites++
+		t.stats.nodeWrites.Add(1)
 	}
 }
 
 func (t *Tree) insert(n *node, key, value []byte) (median []byte, right *node) {
-	t.stats.NodeReads++
+	t.stats.nodeReads.Add(1)
 	if n.leaf {
 		idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
 		if idx < len(n.keys) && bytes.Equal(n.keys[idx], key) {
@@ -147,7 +168,7 @@ func (t *Tree) insert(n *node, key, value []byte) (median []byte, right *node) {
 		}
 		t.size++
 		t.bytes += len(key) + len(value)
-		t.stats.NodeWrites++
+		t.stats.nodeWrites.Add(1)
 		if len(n.keys) > t.order {
 			return t.splitLeaf(n)
 		}
@@ -164,7 +185,7 @@ func (t *Tree) insert(n *node, key, value []byte) (median []byte, right *node) {
 	n.children = append(n.children, nil)
 	copy(n.children[idx+2:], n.children[idx+1:])
 	n.children[idx+1] = right
-	t.stats.NodeWrites++
+	t.stats.nodeWrites.Add(1)
 	if len(n.keys) > t.order {
 		return t.splitInternal(n)
 	}
@@ -182,8 +203,8 @@ func (t *Tree) splitLeaf(n *node) ([]byte, *node) {
 	n.keys = n.keys[:mid]
 	n.vals = n.vals[:mid]
 	n.next = right
-	t.stats.Splits++
-	t.stats.NodeWrites += 2
+	t.stats.splits.Add(1)
+	t.stats.nodeWrites.Add(2)
 	return right.keys[0], right
 }
 
@@ -197,8 +218,8 @@ func (t *Tree) splitInternal(n *node) ([]byte, *node) {
 	}
 	n.keys = n.keys[:mid]
 	n.children = n.children[:mid+1]
-	t.stats.Splits++
-	t.stats.NodeWrites += 2
+	t.stats.splits.Add(1)
+	t.stats.nodeWrites.Add(2)
 	return median, right
 }
 
@@ -206,7 +227,7 @@ func (t *Tree) splitInternal(n *node) ([]byte, *node) {
 func (t *Tree) Get(key []byte) [][]byte {
 	n := t.root
 	for {
-		t.stats.NodeReads++
+		t.stats.nodeReads.Add(1)
 		if n.leaf {
 			idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
 			if idx < len(n.keys) && bytes.Equal(n.keys[idx], key) {
@@ -231,7 +252,7 @@ func (t *Tree) Contains(key []byte) bool { return t.Get(key) != nil }
 func (t *Tree) Delete(key, value []byte) error {
 	n := t.root
 	for {
-		t.stats.NodeReads++
+		t.stats.nodeReads.Add(1)
 		if n.leaf {
 			idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
 			if idx >= len(n.keys) || !bytes.Equal(n.keys[idx], key) {
@@ -245,7 +266,7 @@ func (t *Tree) Delete(key, value []byte) error {
 				n.keys = append(n.keys[:idx], n.keys[idx+1:]...)
 				n.vals = append(n.vals[:idx], n.vals[idx+1:]...)
 				t.keys--
-				t.stats.NodeWrites++
+				t.stats.nodeWrites.Add(1)
 				return nil
 			}
 			for i, v := range n.vals[idx] {
@@ -258,7 +279,7 @@ func (t *Tree) Delete(key, value []byte) error {
 						n.vals = append(n.vals[:idx], n.vals[idx+1:]...)
 						t.keys--
 					}
-					t.stats.NodeWrites++
+					t.stats.nodeWrites.Add(1)
 					return nil
 				}
 			}
@@ -274,11 +295,11 @@ func (t *Tree) Delete(key, value []byte) error {
 func (t *Tree) findLeaf(key []byte) (*node, int) {
 	n := t.root
 	for !n.leaf {
-		t.stats.NodeReads++
+		t.stats.nodeReads.Add(1)
 		idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
 		n = n.children[idx]
 	}
-	t.stats.NodeReads++
+	t.stats.nodeReads.Add(1)
 	idx := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
 	return n, idx
 }
@@ -299,7 +320,7 @@ func (t *Tree) AscendRange(start, end []byte, fn func(key []byte, values [][]byt
 		}
 		n = n.next
 		if n != nil {
-			t.stats.NodeReads++
+			t.stats.nodeReads.Add(1)
 		}
 		idx = 0
 	}

@@ -5,7 +5,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"bdbms/internal/annotation"
 	"bdbms/internal/authz"
@@ -37,6 +39,11 @@ type DB struct {
 	dep  *dependency.Manager
 	auth *authz.Manager
 	opts Options
+	// stmtMu is the engine-wide statement lock shared by every session:
+	// SELECTs take it shared (and a streaming cursor holds it until closed),
+	// mutating statements take it exclusive. This is what makes concurrent
+	// sessions safe.
+	stmtMu sync.RWMutex
 }
 
 // resolver adapts the storage engine to annotation.TableResolver.
@@ -94,7 +101,9 @@ func (db *DB) Dependencies() *dependency.Manager { return db.dep }
 // Authorization returns the authorization manager.
 func (db *DB) Authorization() *authz.Manager { return db.auth }
 
-// Session creates an A-SQL execution session for the given user.
+// Session creates an A-SQL execution session for the given user. Every
+// session shares the database's statement lock, so sessions of one DB may
+// run concurrently from multiple goroutines.
 func (db *DB) Session(user string) *exec.Session {
 	return &exec.Session{
 		Eng:         db.eng,
@@ -104,6 +113,7 @@ func (db *DB) Session(user string) *exec.Session {
 		Auth:        db.auth,
 		User:        user,
 		EnforceAuth: db.opts.EnforceAuth,
+		Mu:          &db.stmtMu,
 	}
 }
 
@@ -115,6 +125,18 @@ func (db *DB) Exec(sql string) (*exec.Result, error) {
 // ExecAll runs a semicolon-separated script as the built-in admin user.
 func (db *DB) ExecAll(sql string) ([]*exec.Result, error) {
 	return db.Session("admin").ExecAll(sql)
+}
+
+// Query runs one statement as the built-in admin user and returns a cursor
+// over its result; SELECTs of streamable shape are served lazily.
+func (db *DB) Query(ctx context.Context, sql string, args ...any) (*exec.Rows, error) {
+	return db.Session("admin").Query(ctx, sql, args...)
+}
+
+// Prepare parses (and for streamable SELECTs, plans) a statement once for
+// repeated execution as the built-in admin user.
+func (db *DB) Prepare(sql string) (*exec.Stmt, error) {
+	return db.Session("admin").Prepare(sql)
 }
 
 // Close flushes buffered pages. The pager itself is owned by the caller when

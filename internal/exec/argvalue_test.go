@@ -1,0 +1,19 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestUintOverflowArg(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE T (A INT)`)
+	if _, err := s.Query(context.Background(), `SELECT A FROM T WHERE A = ?`, uint64(math.MaxInt64)+1); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("uint64 overflow: %v", err)
+	}
+	if _, err := s.Query(context.Background(), `SELECT A FROM T WHERE A = ?`, uint64(7)); err != nil {
+		t.Errorf("small uint64: %v", err)
+	}
+}

@@ -1,0 +1,628 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/authz"
+	"bdbms/internal/sqlparse"
+	"bdbms/internal/value"
+)
+
+// This file is the cursor layer of the executor: the Go-database-idiom
+// surface (Query / Prepare / Rows / Stmt) over the streaming SELECT
+// pipeline. A SELECT whose shape permits it (no DISTINCT, grouping,
+// aggregates, ORDER BY or set operations) streams: each Rows.Next pulls one
+// row through the scan/join iterators, decorates it with annotations and
+// outdated marks, applies AWHERE / FILTER and projects it — the full result
+// set is never materialized, and the first row of an indexed point query
+// costs a handful of allocations regardless of table size. Everything else
+// (grouped, ordered, compound and non-SELECT statements) executes eagerly
+// and is served from a materialized cursor with the same interface.
+//
+// Prepared statements parse once and, for streamable SELECTs, plan once: the
+// physical plan is cached on the Stmt and revalidated against the storage
+// engine's schema version, so re-executions skip both the parser and the
+// planner and only re-bind the `?` parameters.
+
+// Query runs one A-SQL statement and returns a cursor over its result. args
+// bind the statement's `?` placeholders (left to right) and must match their
+// count. The context is checked inside the scan and join iterators, so
+// canceling it aborts a long-running query with ctx.Err(). For DML the
+// context is honored while matching rows and before the first mutation;
+// once writes begin the statement runs to completion (there is no rollback
+// log to undo a partial write).
+//
+// For streaming cursors the session's read lock is held until Close; always
+// close the returned Rows (Close is idempotent, and exhausting the cursor
+// releases the lock as well).
+//
+// Lock contract: because sync.RWMutex blocks new readers once a writer is
+// waiting, do not issue a mutating statement — from any goroutine you then
+// wait on — while one of your cursors is still open, and do not open a
+// nested Query inside a Next loop if a writer may be queued concurrently;
+// either pattern can deadlock. Drain or Close the cursor first (Exec
+// materializes and never holds the lock across caller code).
+func (s *Session) Query(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	params, err := bindArgs(sqlparse.CountPlaceholders(stmt), args)
+	if err != nil {
+		return nil, err
+	}
+	return s.queryStmt(ctx, stmt, params, nil)
+}
+
+// Prepare parses the statement once and returns a Stmt that re-binds its `?`
+// placeholders per execution. For streamable SELECTs the physical plan is
+// additionally cached across executions (invalidated by DDL), so a prepared
+// point query skips parsing and planning entirely.
+func (s *Session) Prepare(sql string) (*Stmt, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{
+		sess:      s,
+		text:      sql,
+		stmt:      stmt,
+		numParams: sqlparse.CountPlaceholders(stmt),
+	}, nil
+}
+
+// Stmt is a prepared statement: parsed once, re-bound per execution. A Stmt
+// is safe for concurrent use by multiple goroutines.
+type Stmt struct {
+	sess      *Session
+	text      string
+	stmt      sqlparse.Statement
+	numParams int
+
+	mu   sync.Mutex
+	plan *stmtPlan
+}
+
+// stmtPlan is the cached physical plan of a prepared streamable SELECT,
+// valid while the schema version is unchanged.
+type stmtPlan struct {
+	version  uint64
+	sources  []*sourcePlan
+	bindings []binding
+	phys     *physicalPlan
+	items    []planItem
+}
+
+// Text returns the statement's A-SQL source.
+func (st *Stmt) Text() string { return st.text }
+
+// NumParams returns the number of `?` placeholders in the statement.
+func (st *Stmt) NumParams() int { return st.numParams }
+
+// Query executes the prepared statement with the given arguments and returns
+// a cursor over its result.
+func (st *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
+	params, err := bindArgs(st.numParams, args)
+	if err != nil {
+		return nil, err
+	}
+	return st.sess.queryStmt(ctx, st.stmt, params, st)
+}
+
+// Exec executes the prepared statement and drains the cursor into a
+// materialized Result; the convenient form for DML.
+func (st *Stmt) Exec(args ...any) (*Result, error) {
+	rows, err := st.Query(context.Background(), args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// cachedPlan returns the statement's physical plan, replanning when the
+// schema version moved. The caller must hold the session's read lock, which
+// excludes concurrent DDL, so the version cannot change underneath the
+// check.
+func (st *Stmt) cachedPlan(s *Session, sel *sqlparse.SelectStmt) (*stmtPlan, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v := s.Eng.SchemaVersion()
+	if st.plan != nil && st.plan.version == v {
+		return st.plan, nil
+	}
+	plan, err := s.planFor(sel)
+	if err != nil {
+		return nil, err
+	}
+	st.plan = plan
+	return plan, nil
+}
+
+// planFor resolves sources and builds the physical plan and projection
+// layout of a SELECT.
+func (s *Session) planFor(sel *sqlparse.SelectStmt) (*stmtPlan, error) {
+	sources, bindings, slotSource, err := s.resolveSources(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	return &stmtPlan{
+		version:  s.Eng.SchemaVersion(),
+		sources:  sources,
+		bindings: bindings,
+		phys:     s.planSelect(sel, sources, bindings, slotSource),
+		items:    resolveItems(sel, bindings),
+	}, nil
+}
+
+// streamableSelect reports whether the SELECT can be served row-at-a-time:
+// blocking operators (duplicate elimination, grouping and aggregation,
+// ordering, set operations) need the full input before the first output row
+// and fall back to the materialized path. AWHERE, FILTER and LIMIT are
+// per-row and stream fine.
+func streamableSelect(st *sqlparse.SelectStmt) bool {
+	return !st.Distinct &&
+		len(st.GroupBy) == 0 &&
+		st.Having == nil &&
+		st.AHaving == nil &&
+		len(st.OrderBy) == 0 &&
+		st.SetOp == sqlparse.SetNone &&
+		!hasAggregate(st.Items)
+}
+
+// queryStmt routes a bound statement to the streaming pipeline when its
+// shape allows, or to eager execution wrapped in a materialized cursor.
+func (s *Session) queryStmt(ctx context.Context, stmt sqlparse.Statement, params value.Row, prep *Stmt) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if sel, ok := stmt.(*sqlparse.SelectStmt); ok && !s.NoOptimize && streamableSelect(sel) {
+		return s.queryStream(ctx, sel, params, prep)
+	}
+	res, err := s.execStmtLocked(ctx, stmt, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{
+		cols:     res.Columns,
+		rows:     res.Rows,
+		affected: res.Affected,
+		message:  res.Message,
+		limit:    -1,
+	}, nil
+}
+
+// queryStream builds the lazy pipeline of a streamable SELECT. The session
+// read lock (when wired) is acquired here and held until the cursor is
+// closed or exhausted, so concurrent writers cannot shear a scan.
+func (s *Session) queryStream(ctx context.Context, sel *sqlparse.SelectStmt, params value.Row, prep *Stmt) (*Rows, error) {
+	unlock := func() {}
+	if s.Mu != nil {
+		s.Mu.RLock()
+		unlock = s.Mu.RUnlock
+	}
+	rows, err := s.buildStream(ctx, sel, params, prep)
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	rows.unlock = unlock
+	return rows, nil
+}
+
+func (s *Session) buildStream(ctx context.Context, sel *sqlparse.SelectStmt, params value.Row, prep *Stmt) (*Rows, error) {
+	for _, ref := range sel.From {
+		if err := s.require(ref.Table, authz.PrivSelect); err != nil {
+			return nil, err
+		}
+	}
+	var plan *stmtPlan
+	var err error
+	if prep != nil {
+		plan, err = prep.cachedPlan(s, sel)
+	} else {
+		plan, err = s.planFor(sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	it, err := s.buildPipeline(ctx, plan.phys, plan.bindings, params)
+	if err != nil {
+		return nil, err
+	}
+	it = &decorateIter{
+		in:     it,
+		dec:    s.newDecorator(plan.sources),
+		awhere: sel.AWhere,
+		filter: sel.Filter,
+		params: params,
+	}
+	proj := newProjector(s, plan.items, plan.bindings, params)
+	return &Rows{
+		cols:  proj.cols,
+		it:    it,
+		proj:  proj,
+		limit: sel.Limit,
+	}, nil
+}
+
+// decorateIter attaches annotations and outdated marks to each surviving
+// row, then applies the per-row annotation operators: AWHERE keeps a row
+// only when one of its annotations satisfies the condition, FILTER drops
+// annotations (not rows) failing the condition.
+type decorateIter struct {
+	in     rowIter
+	dec    *decorator
+	awhere sqlparse.Expr
+	filter sqlparse.Expr
+	params value.Row
+}
+
+func (it *decorateIter) Next() (execRow, bool, error) {
+	for {
+		r, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return execRow{}, false, err
+		}
+		it.dec.decorate(&r)
+		if it.awhere != nil {
+			match, err := annRowMatches(it.awhere, &r, it.params)
+			if err != nil {
+				return execRow{}, false, err
+			}
+			if !match {
+				continue
+			}
+		}
+		if it.filter != nil {
+			if err := filterRowAnns(it.filter, &r, it.params); err != nil {
+				return execRow{}, false, err
+			}
+		}
+		return r, true, nil
+	}
+}
+
+// --- argument binding ----------------------------------------------------------------------
+
+// bindArgs converts the Go argument list into a parameter row, type-checking
+// the count against the statement's placeholders.
+func bindArgs(numParams int, args []any) (value.Row, error) {
+	if len(args) != numParams {
+		return nil, fmt.Errorf("%w: statement has %d placeholder(s), got %d argument(s)",
+			ErrBadArgs, numParams, len(args))
+	}
+	if numParams == 0 {
+		return nil, nil
+	}
+	params := make(value.Row, numParams)
+	for i, a := range args {
+		v, err := argValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("%w: argument %d: %v", ErrBadArgs, i+1, err)
+		}
+		params[i] = v
+	}
+	return params, nil
+}
+
+// argValue converts one Go argument to a typed value.
+func argValue(a any) (value.Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return value.NewNull(), nil
+	case value.Value:
+		return v, nil
+	case string:
+		return value.NewText(v), nil
+	case []byte:
+		return value.NewText(string(v)), nil
+	case bool:
+		return value.NewBool(v), nil
+	case int:
+		return value.NewInt(int64(v)), nil
+	case int8:
+		return value.NewInt(int64(v)), nil
+	case int16:
+		return value.NewInt(int64(v)), nil
+	case int32:
+		return value.NewInt(int64(v)), nil
+	case int64:
+		return value.NewInt(v), nil
+	case uint:
+		if uint64(v) > math.MaxInt64 {
+			return value.Value{}, fmt.Errorf("uint value %d overflows INT", v)
+		}
+		return value.NewInt(int64(v)), nil
+	case uint8:
+		return value.NewInt(int64(v)), nil
+	case uint16:
+		return value.NewInt(int64(v)), nil
+	case uint32:
+		return value.NewInt(int64(v)), nil
+	case uint64:
+		if v > math.MaxInt64 {
+			return value.Value{}, fmt.Errorf("uint64 value %d overflows INT", v)
+		}
+		return value.NewInt(int64(v)), nil
+	case float32:
+		return value.NewFloat(float64(v)), nil
+	case float64:
+		return value.NewFloat(v), nil
+	case time.Time:
+		return value.NewTimestamp(v), nil
+	default:
+		return value.Value{}, fmt.Errorf("unsupported argument type %T", a)
+	}
+}
+
+// --- Rows ----------------------------------------------------------------------------------
+
+// Rows is a cursor over a statement's result, modeled on database/sql: call
+// Next until it returns false, read the current row with Scan / Row /
+// Annotations, then check Err and Close. A streaming Rows holds the
+// session's shared lock until closed or exhausted; a materialized Rows
+// (DML, grouped or ordered SELECTs) holds nothing.
+type Rows struct {
+	cols []string
+
+	// Streaming state (it != nil).
+	it   rowIter
+	proj *projector
+
+	// Materialized state (it == nil).
+	rows []ARow
+	pos  int
+
+	limit    int // rows still to emit; -1 = unlimited
+	cur      ARow
+	valid    bool
+	err      error
+	closed   bool
+	affected int
+	message  string
+	unlock   func()
+}
+
+// Columns returns the output column names (empty for DML/DDL results).
+func (r *Rows) Columns() []string { return r.cols }
+
+// Affected returns the number of rows affected when the statement was DML.
+func (r *Rows) Affected() int { return r.affected }
+
+// Message returns the DDL/utility summary message, if any.
+func (r *Rows) Message() string { return r.message }
+
+// Next advances to the next row. It returns false at end of stream, on
+// error (check Err), after Close, and once a LIMIT is exhausted.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		r.valid = false
+		return false
+	}
+	if r.limit == 0 {
+		r.finish()
+		return false
+	}
+	if r.it != nil {
+		row, ok, err := r.it.Next()
+		if err != nil {
+			r.err = err
+			r.finish()
+			return false
+		}
+		if !ok {
+			r.finish()
+			return false
+		}
+		ar, err := r.proj.row(row)
+		if err != nil {
+			r.err = err
+			r.finish()
+			return false
+		}
+		r.cur = ar
+	} else {
+		if r.pos >= len(r.rows) {
+			r.finish()
+			return false
+		}
+		r.cur = r.rows[r.pos]
+		r.pos++
+	}
+	if r.limit > 0 {
+		r.limit--
+	}
+	r.valid = true
+	return true
+}
+
+// Row returns the current row (valid after a true Next).
+func (r *Rows) Row() ARow { return r.cur }
+
+// Annotations returns the per-column annotations of the current row.
+func (r *Rows) Annotations() [][]*annotation.Annotation { return r.cur.Anns }
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor (and the session read lock a streaming cursor
+// holds). It is idempotent and safe to call at any point.
+func (r *Rows) Close() error {
+	r.finish()
+	r.closed = true
+	r.valid = false
+	return nil
+}
+
+// finish releases resources once; the cursor may still serve Err/Columns.
+func (r *Rows) finish() {
+	r.valid = false
+	if r.unlock != nil {
+		r.unlock()
+		r.unlock = nil
+	}
+}
+
+// Scan copies the current row's values into dest, which must contain one
+// pointer per output column. Supported targets: *string, *int, *int64,
+// *float64, *bool, *time.Time, *value.Value and *any.
+func (r *Rows) Scan(dest ...any) error {
+	if !r.valid {
+		return fmt.Errorf("exec: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cur.Values) {
+		return fmt.Errorf("exec: Scan expects %d destination(s), got %d", len(r.cur.Values), len(dest))
+	}
+	for i, d := range dest {
+		if err := scanValue(r.cur.Values[i], d); err != nil {
+			return fmt.Errorf("exec: Scan column %d (%s): %w", i, r.colName(i), err)
+		}
+	}
+	return nil
+}
+
+func (r *Rows) colName(i int) string {
+	if i < len(r.cols) {
+		return r.cols[i]
+	}
+	return "?"
+}
+
+func scanValue(v value.Value, dest any) error {
+	switch d := dest.(type) {
+	case *value.Value:
+		*d = v
+		return nil
+	case *any:
+		*d = nativeValue(v)
+		return nil
+	case *string:
+		if v.IsNull() {
+			*d = ""
+			return nil
+		}
+		*d = v.String()
+		return nil
+	case *int64:
+		switch v.Type() {
+		case value.Int:
+			*d = v.Int()
+		case value.Float:
+			*d = int64(v.Float())
+		case value.Null:
+			*d = 0
+		default:
+			return fmt.Errorf("cannot scan %s into *int64", v.Type())
+		}
+		return nil
+	case *int:
+		var x int64
+		if err := scanValue(v, &x); err != nil {
+			return fmt.Errorf("cannot scan %s into *int", v.Type())
+		}
+		*d = int(x)
+		return nil
+	case *float64:
+		switch v.Type() {
+		case value.Int, value.Float:
+			*d = v.Float()
+		case value.Null:
+			*d = 0
+		default:
+			return fmt.Errorf("cannot scan %s into *float64", v.Type())
+		}
+		return nil
+	case *bool:
+		if v.Type() != value.Bool {
+			return fmt.Errorf("cannot scan %s into *bool", v.Type())
+		}
+		*d = v.Bool()
+		return nil
+	case *time.Time:
+		if v.Type() != value.Timestamp {
+			return fmt.Errorf("cannot scan %s into *time.Time", v.Type())
+		}
+		*d = v.Time()
+		return nil
+	default:
+		return fmt.Errorf("unsupported Scan destination %T", dest)
+	}
+}
+
+// nativeValue unboxes a typed value into its natural Go representation.
+func nativeValue(v value.Value) any {
+	switch v.Type() {
+	case value.Null:
+		return nil
+	case value.Int:
+		return v.Int()
+	case value.Float:
+		return v.Float()
+	case value.Bool:
+		return v.Bool()
+	case value.Timestamp:
+		return v.Time()
+	default:
+		return v.String()
+	}
+}
+
+// materialize drains the cursor into a Result; the compatibility shim behind
+// Session.Exec and Stmt.Exec.
+func (r *Rows) materialize() (*Result, error) {
+	res := &Result{Columns: r.cols}
+	if r.it == nil && r.pos == 0 {
+		res.Rows = r.rows
+	} else {
+		for r.Next() {
+			res.Rows = append(res.Rows, r.cur)
+		}
+	}
+	r.Close()
+	if r.err != nil {
+		return nil, r.err
+	}
+	res.Affected = r.affected
+	res.Message = r.message
+	return res, nil
+}
+
+// annRowMatches reports whether any annotation attached to the row satisfies
+// the AWHERE / AHAVING condition.
+func annRowMatches(e sqlparse.Expr, r *execRow, params value.Row) (bool, error) {
+	for _, cell := range r.anns {
+		for _, a := range cell {
+			ok, err := evalAnnBool(e, a, params)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// filterRowAnns drops the row's annotations that fail the FILTER condition.
+func filterRowAnns(e sqlparse.Expr, r *execRow, params value.Row) error {
+	for c, cell := range r.anns {
+		var kept []*annotation.Annotation
+		for _, a := range cell {
+			ok, err := evalAnnBool(e, a, params)
+			if err != nil {
+				return err
+			}
+			if ok {
+				kept = append(kept, a)
+			}
+		}
+		r.anns[c] = kept
+	}
+	return nil
+}

@@ -31,9 +31,11 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"bdbms/internal/annotation"
@@ -54,13 +56,22 @@ var (
 	ErrUnknownColumn = errors.New("exec: unknown column")
 	// ErrAmbiguousColumn is returned when an unqualified column matches several tables.
 	ErrAmbiguousColumn = errors.New("exec: ambiguous column")
+	// ErrBadArgs is returned when a statement's `?` placeholders and the
+	// supplied arguments do not line up (count mismatch, unsupported Go type,
+	// or a placeholder evaluated without a binding).
+	ErrBadArgs = errors.New("exec: bad statement arguments")
 )
 
 // OutdatedAnnTable is the synthetic annotation table name used when the
 // dependency manager flags a propagated cell as outdated.
 const OutdatedAnnTable = "Outdated"
 
-// Session executes statements on behalf of one user.
+// Session executes statements on behalf of one user. A Session carries no
+// per-statement state, so one Session may be shared by several goroutines;
+// when Mu is set (core wires every session of a database to one lock),
+// statement execution is serialized engine-wide: SELECTs share a read lock
+// and run concurrently, everything that mutates state (DML, DDL, annotation
+// and approval commands) takes the lock exclusively.
 type Session struct {
 	// Eng is the storage engine.
 	Eng *storage.Engine
@@ -81,6 +92,36 @@ type Session struct {
 	// the semantic reference: the plan-equivalence tests and the baseline
 	// benchmarks run with NoOptimize set.
 	NoOptimize bool
+	// Mu, when non-nil, is the engine-wide statement lock shared by every
+	// session of one database: read statements (SELECT, SHOW PENDING) take it
+	// shared, mutating statements take it exclusive. A streaming cursor holds
+	// the read lock until it is closed.
+	Mu *sync.RWMutex
+}
+
+// readOnlyStmt reports whether the statement only reads database state and
+// may run under the shared lock.
+func readOnlyStmt(stmt sqlparse.Statement) bool {
+	switch stmt.(type) {
+	case *sqlparse.SelectStmt, *sqlparse.ShowPendingStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+// lockFor acquires the session lock appropriate for the statement and
+// returns the matching release function (a no-op when no lock is wired).
+func (s *Session) lockFor(stmt sqlparse.Statement) func() {
+	if s.Mu == nil {
+		return func() {}
+	}
+	if readOnlyStmt(stmt) {
+		s.Mu.RLock()
+		return s.Mu.RUnlock
+	}
+	s.Mu.Lock()
+	return s.Mu.Unlock
 }
 
 // ARow is one result row: values plus, per output column, the annotations
@@ -122,13 +163,15 @@ type Result struct {
 	Message string
 }
 
-// Exec parses and executes a single A-SQL statement.
+// Exec parses and executes a single A-SQL statement, materializing the full
+// result. It is a compatibility wrapper that drains a Query cursor; use
+// Query to stream large results and bind `?` placeholders.
 func (s *Session) Exec(sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(stmt)
+	return s.drainStmt(stmt)
 }
 
 // ExecAll parses and executes a semicolon-separated script, returning the
@@ -140,7 +183,7 @@ func (s *Session) ExecAll(sql string) ([]*Result, error) {
 	}
 	out := make([]*Result, 0, len(stmts))
 	for _, stmt := range stmts {
-		res, err := s.ExecStmt(stmt)
+		res, err := s.drainStmt(stmt)
 		if err != nil {
 			return out, err
 		}
@@ -149,17 +192,42 @@ func (s *Session) ExecAll(sql string) ([]*Result, error) {
 	return out, nil
 }
 
-// ExecStmt executes a parsed statement.
+// drainStmt executes a parsed statement through the cursor layer and drains
+// it into a materialized Result.
+func (s *Session) drainStmt(stmt sqlparse.Statement) (*Result, error) {
+	rows, err := s.queryStmt(context.Background(), stmt, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// ExecStmt executes a parsed statement (taking the session lock when one is
+// wired) and materializes the full result.
 func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
+	return s.drainStmt(stmt)
+}
+
+// execStmtLocked takes the statement-appropriate lock and executes.
+func (s *Session) execStmtLocked(ctx context.Context, stmt sqlparse.Statement, params value.Row) (*Result, error) {
+	unlock := s.lockFor(stmt)
+	defer unlock()
+	return s.execStmt(ctx, stmt, params)
+}
+
+// execStmt dispatches a parsed statement. The caller must already hold the
+// appropriate session lock; params carry the bound placeholder arguments
+// (nil when the statement has none).
+func (s *Session) execStmt(ctx context.Context, stmt sqlparse.Statement, params value.Row) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparse.SelectStmt:
-		return s.execSelect(st)
+		return s.execSelect(ctx, st, params)
 	case *sqlparse.InsertStmt:
-		return s.execInsert(st)
+		return s.execInsert(ctx, st, params)
 	case *sqlparse.UpdateStmt:
-		return s.execUpdate(st)
+		return s.execUpdate(ctx, st, params)
 	case *sqlparse.DeleteStmt:
-		return s.execDelete(st)
+		return s.execDelete(ctx, st, params)
 	case *sqlparse.CreateTableStmt:
 		return s.execCreateTable(st)
 	case *sqlparse.DropTableStmt:
@@ -171,9 +239,9 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 	case *sqlparse.DropAnnotationTableStmt:
 		return s.execDropAnnotationTable(st)
 	case *sqlparse.AddAnnotationStmt:
-		return s.execAddAnnotation(st)
+		return s.execAddAnnotation(ctx, st, params)
 	case *sqlparse.ArchiveAnnotationStmt:
-		return s.execArchiveRestore(st)
+		return s.execArchiveRestore(ctx, st, params)
 	case *sqlparse.StartContentApprovalStmt:
 		return s.execStartApproval(st)
 	case *sqlparse.StopContentApprovalStmt:
@@ -248,7 +316,14 @@ func (s *Session) execDropAnnotationTable(st *sqlparse.DropAnnotationTableStmt) 
 
 // --- DML ---------------------------------------------------------------------------
 
-func (s *Session) execInsert(st *sqlparse.InsertStmt) (*Result, error) {
+// DML cancellation contract: the context is honored while matching rows
+// (the long read phase) and before the first mutation; once writes begin
+// the statement runs to completion, because without a rollback log an abort
+// mid-write would leave the table partially updated.
+func (s *Session) execInsert(ctx context.Context, st *sqlparse.InsertStmt, params value.Row) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := s.require(st.Table, authz.PrivInsert); err != nil {
 		return nil, err
 	}
@@ -269,7 +344,7 @@ func (s *Session) execInsert(st *sqlparse.InsertStmt) (*Result, error) {
 					catalog.ErrSchemaMismatch, len(schema.Columns), len(exprRow))
 			}
 			for i, e := range exprRow {
-				v, err := s.evalConst(e)
+				v, err := s.evalConst(e, params)
 				if err != nil {
 					return nil, err
 				}
@@ -284,7 +359,7 @@ func (s *Session) execInsert(st *sqlparse.InsertStmt) (*Result, error) {
 				if idx < 0 {
 					return nil, fmt.Errorf("%w: %s.%s", catalog.ErrColumnNotFound, st.Table, colName)
 				}
-				v, err := s.evalConst(exprRow[i])
+				v, err := s.evalConst(exprRow[i], params)
 				if err != nil {
 					return nil, err
 				}
@@ -301,7 +376,7 @@ func (s *Session) execInsert(st *sqlparse.InsertStmt) (*Result, error) {
 	return &Result{Affected: affected, Message: fmt.Sprintf("%d row(s) inserted", affected)}, nil
 }
 
-func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
+func (s *Session) execUpdate(ctx context.Context, st *sqlparse.UpdateStmt, params value.Row) (*Result, error) {
 	if err := s.require(st.Table, authz.PrivUpdate); err != nil {
 		return nil, err
 	}
@@ -309,7 +384,7 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := s.matchingRows(tbl, st.Where)
+	rows, err := s.matchingRows(ctx, tbl, st.Where, params)
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +402,7 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
 			if idx < 0 {
 				return nil, fmt.Errorf("%w: %s.%s", catalog.ErrColumnNotFound, st.Table, set.Column)
 			}
-			v, err := s.evalRowExpr(set.Value, tbl, rowID, oldRow)
+			v, err := s.evalRowExpr(set.Value, tbl, rowID, oldRow, params)
 			if err != nil {
 				return nil, err
 			}
@@ -343,7 +418,7 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt) (*Result, error) {
 	return &Result{Affected: affected, Message: fmt.Sprintf("%d row(s) updated", affected)}, nil
 }
 
-func (s *Session) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
+func (s *Session) execDelete(ctx context.Context, st *sqlparse.DeleteStmt, params value.Row) (*Result, error) {
 	if err := s.require(st.Table, authz.PrivDelete); err != nil {
 		return nil, err
 	}
@@ -351,7 +426,7 @@ func (s *Session) execDelete(st *sqlparse.DeleteStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := s.matchingRows(tbl, st.Where)
+	rows, err := s.matchingRows(ctx, tbl, st.Where, params)
 	if err != nil {
 		return nil, err
 	}
@@ -383,16 +458,26 @@ func (s *Session) afterWrite(kind authz.OpKind, tbl *storage.Table, rowID int64,
 	}
 }
 
-// matchingRows returns the RowIDs of tbl satisfying where (all rows when nil).
-func (s *Session) matchingRows(tbl *storage.Table, where sqlparse.Expr) ([]int64, error) {
+// matchingRows returns the RowIDs of tbl satisfying where (all rows when
+// nil). The scan — a DML statement's long read phase — honors context
+// cancellation, checked periodically.
+func (s *Session) matchingRows(ctx context.Context, tbl *storage.Table, where sqlparse.Expr, params value.Row) ([]int64, error) {
 	var out []int64
 	var evalErr error
+	scanned := 0
 	scanErr := tbl.Scan(func(rowID int64, row value.Row) bool {
+		if scanned&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				evalErr = err
+				return false
+			}
+		}
+		scanned++
 		if where == nil {
 			out = append(out, rowID)
 			return true
 		}
-		v, err := s.evalRowExpr(where, tbl, rowID, row)
+		v, err := s.evalRowExpr(where, tbl, rowID, row, params)
 		if err != nil {
 			evalErr = err
 			return false
@@ -411,16 +496,16 @@ func (s *Session) matchingRows(tbl *storage.Table, where sqlparse.Expr) ([]int64
 	return out, nil
 }
 
-// evalConst evaluates an expression with no row context (literals and
-// arithmetic over literals).
-func (s *Session) evalConst(e sqlparse.Expr) (value.Value, error) {
+// evalConst evaluates an expression with no row context (literals,
+// arithmetic over literals, and bound placeholders).
+func (s *Session) evalConst(e sqlparse.Expr, params value.Row) (value.Value, error) {
 	return evalExpr(e, func(col *sqlparse.ColumnExpr) (value.Value, error) {
 		return value.Value{}, fmt.Errorf("%w: %s in constant context", ErrUnknownColumn, col.Column)
-	}, nil)
+	}, nil, params)
 }
 
 // evalRowExpr evaluates an expression against a single table row.
-func (s *Session) evalRowExpr(e sqlparse.Expr, tbl *storage.Table, rowID int64, row value.Row) (value.Value, error) {
+func (s *Session) evalRowExpr(e sqlparse.Expr, tbl *storage.Table, rowID int64, row value.Row, params value.Row) (value.Value, error) {
 	schema := tbl.Schema()
 	return evalExpr(e, func(col *sqlparse.ColumnExpr) (value.Value, error) {
 		if col.Table != "" && !strings.EqualFold(col.Table, tbl.Name()) && !strings.EqualFold(col.Table, "ANN") {
@@ -431,15 +516,15 @@ func (s *Session) evalRowExpr(e sqlparse.Expr, tbl *storage.Table, rowID int64, 
 			return value.Value{}, fmt.Errorf("%w: %s", ErrUnknownColumn, col.Column)
 		}
 		return row[idx], nil
-	}, nil)
+	}, nil, params)
 }
 
 // --- annotation commands --------------------------------------------------------------
 
 // selectRegions runs the ON (SELECT ...) of an annotation command and
 // translates its output into storage regions of the target user table.
-func (s *Session) selectRegions(sel *sqlparse.SelectStmt, userTable string) ([]annotation.Region, error) {
-	plan, err := s.buildSelect(sel)
+func (s *Session) selectRegions(ctx context.Context, sel *sqlparse.SelectStmt, userTable string, params value.Row) ([]annotation.Region, error) {
+	plan, err := s.buildSelect(ctx, sel, params)
 	if err != nil {
 		return nil, err
 	}
@@ -488,10 +573,10 @@ func (s *Session) selectRegions(sel *sqlparse.SelectStmt, userTable string) ([]a
 	return regions, nil
 }
 
-func (s *Session) execAddAnnotation(st *sqlparse.AddAnnotationStmt) (*Result, error) {
+func (s *Session) execAddAnnotation(ctx context.Context, st *sqlparse.AddAnnotationStmt, params value.Row) (*Result, error) {
 	total := 0
 	for _, target := range st.Targets {
-		regions, err := s.selectRegions(st.On, target.UserTable)
+		regions, err := s.selectRegions(ctx, st.On, target.UserTable, params)
 		if err != nil {
 			return nil, err
 		}
@@ -518,7 +603,7 @@ func parseTimeBound(text string) (time.Time, error) {
 	return time.Time{}, fmt.Errorf("exec: bad timestamp %q", text)
 }
 
-func (s *Session) execArchiveRestore(st *sqlparse.ArchiveAnnotationStmt) (*Result, error) {
+func (s *Session) execArchiveRestore(ctx context.Context, st *sqlparse.ArchiveAnnotationStmt, params value.Row) (*Result, error) {
 	from, err := parseTimeBound(st.From)
 	if err != nil {
 		return nil, err
@@ -530,7 +615,7 @@ func (s *Session) execArchiveRestore(st *sqlparse.ArchiveAnnotationStmt) (*Resul
 	tr := annotation.TimeRange{From: from, To: to}
 	total := 0
 	for _, target := range st.Targets {
-		regions, err := s.selectRegions(st.On, target.UserTable)
+		regions, err := s.selectRegions(ctx, st.On, target.UserTable, params)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 
@@ -16,7 +17,12 @@ import (
 // materializes the cross product of its FROM tables the way the naive
 // executor does. Rows carry only values and origins while inside the
 // pipeline; annotations and outdated marks are attached lazily, after
-// filtering, by Session.decorateRows.
+// filtering, by Session.decorateRows (or per row by decorateIter when the
+// query streams through a cursor).
+//
+// Scan and join iterators check the query context on every Next call, so a
+// canceled context aborts a long-running scan or join with ctx.Err()
+// (typically context.Canceled) instead of running to completion.
 
 // rowIter is the iterator interface every physical operator implements.
 type rowIter interface {
@@ -28,7 +34,9 @@ type rowIter interface {
 
 // compiledPred is one WHERE conjunct with every column reference resolved to
 // its global value-slot index at plan time, so per-row evaluation is a slice
-// index instead of a name lookup.
+// index instead of a name lookup. Placeholders stay unresolved in the
+// expression and are bound from params at evaluation time, which is what lets
+// a prepared statement reuse the compiled predicate across executions.
 type compiledPred struct {
 	expr  sqlparse.Expr
 	slots map[*sqlparse.ColumnExpr]int
@@ -37,23 +45,23 @@ type compiledPred struct {
 // eval evaluates the predicate against a row whose values start at the given
 // global slot offset (0 for post-join rows, the source offset for rows still
 // inside a single-table scan).
-func (p compiledPred) eval(vals value.Row, offset int) (bool, error) {
+func (p compiledPred) eval(vals value.Row, offset int, params value.Row) (bool, error) {
 	v, err := evalExpr(p.expr, func(col *sqlparse.ColumnExpr) (value.Value, error) {
 		slot, ok := p.slots[col]
 		if !ok {
 			return value.Value{}, errUnresolvedSlot
 		}
 		return vals[slot-offset], nil
-	}, nil)
+	}, nil, params)
 	if err != nil {
 		return false, err
 	}
 	return v.Type() == value.Bool && v.Bool(), nil
 }
 
-func evalPreds(preds []compiledPred, vals value.Row, offset int) (bool, error) {
+func evalPreds(preds []compiledPred, vals value.Row, offset int, params value.Row) (bool, error) {
 	for _, p := range preds {
-		ok, err := p.eval(vals, offset)
+		ok, err := p.eval(vals, offset, params)
 		if err != nil {
 			return false, err
 		}
@@ -71,13 +79,26 @@ func evalPreds(preds []compiledPred, vals value.Row, offset int) (bool, error) {
 // either from the heap (full scan) or from a B+-tree probe (index scan); in
 // both cases it is sorted, so downstream operators see the same order.
 type scanIter struct {
-	src *sourcePlan
-	ids []int64
-	pos int
+	ctx    context.Context
+	src    *sourcePlan
+	ids    []int64
+	params value.Row
+	pos    int
 }
 
 func (it *scanIter) Next() (execRow, bool, error) {
+	if err := it.ctx.Err(); err != nil {
+		return execRow{}, false, err
+	}
 	for it.pos < len(it.ids) {
+		// Re-check cancellation periodically inside the loop: a selective
+		// predicate can reject long stretches of rows within one Next call,
+		// and the stream holds the engine-wide read lock the whole time.
+		if it.pos&1023 == 1023 {
+			if err := it.ctx.Err(); err != nil {
+				return execRow{}, false, err
+			}
+		}
 		rowID := it.ids[it.pos]
 		it.pos++
 		vals, err := it.src.tbl.Get(rowID)
@@ -88,7 +109,7 @@ func (it *scanIter) Next() (execRow, bool, error) {
 		if err != nil {
 			return execRow{}, false, err
 		}
-		ok, err := evalPreds(it.src.preds, vals, it.src.offset)
+		ok, err := evalPreds(it.src.preds, vals, it.src.offset, it.params)
 		if err != nil {
 			return execRow{}, false, err
 		}
@@ -123,8 +144,9 @@ func drainIter(it rowIter) ([]execRow, error) {
 // filterIter applies post-join conjuncts to rows covering a prefix of the
 // FROM sources (offset 0).
 type filterIter struct {
-	in    rowIter
-	preds []compiledPred
+	in     rowIter
+	preds  []compiledPred
+	params value.Row
 }
 
 func (it *filterIter) Next() (execRow, bool, error) {
@@ -133,9 +155,43 @@ func (it *filterIter) Next() (execRow, bool, error) {
 		if err != nil || !ok {
 			return execRow{}, false, err
 		}
-		keep, err := evalPreds(it.preds, r.values, 0)
+		keep, err := evalPreds(it.preds, r.values, 0, it.params)
 		if err != nil {
 			return execRow{}, false, err
+		}
+		if keep {
+			return r, true, nil
+		}
+	}
+}
+
+// residualIter evaluates conjuncts the planner could not compile (aggregates,
+// late-resolving references) exactly like the naive executor evaluates WHERE,
+// but one row at a time so the streaming cursor stays lazy.
+type residualIter struct {
+	s        *Session
+	in       rowIter
+	exprs    []sqlparse.Expr
+	bindings []binding
+	params   value.Row
+}
+
+func (it *residualIter) Next() (execRow, bool, error) {
+	for {
+		r, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return execRow{}, false, err
+		}
+		keep := true
+		for _, e := range it.exprs {
+			ok, err := it.s.evalBool(e, it.bindings, r, nil, it.params)
+			if err != nil {
+				return execRow{}, false, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
 		}
 		if keep {
 			return r, true, nil
@@ -203,6 +259,7 @@ func joinKey(buf []byte, vals value.Row, cols []joinKeyCol) ([]byte, bool) {
 // right-scan (RowID) order, so the output order equals what the naive
 // filtered cross product produces.
 type hashJoinIter struct {
+	ctx      context.Context
 	left     rowIter
 	build    map[string][]execRow
 	leftKey  []joinKeyCol // slots are global (into the left prefix row)
@@ -215,7 +272,7 @@ type hashJoinIter struct {
 
 // newHashJoinIter builds the hash table over the right rows. rightKey slots
 // are local to the right source's columns.
-func newHashJoinIter(left rowIter, rightRows []execRow, leftKey, rightKey []joinKeyCol) *hashJoinIter {
+func newHashJoinIter(ctx context.Context, left rowIter, rightRows []execRow, leftKey, rightKey []joinKeyCol) *hashJoinIter {
 	build := make(map[string][]execRow, len(rightRows))
 	var buf []byte
 	for _, r := range rightRows {
@@ -226,7 +283,7 @@ func newHashJoinIter(left rowIter, rightRows []execRow, leftKey, rightKey []join
 		}
 		build[string(buf)] = append(build[string(buf)], r)
 	}
-	return &hashJoinIter{left: left, build: build, leftKey: leftKey}
+	return &hashJoinIter{ctx: ctx, left: left, build: build, leftKey: leftKey}
 }
 
 func (it *hashJoinIter) Next() (execRow, bool, error) {
@@ -234,6 +291,9 @@ func (it *hashJoinIter) Next() (execRow, bool, error) {
 		// Empty build side: no left row can match, so don't drain the left
 		// input (e.g. after an index point-miss on the right table).
 		return execRow{}, false, nil
+	}
+	if err := it.ctx.Err(); err != nil {
+		return execRow{}, false, err
 	}
 	for {
 		if it.haveLeft && it.mpos < len(it.matches) {
@@ -262,6 +322,7 @@ func (it *hashJoinIter) Next() (execRow, bool, error) {
 // connects the next source: the right side is materialized once and replayed
 // per left row.
 type crossJoinIter struct {
+	ctx      context.Context
 	left     rowIter
 	right    []execRow
 	cur      execRow
@@ -270,6 +331,9 @@ type crossJoinIter struct {
 }
 
 func (it *crossJoinIter) Next() (execRow, bool, error) {
+	if err := it.ctx.Err(); err != nil {
+		return execRow{}, false, err
+	}
 	for {
 		if it.haveLeft && it.rpos < len(it.right) {
 			right := it.right[it.rpos]

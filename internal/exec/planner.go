@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -76,6 +77,11 @@ const (
 	accessFullScan accessKind = iota
 	accessIndexEq
 	accessIndexRange
+	// accessIndexEqParam is an equality probe whose comparison value contains
+	// a placeholder: the probe key is computed from the bound parameters at
+	// execution time, so a prepared statement keeps its index plan across
+	// re-executions with different arguments.
+	accessIndexEqParam
 )
 
 // accessPath describes the index probe of one source, when it has one.
@@ -83,7 +89,8 @@ type accessPath struct {
 	kind     accessKind
 	column   string
 	eq       value.Value
-	lo, hi   value.Value // NULL = unbounded
+	eqExpr   sqlparse.Expr // deferred probe value (accessIndexEqParam)
+	lo, hi   value.Value   // NULL = unbounded
 	loStrict bool
 	hiStrict bool
 }
@@ -137,6 +144,8 @@ func (p *physicalPlan) String() string {
 		switch src.access.kind {
 		case accessIndexEq:
 			fmt.Fprintf(&b, "IndexScan(%s.%s =)", src.tbl.Name(), src.access.column)
+		case accessIndexEqParam:
+			fmt.Fprintf(&b, "IndexScan(%s.%s = ?)", src.tbl.Name(), src.access.column)
 		case accessIndexRange:
 			fmt.Fprintf(&b, "IndexScan(%s.%s range)", src.tbl.Name(), src.access.column)
 		default:
@@ -156,6 +165,8 @@ func describeScan(src *sourcePlan) string {
 	switch src.access.kind {
 	case accessIndexEq:
 		return fmt.Sprintf(" via IndexScan(%s.%s =)", src.tbl.Name(), src.access.column)
+	case accessIndexEqParam:
+		return fmt.Sprintf(" via IndexScan(%s.%s = ?)", src.tbl.Name(), src.access.column)
 	case accessIndexRange:
 		return fmt.Sprintf(" via IndexScan(%s.%s range)", src.tbl.Name(), src.access.column)
 	default:
@@ -190,6 +201,10 @@ func walkColumns(e sqlparse.Expr, fn func(*sqlparse.ColumnExpr)) bool {
 		return walkColumns(ex.Expr, fn)
 	case *sqlparse.BinaryExpr:
 		return walkColumns(ex.Left, fn) && walkColumns(ex.Right, fn)
+	case *sqlparse.PlaceholderExpr:
+		// A placeholder references no columns; the value is bound at
+		// execution time, so the conjunct stays pushable.
+		return true
 	case *sqlparse.AggregateExpr:
 		return false
 	default:
@@ -231,44 +246,47 @@ func analyzeConjunct(e sqlparse.Expr, bindings []binding, slotSource []int) (ana
 	return ac, pure && resolved
 }
 
-// constOperand evaluates e when it references no columns or aggregates; used
-// to recognize `col = <const>` index probes with computed constants.
-func (s *Session) constOperand(e sqlparse.Expr) (value.Value, bool) {
+// constOperand reports whether e references no columns or aggregates (it may
+// contain placeholders); used to recognize `col = <const>` index probes with
+// computed constants and `col = ?` deferred probes.
+func constOperand(e sqlparse.Expr) bool {
 	hasCol := false
 	pure := walkColumns(e, func(*sqlparse.ColumnExpr) { hasCol = true })
-	if !pure || hasCol {
-		return value.Value{}, false
-	}
-	v, err := s.evalConst(e)
-	if err != nil {
-		return value.Value{}, false
-	}
-	return v, true
+	return pure && !hasCol
+}
+
+// containsPlaceholder reports whether any `?` marker appears in e.
+func containsPlaceholder(e sqlparse.Expr) bool {
+	found := false
+	sqlparse.WalkExpr(e, func(sub sqlparse.Expr) {
+		if _, ok := sub.(*sqlparse.PlaceholderExpr); ok {
+			found = true
+		}
+	})
+	return found
 }
 
 // comparisonParts matches `col op const` / `const op col` and returns the
-// column, the constant and the op normalized to put the column on the left.
-func (s *Session) comparisonParts(e sqlparse.Expr) (*sqlparse.ColumnExpr, value.Value, string, bool) {
+// column, the constant expression (columns- and aggregate-free, possibly
+// containing placeholders) and the op normalized to put the column on the
+// left.
+func comparisonParts(e sqlparse.Expr) (*sqlparse.ColumnExpr, sqlparse.Expr, string, bool) {
 	bin, ok := e.(*sqlparse.BinaryExpr)
 	if !ok {
-		return nil, value.Value{}, "", false
+		return nil, nil, "", false
 	}
 	switch bin.Op {
 	case "=", "<", "<=", ">", ">=":
 	default:
-		return nil, value.Value{}, "", false
+		return nil, nil, "", false
 	}
-	if col, ok := bin.Left.(*sqlparse.ColumnExpr); ok {
-		if v, ok := s.constOperand(bin.Right); ok {
-			return col, v, bin.Op, true
-		}
+	if col, ok := bin.Left.(*sqlparse.ColumnExpr); ok && constOperand(bin.Right) {
+		return col, bin.Right, bin.Op, true
 	}
-	if col, ok := bin.Right.(*sqlparse.ColumnExpr); ok {
-		if v, ok := s.constOperand(bin.Left); ok {
-			return col, v, flipOp(bin.Op), true
-		}
+	if col, ok := bin.Right.(*sqlparse.ColumnExpr); ok && constOperand(bin.Left) {
+		return col, bin.Left, flipOp(bin.Op), true
 	}
-	return nil, value.Value{}, "", false
+	return nil, nil, "", false
 }
 
 func flipOp(op string) string {
@@ -390,22 +408,40 @@ func (s *Session) planSelect(st *sqlparse.SelectStmt, sources []*sourcePlan, bin
 }
 
 // chooseAccessPath picks an index probe for the source from its pushed
-// predicates: the first constant equality on an indexed column wins,
-// otherwise every constant range conjunct on the first indexed range column
-// is merged into one [lo, hi] probe. The chosen conjuncts stay in src.preds,
-// so the probe may safely return a superset.
+// predicates: the first constant equality on an indexed column wins, then an
+// equality against a placeholder (resolved at execution time), otherwise
+// every constant range conjunct on the first indexed range column is merged
+// into one [lo, hi] probe. The chosen conjuncts stay in src.preds, so the
+// probe may safely return a superset (and a deferred probe may safely fall
+// back to a full scan when the bound argument cannot be converted to the
+// column's key space).
 func (s *Session) chooseAccessPath(src *sourcePlan) {
 	var rangeCol string
+	var deferredEq sqlparse.Expr
+	var deferredCol string
 	lo, hi := value.NewNull(), value.NewNull()
 	loStrict, hiStrict := false, false
 
 	for _, p := range src.preds {
-		col, cv, op, ok := s.comparisonParts(p.expr)
+		col, ce, op, ok := comparisonParts(p.expr)
 		if !ok {
 			continue
 		}
 		name := col.Column
 		if !src.tbl.HasIndex(name) {
+			continue
+		}
+		if containsPlaceholder(ce) {
+			// The probe value is unknown until the statement is bound; only
+			// equality probes are deferred (range bounds cannot be merged
+			// without their values).
+			if op == "=" && deferredEq == nil {
+				deferredEq, deferredCol = ce, name
+			}
+			continue
+		}
+		cv, err := s.evalConst(ce, nil)
+		if err != nil {
 			continue
 		}
 		colType := src.tbl.Schema().Columns[src.tbl.Schema().ColumnIndex(name)].Type
@@ -443,6 +479,10 @@ func (s *Session) chooseAccessPath(src *sourcePlan) {
 				hi, hiStrict = probe, strict
 			}
 		}
+	}
+	if deferredEq != nil {
+		src.access = accessPath{kind: accessIndexEqParam, column: deferredCol, eqExpr: deferredEq}
+		return
 	}
 	if rangeCol != "" && (!lo.IsNull() || !hi.IsNull()) {
 		src.access = accessPath{kind: accessIndexRange, column: rangeCol, lo: lo, hi: hi, loStrict: loStrict, hiStrict: hiStrict}
@@ -548,10 +588,25 @@ func (s *Session) explainSelect(st *sqlparse.SelectStmt) (string, error) {
 // --- execution -----------------------------------------------------------------------------
 
 // scanRowIDs produces the source's candidate RowIDs per its access path.
-func scanRowIDs(src *sourcePlan) ([]int64, error) {
+// Deferred probes (accessIndexEqParam) evaluate their comparison value from
+// the bound parameters; when the argument cannot be converted to the indexed
+// column's key space the scan falls back to the full RowID list, which is
+// always correct because the originating predicate is re-applied in the scan.
+func (s *Session) scanRowIDs(src *sourcePlan, params value.Row) ([]int64, error) {
 	switch src.access.kind {
 	case accessIndexEq:
 		return src.tbl.IndexLookup(src.access.column, src.access.eq)
+	case accessIndexEqParam:
+		v, err := s.evalConst(src.access.eqExpr, params)
+		if err != nil {
+			return nil, err
+		}
+		colType := src.tbl.Schema().Columns[src.tbl.Schema().ColumnIndex(src.access.column)].Type
+		probe, _, usable := indexProbeValue(colType, v)
+		if !usable {
+			return src.tbl.RowIDs(), nil
+		}
+		return src.tbl.IndexLookup(src.access.column, probe)
 	case accessIndexRange:
 		return src.tbl.IndexRange(src.access.column, src.access.lo, src.access.loStrict, src.access.hi, src.access.hiStrict)
 	default:
@@ -559,84 +614,85 @@ func scanRowIDs(src *sourcePlan) ([]int64, error) {
 	}
 }
 
-// runPlan executes the pipeline and returns the surviving rows (values and
-// origins only; annotations are attached later by decorateRows).
-func (s *Session) runPlan(plan *physicalPlan, bindings []binding) ([]execRow, error) {
-	if len(plan.sources) == 0 {
-		return nil, nil
-	}
-	ids, err := scanRowIDs(plan.sources[0])
+// buildPipeline assembles the iterator tree of the planned FROM/WHERE
+// pipeline (scans, joins, post-join filters and residual conjuncts). Both
+// the materializing runPlan and the streaming cursor pull from it.
+func (s *Session) buildPipeline(ctx context.Context, plan *physicalPlan, bindings []binding, params value.Row) (rowIter, error) {
+	ids, err := s.scanRowIDs(plan.sources[0], params)
 	if err != nil {
 		return nil, err
 	}
-	var it rowIter = &scanIter{src: plan.sources[0], ids: ids}
+	var it rowIter = &scanIter{ctx: ctx, src: plan.sources[0], ids: ids, params: params}
 	for i := range plan.steps {
 		step := &plan.steps[i]
-		rids, err := scanRowIDs(step.right)
+		rids, err := s.scanRowIDs(step.right, params)
 		if err != nil {
 			return nil, err
 		}
-		rightRows, err := drainIter(&scanIter{src: step.right, ids: rids})
+		rightRows, err := drainIter(&scanIter{ctx: ctx, src: step.right, ids: rids, params: params})
 		if err != nil {
 			return nil, err
 		}
 		if len(step.leftKey) > 0 {
-			it = newHashJoinIter(it, rightRows, step.leftKey, step.rightKey)
+			it = newHashJoinIter(ctx, it, rightRows, step.leftKey, step.rightKey)
 		} else {
-			it = &crossJoinIter{left: it, right: rightRows}
+			it = &crossJoinIter{ctx: ctx, left: it, right: rightRows}
 		}
 		if len(step.post) > 0 {
-			it = &filterIter{in: it, preds: step.post}
+			it = &filterIter{in: it, preds: step.post, params: params}
 		}
 	}
-	rows, err := drainIter(it)
+	if len(plan.residual) > 0 {
+		// Residual conjuncts (aggregates over single rows, late resolution
+		// errors) are evaluated exactly like the naive executor evaluates
+		// WHERE.
+		it = &residualIter{s: s, in: it, exprs: plan.residual, bindings: bindings, params: params}
+	}
+	return it, nil
+}
+
+// runPlan executes the pipeline and returns the surviving rows (values and
+// origins only; annotations are attached later by decorateRows).
+func (s *Session) runPlan(ctx context.Context, plan *physicalPlan, bindings []binding, params value.Row) ([]execRow, error) {
+	if len(plan.sources) == 0 {
+		return nil, nil
+	}
+	it, err := s.buildPipeline(ctx, plan, bindings, params)
 	if err != nil {
 		return nil, err
 	}
-	// Residual conjuncts (aggregates over single rows, late resolution
-	// errors) are evaluated exactly like the naive executor evaluates WHERE.
-	for _, e := range plan.residual {
-		kept := rows[:0]
-		for _, r := range rows {
-			ok, err := s.evalBool(e, bindings, r, nil)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
-	}
-	return rows, nil
+	return drainIter(it)
 }
 
-// decorateRows attaches, per surviving row, the annotations requested by each
-// source's ANNOTATION clause and the dependency manager's outdated marks.
-// Doing this after the filter/join pipeline — instead of at scan time like
-// the naive executor — means annotation lookups run once per result row, not
-// once per scanned row. The per-table bitmap is fetched once (not per cell)
-// and skipped entirely when it has no set bits.
-func (s *Session) decorateRows(rows []execRow, sources []*sourcePlan) {
-	if len(rows) == 0 {
-		return
-	}
-	totalCols := 0
-	for _, src := range sources {
-		totalCols += src.numCols
-	}
-	type annSource struct {
-		name     string
-		offset   int
-		numCols  int
-		want     bool
-		filter   annotation.Filter
-		bm       *dependency.Bitmap
-		colNames []string
-	}
-	plans := make([]annSource, len(sources))
-	anyWork := false
+// annSource is the per-source decoration plan: which annotation tables the
+// ANNOTATION clause requested and the outdated bitmap, both resolved once
+// per query instead of once per row.
+type annSource struct {
+	name     string
+	offset   int
+	numCols  int
+	want     bool
+	filter   annotation.Filter
+	bm       *dependency.Bitmap
+	colNames []string
+}
+
+// decorator attaches annotations and outdated marks to pipeline rows.
+// Resolving the per-source state once at construction lets the streaming
+// cursor decorate one row per Next call at the same cost per row as the
+// batch path.
+type decorator struct {
+	s         *Session
+	plans     []annSource
+	totalCols int
+	anyWork   bool
+}
+
+// newDecorator resolves the decoration plan of each source.
+func (s *Session) newDecorator(sources []*sourcePlan) *decorator {
+	d := &decorator{s: s, plans: make([]annSource, len(sources))}
 	for i, src := range sources {
+		d.totalCols += src.numCols
 		as := annSource{
 			name:    src.tbl.Name(),
 			offset:  src.offset,
@@ -655,41 +711,59 @@ func (s *Session) decorateRows(rows []execRow, sources []*sourcePlan) {
 			}
 		}
 		if as.want || as.bm != nil {
-			anyWork = true
+			d.anyWork = true
 		}
-		plans[i] = as
+		d.plans[i] = as
 	}
-	for i := range rows {
-		r := &rows[i]
-		r.anns = make([][]*annotation.Annotation, totalCols)
-		if !anyWork {
+	return d
+}
+
+// decorate attaches the requested annotations and outdated marks to one row.
+func (d *decorator) decorate(r *execRow) {
+	r.anns = make([][]*annotation.Annotation, d.totalCols)
+	if !d.anyWork {
+		return
+	}
+	for j := range d.plans {
+		as := &d.plans[j]
+		if !as.want && as.bm == nil {
 			continue
 		}
-		for j := range plans {
-			as := &plans[j]
-			if !as.want && as.bm == nil {
-				continue
+		rowID := r.origins[j].rowID
+		if as.want {
+			for c := 0; c < as.numCols; c++ {
+				r.anns[as.offset+c] = d.s.Ann.ForCell(as.name, rowID, c, as.filter)
 			}
-			rowID := r.origins[j].rowID
-			if as.want {
-				for c := 0; c < as.numCols; c++ {
-					r.anns[as.offset+c] = s.Ann.ForCell(as.name, rowID, c, as.filter)
-				}
-			}
-			if as.bm != nil && as.bm.RowOutdated(rowID) {
-				for c := 0; c < as.numCols; c++ {
-					if as.bm.IsSet(rowID, c) {
-						r.anns[as.offset+c] = append(r.anns[as.offset+c], &annotation.Annotation{
-							AnnTable:  OutdatedAnnTable,
-							UserTable: as.name,
-							Author:    "system:dependency-tracker",
-							Body: fmt.Sprintf("<Annotation>OUTDATED: %s.%s of row %d needs re-verification</Annotation>",
-								as.name, as.colNames[c], rowID),
-							Regions: []annotation.Region{annotation.CellRegion(as.name, rowID, c)},
-						})
-					}
+		}
+		if as.bm != nil && as.bm.RowOutdated(rowID) {
+			for c := 0; c < as.numCols; c++ {
+				if as.bm.IsSet(rowID, c) {
+					r.anns[as.offset+c] = append(r.anns[as.offset+c], &annotation.Annotation{
+						AnnTable:  OutdatedAnnTable,
+						UserTable: as.name,
+						Author:    "system:dependency-tracker",
+						Body: fmt.Sprintf("<Annotation>OUTDATED: %s.%s of row %d needs re-verification</Annotation>",
+							as.name, as.colNames[c], rowID),
+						Regions: []annotation.Region{annotation.CellRegion(as.name, rowID, c)},
+					})
 				}
 			}
 		}
+	}
+}
+
+// decorateRows attaches, per surviving row, the annotations requested by each
+// source's ANNOTATION clause and the dependency manager's outdated marks.
+// Doing this after the filter/join pipeline — instead of at scan time like
+// the naive executor — means annotation lookups run once per result row, not
+// once per scanned row. The per-table bitmap is fetched once (not per cell)
+// and skipped entirely when it has no set bits.
+func (s *Session) decorateRows(rows []execRow, sources []*sourcePlan) {
+	if len(rows) == 0 {
+		return
+	}
+	d := s.newDecorator(sources)
+	for i := range rows {
+		d.decorate(&rows[i])
 	}
 }

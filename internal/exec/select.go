@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -56,12 +57,12 @@ type selectPlan struct {
 }
 
 // execSelect evaluates an A-SQL SELECT and produces the final result.
-func (s *Session) execSelect(st *sqlparse.SelectStmt) (*Result, error) {
-	plan, err := s.buildSelect(st)
+func (s *Session) execSelect(ctx context.Context, st *sqlparse.SelectStmt, params value.Row) (*Result, error) {
+	plan, err := s.buildSelect(ctx, st, params)
 	if err != nil {
 		return nil, err
 	}
-	cols, rows, err := s.project(st, plan)
+	cols, rows, err := s.project(st, plan, params)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +70,7 @@ func (s *Session) execSelect(st *sqlparse.SelectStmt) (*Result, error) {
 		rows = dedupeRows(rows)
 	}
 	if st.SetOp != sqlparse.SetNone {
-		rightRes, err := s.execSelect(st.SetRight)
+		rightRes, err := s.execSelect(ctx, st.SetRight, params)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +100,7 @@ func (s *Session) execSelect(st *sqlparse.SelectStmt) (*Result, error) {
 // conjuncts drive hash joins. Session.NoOptimize forces the naive
 // materialize-then-filter path, kept as the semantic reference for the
 // plan-equivalence tests.
-func (s *Session) buildSelect(st *sqlparse.SelectStmt) (*selectPlan, error) {
+func (s *Session) buildSelect(ctx context.Context, st *sqlparse.SelectStmt, params value.Row) (*selectPlan, error) {
 	plan := &selectPlan{}
 
 	// FROM: resolve sources and the global value-slot layout.
@@ -116,10 +117,10 @@ func (s *Session) buildSelect(st *sqlparse.SelectStmt) (*selectPlan, error) {
 
 	var rows []execRow
 	if s.NoOptimize {
-		rows, err = s.buildRowsNaive(st, plan.bindings, sources)
+		rows, err = s.buildRowsNaive(ctx, st, plan.bindings, sources, params)
 	} else {
 		phys := s.planSelect(st, sources, plan.bindings, slotSource)
-		rows, err = s.runPlan(phys, plan.bindings)
+		rows, err = s.runPlan(ctx, phys, plan.bindings, params)
 		if err == nil {
 			s.decorateRows(rows, sources)
 		}
@@ -133,21 +134,9 @@ func (s *Session) buildSelect(st *sqlparse.SelectStmt) (*selectPlan, error) {
 	if st.AWhere != nil {
 		var kept []execRow
 		for _, r := range rows {
-			match := false
-			for _, cell := range r.anns {
-				for _, a := range cell {
-					ok, err := evalAnnBool(st.AWhere, a)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						match = true
-						break
-					}
-				}
-				if match {
-					break
-				}
+			match, err := annRowMatches(st.AWhere, &r, params)
+			if err != nil {
+				return nil, err
 			}
 			if match {
 				kept = append(kept, r)
@@ -169,7 +158,7 @@ func (s *Session) buildSelect(st *sqlparse.SelectStmt) (*selectPlan, error) {
 	if st.Having != nil {
 		var kept []execRow
 		for _, r := range rows {
-			ok, err := s.evalBool(st.Having, plan.bindings, r, r.group)
+			ok, err := s.evalBool(st.Having, plan.bindings, r, r.group, params)
 			if err != nil {
 				return nil, err
 			}
@@ -182,21 +171,9 @@ func (s *Session) buildSelect(st *sqlparse.SelectStmt) (*selectPlan, error) {
 	if st.AHaving != nil {
 		var kept []execRow
 		for _, r := range rows {
-			match := false
-			for _, cell := range r.anns {
-				for _, a := range cell {
-					ok, err := evalAnnBool(st.AHaving, a)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						match = true
-						break
-					}
-				}
-				if match {
-					break
-				}
+			match, err := annRowMatches(st.AHaving, &r, params)
+			if err != nil {
+				return nil, err
 			}
 			if match {
 				kept = append(kept, r)
@@ -208,42 +185,40 @@ func (s *Session) buildSelect(st *sqlparse.SelectStmt) (*selectPlan, error) {
 	// FILTER: keep every tuple but drop annotations failing the condition.
 	if st.Filter != nil {
 		for i := range rows {
-			for c, cell := range rows[i].anns {
-				var kept []*annotation.Annotation
-				for _, a := range cell {
-					ok, err := evalAnnBool(st.Filter, a)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						kept = append(kept, a)
-					}
-				}
-				rows[i].anns[c] = kept
+			if err := filterRowAnns(st.Filter, &rows[i], params); err != nil {
+				return nil, err
 			}
 		}
 	}
 
 	plan.rows = rows
 	// Resolve projection items (used both by project and by selectRegions).
+	plan.items = resolveItems(st, plan.bindings)
+	return plan, nil
+}
+
+// resolveItems resolves the SELECT list against the binding layout. It is
+// shared by the materializing path (buildSelect) and the streaming cursor,
+// so both project identically.
+func resolveItems(st *sqlparse.SelectStmt, bindings []binding) []planItem {
+	var items []planItem
 	for _, item := range st.Items {
 		pi := planItem{star: item.Star, expr: item.Expr, promote: item.Promote, name: item.Alias, sourceCol: -1}
 		if col, ok := item.Expr.(*sqlparse.ColumnExpr); ok && !item.Star {
-			if idx, b, err := resolveColumn(plan.bindings, col); err == nil {
+			if _, b, err := resolveColumn(bindings, col); err == nil {
 				pi.sourceTable = b.table
 				pi.sourceCol = b.colIdx
 				if pi.name == "" {
 					pi.name = b.column
 				}
-				_ = idx
 			}
 		}
 		if pi.name == "" && !item.Star {
 			pi.name = exprName(item.Expr)
 		}
-		plan.items = append(plan.items, pi)
+		items = append(items, pi)
 	}
-	return plan, nil
+	return items
 }
 
 // buildRowsNaive is the reference FROM/WHERE implementation: load every
@@ -251,10 +226,10 @@ func (s *Session) buildSelect(st *sqlparse.SelectStmt) (*selectPlan, error) {
 // product, then filter. The planner-driven pipeline must return exactly the
 // same rows, annotations and ordering; the plan-equivalence tests compare
 // the two paths.
-func (s *Session) buildRowsNaive(st *sqlparse.SelectStmt, bindings []binding, sources []*sourcePlan) ([]execRow, error) {
+func (s *Session) buildRowsNaive(ctx context.Context, st *sqlparse.SelectStmt, bindings []binding, sources []*sourcePlan, params value.Row) ([]execRow, error) {
 	rows := []execRow{{}}
 	for _, src := range sources {
-		srcRows, err := s.loadTable(src.tbl, src.ref)
+		srcRows, err := s.loadTable(ctx, src.tbl, src.ref)
 		if err != nil {
 			return nil, err
 		}
@@ -277,7 +252,7 @@ func (s *Session) buildRowsNaive(st *sqlparse.SelectStmt, bindings []binding, so
 	if st.Where != nil {
 		var kept []execRow
 		for _, r := range rows {
-			ok, err := s.evalBool(st.Where, bindings, r, nil)
+			ok, err := s.evalBool(st.Where, bindings, r, nil, params)
 			if err != nil {
 				return nil, err
 			}
@@ -291,8 +266,9 @@ func (s *Session) buildRowsNaive(st *sqlparse.SelectStmt, bindings []binding, so
 }
 
 // loadTable scans a table into execRows, attaching the requested annotations
-// and any outdated marks from the dependency manager.
-func (s *Session) loadTable(tbl *storage.Table, ref sqlparse.TableRef) ([]execRow, error) {
+// and any outdated marks from the dependency manager. A canceled context
+// aborts the scan.
+func (s *Session) loadTable(ctx context.Context, tbl *storage.Table, ref sqlparse.TableRef) ([]execRow, error) {
 	wantAnnotations := len(ref.Annotations) > 0
 	filter := annotation.Filter{}
 	if wantAnnotations && ref.Annotations[0] != "*" {
@@ -309,7 +285,12 @@ func (s *Session) loadTable(tbl *storage.Table, ref sqlparse.TableRef) ([]execRo
 		}
 	}
 	var out []execRow
+	ctxErr := error(nil)
 	err := tbl.Scan(func(rowID int64, row value.Row) bool {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			return false
+		}
 		r := execRow{
 			values:  row.Clone(),
 			anns:    make([][]*annotation.Annotation, numCols),
@@ -337,6 +318,9 @@ func (s *Session) loadTable(tbl *storage.Table, ref sqlparse.TableRef) ([]execRo
 		out = append(out, r)
 		return true
 	})
+	if err == nil {
+		err = ctxErr
+	}
 	return out, err
 }
 
@@ -387,63 +371,91 @@ func (s *Session) groupRows(st *sqlparse.SelectStmt, bindings []binding, rows []
 	return out, nil
 }
 
-// project applies the projection items (including PROMOTE and *) and returns
-// the output column names and rows.
-func (s *Session) project(st *sqlparse.SelectStmt, plan *selectPlan) ([]string, []ARow, error) {
-	var cols []string
-	type outCol struct {
-		item  *planItem
-		index int // value index for star expansion; -1 for expression items
-	}
-	var outCols []outCol
-	for i := range plan.items {
-		item := &plan.items[i]
+// outCol is one output column of a projector: a star-expanded value slot
+// (index >= 0) or a projected expression item (index == -1).
+type outCol struct {
+	item  *planItem
+	index int
+}
+
+// projector turns pipeline rows into result rows. The column layout is
+// resolved once at construction, so projecting a row is allocation-lean —
+// the streaming cursor projects one row per Next call with it.
+type projector struct {
+	s        *Session
+	cols     []string
+	outCols  []outCol
+	bindings []binding
+	params   value.Row
+}
+
+// newProjector resolves the projection layout (including PROMOTE and *) of
+// the given items against the binding list.
+func newProjector(s *Session, items []planItem, bindings []binding, params value.Row) *projector {
+	p := &projector{s: s, bindings: bindings, params: params}
+	for i := range items {
+		item := &items[i]
 		if item.star {
-			for idx, b := range plan.bindings {
-				cols = append(cols, b.column)
-				outCols = append(outCols, outCol{item: item, index: idx})
+			for idx, b := range bindings {
+				p.cols = append(p.cols, b.column)
+				p.outCols = append(p.outCols, outCol{item: item, index: idx})
 			}
 			continue
 		}
-		cols = append(cols, item.name)
-		outCols = append(outCols, outCol{item: item, index: -1})
+		p.cols = append(p.cols, item.name)
+		p.outCols = append(p.outCols, outCol{item: item, index: -1})
 	}
+	return p
+}
 
+// row projects one pipeline row into a result row.
+func (p *projector) row(r execRow) (ARow, error) {
+	out := ARow{
+		Values: make(value.Row, 0, len(p.outCols)),
+		Anns:   make([][]*annotation.Annotation, 0, len(p.outCols)),
+	}
+	for _, oc := range p.outCols {
+		if oc.index >= 0 { // star expansion: direct value copy
+			out.Values = append(out.Values, r.values[oc.index])
+			out.Anns = append(out.Anns, append([]*annotation.Annotation{}, r.anns[oc.index]...))
+			continue
+		}
+		v, err := p.s.evalValue(oc.item.expr, p.bindings, r, r.group, p.params)
+		if err != nil {
+			return ARow{}, err
+		}
+		out.Values = append(out.Values, v)
+		// Annotation propagation: a projected column keeps the annotations
+		// of its source cell; PROMOTE copies annotations from other columns.
+		var anns []*annotation.Annotation
+		if col, ok := oc.item.expr.(*sqlparse.ColumnExpr); ok {
+			if idx, _, err := resolveColumn(p.bindings, col); err == nil {
+				anns = append(anns, r.anns[idx]...)
+			}
+		}
+		for _, pcol := range oc.item.promote {
+			if idx, _, err := resolveColumn(p.bindings, &pcol); err == nil {
+				anns = unionAnnotations(anns, r.anns[idx])
+			}
+		}
+		out.Anns = append(out.Anns, anns)
+	}
+	return out, nil
+}
+
+// project applies the projection items (including PROMOTE and *) and returns
+// the output column names and rows.
+func (s *Session) project(st *sqlparse.SelectStmt, plan *selectPlan, params value.Row) ([]string, []ARow, error) {
+	proj := newProjector(s, plan.items, plan.bindings, params)
 	var rows []ARow
 	for _, r := range plan.rows {
-		out := ARow{
-			Values: make(value.Row, 0, len(outCols)),
-			Anns:   make([][]*annotation.Annotation, 0, len(outCols)),
-		}
-		for _, oc := range outCols {
-			if oc.index >= 0 { // star expansion: direct value copy
-				out.Values = append(out.Values, r.values[oc.index])
-				out.Anns = append(out.Anns, append([]*annotation.Annotation{}, r.anns[oc.index]...))
-				continue
-			}
-			v, err := s.evalValue(oc.item.expr, plan.bindings, r, r.group)
-			if err != nil {
-				return nil, nil, err
-			}
-			out.Values = append(out.Values, v)
-			// Annotation propagation: a projected column keeps the annotations
-			// of its source cell; PROMOTE copies annotations from other columns.
-			var anns []*annotation.Annotation
-			if col, ok := oc.item.expr.(*sqlparse.ColumnExpr); ok {
-				if idx, _, err := resolveColumn(plan.bindings, col); err == nil {
-					anns = append(anns, r.anns[idx]...)
-				}
-			}
-			for _, pcol := range oc.item.promote {
-				if idx, _, err := resolveColumn(plan.bindings, &pcol); err == nil {
-					anns = unionAnnotations(anns, r.anns[idx])
-				}
-			}
-			out.Anns = append(out.Anns, anns)
+		out, err := proj.row(r)
+		if err != nil {
+			return nil, nil, err
 		}
 		rows = append(rows, out)
 	}
-	return cols, rows, nil
+	return proj.cols, rows, nil
 }
 
 // --- set operations, distinct, order -----------------------------------------------------
@@ -641,7 +653,7 @@ func hasAggregate(items []sqlparse.SelectItem) bool {
 
 // evalValue evaluates an expression over an execRow (with optional group
 // members for aggregates).
-func (s *Session) evalValue(e sqlparse.Expr, bindings []binding, r execRow, group []execRow) (value.Value, error) {
+func (s *Session) evalValue(e sqlparse.Expr, bindings []binding, r execRow, group []execRow, params value.Row) (value.Value, error) {
 	colFn := func(col *sqlparse.ColumnExpr) (value.Value, error) {
 		idx, _, err := resolveColumn(bindings, col)
 		if err != nil {
@@ -656,11 +668,11 @@ func (s *Session) evalValue(e sqlparse.Expr, bindings []binding, r execRow, grou
 		}
 		return evalAggregate(agg, bindings, members)
 	}
-	return evalExpr(e, colFn, aggFn)
+	return evalExpr(e, colFn, aggFn, params)
 }
 
-func (s *Session) evalBool(e sqlparse.Expr, bindings []binding, r execRow, group []execRow) (bool, error) {
-	v, err := s.evalValue(e, bindings, r, group)
+func (s *Session) evalBool(e sqlparse.Expr, bindings []binding, r execRow, group []execRow, params value.Row) (bool, error) {
+	v, err := s.evalValue(e, bindings, r, group, params)
 	if err != nil {
 		return false, err
 	}
@@ -723,11 +735,18 @@ type colResolver func(*sqlparse.ColumnExpr) (value.Value, error)
 type aggResolver func(*sqlparse.AggregateExpr) (value.Value, error)
 
 // evalExpr evaluates an expression with the given column and aggregate
-// resolvers.
-func evalExpr(e sqlparse.Expr, col colResolver, agg aggResolver) (value.Value, error) {
+// resolvers. params carry the bound placeholder arguments; a `?` marker
+// resolves to params[index].
+func evalExpr(e sqlparse.Expr, col colResolver, agg aggResolver, params value.Row) (value.Value, error) {
 	switch ex := e.(type) {
 	case *sqlparse.LiteralExpr:
 		return ex.Value, nil
+	case *sqlparse.PlaceholderExpr:
+		if ex.Index < 0 || ex.Index >= len(params) {
+			return value.Value{}, fmt.Errorf("%w: placeholder ?%d evaluated with %d bound argument(s)",
+				ErrBadArgs, ex.Index+1, len(params))
+		}
+		return params[ex.Index], nil
 	case *sqlparse.ColumnExpr:
 		return col(ex)
 	case *sqlparse.AggregateExpr:
@@ -736,7 +755,7 @@ func evalExpr(e sqlparse.Expr, col colResolver, agg aggResolver) (value.Value, e
 		}
 		return agg(ex)
 	case *sqlparse.UnaryExpr:
-		v, err := evalExpr(ex.Expr, col, agg)
+		v, err := evalExpr(ex.Expr, col, agg, params)
 		if err != nil {
 			return value.Value{}, err
 		}
@@ -752,7 +771,7 @@ func evalExpr(e sqlparse.Expr, col colResolver, agg aggResolver) (value.Value, e
 			return value.Value{}, fmt.Errorf("%w: unary %s", ErrUnsupported, ex.Op)
 		}
 	case *sqlparse.IsNullExpr:
-		v, err := evalExpr(ex.Expr, col, agg)
+		v, err := evalExpr(ex.Expr, col, agg, params)
 		if err != nil {
 			return value.Value{}, err
 		}
@@ -762,14 +781,14 @@ func evalExpr(e sqlparse.Expr, col colResolver, agg aggResolver) (value.Value, e
 		}
 		return value.NewBool(isNull), nil
 	case *sqlparse.BinaryExpr:
-		return evalBinary(ex, col, agg)
+		return evalBinary(ex, col, agg, params)
 	default:
 		return value.Value{}, fmt.Errorf("%w: expression %T", ErrUnsupported, e)
 	}
 }
 
-func evalBinary(ex *sqlparse.BinaryExpr, col colResolver, agg aggResolver) (value.Value, error) {
-	left, err := evalExpr(ex.Left, col, agg)
+func evalBinary(ex *sqlparse.BinaryExpr, col colResolver, agg aggResolver, params value.Row) (value.Value, error) {
+	left, err := evalExpr(ex.Left, col, agg, params)
 	if err != nil {
 		return value.Value{}, err
 	}
@@ -779,7 +798,7 @@ func evalBinary(ex *sqlparse.BinaryExpr, col colResolver, agg aggResolver) (valu
 		if !(left.Type() == value.Bool && left.Bool()) {
 			return value.NewBool(false), nil
 		}
-		right, err := evalExpr(ex.Right, col, agg)
+		right, err := evalExpr(ex.Right, col, agg, params)
 		if err != nil {
 			return value.Value{}, err
 		}
@@ -788,13 +807,13 @@ func evalBinary(ex *sqlparse.BinaryExpr, col colResolver, agg aggResolver) (valu
 		if left.Type() == value.Bool && left.Bool() {
 			return value.NewBool(true), nil
 		}
-		right, err := evalExpr(ex.Right, col, agg)
+		right, err := evalExpr(ex.Right, col, agg, params)
 		if err != nil {
 			return value.Value{}, err
 		}
 		return value.NewBool(right.Type() == value.Bool && right.Bool()), nil
 	}
-	right, err := evalExpr(ex.Right, col, agg)
+	right, err := evalExpr(ex.Right, col, agg, params)
 	if err != nil {
 		return value.Value{}, err
 	}
@@ -895,7 +914,7 @@ func likeMatchAt(p, s string, pi, si int) bool {
 // evalAnnBool evaluates an AWHERE / AHAVING / FILTER condition against one
 // annotation. The pseudo-columns ANN.VALUE, ANN.TABLE, ANN.AUTHOR and
 // ANN.ARCHIVED resolve to the annotation's fields.
-func evalAnnBool(e sqlparse.Expr, a *annotation.Annotation) (bool, error) {
+func evalAnnBool(e sqlparse.Expr, a *annotation.Annotation, params value.Row) (bool, error) {
 	colFn := func(col *sqlparse.ColumnExpr) (value.Value, error) {
 		name := strings.ToUpper(col.Column)
 		if col.Table != "" && !strings.EqualFold(col.Table, "ANN") {
@@ -916,7 +935,7 @@ func evalAnnBool(e sqlparse.Expr, a *annotation.Annotation) (bool, error) {
 			return value.Value{}, fmt.Errorf("%w: annotation attribute %s", ErrUnknownColumn, col.Column)
 		}
 	}
-	v, err := evalExpr(e, colFn, nil)
+	v, err := evalExpr(e, colFn, nil, params)
 	if err != nil {
 		return false, err
 	}

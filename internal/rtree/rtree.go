@@ -15,6 +15,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Rect is an axis-aligned rectangle with inclusive bounds.
@@ -89,9 +90,11 @@ type rnode struct {
 
 // Tree is an R-tree. Not safe for concurrent mutation.
 type Tree struct {
-	root  *rnode
-	size  int
-	reads uint64 // node visits, for simulated I/O accounting
+	root *rnode
+	size int
+	// reads counts node visits for simulated I/O accounting; atomic because
+	// read-only searches run concurrently from parallel SELECT sessions.
+	reads atomic.Uint64
 }
 
 // New returns an empty tree.
@@ -101,10 +104,10 @@ func New() *Tree { return &Tree{root: &rnode{leaf: true}} }
 func (t *Tree) Len() int { return t.size }
 
 // NodeReads returns the number of node visits performed so far (simulated I/O).
-func (t *Tree) NodeReads() uint64 { return t.reads }
+func (t *Tree) NodeReads() uint64 { return t.reads.Load() }
 
 // ResetStats zeroes the node visit counter.
-func (t *Tree) ResetStats() { t.reads = 0 }
+func (t *Tree) ResetStats() { t.reads.Store(0) }
 
 // Insert adds an item.
 func (t *Tree) Insert(r Rect, data interface{}) error {
@@ -125,7 +128,7 @@ func (t *Tree) Insert(r Rect, data interface{}) error {
 }
 
 func (t *Tree) insert(n *rnode, item Item) (*rnode, *rnode) {
-	t.reads++
+	t.reads.Add(1)
 	if n.leaf {
 		n.items = append(n.items, item)
 		n.recomputeBounds()
@@ -261,7 +264,7 @@ func (t *Tree) Search(query Rect, fn func(Item) bool) {
 }
 
 func (t *Tree) search(n *rnode, query Rect, fn func(Item) bool) bool {
-	t.reads++
+	t.reads.Add(1)
 	if n.leaf {
 		for _, it := range n.items {
 			if query.Intersects(it.Rect) {
@@ -304,7 +307,7 @@ func (t *Tree) Delete(r Rect, match func(data interface{}) bool) bool {
 }
 
 func (t *Tree) delete(n *rnode, r Rect, match func(data interface{}) bool) bool {
-	t.reads++
+	t.reads.Add(1)
 	if n.leaf {
 		for i, it := range n.items {
 			if it.Rect == r && (match == nil || match(it.Data)) {
@@ -339,7 +342,7 @@ func (t *Tree) Nearest(x, y float64, k int) []Item {
 	var cands []cand
 	var walk func(n *rnode)
 	walk = func(n *rnode) {
-		t.reads++
+		t.reads.Add(1)
 		if n.leaf {
 			for _, it := range n.items {
 				cands = append(cands, cand{item: it, dist: it.Rect.distanceToPoint(x, y)})

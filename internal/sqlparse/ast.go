@@ -49,12 +49,22 @@ type AggregateExpr struct {
 	Star   bool
 }
 
-func (*ColumnExpr) expr()    {}
-func (*LiteralExpr) expr()   {}
-func (*BinaryExpr) expr()    {}
-func (*UnaryExpr) expr()     {}
-func (*IsNullExpr) expr()    {}
-func (*AggregateExpr) expr() {}
+// PlaceholderExpr is a positional `?` parameter marker. Placeholders are
+// numbered left to right within one statement, starting at 0; the executor
+// substitutes the bound argument with the matching index at evaluation time,
+// so a prepared statement is parsed (and, for SELECT, planned) once and
+// re-bound per execution.
+type PlaceholderExpr struct {
+	Index int
+}
+
+func (*ColumnExpr) expr()      {}
+func (*LiteralExpr) expr()     {}
+func (*BinaryExpr) expr()      {}
+func (*UnaryExpr) expr()       {}
+func (*IsNullExpr) expr()      {}
+func (*AggregateExpr) expr()   {}
+func (*PlaceholderExpr) expr() {}
 
 // --- SELECT ---------------------------------------------------------------------
 
@@ -269,3 +279,88 @@ func (*StopContentApprovalStmt) stmt()  {}
 func (*GrantStmt) stmt()                {}
 func (*ApproveStmt) stmt()              {}
 func (*ShowPendingStmt) stmt()          {}
+
+// --- placeholder inspection --------------------------------------------------------
+
+// CountPlaceholders returns the number of `?` parameter markers in the
+// statement. The executor uses it to type-check the argument list of a
+// prepared statement before binding.
+func CountPlaceholders(stmt Statement) int {
+	n := 0
+	WalkExprs(stmt, func(e Expr) {
+		if _, ok := e.(*PlaceholderExpr); ok {
+			n++
+		}
+	})
+	return n
+}
+
+// WalkExprs visits every expression node reachable from the statement,
+// including expressions of nested SELECTs (set operands, annotation command
+// targets).
+func WalkExprs(stmt Statement, fn func(Expr)) {
+	switch st := stmt.(type) {
+	case nil:
+	case *SelectStmt:
+		walkSelectExprs(st, fn)
+	case *InsertStmt:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				WalkExpr(e, fn)
+			}
+		}
+	case *UpdateStmt:
+		for _, set := range st.Set {
+			WalkExpr(set.Value, fn)
+		}
+		WalkExpr(st.Where, fn)
+	case *DeleteStmt:
+		WalkExpr(st.Where, fn)
+	case *AddAnnotationStmt:
+		if st.On != nil {
+			walkSelectExprs(st.On, fn)
+		}
+	case *ArchiveAnnotationStmt:
+		if st.On != nil {
+			walkSelectExprs(st.On, fn)
+		}
+	}
+}
+
+func walkSelectExprs(st *SelectStmt, fn func(Expr)) {
+	if st == nil {
+		return
+	}
+	for _, item := range st.Items {
+		WalkExpr(item.Expr, fn)
+	}
+	WalkExpr(st.Where, fn)
+	WalkExpr(st.AWhere, fn)
+	WalkExpr(st.Having, fn)
+	WalkExpr(st.AHaving, fn)
+	WalkExpr(st.Filter, fn)
+	for _, o := range st.OrderBy {
+		WalkExpr(o.Expr, fn)
+	}
+	walkSelectExprs(st.SetRight, fn)
+}
+
+// WalkExpr visits e and every sub-expression reachable from it. It is the
+// single expression walker shared by placeholder counting and the planner's
+// placeholder detection, so adding a new Expr node only requires extending
+// one switch.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch ex := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(ex.Left, fn)
+		WalkExpr(ex.Right, fn)
+	case *UnaryExpr:
+		WalkExpr(ex.Expr, fn)
+	case *IsNullExpr:
+		WalkExpr(ex.Expr, fn)
+	}
+}

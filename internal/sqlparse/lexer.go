@@ -94,7 +94,7 @@ func (lx *Lexer) Next() (Token, error) {
 		return lx.lexIdent()
 	default:
 		// Multi-character symbols first.
-		for _, sym := range []string{"<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*", "+", "-", "/", ";"} {
+		for _, sym := range []string{"<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*", "+", "-", "/", ";", "?"} {
 			if strings.HasPrefix(lx.input[lx.pos:], sym) {
 				lx.pos += len(sym)
 				return Token{Kind: TokenSymbol, Text: sym, Pos: start}, nil

@@ -16,6 +16,8 @@ var ErrSyntax = errors.New("sqlparse: syntax error")
 type Parser struct {
 	toks []Token
 	pos  int
+	// placeholders numbers `?` markers left to right within one statement.
+	placeholders int
 }
 
 // Parse parses a single A-SQL statement (a trailing semicolon is allowed).
@@ -31,6 +33,44 @@ func Parse(input string) (Statement, error) {
 		return nil, fmt.Errorf("%w: expected a single statement, got %d", ErrSyntax, len(stmts))
 	}
 	return stmts[0], nil
+}
+
+// SplitStatements splits a semicolon-separated script into the source text
+// of each statement, using the lexer so string-literal and comment rules can
+// never diverge from the parser's. The returned fragments do not include the
+// terminating semicolon. When the script fails to tokenize it is returned as
+// a single fragment, so the error surfaces where the statement executes.
+func SplitStatements(input string) []string {
+	toks, err := Tokenize(input)
+	if err != nil {
+		return []string{input}
+	}
+	var out []string
+	start := 0
+	sawToken := false
+	emit := func(end int) {
+		// Fragments holding no tokens (blank or comment-only segments) are
+		// skipped: they lex clean but Parse would reject them as empty.
+		if !sawToken {
+			return
+		}
+		if stmt := strings.TrimSpace(input[start:end]); stmt != "" {
+			out = append(out, stmt)
+		}
+	}
+	for _, tok := range toks {
+		switch {
+		case tok.Kind == TokenSymbol && tok.Text == ";":
+			emit(tok.Pos)
+			start = tok.Pos + 1
+			sawToken = false
+		case tok.Kind == TokenEOF:
+			emit(len(input))
+		default:
+			sawToken = true
+		}
+	}
+	return out
 }
 
 // ParseAll parses a semicolon-separated sequence of statements.
@@ -118,6 +158,7 @@ func (p *Parser) expectIdent() (string, error) {
 }
 
 func (p *Parser) parseStatement() (Statement, error) {
+	p.placeholders = 0
 	t := p.peek()
 	if t.Kind != TokenKeyword {
 		return nil, p.errorf("expected a statement keyword, found %q", t.Text)
@@ -542,6 +583,11 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			return nil, err
 		}
 		return &UnaryExpr{Op: "-", Expr: inner}, nil
+	case t.Kind == TokenSymbol && t.Text == "?":
+		p.next()
+		idx := p.placeholders
+		p.placeholders++
+		return &PlaceholderExpr{Index: idx}, nil
 	case t.Kind == TokenKeyword && (t.Text == "COUNT" || t.Text == "SUM" || t.Text == "AVG" || t.Text == "MIN" || t.Text == "MAX"):
 		p.next()
 		if err := p.expectSymbol("("); err != nil {

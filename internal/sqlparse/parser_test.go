@@ -361,3 +361,106 @@ func TestParseErrors(t *testing.T) {
 		t.Error("Parse should reject multiple statements")
 	}
 }
+
+func TestPlaceholders(t *testing.T) {
+	stmt, err := Parse(`SELECT GID FROM Gene WHERE GID = ? AND Score > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountPlaceholders(stmt); n != 2 {
+		t.Errorf("CountPlaceholders = %d, want 2", n)
+	}
+	sel := stmt.(*SelectStmt)
+	var idxs []int
+	WalkExprs(sel, func(e Expr) {
+		if ph, ok := e.(*PlaceholderExpr); ok {
+			idxs = append(idxs, ph.Index)
+		}
+	})
+	if len(idxs) != 2 || idxs[0] != 0 || idxs[1] != 1 {
+		t.Errorf("placeholder indexes = %v, want [0 1]", idxs)
+	}
+
+	for _, tc := range []struct {
+		sql  string
+		want int
+	}{
+		{`INSERT INTO Gene VALUES (?, ?), (?, ?)`, 4},
+		{`UPDATE Gene SET GName = ? WHERE GID = ?`, 2},
+		{`DELETE FROM Gene WHERE GID = ?`, 1},
+		{`SELECT * FROM Gene WHERE Score = ? + 1`, 1},
+		{`SELECT * FROM Gene WHERE GID = ? UNION SELECT * FROM Gene WHERE GID = ?`, 2},
+		{`SELECT * FROM Gene ANNOTATION(A) AWHERE ANN.VALUE LIKE ?`, 1},
+		{`ADD ANNOTATION TO Gene.A VALUE 'x' ON (SELECT * FROM Gene WHERE GID = ?)`, 1},
+		{`SELECT * FROM Gene`, 0},
+	} {
+		stmt, err := Parse(tc.sql)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.sql, err)
+			continue
+		}
+		if n := CountPlaceholders(stmt); n != tc.want {
+			t.Errorf("CountPlaceholders(%q) = %d, want %d", tc.sql, n, tc.want)
+		}
+	}
+}
+
+// TestPlaceholderNumberingResetsPerStatement ensures `?` indexes restart at
+// zero for each statement of a script.
+func TestPlaceholderNumberingResetsPerStatement(t *testing.T) {
+	stmts, err := ParseAll(`SELECT a FROM t WHERE a = ?; SELECT b FROM t WHERE b = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("parsed %d statements", len(stmts))
+	}
+	for i, stmt := range stmts {
+		WalkExprs(stmt, func(e Expr) {
+			if ph, ok := e.(*PlaceholderExpr); ok && ph.Index != 0 {
+				t.Errorf("statement %d placeholder index = %d, want 0", i, ph.Index)
+			}
+		})
+	}
+}
+
+// TestSplitStatements verifies lexer-backed script splitting: semicolons
+// inside string literals and line comments do not split.
+func TestSplitStatements(t *testing.T) {
+	got := SplitStatements("SELECT a FROM t; -- trailing; comment\nINSERT INTO t VALUES ('x;y');\n\nSELECT b FROM t")
+	want := []string{
+		"SELECT a FROM t",
+		"-- trailing; comment\nINSERT INTO t VALUES ('x;y')",
+		"SELECT b FROM t",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("split into %d statements: %q", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("statement %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if got := SplitStatements("  ;; ;"); len(got) != 0 {
+		t.Errorf("empty script split = %q", got)
+	}
+	// Comment-only fragments (no tokens) must be skipped, not emitted as
+	// statements Parse would reject — every fragment must ParseAll-cleanly.
+	script := "CREATE TABLE T (A INT);\nINSERT INTO T VALUES (1);\n-- done\n"
+	frags := SplitStatements(script)
+	if len(frags) != 2 {
+		t.Fatalf("trailing comment split = %q", frags)
+	}
+	for _, f := range frags {
+		if _, err := Parse(f); err != nil {
+			t.Errorf("fragment %q does not parse: %v", f, err)
+		}
+	}
+	if got := SplitStatements("SELECT a FROM t; -- note\n; SELECT b FROM t"); len(got) != 2 {
+		t.Errorf("comment-only middle fragment split = %q", got)
+	}
+	// Untokenizable input comes back whole so execution surfaces the error.
+	if got := SplitStatements("SELECT 'unterminated"); len(got) != 1 {
+		t.Errorf("bad script split = %q", got)
+	}
+}

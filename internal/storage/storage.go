@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"bdbms/internal/btree"
 	"bdbms/internal/buffer"
@@ -58,7 +59,15 @@ type Engine struct {
 	cat    *catalog.Catalog
 	log    *wal.Log
 	tables map[string]*Table
+	// version counts schema changes (table create/drop, index create); cached
+	// query plans are invalidated when it moves.
+	version atomic.Uint64
 }
+
+// SchemaVersion returns a counter that increases on every schema change
+// (CREATE/DROP TABLE, CREATE INDEX). Prepared statements cache their physical
+// plan against it and replan when it moves.
+func (e *Engine) SchemaVersion() uint64 { return e.version.Load() }
 
 // NewEngine builds an engine from cfg.
 func NewEngine(cfg Config) *Engine {
@@ -127,6 +136,7 @@ func (e *Engine) CreateTable(schema *catalog.Schema) (*Table, error) {
 	e.mu.Lock()
 	e.tables[strings.ToLower(schema.Name)] = t
 	e.mu.Unlock()
+	e.version.Add(1)
 	return t, nil
 }
 
@@ -138,6 +148,7 @@ func (e *Engine) DropTable(name string) error {
 	e.mu.Lock()
 	delete(e.tables, strings.ToLower(name))
 	e.mu.Unlock()
+	e.version.Add(1)
 	return nil
 }
 
@@ -455,6 +466,7 @@ func (t *Table) CreateIndex(column string) error {
 	tree := btree.New(btree.DefaultOrder)
 	t.indexes[key] = tree
 	t.mu.Unlock()
+	t.engine.version.Add(1)
 
 	return t.Scan(func(rowID int64, row value.Row) bool {
 		if !row[idx].IsNull() {
