@@ -64,6 +64,46 @@
 //
 // Exec, ExecAll and MustExec remain as compatibility wrappers that drain a
 // cursor into a fully materialized Result.
+//
+// # Persistence and durability
+//
+// A database opened with Options.DataFile is durable. Four files live next
+// to each other: the page file itself (heap pages of every table), a
+// write-ahead log (DataFile + ".wal"), and a checkpoint pair — a catalog
+// snapshot (".catalog") and a recovery manifest (".manifest").
+//
+// The durability contract is write-ahead redo logging at statement
+// granularity: every mutation — CREATE/DROP TABLE, CREATE INDEX,
+// INSERT/UPDATE/DELETE, CREATE/DROP ANNOTATION TABLE, ADD/ARCHIVE/RESTORE
+// ANNOTATION, provenance attachment and agent registration, and dependency
+// outdated-mark transitions — appends a logical WAL record BEFORE its
+// in-memory apply. A mutation is committed the moment its record reaches
+// the log; on a crash, everything logged is recovered and everything not
+// logged never happened. A record torn mid-append by the crash itself is
+// detected by checksum and discarded, so recovery always lands on a record
+// boundary.
+//
+// Checkpoint (called automatically by Close) bounds recovery time: it
+// flushes and syncs dirty pages, snapshots the catalog and the
+// memory-resident structures (annotation set, dependency bitmaps,
+// provenance agents, per-table page lists and RowID counters) atomically,
+// and then truncates the WAL. Reopening loads the last checkpoint,
+// reattaches every table to its heap pages, rebuilds the row index and
+// every secondary B+-tree (and the R-tree behind the annotation store) by
+// scanning, and replays the WAL tail through idempotent appliers — safe
+// even when buffer evictions flushed pages after the checkpoint.
+//
+// What survives a crash: tables and their rows, secondary indexes,
+// annotation tables and annotations (archived state included, with their
+// original IDs, authors and timestamps), provenance records and the agent
+// registry, and dependency outdated marks. What does not: dependency RULES
+// (their procedures are Go function values — re-register them after
+// reopen; the marks they produced are durable), GRANT/REVOKE state and the
+// content-approval operation log (session-scoped; approval records appear
+// in the WAL for audit only), and prepared statements. The WAL is written
+// with ordinary buffered writes and synced at checkpoints, so an OS-level
+// power loss may drop the last few records; an application crash loses
+// nothing.
 package bdbms
 
 import (
@@ -80,6 +120,7 @@ import (
 	"bdbms/internal/pager"
 	"bdbms/internal/provenance"
 	"bdbms/internal/storage"
+	"bdbms/internal/wal"
 )
 
 // Re-exported result types: queries return Rows cursors (or materialized
@@ -119,6 +160,7 @@ type Options struct {
 type DB struct {
 	inner *core.DB
 	pgr   pager.Pager
+	wlog  *wal.Log
 }
 
 // Open creates an in-memory database with default options.
@@ -127,36 +169,77 @@ func Open() *DB {
 	return db
 }
 
-// OpenWith creates a database with the given options.
+// OpenWith creates a database with the given options. A non-empty DataFile
+// makes the database durable: the page file is accompanied by a write-ahead
+// log (DataFile + ".wal") and a checkpoint pair (DataFile + ".catalog" and
+// ".manifest") living next to it. Opening a DataFile that already holds a
+// database recovers it — catalog, rows, secondary indexes, annotations,
+// provenance and dependency outdated marks — to the exact committed state of
+// the last session, replaying the WAL tail when that session crashed before
+// checkpointing.
 func OpenWith(opts Options) (*DB, error) {
+	coreOpts := core.Options{
+		PoolSize:    opts.PoolSize,
+		EnforceAuth: opts.EnforceAuth,
+	}
 	var pgr pager.Pager
+	var wlog *wal.Log
 	if opts.DataFile != "" {
 		fp, err := pager.OpenFile(opts.DataFile)
 		if err != nil {
 			return nil, err
 		}
 		pgr = fp
-	}
-	coreOpts := core.Options{
-		Pager:       pgr,
-		PoolSize:    opts.PoolSize,
-		EnforceAuth: opts.EnforceAuth,
+		wlog, err = wal.Open(opts.DataFile + ".wal")
+		if err != nil {
+			fp.Close()
+			return nil, err
+		}
+		coreOpts.Pager = pgr
+		coreOpts.WAL = wlog
+		coreOpts.CatalogPath = opts.DataFile + ".catalog"
+		coreOpts.ManifestPath = opts.DataFile + ".manifest"
 	}
 	if opts.CellLevelAnnotations {
 		coreOpts.AnnotationStore = annotation.NewCellStore()
 	}
-	return &DB{inner: core.Open(coreOpts), pgr: pgr}, nil
+	inner, err := core.Open(coreOpts)
+	if err != nil {
+		if wlog != nil {
+			wlog.Close()
+		}
+		if pgr != nil {
+			pgr.Close()
+		}
+		return nil, err
+	}
+	return &DB{inner: inner, pgr: pgr, wlog: wlog}, nil
 }
 
-// Close flushes buffered pages and closes the data file when one is used.
+// Checkpoint makes the committed state self-contained on disk and truncates
+// the write-ahead log: dirty pages are flushed and synced, the catalog and
+// the in-memory structures (annotations, outdated bitmaps, provenance
+// agents, per-table page lists) are snapshotted atomically. Close checkpoints
+// automatically; call Checkpoint directly to bound recovery time of a
+// long-lived session. On a memory database it degrades to a buffer flush.
+func (db *DB) Checkpoint() error { return db.inner.Checkpoint() }
+
+// Close checkpoints the database and closes the data file and write-ahead
+// log when the database is file-backed. The file handles are released even
+// when the checkpoint fails; the first error is returned.
 func (db *DB) Close() error {
-	if err := db.inner.Close(); err != nil {
-		return err
+	err := db.inner.Close()
+	if db.wlog != nil {
+		if cerr := db.wlog.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if db.pgr != nil {
-		return db.pgr.Close()
+		if cerr := db.pgr.Close(); err == nil {
+			err = cerr
+		}
 	}
-	return nil
+	return err
 }
 
 // Query runs one A-SQL statement as the admin user and returns a cursor

@@ -8,6 +8,11 @@
 // (Query) and prints each one as it arrives, so a SELECT over a large table
 // starts printing immediately and never buffers the whole grid in memory.
 //
+// With -data the database is durable: the page file is accompanied by a
+// write-ahead log and checkpoint files next to it, every invocation reopens
+// the previous state, and exiting checkpoints it — so a script can build a
+// database in one invocation and a later invocation can query it.
+//
 // Usage:
 //
 //	bdbms-cli [-data file.db] [-user name] [-enforce-auth] [-script file.sql]
@@ -28,39 +33,62 @@ import (
 )
 
 func main() {
-	dataFile := flag.String("data", "", "back the database with this page file (default: in-memory)")
-	user := flag.String("user", "admin", "user to run statements as")
-	enforce := flag.Bool("enforce-auth", false, "enable GRANT/REVOKE privilege checks")
-	script := flag.String("script", "", "execute this A-SQL script file before reading stdin")
-	quiet := flag.Bool("quiet", false, "suppress the banner and prompts")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body; it returns the process exit code and closes
+// (checkpoints) the database on every path.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bdbms-cli", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dataFile := fs.String("data", "", "back the database with this file (plus .wal/.catalog/.manifest next to it); reopens existing state")
+	user := fs.String("user", "admin", "user to run statements as")
+	enforce := fs.Bool("enforce-auth", false, "enable GRANT/REVOKE privilege checks")
+	script := fs.String("script", "", "execute this A-SQL script file before reading stdin")
+	quiet := fs.Bool("quiet", false, "suppress the banner and prompts")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	db, err := bdbms.OpenWith(bdbms.Options{DataFile: *dataFile, EnforceAuth: *enforce})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bdbms-cli:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "bdbms-cli:", err)
+		return 1
 	}
-	defer db.Close()
+	closed := false
+	closeDB := func() int {
+		if closed {
+			return 0
+		}
+		closed = true
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(stderr, "bdbms-cli: close:", err)
+			return 1
+		}
+		return 0
+	}
+	defer closeDB()
+
 	if *enforce {
 		db.Authorization().MakeAdmin("admin")
 	}
 	session := db.Session(*user)
 
 	if !*quiet {
-		fmt.Println("bdbms — a database management system for biological data")
-		fmt.Println("Enter A-SQL statements terminated by ';'.  \\q quits, \\tables lists tables.")
+		fmt.Fprintln(stdout, "bdbms — a database management system for biological data")
+		fmt.Fprintln(stdout, "Enter A-SQL statements terminated by ';'.  \\q quits, \\tables lists tables.")
 	}
 
-	run := func(sql string) bool {
+	runStmt := func(sql string) bool {
 		rows, err := session.Query(context.Background(), sql)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+			fmt.Fprintln(stderr, "error:", err)
 			return false
 		}
 		defer rows.Close()
-		streamResult(os.Stdout, rows)
+		streamResult(stdout, rows)
 		if err := rows.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+			fmt.Fprintln(stderr, "error:", err)
 			return false
 		}
 		return true
@@ -69,59 +97,65 @@ func main() {
 	if *script != "" {
 		content, err := os.ReadFile(*script)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bdbms-cli:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "bdbms-cli:", err)
+			return 1
 		}
 		// Validate the whole script before executing anything, so a syntax
 		// error cannot leave the database half-migrated.
 		if _, err := sqlparse.ParseAll(string(content)); err != nil {
-			fmt.Fprintln(os.Stderr, "bdbms-cli:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "bdbms-cli:", err)
+			return 1
 		}
 		for _, stmt := range sqlparse.SplitStatements(string(content)) {
-			if !run(stmt) {
-				os.Exit(1)
+			if !runStmt(stmt) {
+				// Close (checkpoint) so the statements that DID commit
+				// survive into the next invocation.
+				if rc := closeDB(); rc != 0 {
+					return rc
+				}
+				return 1
 			}
 		}
 	}
 
-	scanner := bufio.NewScanner(os.Stdin)
+	scanner := bufio.NewScanner(stdin)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
 	var buf strings.Builder
 	if !*quiet {
-		fmt.Print("bdbms> ")
+		fmt.Fprint(stdout, "bdbms> ")
 	}
 	for scanner.Scan() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		switch trimmed {
 		case "\\q", "\\quit", "exit", "quit":
-			return
+			return closeDB()
 		case "\\tables":
 			for _, tbl := range db.Storage().Tables() {
-				fmt.Printf("%s (%d rows)\n", tbl.Name(), tbl.RowCount())
+				fmt.Fprintf(stdout, "%s (%d rows)\n", tbl.Name(), tbl.RowCount())
 				for _, ann := range db.Storage().Catalog().AnnotationTables(tbl.Name()) {
-					fmt.Printf("  annotation table: %s [%s]\n", ann.Name, ann.Category)
+					fmt.Fprintf(stdout, "  annotation table: %s [%s]\n", ann.Name, ann.Category)
 				}
 			}
 			if !*quiet {
-				fmt.Print("bdbms> ")
+				fmt.Fprint(stdout, "bdbms> ")
 			}
 			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.Contains(line, ";") {
-			run(buf.String())
+			runStmt(buf.String())
 			buf.Reset()
 			if !*quiet {
-				fmt.Print("bdbms> ")
+				fmt.Fprint(stdout, "bdbms> ")
 			}
 		}
 	}
 	if buf.Len() > 0 && strings.TrimSpace(buf.String()) != "" {
-		run(buf.String())
+		runStmt(buf.String())
 	}
+	return closeDB()
 }
 
 // streamResult prints a cursor's result as it is pulled: the header first,

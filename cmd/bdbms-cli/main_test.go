@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// runCLI drives the CLI body in-process and captures its streams.
+func runCLI(t *testing.T, args []string, stdin string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func checkGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("output differs from %s\n got:\n%s\nwant:\n%s", goldenPath, got, string(want))
+	}
+}
+
+// TestScriptModeGolden locks the script-mode output format: grids, streamed
+// rows, annotation lines and DML summaries.
+func TestScriptModeGolden(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		[]string{"-quiet", "-script", "testdata/basic.sql"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("unexpected stderr: %s", stderr)
+	}
+	checkGolden(t, filepath.Join("testdata", "basic.golden"), stdout)
+}
+
+// TestDataFileAcrossInvocations is the two-invocation durability case: the
+// first invocation writes a database with -data, the second reopens the file
+// and queries (and extends) the recovered state.
+func TestDataFileAcrossInvocations(t *testing.T) {
+	dataFile := filepath.Join(t.TempDir(), "genes.db")
+
+	stdout, stderr, code := runCLI(t,
+		[]string{"-quiet", "-data", dataFile, "-script", "testdata/persist_write.sql"}, "")
+	if code != 0 {
+		t.Fatalf("write invocation exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, filepath.Join("testdata", "persist_write.golden"), stdout)
+
+	stdout, stderr, code = runCLI(t,
+		[]string{"-quiet", "-data", dataFile, "-script", "testdata/persist_query.sql"}, "")
+	if code != 0 {
+		t.Fatalf("query invocation exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, filepath.Join("testdata", "persist_query.golden"), stdout)
+
+	// The INSERT of the second invocation must survive into a third.
+	stdout, _, code = runCLI(t, []string{"-quiet", "-data", dataFile}, "SELECT GID FROM Gene;\n\\q\n")
+	if code != 0 {
+		t.Fatalf("third invocation exit %d", code)
+	}
+	if !strings.Contains(stdout, "JW0084") || !strings.Contains(stdout, "(4 row(s))") {
+		t.Errorf("third invocation misses second invocation's insert:\n%s", stdout)
+	}
+}
+
+// TestScriptSyntaxErrorExecutesNothing double-checks the parse-before-run
+// contract in combination with a data file: a bad script leaves no trace.
+func TestScriptSyntaxErrorExecutesNothing(t *testing.T) {
+	dir := t.TempDir()
+	dataFile := filepath.Join(dir, "x.db")
+	bad := filepath.Join(dir, "bad.sql")
+	if err := os.WriteFile(bad, []byte("CREATE TABLE T (A INT);\nSELEKT nonsense;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runCLI(t, []string{"-quiet", "-data", dataFile, "-script", bad}, "")
+	if code == 0 {
+		t.Fatal("bad script should exit non-zero")
+	}
+	if stderr == "" {
+		t.Error("bad script should report the parse error")
+	}
+	stdout, _, code := runCLI(t, []string{"-quiet", "-data", dataFile}, "\\tables\n\\q\n")
+	if code != 0 {
+		t.Fatalf("inspect invocation exit %d", code)
+	}
+	if strings.Contains(stdout, "T (") {
+		t.Errorf("half-migrated state leaked into the data file:\n%s", stdout)
+	}
+}
+
+// TestInteractiveStreamsRows sanity-checks the interactive loop against a
+// scripted stdin session.
+func TestInteractiveStreamsRows(t *testing.T) {
+	in := strings.Join([]string{
+		"CREATE TABLE G (N INT);",
+		"INSERT INTO G VALUES (1), (2), (3);",
+		"SELECT N FROM G WHERE N > 1;",
+		"\\tables",
+		"\\q",
+	}, "\n") + "\n"
+	stdout, stderr, code := runCLI(t, []string{"-quiet"}, in)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"(2 row(s))", "G (3 rows)"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output misses %q:\n%s", want, stdout)
+		}
+	}
+}

@@ -1,21 +1,37 @@
 // Command quickstart shows the minimal bdbms workflow with the cursor API:
-// create a gene table, load it through a prepared INSERT, annotate it at
-// several granularities with ADD ANNOTATION, and stream the annotated answer
-// back with Query — Prepare/Query/Rows are the primary idioms, with
-// MustExec/Render as the convenience layer for one-off statements.
+// create a gene table backed by a data file, load it through a prepared
+// INSERT, annotate it at several granularities with ADD ANNOTATION, stream
+// the annotated answer back with Query, then close and reopen the database
+// to show that tables, indexes and annotations are durable —
+// Prepare/Query/Rows are the primary idioms, with MustExec/Render as the
+// convenience layer for one-off statements.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"bdbms"
 )
 
 func main() {
-	db := bdbms.Open()
-	defer db.Close()
+	// A non-empty DataFile makes the database durable: pages, a write-ahead
+	// log and checkpoint files live next to each other, and reopening the
+	// same path recovers the previous state.
+	dir, err := os.MkdirTemp("", "bdbms-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dataFile := filepath.Join(dir, "genes.db")
+
+	db, err := bdbms.OpenWith(bdbms.Options{DataFile: dataFile})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ctx := context.Background()
 
 	db.MustExec(`CREATE TABLE Gene (
@@ -97,4 +113,34 @@ func main() {
 	// The materializing compatibility layer is still there for one-offs.
 	fmt.Println("Full grid via Render:")
 	fmt.Print(bdbms.Render(db.MustExec(`SELECT GID, GName FROM Gene ORDER BY GID`)))
+
+	// Close checkpoints the database; reopening the same data file recovers
+	// tables, rows, indexes and annotations exactly as they were.
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+	reopened, err := bdbms.OpenWith(bdbms.Options{DataFile: dataFile})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	fmt.Println("After close and reopen, annotations included:")
+	again, err := reopened.Query(ctx, `SELECT GID, GName FROM Gene ANNOTATION(GAnnotation) WHERE GID = ?`, "JW0080")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer again.Close()
+	for again.Next() {
+		var gid, name string
+		if err := again.Scan(&gid, &name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s | %s\n", gid, name)
+		for _, ann := range again.Row().AnnotationsFlat() {
+			fmt.Printf("    [%s by %s] %s\n", ann.AnnTable, ann.Author, ann.PlainBody())
+		}
+	}
+	if err := again.Err(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -18,6 +18,7 @@
 package annotation
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -27,6 +28,7 @@ import (
 
 	"bdbms/internal/catalog"
 	"bdbms/internal/rtree"
+	"bdbms/internal/wal"
 )
 
 // Errors returned by the annotation manager.
@@ -349,12 +351,20 @@ type TableResolver interface {
 	MaxRowID(table string) (int64, error)
 }
 
+// Logger is where the manager appends its logical WAL records. *wal.Log
+// satisfies it; a nil logger disables logging (memory-only databases, and
+// recovery while annotation mutations are replayed from the log).
+type Logger interface {
+	Append(kind wal.Kind, table string, payload []byte) (uint64, error)
+}
+
 // Manager is the annotation manager.
 type Manager struct {
 	mu        sync.RWMutex
 	cat       *catalog.Catalog
 	resolver  TableResolver
 	store     Store
+	logger    Logger
 	nextID    int64
 	byID      map[int64]*Annotation
 	byTable   map[string][]int64 // user table -> annotation IDs
@@ -397,19 +407,61 @@ func NewManager(cat *catalog.Catalog, resolver TableResolver, opts ...Option) *M
 // StoreName returns the active storage scheme name.
 func (m *Manager) StoreName() string { return m.store.Name() }
 
+// SetLogger wires the manager to a WAL. Recovery constructs the manager
+// without one, replays logged mutations, then installs the log so new
+// mutations are recorded.
+func (m *Manager) SetLogger(l Logger) { m.logger = l }
+
+// logOp appends one logical record when a logger is wired.
+func (m *Manager) logOp(kind wal.Kind, table string, payload []byte) error {
+	if m.logger == nil {
+		return nil
+	}
+	_, err := m.logger.Append(kind, table, payload)
+	return err
+}
+
 // CreateAnnotationTable implements CREATE ANNOTATION TABLE (Figure 4).
 func (m *Manager) CreateAnnotationTable(userTable, name, category string, systemManaged bool) error {
-	return m.cat.CreateAnnotationTable(&catalog.AnnotationTable{
+	def := &catalog.AnnotationTable{
 		Name:          name,
 		UserTable:     userTable,
 		Category:      category,
 		SystemManaged: systemManaged,
-	})
+	}
+	if err := m.cat.CreateAnnotationTable(def); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(def)
+	if err == nil {
+		err = m.logOp(wal.KindCreateAnnTable, userTable, payload)
+	}
+	if err != nil {
+		_ = m.cat.DropAnnotationTable(userTable, name)
+		return err
+	}
+	return nil
 }
 
 // DropAnnotationTable implements DROP ANNOTATION TABLE: the definition and
 // every annotation stored in it are removed.
 func (m *Manager) DropAnnotationTable(userTable, name string) error {
+	if _, err := m.cat.AnnotationTable(userTable, name); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(&catalog.AnnotationTable{Name: name, UserTable: userTable})
+	if err != nil {
+		return err
+	}
+	if err := m.logOp(wal.KindDropAnnTable, userTable, payload); err != nil {
+		return err
+	}
+	return m.applyDropAnnotationTable(userTable, name)
+}
+
+// applyDropAnnotationTable removes the definition and the stored annotations
+// without logging.
+func (m *Manager) applyDropAnnotationTable(userTable, name string) error {
 	if err := m.cat.DropAnnotationTable(userTable, name); err != nil {
 		return err
 	}
@@ -462,12 +514,30 @@ func (m *Manager) Add(userTable, annTable, body, author string, regions []Region
 		CreatedAt: m.clock(),
 		Regions:   regions,
 	}
-	m.nextID++
+	// Write-ahead order: the fully-assigned annotation (ID, author, creation
+	// time, regions) is logged before the in-memory apply, so replay can
+	// reconstruct it byte for byte.
+	payload, err := json.Marshal(a)
+	if err != nil {
+		return nil, fmt.Errorf("annotation: encode: %w", err)
+	}
+	if err := m.logOp(wal.KindAnnotation, userTable, payload); err != nil {
+		return nil, err
+	}
+	m.applyAdd(a)
+	return a, nil
+}
+
+// applyAdd registers an annotation in the maps and the storage scheme. The
+// caller must hold m.mu.
+func (m *Manager) applyAdd(a *Annotation) {
+	if a.ID >= m.nextID {
+		m.nextID = a.ID + 1
+	}
 	m.byID[a.ID] = a
-	key := strings.ToLower(userTable)
+	key := strings.ToLower(a.UserTable)
 	m.byTable[key] = append(m.byTable[key], a.ID)
 	m.store.Add(a)
-	return a, nil
 }
 
 // Get returns the annotation with the given ID, or nil.
@@ -592,16 +662,16 @@ func (tr TimeRange) contains(t time.Time) bool {
 // annotation tables, created within tr, attached to cells intersecting any of
 // the regions (nil regions means the whole table) are marked archived.
 // It returns the number of annotations archived.
-func (m *Manager) Archive(userTable string, annTables []string, tr TimeRange, regions []Region) int {
+func (m *Manager) Archive(userTable string, annTables []string, tr TimeRange, regions []Region) (int, error) {
 	return m.setArchived(userTable, annTables, tr, regions, true)
 }
 
 // Restore implements RESTORE ANNOTATION (Figure 6c), the inverse of Archive.
-func (m *Manager) Restore(userTable string, annTables []string, tr TimeRange, regions []Region) int {
+func (m *Manager) Restore(userTable string, annTables []string, tr TimeRange, regions []Region) (int, error) {
 	return m.setArchived(userTable, annTables, tr, regions, false)
 }
 
-func (m *Manager) setArchived(userTable string, annTables []string, tr TimeRange, regions []Region, archived bool) int {
+func (m *Manager) setArchived(userTable string, annTables []string, tr TimeRange, regions []Region, archived bool) (int, error) {
 	f := Filter{AnnTables: annTables, IncludeArchived: true}
 	var candidates []*Annotation
 	if len(regions) == 0 {
@@ -622,19 +692,138 @@ func (m *Manager) setArchived(userTable string, annTables []string, tr TimeRange
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := 0
 	now := m.clock()
+	var changed []int64
 	for _, a := range candidates {
 		if !tr.contains(a.CreatedAt) || a.Archived == archived {
 			continue
 		}
+		changed = append(changed, a.ID)
+	}
+	if len(changed) == 0 {
+		return 0, nil
+	}
+	// Log the resolved ID set (not the region/time query): replay must flip
+	// exactly the annotations the original command flipped, independent of
+	// replay-time clocks. Write-ahead order — a failed append leaves the
+	// in-memory state untouched and surfaces the error.
+	payload, err := json.Marshal(archiveRecord{IDs: changed, Archived: archived, At: now})
+	if err == nil {
+		err = m.logOp(wal.KindAnnArchive, userTable, payload)
+	}
+	if err != nil {
+		return 0, err
+	}
+	m.applyArchive(changed, archived, now)
+	return len(changed), nil
+}
+
+// archiveRecord is the WAL payload of one ARCHIVE/RESTORE ANNOTATION.
+type archiveRecord struct {
+	IDs      []int64   `json:"ids"`
+	Archived bool      `json:"archived"`
+	At       time.Time `json:"at"`
+}
+
+// applyArchive flips the archived flag of the given annotations. The caller
+// must hold m.mu.
+func (m *Manager) applyArchive(ids []int64, archived bool, at time.Time) {
+	for _, id := range ids {
+		a, ok := m.byID[id]
+		if !ok {
+			continue
+		}
 		a.Archived = archived
 		if archived {
-			a.ArchivedAt = now
+			a.ArchivedAt = at
 		}
-		n++
 	}
-	return n
+}
+
+// --- durability ---------------------------------------------------------------
+
+// DecodeAnnotationPayload parses the WAL payload of a KindAnnotation record.
+func DecodeAnnotationPayload(payload []byte) (*Annotation, error) {
+	var a Annotation
+	if err := json.Unmarshal(payload, &a); err != nil {
+		return nil, fmt.Errorf("annotation: decode WAL payload: %w", err)
+	}
+	return &a, nil
+}
+
+// DecodeArchivePayload parses the WAL payload of a KindAnnArchive record.
+func DecodeArchivePayload(payload []byte) (ids []int64, archived bool, at time.Time, err error) {
+	var rec archiveRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, false, time.Time{}, fmt.Errorf("annotation: decode archive payload: %w", err)
+	}
+	return rec.IDs, rec.Archived, rec.At, nil
+}
+
+// Snapshot returns a deep copy of every annotation (archived included) plus
+// the next annotation ID, the state a checkpoint persists.
+func (m *Manager) Snapshot() ([]*Annotation, int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Annotation, 0, len(m.byID))
+	for _, a := range m.byID {
+		cp := *a
+		cp.Regions = append([]Region(nil), a.Regions...)
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, m.nextID
+}
+
+// RestoreSnapshot loads a checkpointed annotation set into an empty manager.
+func (m *Manager) RestoreSnapshot(anns []*Annotation, nextID int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, a := range anns {
+		m.applyAdd(a)
+	}
+	if nextID > m.nextID {
+		m.nextID = nextID
+	}
+}
+
+// RecoverAnnotation replays a logged ADD ANNOTATION: the annotation is
+// installed with its original ID, author and timestamps. Replaying an ID
+// that is already present (a checkpoint raced the crash) is a no-op.
+func (m *Manager) RecoverAnnotation(a *Annotation) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byID[a.ID]; ok {
+		return
+	}
+	m.applyAdd(a)
+}
+
+// RecoverArchive replays a logged ARCHIVE/RESTORE state change.
+func (m *Manager) RecoverArchive(ids []int64, archived bool, at time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.applyArchive(ids, archived, at)
+}
+
+// RecoverCreateAnnotationTable replays CREATE ANNOTATION TABLE, tolerating
+// an existing definition.
+func (m *Manager) RecoverCreateAnnotationTable(def *catalog.AnnotationTable) error {
+	err := m.cat.CreateAnnotationTable(def)
+	if errors.Is(err, catalog.ErrAnnotationTableExists) {
+		return nil
+	}
+	return err
+}
+
+// RecoverDropAnnotationTable replays DROP ANNOTATION TABLE, tolerating an
+// absent definition.
+func (m *Manager) RecoverDropAnnotationTable(userTable, name string) error {
+	err := m.applyDropAnnotationTable(userTable, name)
+	if errors.Is(err, catalog.ErrAnnotationTableNotFound) {
+		return nil
+	}
+	return err
 }
 
 // --- region helpers -------------------------------------------------------------

@@ -201,8 +201,11 @@ func TestArchiveRestore(t *testing.T) {
 	b, _ := m.Add("DB2_Gene", "GAnnotation", "new annotation", "u", reg)
 
 	// Archive only annotations created in the first half hour.
-	n := m.Archive("DB2_Gene", []string{"GAnnotation"},
+	n, err := m.Archive("DB2_Gene", []string{"GAnnotation"},
 		TimeRange{To: a.CreatedAt.Add(time.Minute)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 1 {
 		t.Fatalf("archived %d, want 1", n)
 	}
@@ -217,7 +220,10 @@ func TestArchiveRestore(t *testing.T) {
 		t.Errorf("with archived = %v", got)
 	}
 	// Restore by region.
-	n = m.Restore("DB2_Gene", nil, TimeRange{}, []Region{CellRegion("DB2_Gene", 1, 1)})
+	n, err = m.Restore("DB2_Gene", nil, TimeRange{}, []Region{CellRegion("DB2_Gene", 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 1 {
 		t.Fatalf("restored %d, want 1", n)
 	}
@@ -226,7 +232,7 @@ func TestArchiveRestore(t *testing.T) {
 	}
 	// Archiving an already-archived annotation is not double counted.
 	m.Archive("DB2_Gene", nil, TimeRange{}, nil)
-	if n := m.Archive("DB2_Gene", nil, TimeRange{}, nil); n != 0 {
+	if n, _ := m.Archive("DB2_Gene", nil, TimeRange{}, nil); n != 0 {
 		t.Errorf("re-archive counted %d", n)
 	}
 }

@@ -6,16 +6,20 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"bdbms/internal/annotation"
 	"bdbms/internal/authz"
+	"bdbms/internal/catalog"
 	"bdbms/internal/dependency"
 	"bdbms/internal/exec"
 	"bdbms/internal/pager"
 	"bdbms/internal/provenance"
 	"bdbms/internal/storage"
+	"bdbms/internal/wal"
 )
 
 // Options configures a database instance.
@@ -29,6 +33,14 @@ type Options struct {
 	AnnotationStore annotation.Store
 	// EnforceAuth enables GRANT/REVOKE checks on sessions by default.
 	EnforceAuth bool
+	// WAL is the write-ahead log; nil means a fresh in-memory log.
+	WAL *wal.Log
+	// CatalogPath is where checkpoints snapshot the catalog. Together with
+	// ManifestPath and a file-backed WAL it makes the database durable:
+	// Open recovers from these files and Checkpoint/Close update them.
+	CatalogPath string
+	// ManifestPath is where checkpoints write the recovery manifest.
+	ManifestPath string
 }
 
 // DB is an open bdbms database.
@@ -39,6 +51,11 @@ type DB struct {
 	dep  *dependency.Manager
 	auth *authz.Manager
 	opts Options
+	// wal is the engine's write-ahead log (shared with eng).
+	wal *wal.Log
+	// catalogPath / manifestPath locate the checkpoint files ("" = memory).
+	catalogPath  string
+	manifestPath string
 	// stmtMu is the engine-wide statement lock shared by every session:
 	// SELECTs take it shared (and a streaming cursor holds it until closed),
 	// mutating statements take it exclusive. This is what makes concurrent
@@ -67,9 +84,32 @@ func (r resolver) MaxRowID(table string) (int64, error) {
 	return tbl.NextRowID() - 1, nil
 }
 
-// Open creates a database with the given options.
-func Open(opts Options) *DB {
-	eng := storage.NewEngine(storage.Config{Pager: opts.Pager, PoolSize: opts.PoolSize})
+// Open creates a database with the given options. When the options name a
+// write-ahead log and checkpoint files (a durable database), the on-disk
+// state is recovered before the database is handed out: the catalog and
+// manifest snapshots are loaded, every table is reattached to its heap
+// pages, and the WAL tail is replayed to the exact committed pre-crash
+// state.
+func Open(opts Options) (*DB, error) {
+	log := opts.WAL
+	if log == nil {
+		log = wal.NewMemory()
+	}
+	cat := catalog.New()
+	durable := opts.WAL != nil && opts.CatalogPath != "" && opts.ManifestPath != ""
+	if durable {
+		if loaded, err := catalog.LoadFile(opts.CatalogPath); err == nil {
+			cat = loaded
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	eng := storage.NewEngine(storage.Config{
+		Pager:    opts.Pager,
+		PoolSize: opts.PoolSize,
+		Catalog:  cat,
+		Log:      log,
+	})
 	var annOpts []annotation.Option
 	if opts.AnnotationStore != nil {
 		annOpts = append(annOpts, annotation.WithStore(opts.AnnotationStore))
@@ -82,6 +122,29 @@ func Open(opts Options) *DB {
 		dep:  dependency.NewManager(eng),
 		auth: authz.NewManager(eng),
 		opts: opts,
+		wal:  log,
+	}
+	if durable {
+		db.catalogPath = opts.CatalogPath
+		db.manifestPath = opts.ManifestPath
+		if err := db.recover(); err != nil {
+			return nil, err
+		}
+	}
+	// Wire the managers to the log only after recovery, so replayed
+	// mutations are not re-appended.
+	db.ann.SetLogger(log)
+	db.dep.SetLogger(log)
+	db.prov.SetLogger(log)
+	return db, nil
+}
+
+// MustOpen is Open for callers that cannot hit a recovery error, i.e. every
+// memory-backed configuration; it panics on error.
+func MustOpen(opts Options) *DB {
+	db, err := Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("core: open: %v", err))
 	}
 	return db
 }
@@ -139,11 +202,12 @@ func (db *DB) Prepare(sql string) (*exec.Stmt, error) {
 	return db.Session("admin").Prepare(sql)
 }
 
-// Close flushes buffered pages. The pager itself is owned by the caller when
-// one was supplied in Options.
+// Close checkpoints the database (flush + catalog/manifest snapshot + WAL
+// truncation for durable databases, a plain flush otherwise). The pager and
+// the WAL are owned by the caller when supplied in Options.
 func (db *DB) Close() error {
-	if err := db.eng.FlushAll(); err != nil {
-		return fmt.Errorf("core: flush on close: %w", err)
+	if err := db.Checkpoint(); err != nil {
+		return fmt.Errorf("core: checkpoint on close: %w", err)
 	}
 	return nil
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func TestOpenWiresAllManagers(t *testing.T) {
-	db := Open(Options{})
+	db := MustOpen(Options{})
 	defer db.Close()
 	if db.Storage() == nil || db.Annotations() == nil || db.Provenance() == nil ||
 		db.Dependencies() == nil || db.Authorization() == nil {
@@ -31,7 +31,7 @@ func TestOpenWiresAllManagers(t *testing.T) {
 }
 
 func TestOpenWithCustomStoreAndPager(t *testing.T) {
-	db := Open(Options{
+	db := MustOpen(Options{
 		Pager:           pager.NewMem(),
 		PoolSize:        16,
 		AnnotationStore: annotation.NewCellStore(),
@@ -53,7 +53,7 @@ func TestOpenWithCustomStoreAndPager(t *testing.T) {
 }
 
 func TestResolverAdapters(t *testing.T) {
-	db := Open(Options{})
+	db := MustOpen(Options{})
 	defer db.Close()
 	db.Exec("CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT)")
 	db.Exec("INSERT INTO Gene VALUES ('JW0080', 'mraW')")

@@ -1,0 +1,325 @@
+// Durability: checkpointing and crash recovery.
+//
+// A file-backed database is three files next to each other: the page file
+// (heap pages), the write-ahead log, and a checkpoint pair — the catalog
+// snapshot plus a manifest tying everything together. Every mutation appends
+// a logical WAL record before its in-memory apply, so the committed state is
+// exactly "last checkpoint + WAL tail". A checkpoint flushes dirty pages,
+// snapshots the catalog and the memory-resident structures (annotation set,
+// outdated bitmaps, provenance agents, per-table page lists and counters)
+// and then truncates the WAL; reopening loads the snapshot, reattaches every
+// table to its heap pages, and redoes the WAL tail through idempotent
+// appliers — pages may have been flushed after a record was logged (buffer
+// evictions happen at any time), so replay tolerates effects that already
+// reached disk.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/catalog"
+	"bdbms/internal/dependency"
+	"bdbms/internal/pager"
+	"bdbms/internal/provenance"
+	"bdbms/internal/storage"
+	"bdbms/internal/wal"
+)
+
+// manifestTable is the checkpointed storage state of one table.
+type manifestTable struct {
+	// Name is the table name (matches a catalog snapshot entry).
+	Name string `json:"name"`
+	// Pages are the heap page IDs backing the table, in file order.
+	Pages []uint64 `json:"pages"`
+	// NextRow is the RowID counter at checkpoint time.
+	NextRow int64 `json:"next_row"`
+	// Indexes are the indexed column names (the trees are rebuilt by scan).
+	Indexes []string `json:"indexes,omitempty"`
+}
+
+// manifest is the checkpoint manifest: everything beyond heap pages and the
+// catalog that reopening needs.
+type manifest struct {
+	// CheckpointLSN is the highest LSN covered by this checkpoint; recovery
+	// replays only records with a greater LSN.
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	// NextLSN restores the WAL's LSN counter after a truncation.
+	NextLSN uint64 `json:"next_lsn"`
+	// Tables is the per-table storage state.
+	Tables []manifestTable `json:"tables"`
+	// Annotations is the full annotation set (archived included).
+	Annotations []*annotation.Annotation `json:"annotations,omitempty"`
+	// NextAnnotationID restores the annotation ID counter.
+	NextAnnotationID int64 `json:"next_annotation_id"`
+	// Outdated is the set cells of the dependency outdated bitmaps.
+	Outdated []dependency.Cell `json:"outdated,omitempty"`
+	// Agents are the registered provenance agents.
+	Agents []string `json:"agents,omitempty"`
+}
+
+// saveManifest writes m to path atomically: temp file, fsync, rename. The
+// fsync matters — the WAL is truncated right after the rename, so the
+// manifest content must be on stable storage before the old recovery source
+// disappears.
+func saveManifest(path string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encode manifest: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: write manifest: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("core: write manifest: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadManifest reads a manifest; a missing file returns (nil, nil).
+func loadManifest(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: decode manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Checkpoint makes the current committed state self-contained on disk and
+// truncates the WAL: dirty pages are flushed and synced, the catalog and the
+// memory-resident structures are snapshotted, and only then is the log
+// emptied. The statement lock is taken exclusively, so a checkpoint never
+// observes a half-applied statement. On a memory-backed database Checkpoint
+// degrades to FlushAll.
+func (db *DB) Checkpoint() error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if err := db.eng.FlushAll(); err != nil {
+		return fmt.Errorf("core: checkpoint flush: %w", err)
+	}
+	if !db.durable() {
+		// Memory databases still log every mutation (the WAL doubles as the
+		// audit surface), so a checkpoint's job of bounding log growth
+		// applies to them too — there is just no snapshot to write first.
+		return db.wal.Truncate()
+	}
+	if err := db.eng.SyncPager(); err != nil {
+		return fmt.Errorf("core: checkpoint sync: %w", err)
+	}
+	m := &manifest{
+		CheckpointLSN: db.wal.NextLSN() - 1,
+		NextLSN:       db.wal.NextLSN(),
+	}
+	for _, tbl := range db.eng.Tables() {
+		mt := manifestTable{
+			Name:    tbl.Name(),
+			NextRow: tbl.NextRowID(),
+			Indexes: tbl.IndexColumns(),
+		}
+		for _, id := range tbl.HeapPages() {
+			mt.Pages = append(mt.Pages, uint64(id))
+		}
+		m.Tables = append(m.Tables, mt)
+	}
+	m.Annotations, m.NextAnnotationID = db.ann.Snapshot()
+	m.Outdated = db.dep.Snapshot()
+	m.Agents = db.prov.Agents()
+
+	if err := db.eng.Catalog().SaveFile(db.catalogPath); err != nil {
+		return fmt.Errorf("core: checkpoint catalog: %w", err)
+	}
+	// The manifest rename is the commit point: a crash before it leaves the
+	// previous checkpoint plus an intact WAL; a crash after it leaves the new
+	// checkpoint, and replaying the not-yet-truncated WAL is harmless because
+	// recovery skips records at or below CheckpointLSN.
+	if err := saveManifest(db.manifestPath, m); err != nil {
+		return err
+	}
+	if err := db.wal.Truncate(); err != nil {
+		return err
+	}
+	return db.wal.Sync()
+}
+
+// durable reports whether this database has a checkpoint location.
+func (db *DB) durable() bool {
+	return db.wal != nil && db.catalogPath != "" && db.manifestPath != ""
+}
+
+// recover rebuilds the database from its on-disk state: catalog + manifest
+// snapshot first (when one exists), then a redo pass over the WAL tail.
+// Engine logging is off for the duration so replayed mutations are not
+// re-appended.
+func (db *DB) recover() error {
+	db.eng.SetLogging(false)
+	defer db.eng.SetLogging(true)
+
+	var ckptLSN uint64
+	m, err := loadManifest(db.manifestPath)
+	if err != nil {
+		return err
+	}
+	if m != nil {
+		for _, mt := range m.Tables {
+			schema, err := db.eng.Catalog().Table(mt.Name)
+			if errors.Is(err, catalog.ErrTableNotFound) {
+				// The catalog snapshot is newer than the manifest: a crash
+				// hit between the two checkpoint writes, after a DROP TABLE.
+				// The drop is the committed truth, so skip the stale entry
+				// (its WAL row records are skipped the same way below).
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("core: manifest table %s: %w", mt.Name, err)
+			}
+			pages := make([]pager.PageID, len(mt.Pages))
+			for i, id := range mt.Pages {
+				pages[i] = pager.PageID(id)
+			}
+			if _, err := db.eng.AttachTable(schema, pages, mt.NextRow, mt.Indexes); err != nil {
+				return err
+			}
+		}
+		db.ann.RestoreSnapshot(m.Annotations, m.NextAnnotationID)
+		db.dep.RestoreSnapshot(m.Outdated)
+		for _, agent := range m.Agents {
+			db.prov.RecoverAgent(agent, true)
+		}
+		db.wal.EnsureNextLSN(m.NextLSN)
+		ckptLSN = m.CheckpointLSN
+	}
+
+	for _, rec := range db.wal.Since(ckptLSN) {
+		err := db.applyRecord(rec)
+		if errors.Is(err, catalog.ErrTableNotFound) {
+			// Redo is tolerant of records for tables that do not survive
+			// recovery: a table dropped in the replayed window (or dropped
+			// right before a crash-torn checkpoint) leaves earlier row
+			// records with nowhere to apply, and their effects are moot.
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("core: replay LSN %d (%s %s): %w", rec.LSN, rec.Kind, rec.Table, err)
+		}
+	}
+	return nil
+}
+
+// applyRecord redoes one logical WAL record.
+func (db *DB) applyRecord(rec wal.Record) error {
+	switch rec.Kind {
+	case wal.KindCreateTable:
+		var schema catalog.Schema
+		if err := json.Unmarshal(rec.Payload, &schema); err != nil {
+			return err
+		}
+		_, err := db.eng.RecoverCreateTable(&schema)
+		return err
+	case wal.KindDropTable:
+		return db.eng.RecoverDropTable(rec.Table)
+	case wal.KindCreateIndex:
+		tbl, err := db.eng.Table(rec.Table)
+		if err != nil {
+			return err
+		}
+		return tbl.CreateIndex(string(rec.Payload))
+	case wal.KindInsert:
+		tbl, err := db.eng.Table(rec.Table)
+		if err != nil {
+			return err
+		}
+		rowID, row, err := storage.DecodeStoredRow(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return tbl.RecoverInsert(rowID, row)
+	case wal.KindUpdate:
+		tbl, err := db.eng.Table(rec.Table)
+		if err != nil {
+			return err
+		}
+		rowID, row, err := storage.DecodeStoredRow(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return tbl.RecoverUpdate(rowID, row)
+	case wal.KindDelete:
+		tbl, err := db.eng.Table(rec.Table)
+		if err != nil {
+			return err
+		}
+		rowID, _, err := storage.DecodeStoredRow(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return tbl.RecoverDelete(rowID)
+	case wal.KindAnnotation:
+		a, err := annotation.DecodeAnnotationPayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		db.ann.RecoverAnnotation(a)
+		return nil
+	case wal.KindAnnArchive:
+		ids, archived, at, err := annotation.DecodeArchivePayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		db.ann.RecoverArchive(ids, archived, at)
+		return nil
+	case wal.KindCreateAnnTable:
+		var def catalog.AnnotationTable
+		if err := json.Unmarshal(rec.Payload, &def); err != nil {
+			return err
+		}
+		return db.ann.RecoverCreateAnnotationTable(&def)
+	case wal.KindDropAnnTable:
+		var def catalog.AnnotationTable
+		if err := json.Unmarshal(rec.Payload, &def); err != nil {
+			return err
+		}
+		return db.ann.RecoverDropAnnotationTable(def.UserTable, def.Name)
+	case wal.KindDepMark:
+		table, rowID, col, set, err := dependency.DecodeMarkPayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		db.dep.RecoverMark(table, rowID, col, set)
+		return nil
+	case wal.KindProvAgent:
+		name, register, err := provenance.DecodeAgentPayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		db.prov.RecoverAgent(name, register)
+		return nil
+	case wal.KindApproval, wal.KindCheckpoint:
+		// Approval workflow state is session-scoped (see the package docs of
+		// bdbms); its log records are audit-only.
+		return nil
+	default:
+		return fmt.Errorf("unknown record kind %d", rec.Kind)
+	}
+}

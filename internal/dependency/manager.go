@@ -1,6 +1,7 @@
 package dependency
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"bdbms/internal/catalog"
 	"bdbms/internal/storage"
 	"bdbms/internal/value"
+	"bdbms/internal/wal"
 )
 
 // Event describes what the cascade did to one cell.
@@ -21,12 +23,19 @@ type Event struct {
 	Recomputed bool
 }
 
+// Logger is where the manager appends outdated-mark WAL records. *wal.Log
+// satisfies it; nil disables logging.
+type Logger interface {
+	Append(kind wal.Kind, table string, payload []byte) (uint64, error)
+}
+
 // Manager performs instance-level dependency tracking over a storage engine.
 type Manager struct {
 	mu      sync.RWMutex
 	eng     *storage.Engine
 	rules   *RuleSet
 	bitmaps map[string]*Bitmap
+	logger  Logger
 	// events accumulates an audit trail of cascade actions.
 	events []Event
 }
@@ -37,6 +46,82 @@ func NewManager(eng *storage.Engine) *Manager {
 		eng:     eng,
 		rules:   NewRuleSet(),
 		bitmaps: make(map[string]*Bitmap),
+	}
+}
+
+// SetLogger wires the manager to a WAL; outdated-bitmap transitions are then
+// logged so a reopened database remembers which cells need re-verification.
+// Dependency rules themselves are Go values (procedures are function
+// pointers) and must be re-registered by the application after reopen.
+func (m *Manager) SetLogger(l Logger) { m.logger = l }
+
+// markRecord is the WAL payload of one outdated-bitmap transition.
+type markRecord struct {
+	Table string `json:"table"`
+	RowID int64  `json:"row_id"`
+	Col   int    `json:"col"`
+	Set   bool   `json:"set"`
+}
+
+// logMark appends one bitmap transition when a logger is wired. The WAL
+// record precedes the in-memory bit flip (write-ahead order).
+func (m *Manager) logMark(table string, rowID int64, col int, set bool) error {
+	if m.logger == nil {
+		return nil
+	}
+	payload, err := json.Marshal(markRecord{Table: table, RowID: rowID, Col: col, Set: set})
+	if err != nil {
+		return err
+	}
+	_, err = m.logger.Append(wal.KindDepMark, table, payload)
+	return err
+}
+
+// setMark logs and applies one outdated-bitmap transition. Transitions that
+// would not change the bit are dropped, keeping the WAL free of no-op
+// records. A failed append leaves the bit untouched, so memory never holds
+// a mark the log (and therefore a reopened database) would not.
+func (m *Manager) setMark(table string, rowID int64, col int, set bool) error {
+	b := m.bitmap(table)
+	if b.IsSet(rowID, col) == set {
+		return nil
+	}
+	if err := m.logMark(table, rowID, col, set); err != nil {
+		return err
+	}
+	if set {
+		b.Set(rowID, col)
+	} else {
+		b.Clear(rowID, col)
+	}
+	return nil
+}
+
+// DecodeMarkPayload parses the WAL payload of a KindDepMark record.
+func DecodeMarkPayload(payload []byte) (table string, rowID int64, col int, set bool, err error) {
+	var rec markRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return "", 0, 0, false, fmt.Errorf("dependency: decode mark payload: %w", err)
+	}
+	return rec.Table, rec.RowID, rec.Col, rec.Set, nil
+}
+
+// RecoverMark replays a logged bitmap transition.
+func (m *Manager) RecoverMark(table string, rowID int64, col int, set bool) {
+	if set {
+		m.bitmap(table).Set(rowID, col)
+	} else {
+		m.bitmap(table).Clear(rowID, col)
+	}
+}
+
+// Snapshot returns every outdated cell, the state a checkpoint persists.
+func (m *Manager) Snapshot() []Cell { return m.OutdatedCells() }
+
+// RestoreSnapshot loads checkpointed outdated cells into an empty manager.
+func (m *Manager) RestoreSnapshot(cells []Cell) {
+	for _, c := range cells {
+		m.bitmap(c.Table).Set(c.RowID, c.Col)
 	}
 }
 
@@ -232,8 +317,8 @@ func (m *Manager) OnCellModified(table string, rowID int64, column string) ([]Ev
 						_ = newVal
 						// A recomputed cell still changed, so its own
 						// dependents must be revisited.
-					} else {
-						m.bitmap(target.Table).Set(tRow, colIdx)
+					} else if err := m.setMark(tgtTbl.Name(), tRow, colIdx, true); err != nil {
+						return events, err
 					}
 					events = append(events, ev)
 					queue = append(queue, frame{table: target.Table, rowID: tRow, column: target.Column})
@@ -305,7 +390,9 @@ func (m *Manager) recompute(r Rule, srcTable string, srcRowID int64, tgtTbl *sto
 	}
 	// The cell now holds a freshly computed value: clear any stale mark.
 	colIdx := tgtTbl.Schema().ColumnIndex(tgtColumn)
-	m.bitmap(tgtTbl.Name()).Clear(tgtRowID, colIdx)
+	if err := m.setMark(tgtTbl.Name(), tgtRowID, colIdx, false); err != nil {
+		return value.Value{}, err
+	}
 	return newVal, nil
 }
 
@@ -321,8 +408,7 @@ func (m *Manager) Revalidate(table string, rowID int64, column string) error {
 	if col < 0 {
 		return fmt.Errorf("%w: %s.%s", catalog.ErrColumnNotFound, table, column)
 	}
-	m.bitmap(table).Clear(rowID, col)
-	return nil
+	return m.setMark(tbl.Name(), rowID, col, false)
 }
 
 // OutdatedAnnotationBodies renders one human-readable warning per outdated

@@ -619,11 +619,16 @@ func (s *Session) execArchiveRestore(ctx context.Context, st *sqlparse.ArchiveAn
 		if err != nil {
 			return nil, err
 		}
+		var n int
 		if st.Restore {
-			total += s.Ann.Restore(target.UserTable, []string{target.AnnTable}, tr, regions)
+			n, err = s.Ann.Restore(target.UserTable, []string{target.AnnTable}, tr, regions)
 		} else {
-			total += s.Ann.Archive(target.UserTable, []string{target.AnnTable}, tr, regions)
+			n, err = s.Ann.Archive(target.UserTable, []string{target.AnnTable}, tr, regions)
 		}
+		if err != nil {
+			return nil, err
+		}
+		total += n
 	}
 	verb := "archived"
 	if st.Restore {

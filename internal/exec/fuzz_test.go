@@ -1,0 +1,515 @@
+package exec
+
+// Property-based SQL equivalence fuzzing: a seeded generator produces random
+// schemas, data and SELECTs (filters, joins, GROUP BY, ORDER BY, set
+// operations, ANNOTATION/AWHERE/FILTER clauses) and asserts that the three
+// execution paths — the planned iterator pipeline, the prepared-statement
+// path with `?` parameters, and the NoOptimize naive reference — return
+// identical rows AND identical propagated annotations. Seeds are fixed, so
+// the suite is deterministic in CI; a failure prints the full reproducing
+// A-SQL script.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fuzzColumn describes one generated column.
+type fuzzColumn struct {
+	name string
+	typ  string // INT, FLOAT, TEXT, BOOL
+}
+
+// fuzzTable describes one generated table.
+type fuzzTable struct {
+	name    string
+	cols    []fuzzColumn
+	pk      string
+	indexed []string
+	annTabs []string
+	rows    int
+}
+
+func (ft *fuzzTable) colsOfType(typ string) []string {
+	var out []string
+	for _, c := range ft.cols {
+		if c.typ == typ {
+			out = append(out, c.name)
+		}
+	}
+	return out
+}
+
+// fuzzCase is one generated database plus its workload.
+type fuzzCase struct {
+	setup  []string
+	tables []*fuzzTable
+}
+
+var fuzzTexts = []string{"alpha", "beta", "gamma", "delta", "omega"}
+
+func pick[T any](r *rand.Rand, xs []T) T { return xs[r.Intn(len(xs))] }
+
+// genCase generates the schema, data and annotations of one fuzz database.
+func genCase(r *rand.Rand) *fuzzCase {
+	fc := &fuzzCase{}
+	t1 := &fuzzTable{
+		name: "T1",
+		cols: []fuzzColumn{
+			{"A", "INT"}, {"B", "INT"}, {"C", "TEXT"}, {"D", "FLOAT"}, {"E", "BOOL"},
+		},
+		rows: 15 + r.Intn(25),
+	}
+	if r.Intn(2) == 0 {
+		t1.pk = "A"
+	}
+	t2 := &fuzzTable{
+		name: "T2",
+		cols: []fuzzColumn{{"K", "INT"}, {"R", "INT"}, {"S", "TEXT"}},
+		pk:   "K",
+		rows: 10 + r.Intn(20),
+	}
+	fc.tables = []*fuzzTable{t1, t2}
+
+	for _, ft := range fc.tables {
+		var defs []string
+		for _, c := range ft.cols {
+			def := c.name + " " + c.typ
+			if c.name == ft.pk {
+				def += " NOT NULL PRIMARY KEY"
+			}
+			defs = append(defs, def)
+		}
+		fc.setup = append(fc.setup, fmt.Sprintf("CREATE TABLE %s (%s)", ft.name, strings.Join(defs, ", ")))
+	}
+	// Random secondary indexes so the planner's index probes get exercised.
+	for _, cand := range []struct{ tbl, col string }{
+		{"T1", "B"}, {"T1", "C"}, {"T1", "D"}, {"T2", "R"}, {"T2", "S"},
+	} {
+		if r.Intn(2) == 0 {
+			fc.setup = append(fc.setup, fmt.Sprintf("CREATE INDEX ON %s (%s)", cand.tbl, cand.col))
+			for _, ft := range fc.tables {
+				if ft.name == cand.tbl {
+					ft.indexed = append(ft.indexed, cand.col)
+				}
+			}
+		}
+	}
+
+	// Data: small value domains so filters, joins and groups actually match.
+	genValue := func(ft *fuzzTable, c fuzzColumn, i int) string {
+		if c.name == ft.pk {
+			return fmt.Sprint(i + 1)
+		}
+		if r.Intn(10) == 0 {
+			return "NULL"
+		}
+		switch c.typ {
+		case "INT":
+			return fmt.Sprint(r.Intn(10))
+		case "FLOAT":
+			return pick(r, []string{"-2.5", "0.0", "1.25", "3.5", "7.75"})
+		case "TEXT":
+			return "'" + pick(r, fuzzTexts) + "'"
+		default:
+			return pick(r, []string{"TRUE", "FALSE"})
+		}
+	}
+	for _, ft := range fc.tables {
+		for i := 0; i < ft.rows; i++ {
+			vals := make([]string, len(ft.cols))
+			for j, c := range ft.cols {
+				vals[j] = genValue(ft, c, i)
+			}
+			fc.setup = append(fc.setup,
+				fmt.Sprintf("INSERT INTO %s VALUES (%s)", ft.name, strings.Join(vals, ", ")))
+		}
+	}
+
+	// Annotation tables and a few annotations over random regions.
+	t1.annTabs = []string{"Notes", "Tags"}
+	t2.annTabs = []string{"Notes"}
+	for _, ft := range fc.tables {
+		for _, at := range ft.annTabs {
+			fc.setup = append(fc.setup,
+				fmt.Sprintf("CREATE ANNOTATION TABLE %s ON %s", at, ft.name))
+		}
+	}
+	for i := 0; i < 2+r.Intn(3); i++ {
+		ft := pick(r, fc.tables)
+		at := pick(r, ft.annTabs)
+		col := pick(r, ft.cols)
+		var where string
+		switch col.typ {
+		case "INT":
+			where = fmt.Sprintf("%s < %d", col.name, 2+r.Intn(8))
+		case "FLOAT":
+			where = fmt.Sprintf("%s > 0.5", col.name)
+		case "TEXT":
+			where = fmt.Sprintf("%s = '%s'", col.name, pick(r, fuzzTexts))
+		default:
+			where = col.name + " = TRUE"
+		}
+		proj := pick(r, ft.cols).name
+		if r.Intn(3) == 0 {
+			proj = "*"
+		}
+		fc.setup = append(fc.setup, fmt.Sprintf(
+			"ADD ANNOTATION TO %s.%s VALUE 'fuzz note %d' ON (SELECT %s FROM %s WHERE %s)",
+			ft.name, at, i, proj, ft.name, where))
+	}
+	return fc
+}
+
+// queryGen accumulates one generated query in both inline-literal and
+// prepared (`?` placeholder) forms. Placeholders are emitted left to right,
+// so args line up with the prepared statement's numbering.
+type queryGen struct {
+	r    *rand.Rand
+	args []any
+}
+
+// literal renders v inline and, with probability 1/2, as a placeholder in
+// the prepared text.
+func (g *queryGen) literal(inline string, v any) (string, string) {
+	if g.r.Intn(2) == 0 {
+		g.args = append(g.args, v)
+		return inline, "?"
+	}
+	return inline, inline
+}
+
+// comparison generates one type-correct predicate leaf over table ft
+// (qualified when qual is set). It returns inline and prepared renderings.
+func (g *queryGen) comparison(ft *fuzzTable, qual bool) (string, string) {
+	col := pick(g.r, ft.cols)
+	name := col.name
+	if qual {
+		name = ft.name + "." + name
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return name + " IS NULL", name + " IS NULL"
+	case 1:
+		return name + " IS NOT NULL", name + " IS NOT NULL"
+	}
+	switch col.typ {
+	case "INT":
+		op := pick(g.r, []string{"=", "<>", "<", "<=", ">", ">="})
+		n := g.r.Intn(10)
+		in, prep := g.literal(fmt.Sprint(n), int64(n))
+		return fmt.Sprintf("%s %s %s", name, op, in), fmt.Sprintf("%s %s %s", name, op, prep)
+	case "FLOAT":
+		op := pick(g.r, []string{"<", "<=", ">", ">=", "=", "<>"})
+		f := pick(g.r, []string{"-2.5", "0.0", "1.25", "3.5", "7.75"})
+		var fv float64
+		fmt.Sscanf(f, "%g", &fv)
+		in, prep := g.literal(f, fv)
+		return fmt.Sprintf("%s %s %s", name, op, in), fmt.Sprintf("%s %s %s", name, op, prep)
+	case "TEXT":
+		if g.r.Intn(4) == 0 {
+			pat := "'%" + pick(g.r, []string{"a", "e", "mm", "lt"}) + "%'"
+			return name + " LIKE " + pat, name + " LIKE " + pat
+		}
+		op := pick(g.r, []string{"=", "<>", "<", ">"})
+		s := pick(g.r, fuzzTexts)
+		in, prep := g.literal("'"+s+"'", s)
+		return fmt.Sprintf("%s %s %s", name, op, in), fmt.Sprintf("%s %s %s", name, op, prep)
+	default:
+		lit := pick(g.r, []string{"TRUE", "FALSE"})
+		return name + " = " + lit, name + " = " + lit
+	}
+}
+
+// boolExpr generates a boolean expression tree of the given depth.
+func (g *queryGen) boolExpr(ft *fuzzTable, qual bool, depth int) (string, string) {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		return g.comparison(ft, qual)
+	}
+	switch g.r.Intn(3) {
+	case 0:
+		li, lp := g.boolExpr(ft, qual, depth-1)
+		ri, rp := g.boolExpr(ft, qual, depth-1)
+		op := pick(g.r, []string{"AND", "OR"})
+		return fmt.Sprintf("(%s %s %s)", li, op, ri), fmt.Sprintf("(%s %s %s)", lp, op, rp)
+	case 1:
+		ei, ep := g.boolExpr(ft, qual, depth-1)
+		return "NOT " + ei, "NOT " + ep
+	default:
+		return g.comparison(ft, qual)
+	}
+}
+
+// fromClause renders one FROM entry, sometimes propagating annotations.
+func (g *queryGen) fromClause(ft *fuzzTable) string {
+	if len(ft.annTabs) > 0 && g.r.Intn(5) < 2 {
+		if g.r.Intn(2) == 0 {
+			return ft.name + " ANNOTATION(*)"
+		}
+		return fmt.Sprintf("%s ANNOTATION(%s)", ft.name, pick(g.r, ft.annTabs))
+	}
+	return ft.name
+}
+
+// genQuery builds one SELECT in inline and prepared forms.
+func (g *queryGen) genQuery(fc *fuzzCase) (string, string) {
+	t1, t2 := fc.tables[0], fc.tables[1]
+	switch g.r.Intn(8) {
+	case 0, 1: // single-table with filters, maybe DISTINCT/ORDER/LIMIT
+		ft := pick(g.r, fc.tables)
+		cols := []string{}
+		for _, c := range ft.cols {
+			if g.r.Intn(2) == 0 {
+				cols = append(cols, c.name)
+			}
+		}
+		proj := "*"
+		if len(cols) > 0 && g.r.Intn(4) > 0 {
+			proj = strings.Join(cols, ", ")
+		} else {
+			cols = nil
+			for _, c := range ft.cols {
+				cols = append(cols, c.name)
+			}
+		}
+		distinct := ""
+		if g.r.Intn(5) == 0 {
+			distinct = "DISTINCT "
+		}
+		wi, wp := g.boolExpr(ft, false, 2)
+		tail, _ := g.orderLimit(cols)
+		from := g.fromClause(ft)
+		inline := fmt.Sprintf("SELECT %s%s FROM %s WHERE %s%s", distinct, proj, from, wi, tail)
+		prep := fmt.Sprintf("SELECT %s%s FROM %s WHERE %s%s", distinct, proj, from, wp, tail)
+		return inline, prep
+	case 2, 3: // equi-join between T1 and T2
+		joinCol1, joinCol2 := "B", "R" // INT = INT
+		if g.r.Intn(3) == 0 {
+			joinCol1, joinCol2 = "C", "S" // TEXT = TEXT
+		}
+		w1i, w1p := g.boolExpr(t1, true, 1)
+		w2i, w2p := g.boolExpr(t2, true, 1)
+		proj := "T1." + pick(g.r, t1.cols).name + ", T2." + pick(g.r, t2.cols).name
+		base := fmt.Sprintf("SELECT %s FROM %s, %s WHERE T1.%s = T2.%s AND %%s AND %%s",
+			proj, g.fromClause(t1), g.fromClause(t2), joinCol1, joinCol2)
+		return fmt.Sprintf(base, w1i, w2i), fmt.Sprintf(base, w1p, w2p)
+	case 4: // GROUP BY with aggregates, maybe HAVING
+		ft := pick(g.r, fc.tables)
+		groupCol := pick(g.r, ft.colsOfType("TEXT"))
+		intCol := pick(g.r, ft.colsOfType("INT"))
+		agg := pick(g.r, []string{
+			"COUNT(*)",
+			fmt.Sprintf("SUM(%s)", intCol),
+			fmt.Sprintf("MIN(%s)", intCol),
+			fmt.Sprintf("MAX(%s)", intCol),
+			fmt.Sprintf("AVG(%s)", intCol),
+		})
+		having := ""
+		if g.r.Intn(2) == 0 {
+			having = fmt.Sprintf(" HAVING COUNT(*) >= %d", 1+g.r.Intn(3))
+		}
+		wi, wp := g.boolExpr(ft, false, 1)
+		order := fmt.Sprintf(" ORDER BY %s", groupCol)
+		inline := fmt.Sprintf("SELECT %s, %s FROM %s WHERE %s GROUP BY %s%s%s",
+			groupCol, agg, ft.name, wi, groupCol, having, order)
+		prep := fmt.Sprintf("SELECT %s, %s FROM %s WHERE %s GROUP BY %s%s%s",
+			groupCol, agg, ft.name, wp, groupCol, having, order)
+		return inline, prep
+	case 5: // set operation over type-compatible projections
+		op := pick(g.r, []string{"UNION", "INTERSECT", "EXCEPT"})
+		w1i, w1p := g.boolExpr(t1, false, 1)
+		w2i, w2p := g.boolExpr(t2, false, 1)
+		base := "SELECT C FROM T1 WHERE %s " + op + " SELECT S FROM T2 WHERE %s"
+		tail, _ := g.orderLimit([]string{"C"})
+		return fmt.Sprintf(base, w1i, w2i) + tail, fmt.Sprintf(base, w1p, w2p) + tail
+	case 6: // annotation-aware query with AWHERE / FILTER
+		ft := pick(g.r, fc.tables)
+		wi, wp := g.boolExpr(ft, false, 1)
+		annClause := pick(g.r, []string{
+			" AWHERE ANN.AUTHOR = 'admin'",
+			" AWHERE ANN.VALUE LIKE '%note%'",
+			fmt.Sprintf(" FILTER ANN.TABLE = '%s'", pick(g.r, ft.annTabs)),
+		})
+		inline := fmt.Sprintf("SELECT * FROM %s ANNOTATION(*) WHERE %s%s", ft.name, wi, annClause)
+		prep := fmt.Sprintf("SELECT * FROM %s ANNOTATION(*) WHERE %s%s", ft.name, wp, annClause)
+		return inline, prep
+	default: // indexed point/range query shape (planner fast path)
+		ft := pick(g.r, fc.tables)
+		col := ""
+		if len(ft.indexed) > 0 {
+			col = pick(g.r, ft.indexed)
+		} else if ft.pk != "" {
+			col = ft.pk
+		} else {
+			col = ft.cols[0].name
+		}
+		var typ string
+		for _, c := range ft.cols {
+			if c.name == col {
+				typ = c.typ
+			}
+		}
+		var in, prep string
+		switch typ {
+		case "TEXT":
+			s := pick(g.r, fuzzTexts)
+			li, lp := g.literal("'"+s+"'", s)
+			in, prep = fmt.Sprintf("%s = %s", col, li), fmt.Sprintf("%s = %s", col, lp)
+		case "FLOAT":
+			in, prep = col+" >= 1.25", col+" >= 1.25"
+		default:
+			n := g.r.Intn(12)
+			li, lp := g.literal(fmt.Sprint(n), int64(n))
+			op := pick(g.r, []string{"=", ">=", "<"})
+			in, prep = fmt.Sprintf("%s %s %s", col, op, li), fmt.Sprintf("%s %s %s", col, op, lp)
+		}
+		inline := fmt.Sprintf("SELECT * FROM %s WHERE %s", ft.name, in)
+		return inline, fmt.Sprintf("SELECT * FROM %s WHERE %s", ft.name, prep)
+	}
+}
+
+// orderLimit renders an optional ORDER BY (over the given output columns)
+// and LIMIT tail.
+func (g *queryGen) orderLimit(cols []string) (string, bool) {
+	var tail string
+	ordered := false
+	if len(cols) > 0 && g.r.Intn(3) == 0 {
+		col := pick(g.r, cols)
+		dir := ""
+		if g.r.Intn(2) == 0 {
+			dir = " DESC"
+		}
+		tail += " ORDER BY " + col + dir
+		ordered = true
+	}
+	if g.r.Intn(4) == 0 {
+		tail += fmt.Sprintf(" LIMIT %d", 1+g.r.Intn(20))
+	}
+	return tail, ordered
+}
+
+// canonResult renders a result for comparison: columns, then each row's
+// values with its annotations (sorted per row for stability).
+func canonResult(res *Result) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Columns, ","))
+	for _, row := range res.Rows {
+		b.WriteString("\n")
+		parts := make([]string, len(row.Values))
+		for i, v := range row.Values {
+			parts[i] = v.String()
+		}
+		b.WriteString(strings.Join(parts, "|"))
+		var anns []string
+		for _, a := range row.AnnotationsFlat() {
+			anns = append(anns, fmt.Sprintf("[%s~%s~%s]", a.AnnTable, a.Author, a.PlainBody()))
+		}
+		sort.Strings(anns)
+		b.WriteString(strings.Join(anns, ""))
+	}
+	return b.String()
+}
+
+// reproScript renders the full reproducing script for a failure report.
+func reproScript(fc *fuzzCase, query string) string {
+	var b strings.Builder
+	for _, s := range fc.setup {
+		b.WriteString(s)
+		b.WriteString(";\n")
+	}
+	b.WriteString(query)
+	b.WriteString(";\n")
+	return b.String()
+}
+
+// TestSQLEquivalenceFuzz is the property-based equivalence suite: for a set
+// of fixed seeds, planned, prepared and naive execution must agree on every
+// generated query.
+func TestSQLEquivalenceFuzz(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	queriesPerSeed := 40
+	if testing.Short() {
+		seeds = seeds[:3]
+		queriesPerSeed = 15
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			fc := genCase(r)
+			s := newSession(t)
+			s.User = "admin"
+			for _, stmt := range fc.setup {
+				if _, err := s.Exec(stmt); err != nil {
+					t.Fatalf("setup %q: %v", stmt, err)
+				}
+			}
+			rejected := 0
+			for q := 0; q < queriesPerSeed; q++ {
+				g := &queryGen{r: r}
+				inline, prepared := g.genQuery(fc)
+
+				s.NoOptimize = true
+				naive, naiveErr := s.Exec(inline)
+				s.NoOptimize = false
+				planned, plannedErr := s.Exec(inline)
+				if naiveErr != nil {
+					// The generator can produce statements the engine
+					// rejects (e.g. ORDER BY over a set operation). The
+					// property still holds: every path must reject them.
+					if plannedErr == nil {
+						t.Fatalf("seed %d query %d: naive rejects (%v) but planned accepts\nquery: %s\nrepro script:\n%s",
+							seed, q, naiveErr, inline, reproScript(fc, inline))
+					}
+					if stmt, err := s.Prepare(prepared); err == nil {
+						if _, err := stmt.Exec(g.args...); err == nil {
+							t.Fatalf("seed %d query %d: naive rejects (%v) but prepared accepts\nquery: %s\nrepro script:\n%s",
+								seed, q, naiveErr, prepared, reproScript(fc, prepared))
+						}
+					}
+					rejected++
+					continue
+				}
+				if plannedErr != nil {
+					t.Fatalf("seed %d query %d: planned %q: %v\nrepro script:\n%s",
+						seed, q, inline, plannedErr, reproScript(fc, inline))
+				}
+				stmt, err := s.Prepare(prepared)
+				if err != nil {
+					t.Fatalf("seed %d query %d: prepare %q: %v", seed, q, prepared, err)
+				}
+				prepRes, err := stmt.Exec(g.args...)
+				if err != nil {
+					t.Fatalf("seed %d query %d: prepared exec %q args %v: %v", seed, q, prepared, g.args, err)
+				}
+
+				want := canonResult(naive)
+				if got := canonResult(planned); got != want {
+					t.Fatalf("seed %d query %d: planned != naive\nquery: %s\n got: %s\nwant: %s\nrepro script:\n%s",
+						seed, q, inline, got, want, reproScript(fc, inline))
+				}
+				if got := canonResult(prepRes); got != want {
+					t.Fatalf("seed %d query %d: prepared != naive\nquery: %s\nargs: %v\n got: %s\nwant: %s\nrepro script:\n%s",
+						seed, q, prepared, g.args, got, want, reproScript(fc, prepared))
+				}
+				// Re-execute the prepared statement to exercise the plan
+				// cache (second run must hit the cached physical plan).
+				prepRes2, err := stmt.Exec(g.args...)
+				if err != nil {
+					t.Fatalf("seed %d query %d: prepared re-exec: %v", seed, q, err)
+				}
+				if got := canonResult(prepRes2); got != want {
+					t.Fatalf("seed %d query %d: cached plan diverges\nquery: %s\nrepro script:\n%s",
+						seed, q, prepared, reproScript(fc, prepared))
+				}
+			}
+			if rejected > queriesPerSeed/2 {
+				t.Errorf("seed %d: %d/%d queries rejected; generator has drifted from the grammar",
+					seed, rejected, queriesPerSeed)
+			}
+		})
+	}
+}

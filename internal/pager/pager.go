@@ -53,6 +53,8 @@ type Pager interface {
 	Stats() Stats
 	// ResetStats zeroes the I/O counters (used between benchmark phases).
 	ResetStats()
+	// Sync forces written pages to stable storage (no-op for memory pagers).
+	Sync() error
 	// Close releases resources.
 	Close() error
 }
@@ -138,6 +140,9 @@ func (p *MemPager) ResetStats() {
 	defer p.mu.Unlock()
 	p.stats = Stats{}
 }
+
+// Sync implements Pager; memory pages have no stable storage to reach.
+func (p *MemPager) Sync() error { return nil }
 
 // Close implements Pager.
 func (p *MemPager) Close() error {
@@ -248,6 +253,16 @@ func (p *FilePager) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats = Stats{}
+}
+
+// Sync implements Pager, flushing the backing file to stable storage.
+func (p *FilePager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	return p.f.Sync()
 }
 
 // Close implements Pager.

@@ -17,6 +17,7 @@ import (
 
 	"bdbms/internal/annotation"
 	"bdbms/internal/catalog"
+	"bdbms/internal/wal"
 )
 
 // TableName is the reserved annotation table that holds provenance records
@@ -114,6 +115,7 @@ type Manager struct {
 	mu     sync.RWMutex
 	ann    *annotation.Manager
 	agents map[string]bool
+	logger annotation.Logger
 	clock  func() time.Time
 }
 
@@ -129,19 +131,91 @@ func NewManager(ann *annotation.Manager) *Manager {
 // SetClock overrides the time source (tests).
 func (m *Manager) SetClock(clock func() time.Time) { m.clock = clock }
 
+// SetLogger wires the manager to a WAL so agent (de)registrations survive a
+// reopen. Provenance records themselves are annotations and are made durable
+// by the annotation manager.
+func (m *Manager) SetLogger(l annotation.Logger) { m.logger = l }
+
+// logAgent appends one agent-registry record when a logger is wired. The
+// payload is "+name" for registration and "-name" for revocation.
+func (m *Manager) logAgent(name string, register bool) error {
+	if m.logger == nil {
+		return nil
+	}
+	op := "-"
+	if register {
+		op = "+"
+	}
+	_, err := m.logger.Append(wal.KindProvAgent, "", []byte(op+strings.ToLower(name)))
+	return err
+}
+
+// DecodeAgentPayload parses the WAL payload of a KindProvAgent record.
+func DecodeAgentPayload(payload []byte) (name string, register bool, err error) {
+	s := string(payload)
+	if len(s) < 2 || (s[0] != '+' && s[0] != '-') {
+		return "", false, fmt.Errorf("provenance: bad agent payload %q", s)
+	}
+	return s[1:], s[0] == '+', nil
+}
+
 // RegisterAgent authorizes a system agent (integration tool, loader) to
-// insert provenance records.
-func (m *Manager) RegisterAgent(name string) {
+// insert provenance records. The registration is logged before it applies
+// (write-ahead order); on a log failure nothing changes and the error is
+// returned. Empty names are rejected — an agent must be nameable, and the
+// WAL payload format requires at least one character.
+func (m *Manager) RegisterAgent(name string) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("%w: empty agent name", ErrInvalidRecord)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.agents[strings.ToLower(name)] {
+		return nil
+	}
+	if err := m.logAgent(name, true); err != nil {
+		return err
+	}
 	m.agents[strings.ToLower(name)] = true
+	return nil
 }
 
 // UnregisterAgent revokes an agent's authorization.
-func (m *Manager) UnregisterAgent(name string) {
+func (m *Manager) UnregisterAgent(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if !m.agents[strings.ToLower(name)] {
+		return nil
+	}
+	if err := m.logAgent(name, false); err != nil {
+		return err
+	}
 	delete(m.agents, strings.ToLower(name))
+	return nil
+}
+
+// Agents returns the registered agent names, sorted — the state a checkpoint
+// persists.
+func (m *Manager) Agents() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.agents))
+	for name := range m.agents {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RecoverAgent replays a logged agent-registry transition.
+func (m *Manager) RecoverAgent(name string, register bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if register {
+		m.agents[strings.ToLower(name)] = true
+	} else {
+		delete(m.agents, strings.ToLower(name))
+	}
 }
 
 // IsAgent reports whether name is a registered agent.

@@ -13,6 +13,7 @@ package storage
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -62,6 +63,24 @@ type Engine struct {
 	// version counts schema changes (table create/drop, index create); cached
 	// query plans are invalidated when it moves.
 	version atomic.Uint64
+	// logging gates WAL appends. It is true in normal operation — every
+	// mutation appends its logical record before the in-memory apply — and
+	// switched off during recovery, when mutations are themselves replayed
+	// from the log.
+	logging atomic.Bool
+}
+
+// SetLogging switches WAL appends on or off. Recovery disables logging while
+// replaying so replayed mutations are not re-appended to the log.
+func (e *Engine) SetLogging(enabled bool) { e.logging.Store(enabled) }
+
+// appendLog writes one logical WAL record unless logging is disabled.
+func (e *Engine) appendLog(kind wal.Kind, table string, payload []byte) error {
+	if !e.logging.Load() {
+		return nil
+	}
+	_, err := e.log.Append(kind, table, payload)
+	return err
 }
 
 // SchemaVersion returns a counter that increases on every schema change
@@ -87,13 +106,15 @@ func NewEngine(cfg Config) *Engine {
 	if log == nil {
 		log = wal.NewMemory()
 	}
-	return &Engine{
+	e := &Engine{
 		pgr:    pgr,
 		pool:   buffer.New(pgr, poolSize),
 		cat:    cat,
 		log:    log,
 		tables: make(map[string]*Table),
 	}
+	e.logging.Store(true)
+	return e
 }
 
 // NewMemoryEngine returns an engine over a fresh in-memory pager with default
@@ -115,13 +136,32 @@ func (e *Engine) ResetPagerStats() { e.pgr.ResetStats() }
 // BufferStats returns the buffer pool counters.
 func (e *Engine) BufferStats() buffer.Stats { return e.pool.Stats() }
 
-// CreateTable registers schema in the catalog and creates its heap storage.
-// When the schema has a primary key, a unique index on it is created
-// automatically.
+// CreateTable registers schema in the catalog, logs the DDL to the WAL, and
+// creates the table's heap storage. When the schema has a primary key, a
+// unique index on it is created automatically.
 func (e *Engine) CreateTable(schema *catalog.Schema) (*Table, error) {
 	if err := e.cat.CreateTable(schema); err != nil {
 		return nil, err
 	}
+	payload, err := json.Marshal(schema)
+	if err != nil {
+		_ = e.cat.DropTable(schema.Name)
+		return nil, fmt.Errorf("storage: encode schema: %w", err)
+	}
+	if err := e.appendLog(wal.KindCreateTable, schema.Name, payload); err != nil {
+		_ = e.cat.DropTable(schema.Name)
+		return nil, err
+	}
+	t := e.newTable(schema)
+	e.mu.Lock()
+	e.tables[strings.ToLower(schema.Name)] = t
+	e.mu.Unlock()
+	e.version.Add(1)
+	return t, nil
+}
+
+// newTable builds an empty in-memory table over a fresh heap file.
+func (e *Engine) newTable(schema *catalog.Schema) *Table {
 	t := &Table{
 		engine:   e,
 		schema:   schema,
@@ -133,15 +173,17 @@ func (e *Engine) CreateTable(schema *catalog.Schema) (*Table, error) {
 	if schema.PrimaryKey != "" {
 		t.indexes[strings.ToLower(schema.PrimaryKey)] = btree.New(btree.DefaultOrder)
 	}
-	e.mu.Lock()
-	e.tables[strings.ToLower(schema.Name)] = t
-	e.mu.Unlock()
-	e.version.Add(1)
-	return t, nil
+	return t
 }
 
 // DropTable removes a table, its heap data reference and its indexes.
 func (e *Engine) DropTable(name string) error {
+	if !e.cat.HasTable(name) {
+		return fmt.Errorf("%w: %s", catalog.ErrTableNotFound, name)
+	}
+	if err := e.appendLog(wal.KindDropTable, name, nil); err != nil {
+		return err
+	}
 	if err := e.cat.DropTable(name); err != nil {
 		return err
 	}
@@ -187,6 +229,9 @@ func (e *Engine) Tables() []*Table {
 
 // FlushAll writes all dirty buffered pages back to the pager.
 func (e *Engine) FlushAll() error { return e.pool.FlushAll() }
+
+// SyncPager forces flushed pages to stable storage.
+func (e *Engine) SyncPager() error { return e.pgr.Sync() }
 
 // Table is one relational table: a heap file of encoded rows plus optional
 // B+-tree secondary indexes.
@@ -242,6 +287,11 @@ func decodeStored(rec []byte) (int64, value.Row, error) {
 	return full[0].Int(), full[1:], nil
 }
 
+// DecodeStoredRow decodes the self-describing row format used for heap
+// records and row-mutation WAL payloads: the RowID followed by the row
+// values. Recovery uses it to replay logged mutations.
+func DecodeStoredRow(rec []byte) (int64, value.Row, error) { return decodeStored(rec) }
+
 func rowIDBytes(rowID int64) []byte {
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(rowID))
@@ -252,7 +302,10 @@ func rowIDFromBytes(b []byte) int64 {
 	return int64(binary.BigEndian.Uint64(b))
 }
 
-// Insert validates, coerces and stores a row, returning its RowID.
+// Insert validates, coerces and stores a row, returning its RowID. The
+// logical WAL record is appended after validation but before the in-memory
+// apply (write-ahead order): a mutation is committed the moment it reaches
+// the log, and recovery redoes it if the crash hits before the heap write.
 func (t *Table) Insert(row value.Row) (int64, error) {
 	coerced, err := t.schema.CoerceRow(row)
 	if err != nil {
@@ -271,11 +324,36 @@ func (t *Table) Insert(row value.Row) (int64, error) {
 		}
 	}
 	rowID := t.nextRow
-	rid, err := t.file.Insert(encodeStored(rowID, coerced))
-	if err != nil {
+	rec := encodeStored(rowID, coerced)
+	// Every LOGICAL failure (schema mismatch, duplicate key, oversized
+	// record) is ruled out before logging, so a WAL record never describes
+	// a statement the caller saw rejected. A PHYSICAL failure during the
+	// apply (a pager I/O error on eviction) can still follow the append;
+	// the statement then errors, but the record stands and recovery redoes
+	// it — logged means committed, exactly as if the process had crashed
+	// between the append and the apply.
+	if len(rec) > heap.MaxRecordSize {
+		return 0, fmt.Errorf("%w: %d bytes", heap.ErrRecordTooLarge, len(rec))
+	}
+	if err := t.engine.appendLog(wal.KindInsert, t.schema.Name, rec); err != nil {
 		return 0, err
 	}
-	t.nextRow++
+	if err := t.applyInsert(rowID, coerced); err != nil {
+		return 0, err
+	}
+	return rowID, nil
+}
+
+// applyInsert stores coerced at rowID and maintains the indexes. The caller
+// must hold t.mu and have validated the row.
+func (t *Table) applyInsert(rowID int64, coerced value.Row) error {
+	rid, err := t.file.Insert(encodeStored(rowID, coerced))
+	if err != nil {
+		return err
+	}
+	if rowID >= t.nextRow {
+		t.nextRow = rowID + 1
+	}
 	t.rowIndex[rowID] = rid
 	for col, tree := range t.indexes {
 		idx := t.schema.ColumnIndex(col)
@@ -284,10 +362,7 @@ func (t *Table) Insert(row value.Row) (int64, error) {
 		}
 		tree.Insert(coerced[idx].EncodeKey(nil), rowIDBytes(rowID))
 	}
-	if _, err := t.engine.log.Append(wal.KindInsert, t.schema.Name, encodeStored(rowID, coerced)); err != nil {
-		return 0, err
-	}
-	return rowID, nil
+	return nil
 }
 
 // Get returns the row with the given RowID.
@@ -349,7 +424,14 @@ func (t *Table) Update(rowID int64, row value.Row) error {
 			}
 		}
 	}
-	newRID, err := t.file.Update(rid, encodeStored(rowID, coerced))
+	newRec := encodeStored(rowID, coerced)
+	if len(newRec) > heap.MaxRecordSize {
+		return fmt.Errorf("%w: %d bytes", heap.ErrRecordTooLarge, len(newRec))
+	}
+	if err := t.engine.appendLog(wal.KindUpdate, t.schema.Name, newRec); err != nil {
+		return err
+	}
+	newRID, err := t.file.Update(rid, newRec)
 	if err != nil {
 		return err
 	}
@@ -365,9 +447,6 @@ func (t *Table) Update(rowID int64, row value.Row) error {
 		if !coerced[idx].IsNull() {
 			tree.Insert(coerced[idx].EncodeKey(nil), rowIDBytes(rowID))
 		}
-	}
-	if _, err := t.engine.log.Append(wal.KindUpdate, t.schema.Name, encodeStored(rowID, coerced)); err != nil {
-		return err
 	}
 	return nil
 }
@@ -403,6 +482,9 @@ func (t *Table) Delete(rowID int64) error {
 	if err != nil {
 		return err
 	}
+	if err := t.engine.appendLog(wal.KindDelete, t.schema.Name, encodeStored(rowID, old)); err != nil {
+		return err
+	}
 	if err := t.file.Delete(rid); err != nil {
 		return err
 	}
@@ -413,9 +495,6 @@ func (t *Table) Delete(rowID int64) error {
 			continue
 		}
 		_ = tree.Delete(old[idx].EncodeKey(nil), rowIDBytes(rowID))
-	}
-	if _, err := t.engine.log.Append(wal.KindDelete, t.schema.Name, encodeStored(rowID, old)); err != nil {
-		return err
 	}
 	return nil
 }
@@ -462,6 +541,10 @@ func (t *Table) CreateIndex(column string) error {
 	if _, ok := t.indexes[key]; ok {
 		t.mu.Unlock()
 		return nil
+	}
+	if err := t.engine.appendLog(wal.KindCreateIndex, t.schema.Name, []byte(column)); err != nil {
+		t.mu.Unlock()
+		return err
 	}
 	tree := btree.New(btree.DefaultOrder)
 	t.indexes[key] = tree
@@ -556,6 +639,222 @@ func (t *Table) IndexRange(column string, lo value.Value, loStrict bool, hi valu
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
+}
+
+// --- durability: manifest accessors and recovery appliers ---------------------
+//
+// The methods below are the storage half of the crash-recovery path. A
+// checkpoint records, per table, the heap page list, the next RowID and the
+// indexed columns (HeapPages/NextRowID/IndexColumns); reopening a database
+// reattaches each table to its pages (AttachTable) and then replays the WAL
+// tail through the Recover* appliers, which are idempotent: heap pages may
+// have been flushed after the checkpoint (buffer evictions happen at any
+// time), so a replayed record may find its effect already on disk.
+
+// HeapPages returns the page IDs backing the table's heap file, in order.
+func (t *Table) HeapPages() []pager.PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.file.Pages()
+}
+
+// IndexColumns returns the indexed column names, sorted.
+func (t *Table) IndexColumns() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.indexes))
+	for col := range t.indexes {
+		out = append(out, col)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttachTable rebuilds a table from checkpointed state: the catalog schema,
+// the heap pages that held its rows at checkpoint time, the persisted RowID
+// counter and the indexed columns. The row index and every B+-tree are
+// rebuilt by scanning the heap. The catalog entry must already exist (the
+// catalog snapshot is loaded before tables are attached).
+func (e *Engine) AttachTable(schema *catalog.Schema, pages []pager.PageID, nextRow int64, indexCols []string) (*Table, error) {
+	file, err := heap.Open(e.pool, pages)
+	if err != nil {
+		return nil, fmt.Errorf("storage: attach %s: %w", schema.Name, err)
+	}
+	t := &Table{
+		engine:   e,
+		schema:   schema,
+		file:     file,
+		rowIndex: make(map[int64]heap.RID),
+		indexes:  make(map[string]*btree.Tree),
+		nextRow:  nextRow,
+	}
+	cols := append([]string(nil), indexCols...)
+	if schema.PrimaryKey != "" {
+		cols = append(cols, schema.PrimaryKey)
+	}
+	for _, col := range cols {
+		key := strings.ToLower(col)
+		if _, ok := t.indexes[key]; !ok {
+			t.indexes[key] = btree.New(btree.DefaultOrder)
+		}
+	}
+	scanErr := file.Scan(func(rid heap.RID, rec []byte) bool {
+		rowID, row, decErr := decodeStored(rec)
+		if decErr != nil {
+			err = decErr
+			return false
+		}
+		t.rowIndex[rowID] = rid
+		if rowID >= t.nextRow {
+			t.nextRow = rowID + 1
+		}
+		for col, tree := range t.indexes {
+			idx := schema.ColumnIndex(col)
+			if idx < 0 || idx >= len(row) || row[idx].IsNull() {
+				continue
+			}
+			tree.Insert(row[idx].EncodeKey(nil), rowIDBytes(rowID))
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: attach %s: %w", schema.Name, err)
+	}
+	e.mu.Lock()
+	e.tables[strings.ToLower(schema.Name)] = t
+	e.mu.Unlock()
+	e.version.Add(1)
+	return t, nil
+}
+
+// RecoverCreateTable replays a logged CREATE TABLE: it tolerates the catalog
+// already knowing the schema (the catalog snapshot may be newer than the
+// checkpoint manifest when a crash hit between the two writes).
+func (e *Engine) RecoverCreateTable(schema *catalog.Schema) (*Table, error) {
+	e.mu.RLock()
+	existing, ok := e.tables[strings.ToLower(schema.Name)]
+	e.mu.RUnlock()
+	if ok {
+		return existing, nil
+	}
+	if err := e.cat.CreateTable(schema); err != nil && !errors.Is(err, catalog.ErrTableExists) {
+		return nil, err
+	}
+	t := e.newTable(schema)
+	e.mu.Lock()
+	e.tables[strings.ToLower(schema.Name)] = t
+	e.mu.Unlock()
+	e.version.Add(1)
+	return t, nil
+}
+
+// RecoverDropTable replays a logged DROP TABLE, tolerating an already-absent
+// table.
+func (e *Engine) RecoverDropTable(name string) error {
+	if err := e.cat.DropTable(name); err != nil && !errors.Is(err, catalog.ErrTableNotFound) {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.tables, strings.ToLower(name))
+	e.mu.Unlock()
+	e.version.Add(1)
+	return nil
+}
+
+// RecoverInsert replays a logged insertion at its original RowID. When the
+// row is already present — its page was flushed after the record was logged
+// — the stored values are overwritten with the logged ones instead.
+func (t *Table) RecoverInsert(rowID int64, row value.Row) error {
+	coerced, err := t.schema.CoerceRow(row)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rowIndex[rowID]; ok {
+		return t.applyUpdate(rowID, coerced)
+	}
+	return t.applyInsert(rowID, coerced)
+}
+
+// RecoverUpdate replays a logged update, inserting the row when the original
+// version never reached the heap.
+func (t *Table) RecoverUpdate(rowID int64, row value.Row) error {
+	coerced, err := t.schema.CoerceRow(row)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rowIndex[rowID]; !ok {
+		return t.applyInsert(rowID, coerced)
+	}
+	return t.applyUpdate(rowID, coerced)
+}
+
+// applyUpdate rewrites the stored row at rowID with coerced and fixes up the
+// indexes. The caller must hold t.mu; the row must exist.
+func (t *Table) applyUpdate(rowID int64, coerced value.Row) error {
+	rid := t.rowIndex[rowID]
+	rec, err := t.file.Get(rid)
+	if err != nil {
+		return err
+	}
+	_, old, err := decodeStored(rec)
+	if err != nil {
+		return err
+	}
+	newRID, err := t.file.Update(rid, encodeStored(rowID, coerced))
+	if err != nil {
+		return err
+	}
+	t.rowIndex[rowID] = newRID
+	for col, tree := range t.indexes {
+		idx := t.schema.ColumnIndex(col)
+		if idx < 0 {
+			continue
+		}
+		if idx < len(old) && !old[idx].IsNull() {
+			_ = tree.Delete(old[idx].EncodeKey(nil), rowIDBytes(rowID))
+		}
+		if !coerced[idx].IsNull() {
+			tree.Insert(coerced[idx].EncodeKey(nil), rowIDBytes(rowID))
+		}
+	}
+	return nil
+}
+
+// RecoverDelete replays a logged deletion, tolerating an already-absent row.
+func (t *Table) RecoverDelete(rowID int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid, ok := t.rowIndex[rowID]
+	if !ok {
+		return nil
+	}
+	rec, err := t.file.Get(rid)
+	if err != nil {
+		return err
+	}
+	_, old, err := decodeStored(rec)
+	if err != nil {
+		return err
+	}
+	if err := t.file.Delete(rid); err != nil {
+		return err
+	}
+	delete(t.rowIndex, rowID)
+	for col, tree := range t.indexes {
+		idx := t.schema.ColumnIndex(col)
+		if idx < 0 || idx >= len(old) || old[idx].IsNull() {
+			continue
+		}
+		_ = tree.Delete(old[idx].EncodeKey(nil), rowIDBytes(rowID))
+	}
+	return nil
 }
 
 // FindByPrimaryKey returns the RowID of the row whose primary key equals v,

@@ -235,10 +235,10 @@ func TestWALRecordsMutations(t *testing.T) {
 	tbl.UpdateColumn(id, "GName", value.NewText("renamed"))
 	tbl.Delete(id)
 	recs := e.WAL().Records()
-	if len(recs) != 3 {
-		t.Fatalf("WAL has %d records, want 3", len(recs))
+	if len(recs) != 4 {
+		t.Fatalf("WAL has %d records, want 4 (DDL + 3 mutations)", len(recs))
 	}
-	kinds := []wal.Kind{wal.KindInsert, wal.KindUpdate, wal.KindDelete}
+	kinds := []wal.Kind{wal.KindCreateTable, wal.KindInsert, wal.KindUpdate, wal.KindDelete}
 	for i, k := range kinds {
 		if recs[i].Kind != k || recs[i].Table != "Gene" {
 			t.Errorf("record %d = %v %s", i, recs[i].Kind, recs[i].Table)

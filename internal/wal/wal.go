@@ -32,8 +32,26 @@ const (
 	KindApproval
 	// KindCheckpoint marks a checkpoint.
 	KindCheckpoint
-	// KindAnnotation records an annotation operation.
+	// KindAnnotation records an annotation insertion (ADD ANNOTATION).
 	KindAnnotation
+	// KindCreateTable records CREATE TABLE (payload: JSON schema).
+	KindCreateTable
+	// KindDropTable records DROP TABLE.
+	KindDropTable
+	// KindCreateIndex records CREATE INDEX (payload: column name).
+	KindCreateIndex
+	// KindCreateAnnTable records CREATE ANNOTATION TABLE (payload: JSON def).
+	KindCreateAnnTable
+	// KindDropAnnTable records DROP ANNOTATION TABLE.
+	KindDropAnnTable
+	// KindAnnArchive records ARCHIVE/RESTORE ANNOTATION state changes
+	// (payload: JSON list of annotation IDs plus the archived flag).
+	KindAnnArchive
+	// KindDepMark records an outdated-bitmap cell transition from the
+	// dependency manager (payload: JSON cell plus set/clear flag).
+	KindDepMark
+	// KindProvAgent records provenance agent (de)registration.
+	KindProvAgent
 )
 
 // String names the kind.
@@ -51,6 +69,22 @@ func (k Kind) String() string {
 		return "CHECKPOINT"
 	case KindAnnotation:
 		return "ANNOTATION"
+	case KindCreateTable:
+		return "CREATE-TABLE"
+	case KindDropTable:
+		return "DROP-TABLE"
+	case KindCreateIndex:
+		return "CREATE-INDEX"
+	case KindCreateAnnTable:
+		return "CREATE-ANN-TABLE"
+	case KindDropAnnTable:
+		return "DROP-ANN-TABLE"
+	case KindAnnArchive:
+		return "ANN-ARCHIVE"
+	case KindDepMark:
+		return "DEP-MARK"
+	case KindProvAgent:
+		return "PROV-AGENT"
 	default:
 		return fmt.Sprintf("KIND(%d)", uint8(k))
 	}
@@ -70,8 +104,21 @@ type Record struct {
 	Time time.Time
 }
 
-// ErrCorrupt is returned when reading a damaged log.
-var ErrCorrupt = errors.New("wal: corrupt record")
+// Errors returned by the log.
+var (
+	// ErrCorrupt is returned when reading a damaged log.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrInjectedFailure is returned by Append once an injected fault point
+	// (FailAfter) trips. It simulates the process dying before the record
+	// reached the log: the record is neither written to disk nor kept in
+	// memory, and every later Append keeps failing.
+	ErrInjectedFailure = errors.New("wal: injected failure (simulated crash)")
+)
+
+// errTorn marks a record cut short by a crash mid-append. Unlike a checksum
+// mismatch (bit rot, hard corruption), a torn tail is expected after a crash
+// and replay recovers by truncating the file to the last intact record.
+var errTorn = errors.New("wal: torn tail record")
 
 // Log is an append-only record log. The zero value is not usable; construct
 // with NewMemory or Open.
@@ -80,19 +127,24 @@ type Log struct {
 	records []Record
 	nextLSN uint64
 	file    *os.File // nil for memory-only logs
+	// failAfter, when >= 0, is the number of further Appends allowed before
+	// ErrInjectedFailure; -1 disables fault injection.
+	failAfter int
 }
 
 // NewMemory returns an in-memory log.
-func NewMemory() *Log { return &Log{nextLSN: 1} }
+func NewMemory() *Log { return &Log{nextLSN: 1, failAfter: -1} }
 
 // Open opens (or creates) a file-backed log, replaying existing records into
-// memory so they can be iterated.
+// memory so they can be iterated. A torn final record — the signature of a
+// crash mid-append — is tolerated: replay stops at the last intact record and
+// the tail is discarded on the next append.
 func Open(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &Log{nextLSN: 1, file: f}
+	l := &Log{nextLSN: 1, file: f, failAfter: -1}
 	if err := l.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -101,24 +153,39 @@ func Open(path string) (*Log, error) {
 }
 
 func (l *Log) replay() error {
+	info, err := l.file.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: stat: %w", err)
+	}
+	size := info.Size()
 	if _, err := l.file.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
 	r := bufio.NewReader(l.file)
+	var good int64
 	for {
-		rec, err := readRecord(r)
+		rec, n, err := readRecord(r, size-good)
 		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, errTorn) {
+			// Torn tail from a crash mid-append: keep the intact prefix and
+			// discard the rest so the next append starts on a clean boundary.
+			if err := l.file.Truncate(good); err != nil {
+				return fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
 			break
 		}
 		if err != nil {
 			return err
 		}
+		good += n
 		l.records = append(l.records, rec)
 		if rec.LSN >= l.nextLSN {
 			l.nextLSN = rec.LSN + 1
 		}
 	}
-	_, err := l.file.Seek(0, io.SeekEnd)
+	_, err = l.file.Seek(good, io.SeekStart)
 	return err
 }
 
@@ -126,6 +193,12 @@ func (l *Log) replay() error {
 func (l *Log) Append(kind Kind, table string, payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.failAfter == 0 {
+		return 0, ErrInjectedFailure
+	}
+	if l.failAfter > 0 {
+		l.failAfter--
+	}
 	rec := Record{
 		LSN:     l.nextLSN,
 		Kind:    kind,
@@ -134,13 +207,84 @@ func (l *Log) Append(kind Kind, table string, payload []byte) (uint64, error) {
 		Time:    time.Now().UTC(),
 	}
 	if l.file != nil {
+		// Remember the tail so a half-written record (disk full, EIO
+		// between the header and frame writes) can be rolled back; without
+		// the rollback a LATER successful append would land after the torn
+		// bytes and the whole log would read as corrupt.
+		off, err := l.file.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return 0, fmt.Errorf("wal: append: %w", err)
+		}
 		if err := writeRecord(l.file, rec); err != nil {
+			if terr := l.file.Truncate(off); terr == nil {
+				_, _ = l.file.Seek(off, io.SeekStart)
+			}
 			return 0, err
 		}
 	}
 	l.records = append(l.records, rec)
 	l.nextLSN++
 	return rec.LSN, nil
+}
+
+// FailAfter arms a fault point for crash-injection tests: the next n Appends
+// succeed, every one after that returns ErrInjectedFailure without touching
+// the log. A negative n disarms the fault point.
+func (l *Log) FailAfter(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 {
+		l.failAfter = -1
+		return
+	}
+	l.failAfter = n
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// EnsureNextLSN raises the next LSN to at least min. Recovery calls it with
+// the checkpoint manifest's counter so LSNs stay monotonic across a
+// truncation even when the truncated log is empty.
+func (l *Log) EnsureNextLSN(min uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextLSN < min {
+		l.nextLSN = min
+	}
+}
+
+// Truncate discards every record, resetting a file-backed log to empty on
+// disk. The LSN counter is preserved so records appended after the
+// truncation keep ascending — the checkpoint manifest records the counter,
+// letting recovery tell pre- from post-checkpoint records.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file != nil {
+		if err := l.file.Truncate(0); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+		if _, err := l.file.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+	}
+	l.records = nil
+	return nil
+}
+
+// Sync flushes a file-backed log to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	return l.file.Sync()
 }
 
 // Len returns the number of records.
@@ -150,7 +294,11 @@ func (l *Log) Len() int {
 	return len(l.records)
 }
 
-// Records returns a copy of all records in LSN order.
+// Records returns a snapshot copy of all records in LSN order. The returned
+// slice is owned by the caller: concurrent Appends never become visible
+// through it, so iterating while other goroutines append is safe. (Payload
+// byte slices are shared with the log but are never mutated after Append
+// copies them in.)
 func (l *Log) Records() []Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -169,15 +317,23 @@ func (l *Log) Iterate(fn func(Record) bool) {
 	}
 }
 
-// Since returns all records with LSN strictly greater than lsn.
+// Since returns a snapshot copy of all records with LSN strictly greater
+// than lsn. Like Records, the result never aliases the live internal slice.
 func (l *Log) Since(lsn uint64) []Record {
-	var out []Record
-	l.Iterate(func(r Record) bool {
-		if r.LSN > lsn {
-			out = append(out, r)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Records are in ascending LSN order: binary-search the cut point.
+	lo, hi := 0, len(l.records)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.records[mid].LSN > lsn {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
-		return true
-	})
+	}
+	out := make([]Record, len(l.records)-lo)
+	copy(out, l.records[lo:])
 	return out
 }
 
@@ -223,25 +379,40 @@ func writeRecord(w io.Writer, rec Record) error {
 	return nil
 }
 
-func readRecord(r io.Reader) (Record, error) {
+// readRecord decodes one framed record, returning how many bytes of the
+// stream it consumed so replay can truncate a torn tail on the exact
+// boundary of the last intact record. remaining bounds the record to the
+// bytes actually left in the file, so a corrupt length field cannot trigger
+// a giant allocation before the truncation is detected.
+func readRecord(r *bufio.Reader, remaining int64) (Record, int64, error) {
 	hdr := make([]byte, 8)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Record{}, io.EOF
+			return Record{}, 0, fmt.Errorf("%w: truncated header", errTorn)
 		}
-		return Record{}, err
+		return Record{}, 0, err
 	}
 	wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
 	frameLen := binary.LittleEndian.Uint32(hdr[4:8])
+	if int64(frameLen) > remaining-8 {
+		return Record{}, 0, fmt.Errorf("%w: frame length %d exceeds file tail", errTorn, frameLen)
+	}
 	frame := make([]byte, frameLen)
 	if _, err := io.ReadFull(r, frame); err != nil {
-		return Record{}, fmt.Errorf("%w: truncated frame", ErrCorrupt)
+		return Record{}, 0, fmt.Errorf("%w: truncated frame", errTorn)
 	}
 	if crc32.ChecksumIEEE(frame) != wantCRC {
-		return Record{}, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		// A bad checksum on the FINAL record is the other signature of a
+		// crash mid-append (the frame's bytes were only partially flushed
+		// before the size reached disk) and is recovered by truncation; a
+		// bad checksum with intact records after it is real corruption.
+		if _, err := r.Peek(1); errors.Is(err, io.EOF) {
+			return Record{}, 0, fmt.Errorf("%w: checksum mismatch at tail", errTorn)
+		}
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
 	if len(frame) < 19 {
-		return Record{}, fmt.Errorf("%w: short frame", ErrCorrupt)
+		return Record{}, 0, fmt.Errorf("%w: short frame", ErrCorrupt)
 	}
 	rec := Record{
 		LSN:  binary.LittleEndian.Uint64(frame[0:8]),
@@ -250,9 +421,9 @@ func readRecord(r io.Reader) (Record, error) {
 	}
 	tableLen := int(binary.LittleEndian.Uint16(frame[17:19]))
 	if len(frame) < 19+tableLen {
-		return Record{}, fmt.Errorf("%w: bad table length", ErrCorrupt)
+		return Record{}, 0, fmt.Errorf("%w: bad table length", ErrCorrupt)
 	}
 	rec.Table = string(frame[19 : 19+tableLen])
 	rec.Payload = append([]byte(nil), frame[19+tableLen:]...)
-	return rec, nil
+	return rec, int64(8 + len(frame)), nil
 }

@@ -1,8 +1,10 @@
 package wal
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -99,24 +101,50 @@ func TestCorruptLogDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l.Append(KindInsert, "T", []byte("payload"))
+	l.Append(KindInsert, "T", []byte("payload-one"))
+	firstLen, _ := os.Stat(path)
+	l.Append(KindInsert, "T", []byte("payload-two"))
 	l.Close()
 
-	// Flip a byte in the middle of the file.
+	// Flip a byte inside the FIRST record: intact records follow, so this is
+	// real corruption (bit rot), not a crash signature, and open must fail.
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[len(data)-1] ^= 0xFF
+	data[firstLen.Size()-1] ^= 0xFF
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(path); err == nil {
-		t.Error("corrupt log should fail to open")
+		t.Error("mid-log corruption should fail to open")
 	}
 }
 
-func TestTruncatedLogStopsAtEOF(t *testing.T) {
+func TestChecksumTornTailRecovered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := Open(path)
+	l.Append(KindInsert, "T", []byte("first"))
+	l.Append(KindInsert, "T", []byte("second"))
+	l.Close()
+
+	// Flip a byte inside the FINAL record's frame: the frame is full length
+	// but its bytes were only partially flushed before the crash. Reopen
+	// truncates to the last intact record.
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("checksum-torn tail should be recoverable: %v", err)
+	}
+	defer l2.Close()
+	if l2.Len() != 1 || string(l2.Records()[0].Payload) != "first" {
+		t.Errorf("replayed %d records, want the 1 intact one", l2.Len())
+	}
+}
+
+func TestTornTailRecovered(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	l, _ := Open(path)
 	l.Append(KindInsert, "T", []byte("first"))
@@ -124,10 +152,164 @@ func TestTruncatedLogStopsAtEOF(t *testing.T) {
 	l.Close()
 
 	data, _ := os.ReadFile(path)
-	// Drop the last 4 bytes, truncating the final record's frame.
-	os.WriteFile(path, data[:len(data)-4], 0o644)
-	if _, err := Open(path); err == nil {
-		t.Error("truncated frame should surface as corruption")
+	intact := len(data)
+	// Drop the last 4 bytes, tearing the final record's frame — the on-disk
+	// signature of a crash mid-append. Reopen keeps the intact prefix.
+	os.WriteFile(path, data[:intact-4], 0o644)
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn tail should be recoverable: %v", err)
+	}
+	defer l2.Close()
+	if l2.Len() != 1 {
+		t.Fatalf("replayed %d records, want the 1 intact one", l2.Len())
+	}
+	if string(l2.Records()[0].Payload) != "first" {
+		t.Error("intact prefix content wrong")
+	}
+	// The torn bytes are discarded, so the next append lands on a clean
+	// record boundary and survives another reopen.
+	if _, err := l2.Append(KindInsert, "T", []byte("third")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if l3.Len() != 2 || string(l3.Records()[1].Payload) != "third" {
+		t.Errorf("post-tear append not durable: %d records", l3.Len())
+	}
+}
+
+func TestTruncatePreservesLSN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append(KindInsert, "T", []byte("a"))
+	l.Append(KindInsert, "T", []byte("b"))
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Errorf("Len after truncate = %d", l.Len())
+	}
+	lsn, err := l.Append(KindInsert, "T", []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 3 {
+		t.Errorf("LSN after truncate = %d, want 3 (counter preserved)", lsn)
+	}
+	if info, _ := os.Stat(path); info.Size() == 0 {
+		t.Error("post-truncate append did not reach the file")
+	}
+}
+
+func TestEnsureNextLSN(t *testing.T) {
+	l := NewMemory()
+	l.EnsureNextLSN(50)
+	if lsn, _ := l.Append(KindInsert, "T", nil); lsn != 50 {
+		t.Errorf("LSN = %d, want 50", lsn)
+	}
+	l.EnsureNextLSN(10) // lower floors are ignored
+	if lsn, _ := l.Append(KindInsert, "T", nil); lsn != 51 {
+		t.Errorf("LSN = %d, want 51", lsn)
+	}
+}
+
+func TestFailAfterInjectsFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.FailAfter(2)
+	for i := 0; i < 2; i++ {
+		if _, err := l.Append(KindInsert, "T", []byte{byte(i)}); err != nil {
+			t.Fatalf("append %d before fault point: %v", i, err)
+		}
+	}
+	if _, err := l.Append(KindInsert, "T", []byte{9}); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("append past fault point = %v, want ErrInjectedFailure", err)
+	}
+	if _, err := l.Append(KindInsert, "T", []byte{9}); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatal("fault point should stay tripped")
+	}
+	if l.Len() != 2 {
+		t.Errorf("failed appends leaked into memory: Len = %d", l.Len())
+	}
+	l.Close()
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != 2 {
+		t.Errorf("failed appends leaked to disk: Len = %d", l2.Len())
+	}
+	l2.FailAfter(-1)
+	if _, err := l2.Append(KindInsert, "T", nil); err != nil {
+		t.Errorf("disarmed fault point still fails: %v", err)
+	}
+}
+
+// TestConcurrentReadersAndAppenders is the -race regression test for the
+// snapshot contract of Records/Since/Iterate: readers must never observe a
+// slice that concurrent Appends mutate.
+func TestConcurrentReadersAndAppenders(t *testing.T) {
+	l := NewMemory()
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				if _, err := l.Append(KindInsert, "T", []byte{byte(w)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recs := l.Records()
+				for i, rec := range recs {
+					if rec.LSN != uint64(i+1) {
+						t.Errorf("snapshot not LSN-dense at %d: %d", i, rec.LSN)
+						return
+					}
+				}
+				since := l.Since(uint64(len(recs) / 2))
+				for i := 1; i < len(since); i++ {
+					if since[i].LSN != since[i-1].LSN+1 {
+						t.Error("Since snapshot not contiguous")
+						return
+					}
+				}
+				l.Iterate(func(Record) bool { return true })
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if l.Len() != 2000 {
+		t.Errorf("Len = %d, want 2000", l.Len())
 	}
 }
 
