@@ -65,6 +65,38 @@
 // Exec, ExecAll and MustExec remain as compatibility wrappers that drain a
 // cursor into a fully materialized Result.
 //
+// # Transactions
+//
+// Begin opens an explicit multi-statement transaction; the same protocol is
+// available in A-SQL as BEGIN / COMMIT / ROLLBACK [TO SAVEPOINT name] /
+// SAVEPOINT name:
+//
+//	tx, _ := db.Begin(ctx)
+//	tx.Exec(`UPDATE Account SET Balance = Balance - 10 WHERE ID = 1`)
+//	tx.Exec(`UPDATE Account SET Balance = Balance + 10 WHERE ID = 2`)
+//	if err := tx.Commit(); err != nil { ... }
+//
+// A transaction is atomic over everything a statement touches: heap rows,
+// index entries, annotations and annotation tables, dependency outdated
+// marks, provenance attachments and agent registrations, approval-log
+// entries, and DDL (CREATE/DROP TABLE, CREATE INDEX). Rollback reverts all
+// of it from an in-memory undo log of before-images. Savepoints give
+// partial rollbacks; a statement that fails mid-transaction is rolled back
+// by itself while the transaction survives.
+//
+// Isolation is serializable by construction: a transaction holds the
+// database's exclusive lock from Begin to Commit/Rollback, so readers
+// never observe a partially committed transaction — they run either
+// entirely before or entirely after it. The corollary: end transactions
+// promptly, and do not Begin while the same goroutine holds an open
+// cursor. Canceling the Begin context rolls an abandoned transaction back
+// automatically and releases the lock.
+//
+// Bare statements auto-commit: each runs in an implicit transaction with
+// the same machinery, so a multi-row INSERT that fails halfway, a canceled
+// context mid-UPDATE, or an annotation command dying between side effects
+// rolls back cleanly instead of leaving half-applied state.
+//
 // # Persistence and durability
 //
 // A database opened with Options.DataFile is durable. Four files live next
@@ -72,16 +104,21 @@
 // write-ahead log (DataFile + ".wal"), and a checkpoint pair — a catalog
 // snapshot (".catalog") and a recovery manifest (".manifest").
 //
-// The durability contract is write-ahead redo logging at statement
-// granularity: every mutation — CREATE/DROP TABLE, CREATE INDEX,
+// The durability contract is write-ahead logging at transaction
+// granularity. Every mutation — CREATE/DROP TABLE, CREATE INDEX,
 // INSERT/UPDATE/DELETE, CREATE/DROP ANNOTATION TABLE, ADD/ARCHIVE/RESTORE
 // ANNOTATION, provenance attachment and agent registration, and dependency
 // outdated-mark transitions — appends a logical WAL record BEFORE its
-// in-memory apply. A mutation is committed the moment its record reaches
-// the log; on a crash, everything logged is recovered and everything not
-// logged never happened. A record torn mid-append by the crash itself is
-// detected by checksum and discarded, so recovery always lands on a record
-// boundary.
+// in-memory apply, and the records of one transaction (explicit or
+// auto-commit) are framed by TxBegin/TxCommit markers. COMMIT promises
+// all-or-nothing: once the TxCommit record is in the log the whole
+// transaction is recovered after a crash; without it, NOTHING of the
+// transaction survives reopening — recovery replays only committed frames,
+// rolls back any effect of an uncommitted frame that reached the page file
+// early (row records carry before-images for exactly this), and truncates
+// the unclosed frame, leaving the log equal to the committed prefix. A
+// record torn mid-append by the crash itself is detected by checksum and
+// discarded, so recovery always lands on a record boundary.
 //
 // Checkpoint (called automatically by Close) bounds recovery time: it
 // flushes and syncs dirty pages, snapshots the catalog and the
@@ -93,17 +130,22 @@
 // scanning, and replays the WAL tail through idempotent appliers — safe
 // even when buffer evictions flushed pages after the checkpoint.
 //
-// What survives a crash: tables and their rows, secondary indexes,
-// annotation tables and annotations (archived state included, with their
-// original IDs, authors and timestamps), provenance records and the agent
-// registry, and dependency outdated marks. What does not: dependency RULES
-// (their procedures are Go function values — re-register them after
-// reopen; the marks they produced are durable), GRANT/REVOKE state and the
-// content-approval operation log (session-scoped; approval records appear
-// in the WAL for audit only), and prepared statements. The WAL is written
-// with ordinary buffered writes and synced at checkpoints, so an OS-level
-// power loss may drop the last few records; an application crash loses
-// nothing.
+// What survives a crash: every COMMITTED transaction — tables and their
+// rows, secondary indexes, annotation tables and annotations (archived
+// state included, with their original IDs, authors and timestamps),
+// provenance records and the agent registry, and dependency outdated
+// marks. What reopening rolls back: the transaction that was open at the
+// crash (its WAL frame has no TxCommit), transactions rolled back live
+// (their frames end in TxAbort), and the statements a logged savepoint
+// rollback or mid-transaction statement failure discarded. What is not
+// durable at all: dependency RULES (their procedures are Go function
+// values — re-register them after reopen; the marks they produced are
+// durable), GRANT/REVOKE state and the content-approval operation log
+// (session-scoped; approval records appear in the WAL for audit only), and
+// prepared statements. The WAL is written with ordinary unbuffered writes
+// and synced at checkpoints, so an OS-level power loss may drop the last
+// few records (whole frames at a time — never half a transaction); an
+// application crash loses nothing committed.
 package bdbms
 
 import (
@@ -136,6 +178,8 @@ type (
 	Stmt = exec.Stmt
 	// Session executes statements on behalf of a specific user.
 	Session = exec.Session
+	// Tx is an open multi-statement transaction (see DB.Begin).
+	Tx = exec.Tx
 	// Annotation is a stored annotation record.
 	Annotation = annotation.Annotation
 	// Region is a rectangle of annotated cells (columns x rows).
@@ -252,6 +296,15 @@ func (db *DB) Query(ctx context.Context, sql string, args ...any) (*Rows, error)
 // Prepare parses (and for streamable SELECTs, plans) a statement once for
 // repeated execution with different `?` arguments, as the admin user.
 func (db *DB) Prepare(sql string) (*Stmt, error) { return db.inner.Prepare(sql) }
+
+// Begin opens an explicit multi-statement transaction as the admin user:
+// every statement run through the returned Tx is atomic with the others,
+// invisible to other sessions until Commit, and fully reverted by Rollback.
+// The transaction holds the database's exclusive lock until it ends, so end
+// it promptly; canceling ctx rolls an abandoned transaction back and
+// releases the lock. See the package documentation for the transactional
+// guarantees.
+func (db *DB) Begin(ctx context.Context) (*Tx, error) { return db.inner.Begin(ctx) }
 
 // Exec runs one A-SQL statement as the admin user, materializing the full
 // result. It is a compatibility wrapper over Query.

@@ -668,3 +668,82 @@ func BenchmarkAblationBufferPool(b *testing.B) {
 		})
 	}
 }
+
+// --- transactions ----------------------------------------------------------------------------
+
+// BenchmarkTxCommit measures a whole explicit transaction — Begin, K
+// statements, Commit — per loop iteration, tracking the framing, undo-log
+// and lock handoff cost at different transaction sizes.
+func BenchmarkTxCommit(b *testing.B) {
+	for _, size := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("stmts-%d", size), func(b *testing.B) {
+			db := Open()
+			defer db.Close()
+			db.MustExec(`CREATE TABLE Acct (ID INT NOT NULL PRIMARY KEY, Bal INT)`)
+			for i := 0; i < size; i++ {
+				db.MustExec(fmt.Sprintf(`INSERT INTO Acct VALUES (%d, 100)`, i))
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, err := db.Begin(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < size; j++ {
+					if _, err := tx.Query(ctx, `UPDATE Acct SET Bal = ? WHERE ID = ?`, i&0xff, j); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAutoCommitOverhead tracks what the implicit per-statement
+// transaction costs a bare INSERT: the undo-log hook plus the
+// TxBegin/TxCommit framing records, against the same inserts amortized
+// inside one big explicit transaction.
+func BenchmarkAutoCommitOverhead(b *testing.B) {
+	b.Run("autocommit", func(b *testing.B) {
+		db := Open()
+		defer db.Close()
+		db.MustExec(`CREATE TABLE Events (N INT NOT NULL PRIMARY KEY, T TEXT)`)
+		ins, err := db.Prepare(`INSERT INTO Events VALUES (?, ?)`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ins.Exec(i, "event"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched-tx", func(b *testing.B) {
+		db := Open()
+		defer db.Close()
+		db.MustExec(`CREATE TABLE Events (N INT NOT NULL PRIMARY KEY, T TEXT)`)
+		ctx := context.Background()
+		tx, err := db.Begin(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tx.Query(ctx, `INSERT INTO Events VALUES (?, ?)`, i, "event"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}

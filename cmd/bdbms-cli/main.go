@@ -13,9 +13,14 @@
 // the previous state, and exiting checkpoints it — so a script can build a
 // database in one invocation and a later invocation can query it.
 //
+// Statements between BEGIN and COMMIT run as one atomic transaction;
+// ROLLBACK (or exiting the shell mid-transaction, or crashing — see
+// -crash-exit) reverts all of them. SAVEPOINT / ROLLBACK TO SAVEPOINT give
+// partial rollbacks inside a transaction.
+//
 // Usage:
 //
-//	bdbms-cli [-data file.db] [-user name] [-enforce-auth] [-script file.sql]
+//	bdbms-cli [-data file.db] [-user name] [-enforce-auth] [-script file.sql] [-crash-exit]
 package main
 
 import (
@@ -46,6 +51,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	enforce := fs.Bool("enforce-auth", false, "enable GRANT/REVOKE privilege checks")
 	script := fs.String("script", "", "execute this A-SQL script file before reading stdin")
 	quiet := fs.Bool("quiet", false, "suppress the banner and prompts")
+	crashExit := fs.Bool("crash-exit", false, "exit after the script WITHOUT closing the database (crash-recovery testing: open transactions are neither committed nor rolled back in-process)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,12 +61,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bdbms-cli:", err)
 		return 1
 	}
+	if *enforce {
+		db.Authorization().MakeAdmin("admin")
+	}
+	session := db.Session(*user)
+
 	closed := false
 	closeDB := func() int {
 		if closed {
 			return 0
 		}
 		closed = true
+		// A transaction left open when the shell exits is rolled back —
+		// exactly what a disconnect does in a client/server database. (It
+		// also holds the database's exclusive lock, so closing without the
+		// rollback would deadlock the checkpoint.)
+		if session.InTx() {
+			fmt.Fprintln(stderr, "warning: open transaction rolled back")
+			if err := session.CloseTx(); err != nil {
+				fmt.Fprintln(stderr, "bdbms-cli: rollback:", err)
+			}
+		}
 		if err := db.Close(); err != nil {
 			fmt.Fprintln(stderr, "bdbms-cli: close:", err)
 			return 1
@@ -68,11 +89,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 	defer closeDB()
-
-	if *enforce {
-		db.Authorization().MakeAdmin("admin")
-	}
-	session := db.Session(*user)
 
 	if !*quiet {
 		fmt.Fprintln(stdout, "bdbms — a database management system for biological data")
@@ -115,6 +131,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				}
 				return 1
 			}
+		}
+		if *crashExit {
+			// Simulated crash: skip the rollback and the checkpoint — the
+			// next invocation recovers from the WAL alone, and an open
+			// transaction's records form an unclosed frame it rolls back.
+			closed = true
+			return 0
 		}
 	}
 

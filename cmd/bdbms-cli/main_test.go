@@ -125,3 +125,79 @@ func TestInteractiveStreamsRows(t *testing.T) {
 		}
 	}
 }
+
+// TestTransactionScriptGolden locks the script-mode output of
+// BEGIN/COMMIT/ROLLBACK/SAVEPOINT flows: the rolled-back update is visible
+// inside its transaction and gone after, the savepoint rollback keeps the
+// transaction's earlier insert.
+func TestTransactionScriptGolden(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		[]string{"-quiet", "-script", "testdata/tx.sql"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("unexpected stderr: %s", stderr)
+	}
+	checkGolden(t, filepath.Join("testdata", "tx.golden"), stdout)
+}
+
+// TestTransactionCrashRecovery is the two-invocation crash case: the first
+// invocation commits one row, opens a transaction, mutates through it and
+// "crashes" (-crash-exit skips rollback AND checkpoint). The second
+// invocation recovers from the WAL alone and must see none of the
+// transaction's effects.
+func TestTransactionCrashRecovery(t *testing.T) {
+	dataFile := filepath.Join(t.TempDir(), "crash.db")
+
+	stdout, stderr, code := runCLI(t,
+		[]string{"-quiet", "-data", dataFile, "-crash-exit", "-script", "testdata/tx_crash_write.sql"}, "")
+	if code != 0 {
+		t.Fatalf("crash invocation exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, filepath.Join("testdata", "tx_crash_write.golden"), stdout)
+	// The transaction's own view shows both rows before the crash...
+	if !strings.Contains(stdout, "uncommitted") {
+		t.Errorf("transaction's own SELECT misses its write:\n%s", stdout)
+	}
+
+	stdout, stderr, code = runCLI(t,
+		[]string{"-quiet", "-data", dataFile, "-script", "testdata/tx_crash_query.sql"}, "")
+	if code != 0 {
+		t.Fatalf("recovery invocation exit %d, stderr: %s", code, stderr)
+	}
+	// ...but after the crash none of it survived: not the insert, not the
+	// update, only the committed row.
+	checkGolden(t, filepath.Join("testdata", "tx_crash_query.golden"), stdout)
+	if strings.Contains(stdout, "uncommitted") || strings.Contains(stdout, "mutated") {
+		t.Errorf("uncommitted transaction leaked across the crash:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "committed") {
+		t.Errorf("committed row lost across the crash:\n%s", stdout)
+	}
+}
+
+// TestAbandonedTransactionRolledBackOnExit covers the clean-exit variant: a
+// script ends mid-transaction WITHOUT -crash-exit, so the shell rolls the
+// transaction back (with a warning) before checkpointing.
+func TestAbandonedTransactionRolledBackOnExit(t *testing.T) {
+	dataFile := filepath.Join(t.TempDir(), "abandon.db")
+
+	_, stderr, code := runCLI(t,
+		[]string{"-quiet", "-data", dataFile, "-script", "testdata/tx_crash_write.sql"}, "")
+	if code != 0 {
+		t.Fatalf("first invocation exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "open transaction rolled back") {
+		t.Errorf("no rollback warning on stderr: %q", stderr)
+	}
+
+	stdout, stderr, code := runCLI(t,
+		[]string{"-quiet", "-data", dataFile, "-script", "testdata/tx_crash_query.sql"}, "")
+	if code != 0 {
+		t.Fatalf("second invocation exit %d, stderr: %s", code, stderr)
+	}
+	if strings.Contains(stdout, "uncommitted") || strings.Contains(stdout, "mutated") {
+		t.Errorf("abandoned transaction leaked:\n%s", stdout)
+	}
+}

@@ -1,0 +1,24 @@
+-- Transactions in script mode: a committed transfer, a rolled-back update
+-- (visible inside its transaction, gone after), and a savepoint rollback.
+CREATE TABLE Acct (ID INT NOT NULL PRIMARY KEY, Bal INT);
+INSERT INTO Acct VALUES (1, 100), (2, 100);
+
+BEGIN;
+UPDATE Acct SET Bal = Bal - 25 WHERE ID = 1;
+UPDATE Acct SET Bal = Bal + 25 WHERE ID = 2;
+COMMIT;
+
+BEGIN;
+UPDATE Acct SET Bal = 0 WHERE ID = 1;
+SELECT ID, Bal FROM Acct;
+ROLLBACK;
+SELECT ID, Bal FROM Acct;
+
+BEGIN;
+INSERT INTO Acct VALUES (3, 50);
+SAVEPOINT sp;
+DELETE FROM Acct WHERE ID = 3;
+UPDATE Acct SET Bal = 1 WHERE ID = 2;
+ROLLBACK TO SAVEPOINT sp;
+COMMIT;
+SELECT ID, Bal FROM Acct;

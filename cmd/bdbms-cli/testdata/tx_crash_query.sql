@@ -1,0 +1,2 @@
+-- Second invocation: recovery must have rolled the open transaction back.
+SELECT N, S FROM T;

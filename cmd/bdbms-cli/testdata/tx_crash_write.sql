@@ -1,0 +1,9 @@
+-- First invocation (run with -crash-exit): a committed statement, then a
+-- transaction left open when the process "crashes". The second invocation
+-- must see the committed row untouched and nothing of the transaction.
+CREATE TABLE T (N INT NOT NULL PRIMARY KEY, S TEXT);
+INSERT INTO T VALUES (1, 'committed');
+BEGIN;
+INSERT INTO T VALUES (2, 'uncommitted');
+UPDATE T SET S = 'mutated' WHERE N = 1;
+SELECT N, S FROM T;

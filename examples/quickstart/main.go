@@ -1,10 +1,12 @@
 // Command quickstart shows the minimal bdbms workflow with the cursor API:
 // create a gene table backed by a data file, load it through a prepared
 // INSERT, annotate it at several granularities with ADD ANNOTATION, stream
-// the annotated answer back with Query, then close and reopen the database
-// to show that tables, indexes and annotations are durable —
-// Prepare/Query/Rows are the primary idioms, with MustExec/Render as the
-// convenience layer for one-off statements.
+// the annotated answer back with Query, group related updates in a Begin/
+// Commit transaction (and show Rollback reverting one), then close and
+// reopen the database to show that tables, indexes, annotations and every
+// committed transaction are durable — Prepare/Query/Rows/Begin are the
+// primary idioms, with MustExec/Render as the convenience layer for
+// one-off statements.
 package main
 
 import (
@@ -107,6 +109,33 @@ func main() {
 	}
 	curated.Close()
 	if err := curated.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Multi-statement transactions: both updates commit atomically, and a
+	// rolled-back transaction — here guarded by a deliberate ROLLBACK —
+	// leaves no trace, however many statements it ran.
+	tx, err := db.Begin(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE Gene SET GName = 'mraW-v2' WHERE GID = 'JW0080'`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO Gene VALUES ('JW0090', 'ftsW', 'ATGCGT')`); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	tx, err = db.Begin(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Exec(`DELETE FROM Gene WHERE GID LIKE 'JW%'`); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil { // nothing was really deleted
 		log.Fatal(err)
 	}
 

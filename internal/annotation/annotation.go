@@ -28,6 +28,7 @@ import (
 
 	"bdbms/internal/catalog"
 	"bdbms/internal/rtree"
+	"bdbms/internal/undo"
 	"bdbms/internal/wal"
 )
 
@@ -365,6 +366,7 @@ type Manager struct {
 	resolver  TableResolver
 	store     Store
 	logger    Logger
+	undo      *undo.Log
 	nextID    int64
 	byID      map[int64]*Annotation
 	byTable   map[string][]int64 // user table -> annotation IDs
@@ -412,6 +414,19 @@ func (m *Manager) StoreName() string { return m.store.Name() }
 // mutations are recorded.
 func (m *Manager) SetLogger(l Logger) { m.logger = l }
 
+// SetUndo installs (or, with nil, clears) the open transaction's undo log:
+// while installed, every annotation mutation pushes a compensating closure.
+// Like the storage engine's hook, it is only touched under the engine-wide
+// exclusive statement lock.
+func (m *Manager) SetUndo(u *undo.Log) { m.undo = u }
+
+// pushUndo records a compensating action when a transaction is open.
+func (m *Manager) pushUndo(fn func() error) {
+	if m.undo != nil {
+		m.undo.Push(fn)
+	}
+}
+
 // logOp appends one logical record when a logger is wired.
 func (m *Manager) logOp(kind wal.Kind, table string, payload []byte) error {
 	if m.logger == nil {
@@ -440,23 +455,56 @@ func (m *Manager) CreateAnnotationTable(userTable, name, category string, system
 		_ = m.cat.DropAnnotationTable(userTable, name)
 		return err
 	}
+	m.pushUndo(func() error {
+		err := m.cat.DropAnnotationTable(userTable, name)
+		if errors.Is(err, catalog.ErrAnnotationTableNotFound) {
+			return nil
+		}
+		return err
+	})
 	return nil
 }
 
 // DropAnnotationTable implements DROP ANNOTATION TABLE: the definition and
 // every annotation stored in it are removed.
 func (m *Manager) DropAnnotationTable(userTable, name string) error {
-	if _, err := m.cat.AnnotationTable(userTable, name); err != nil {
+	def, err := m.cat.AnnotationTable(userTable, name)
+	if err != nil {
 		return err
 	}
 	payload, err := json.Marshal(&catalog.AnnotationTable{Name: name, UserTable: userTable})
 	if err != nil {
 		return err
 	}
+	// Before-image for the undo log: the definition plus every annotation
+	// the drop is about to delete.
+	var dropped []*Annotation
+	if m.undo != nil {
+		m.mu.RLock()
+		for _, id := range m.byTable[strings.ToLower(userTable)] {
+			if a := m.byID[id]; a != nil && strings.EqualFold(a.AnnTable, name) {
+				dropped = append(dropped, a)
+			}
+		}
+		m.mu.RUnlock()
+	}
 	if err := m.logOp(wal.KindDropAnnTable, userTable, payload); err != nil {
 		return err
 	}
-	return m.applyDropAnnotationTable(userTable, name)
+	if err := m.applyDropAnnotationTable(userTable, name); err != nil {
+		return err
+	}
+	defCopy := *def
+	m.pushUndo(func() error {
+		if err := m.RecoverCreateAnnotationTable(&defCopy); err != nil {
+			return err
+		}
+		for _, a := range dropped {
+			m.RecoverAnnotation(a)
+		}
+		return nil
+	})
+	return nil
 }
 
 // applyDropAnnotationTable removes the definition and the stored annotations
@@ -525,7 +573,29 @@ func (m *Manager) Add(userTable, annTable, body, author string, regions []Region
 		return nil, err
 	}
 	m.applyAdd(a)
+	m.pushUndo(func() error { m.RecoverRemove(a.ID); return nil })
 	return a, nil
+}
+
+// RecoverRemove deletes a stored annotation by ID — the undo of Add. An
+// absent ID is tolerated.
+func (m *Manager) RecoverRemove(id int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.byID[id]
+	if !ok {
+		return
+	}
+	m.store.Remove(a)
+	delete(m.byID, id)
+	key := strings.ToLower(a.UserTable)
+	kept := m.byTable[key][:0]
+	for _, other := range m.byTable[key] {
+		if other != id {
+			kept = append(kept, other)
+		}
+	}
+	m.byTable[key] = kept
 }
 
 // applyAdd registers an annotation in the maps and the storage scheme. The
@@ -714,8 +784,36 @@ func (m *Manager) setArchived(userTable string, annTables []string, tr TimeRange
 	if err != nil {
 		return 0, err
 	}
+	// Before-image for the undo log: the archived flag and timestamp of each
+	// flipped annotation (every candidate in changed flips, by construction).
+	var before []archiveSnap
+	if m.undo != nil {
+		for _, id := range changed {
+			if a := m.byID[id]; a != nil {
+				before = append(before, archiveSnap{id: id, archived: a.Archived, at: a.ArchivedAt})
+			}
+		}
+	}
 	m.applyArchive(changed, archived, now)
+	m.pushUndo(func() error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for _, s := range before {
+			if a, ok := m.byID[s.id]; ok {
+				a.Archived = s.archived
+				a.ArchivedAt = s.at
+			}
+		}
+		return nil
+	})
 	return len(changed), nil
+}
+
+// archiveSnap is the per-annotation before-image of an ARCHIVE/RESTORE.
+type archiveSnap struct {
+	id       int64
+	archived bool
+	at       time.Time
 }
 
 // archiveRecord is the WAL payload of one ARCHIVE/RESTORE ANNOTATION.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"bdbms/internal/storage"
+	"bdbms/internal/undo"
 	"bdbms/internal/value"
 	"bdbms/internal/wal"
 )
@@ -133,8 +134,16 @@ type Manager struct {
 	ops       map[int64]*Operation
 	order     []int64
 	nextOp    int64
+	undo      *undo.Log
 	clock     func() time.Time
 }
+
+// SetUndo installs (or, with nil, clears) the open transaction's undo log:
+// recorded approval operations and approval decisions then push their
+// inverse, so rolling back a monitored DML statement also retracts its
+// pending-operation entry. Only touched under the engine-wide exclusive
+// statement lock.
+func (m *Manager) SetUndo(u *undo.Log) { m.undo = u }
 
 // NewManager builds an authorization manager over the storage engine. The
 // operation log is mirrored into the engine's WAL.
@@ -386,7 +395,25 @@ func (m *Manager) RecordOperation(user string, kind OpKind, table string, rowID 
 	if _, err := m.log.Append(wal.KindApproval, table, []byte(payload)); err != nil {
 		return nil, err
 	}
+	if m.undo != nil {
+		m.undo.Push(func() error { m.removeOperation(op.ID); return nil })
+	}
 	return op, nil
+}
+
+// removeOperation retracts a recorded operation — the undo of
+// RecordOperation when the statement that produced it rolls back.
+func (m *Manager) removeOperation(id int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.ops, id)
+	kept := m.order[:0]
+	for _, other := range m.order {
+		if other != id {
+			kept = append(kept, other)
+		}
+	}
+	m.order = kept
 }
 
 func cloneRow(r value.Row) value.Row {
@@ -464,7 +491,23 @@ func (m *Manager) Approve(opID int64, approver string) error {
 	op.Status = StatusApproved
 	op.Approver = approver
 	op.DecidedAt = m.clock()
+	if m.undo != nil {
+		m.undo.Push(func() error { m.revertDecision(op.ID); return nil })
+	}
 	return nil
+}
+
+// revertDecision returns a decided operation to pending — the undo of
+// Approve/Disapprove. (A disapproval's inverse DML is undone separately by
+// the storage engine's own undo entries.)
+func (m *Manager) revertDecision(id int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if op, ok := m.ops[id]; ok {
+		op.Status = StatusPending
+		op.Approver = ""
+		op.DecidedAt = time.Time{}
+	}
 }
 
 // Disapprove marks a pending operation disapproved and executes its inverse
@@ -488,6 +531,9 @@ func (m *Manager) Disapprove(opID int64, approver string) ([]int64, error) {
 	op.Approver = approver
 	op.DecidedAt = m.clock()
 	m.mu.Unlock()
+	if m.undo != nil {
+		m.undo.Push(func() error { m.revertDecision(op.ID); return nil })
+	}
 
 	tbl, err := m.eng.Table(op.Table)
 	if err != nil {

@@ -58,9 +58,41 @@ type DB struct {
 	manifestPath string
 	// stmtMu is the engine-wide statement lock shared by every session:
 	// SELECTs take it shared (and a streaming cursor holds it until closed),
-	// mutating statements take it exclusive. This is what makes concurrent
-	// sessions safe.
+	// mutating statements take it exclusive, and an open transaction holds
+	// it exclusively from Begin to Commit/Rollback. This is what makes
+	// concurrent sessions safe.
 	stmtMu sync.RWMutex
+	// openTxMu guards openTxs, the transactions currently open across every
+	// session of this database. Close rolls them back before checkpointing
+	// — a leaked transaction holds stmtMu exclusively and would deadlock
+	// the checkpoint forever otherwise.
+	openTxMu sync.Mutex
+	openTxs  map[*exec.Tx]struct{}
+}
+
+// trackTx / untrackTx are the transaction-lifecycle hooks wired into every
+// session.
+func (db *DB) trackTx(tx *exec.Tx) {
+	db.openTxMu.Lock()
+	db.openTxs[tx] = struct{}{}
+	db.openTxMu.Unlock()
+}
+
+func (db *DB) untrackTx(tx *exec.Tx) {
+	db.openTxMu.Lock()
+	delete(db.openTxs, tx)
+	db.openTxMu.Unlock()
+}
+
+// leakedTxs snapshots the currently open transactions.
+func (db *DB) leakedTxs() []*exec.Tx {
+	db.openTxMu.Lock()
+	defer db.openTxMu.Unlock()
+	out := make([]*exec.Tx, 0, len(db.openTxs))
+	for tx := range db.openTxs {
+		out = append(out, tx)
+	}
+	return out
 }
 
 // resolver adapts the storage engine to annotation.TableResolver.
@@ -116,13 +148,14 @@ func Open(opts Options) (*DB, error) {
 	}
 	ann := annotation.NewManager(eng.Catalog(), resolver{eng: eng}, annOpts...)
 	db := &DB{
-		eng:  eng,
-		ann:  ann,
-		prov: provenance.NewManager(ann),
-		dep:  dependency.NewManager(eng),
-		auth: authz.NewManager(eng),
-		opts: opts,
-		wal:  log,
+		eng:     eng,
+		ann:     ann,
+		prov:    provenance.NewManager(ann),
+		dep:     dependency.NewManager(eng),
+		auth:    authz.NewManager(eng),
+		opts:    opts,
+		wal:     log,
+		openTxs: make(map[*exec.Tx]struct{}),
 	}
 	if durable {
 		db.catalogPath = opts.CatalogPath
@@ -177,6 +210,8 @@ func (db *DB) Session(user string) *exec.Session {
 		User:        user,
 		EnforceAuth: db.opts.EnforceAuth,
 		Mu:          &db.stmtMu,
+		OnTxBegin:   db.trackTx,
+		OnTxEnd:     db.untrackTx,
 	}
 }
 
@@ -202,10 +237,24 @@ func (db *DB) Prepare(sql string) (*exec.Stmt, error) {
 	return db.Session("admin").Prepare(sql)
 }
 
+// Begin opens an explicit multi-statement transaction as the built-in admin
+// user. The transaction holds the engine-wide exclusive lock until Commit
+// or Rollback; canceling ctx rolls an abandoned transaction back.
+func (db *DB) Begin(ctx context.Context) (*exec.Tx, error) {
+	return db.Session("admin").Begin(ctx)
+}
+
 // Close checkpoints the database (flush + catalog/manifest snapshot + WAL
-// truncation for durable databases, a plain flush otherwise). The pager and
-// the WAL are owned by the caller when supplied in Options.
+// truncation for durable databases, a plain flush otherwise). Transactions
+// still open at Close — typically leaked on an error path without
+// Commit/Rollback — are rolled back first: they hold the exclusive
+// statement lock, and the checkpoint would otherwise block on it forever.
+// The pager and the WAL are owned by the caller when supplied in Options.
 func (db *DB) Close() error {
+	for _, tx := range db.leakedTxs() {
+		// ErrTxDone when the transaction raced Close with its own ending.
+		_ = tx.Rollback()
+	}
 	if err := db.Checkpoint(); err != nil {
 		return fmt.Errorf("core: checkpoint on close: %w", err)
 	}

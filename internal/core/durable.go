@@ -15,6 +15,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -211,18 +212,245 @@ func (db *DB) recover() error {
 		ckptLSN = m.CheckpointLSN
 	}
 
-	for _, rec := range db.wal.Since(ckptLSN) {
-		err := db.applyRecord(rec)
-		if errors.Is(err, catalog.ErrTableNotFound) {
-			// Redo is tolerant of records for tables that do not survive
-			// recovery: a table dropped in the replayed window (or dropped
-			// right before a crash-torn checkpoint) leaves earlier row
-			// records with nowhere to apply, and their effects are moot.
+	return db.replayRecords(db.wal.Since(ckptLSN))
+}
+
+// replayRecords is the redo/undo pass over the WAL tail. Records outside a
+// transaction frame are individually committed and redone in order. A frame
+// (TxBegin..TxCommit/TxAbort) is replayed as a unit:
+//
+//   - committed frames are redone, honoring savepoint structure: records
+//     discarded by a logged ROLLBACK TO SAVEPOINT (or a TxStmtAbort from a
+//     failed mid-transaction statement) are not redone, and row records
+//     among them are compensated from their before-images — a buffer
+//     eviction may have flushed their effects before the rollback;
+//   - aborted frames are undone in reverse: row records are reverted from
+//     their before-images (idempotent whether or not the effect reached
+//     disk), and memory-resident records (annotations, marks, agents, DDL)
+//     are simply skipped — they live in the checkpoint manifest, not in
+//     heap pages, so nothing of them can have leaked;
+//   - an unclosed frame at the log tail — the crash hit mid-transaction —
+//     is undone the same way and then truncated from the log, so the
+//     reopened database appends after the committed prefix.
+func (db *DB) replayRecords(recs []wal.Record) error {
+	for i := 0; i < len(recs); {
+		rec := recs[i]
+		if rec.Kind == wal.KindTxBegin {
+			end, closed, err := db.replayFrame(recs, i)
+			if err != nil {
+				return err
+			}
+			if !closed {
+				// Unclosed tail frame: its effects are undone; drop its
+				// records so the log holds exactly the committed state.
+				// The undo so far lives only in the buffer pool, and the
+				// frame's records are its ONLY recovery source — flush and
+				// sync the pages BEFORE destroying it, or a second crash
+				// between here and the next checkpoint would durably
+				// resurrect the rolled-back rows.
+				if err := db.eng.FlushAll(); err != nil {
+					return fmt.Errorf("core: flush before tail truncation: %w", err)
+				}
+				if err := db.eng.SyncPager(); err != nil {
+					return fmt.Errorf("core: sync before tail truncation: %w", err)
+				}
+				return db.wal.TruncateFrom(rec.LSN)
+			}
+			i = end
 			continue
 		}
-		if err != nil {
-			return fmt.Errorf("core: replay LSN %d (%s %s): %w", rec.LSN, rec.Kind, rec.Table, err)
+		if rec.Kind.IsTxControl() {
+			// A stray control record outside a frame (e.g. the TxBegin was
+			// consumed by an earlier checkpoint window) carries no state.
+			i++
+			continue
 		}
+		if err := db.redoRecord(rec); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+// frameEntry is one buffered data record of a frame being replayed, plus
+// the replay decision for it.
+type frameEntry struct {
+	rec  wal.Record
+	dead bool // discarded by a savepoint rollback or statement abort
+	comp bool // synthesized compensation: apply the record's undo
+}
+
+// replayFrame replays one transaction frame starting at the TxBegin at
+// recs[start]. It returns the index of the first record after the frame and
+// whether the frame was closed by a TxCommit/TxAbort.
+func (db *DB) replayFrame(recs []wal.Record, start int) (end int, closed bool, err error) {
+	var entries []*frameEntry
+	var stack []*frameEntry // live (non-dead) data records, in order
+	type frameSave struct {
+		name string
+		mark int
+	}
+	var saves []frameSave
+	// popTo discards the live records above mark; row records get a
+	// compensation entry so effects that already reached disk are reverted.
+	popTo := func(mark int) {
+		if mark < 0 {
+			mark = 0
+		}
+		for len(stack) > mark {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			e.dead = true
+			if isRowKind(e.rec.Kind) {
+				entries = append(entries, &frameEntry{rec: e.rec, comp: true})
+			}
+		}
+	}
+
+	i := start + 1
+	for ; i < len(recs); i++ {
+		rec := recs[i]
+		switch rec.Kind {
+		case wal.KindTxCommit:
+			for _, e := range entries {
+				switch {
+				case e.comp:
+					if err := db.undoRecord(e.rec); err != nil {
+						return 0, false, fmt.Errorf("core: compensate LSN %d (%s %s): %w", e.rec.LSN, e.rec.Kind, e.rec.Table, err)
+					}
+				case !e.dead:
+					if err := db.redoRecord(e.rec); err != nil {
+						return 0, false, err
+					}
+				}
+			}
+			return i + 1, true, nil
+		case wal.KindTxAbort:
+			if err := db.undoFrame(recs[start+1 : i]); err != nil {
+				return 0, false, err
+			}
+			return i + 1, true, nil
+		case wal.KindTxBegin:
+			// A new frame opening inside this one means this frame's abort
+			// marker was lost (the append failed along with the commit).
+			// Frames never nest live, so the open frame is implicitly
+			// aborted: undo it and let the caller restart at the new TxBegin.
+			if err := db.undoFrame(recs[start+1 : i]); err != nil {
+				return 0, false, err
+			}
+			return i, true, nil
+		case wal.KindTxSavepoint:
+			saves = append(saves, frameSave{name: string(rec.Payload), mark: len(stack)})
+		case wal.KindTxRollbackTo:
+			name := string(rec.Payload)
+			idx := -1
+			for j := len(saves) - 1; j >= 0; j-- {
+				if saves[j].name == name {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				return 0, false, fmt.Errorf("core: replay LSN %d: unknown savepoint %q", rec.LSN, name)
+			}
+			popTo(saves[idx].mark)
+			saves = saves[:idx+1]
+		case wal.KindTxStmtAbort:
+			n, ok := binary.Uvarint(rec.Payload)
+			if ok <= 0 || n > uint64(len(stack)) {
+				return 0, false, fmt.Errorf("core: replay LSN %d: bad statement-abort count", rec.LSN)
+			}
+			popTo(len(stack) - int(n))
+		default:
+			e := &frameEntry{rec: rec}
+			entries = append(entries, e)
+			stack = append(stack, e)
+		}
+	}
+	// The frame never closed: the crash hit mid-transaction. Undo whatever
+	// may have reached disk; the caller truncates the records.
+	if err := db.undoFrame(recs[start+1:]); err != nil {
+		return 0, false, err
+	}
+	return i, false, nil
+}
+
+// undoFrame reverts an aborted or unclosed frame: its row records are
+// undone from their before-images, newest first. Undoing every row record —
+// including ones a savepoint rollback already reverted live — is safe: each
+// undo overwrites the row with its before-image, and walking backwards ends
+// at the pre-transaction values.
+func (db *DB) undoFrame(frame []wal.Record) error {
+	for i := len(frame) - 1; i >= 0; i-- {
+		if err := db.undoRecord(frame[i]); err != nil {
+			return fmt.Errorf("core: undo LSN %d (%s %s): %w", frame[i].LSN, frame[i].Kind, frame[i].Table, err)
+		}
+	}
+	return nil
+}
+
+// redoRecord applies one committed record, tolerating records whose table
+// did not survive recovery.
+func (db *DB) redoRecord(rec wal.Record) error {
+	err := db.applyRecord(rec)
+	if errors.Is(err, catalog.ErrTableNotFound) {
+		// Redo is tolerant of records for tables that do not survive
+		// recovery: a table dropped in the replayed window (or dropped
+		// right before a crash-torn checkpoint) leaves earlier row
+		// records with nowhere to apply, and their effects are moot.
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("core: replay LSN %d (%s %s): %w", rec.LSN, rec.Kind, rec.Table, err)
+	}
+	return nil
+}
+
+// isRowKind reports whether the record mutates heap rows — the only record
+// class whose effects can reach disk (through buffer evictions) before its
+// transaction commits, and therefore the only class needing compensation.
+// Everything else (annotations, outdated marks, agents, catalog DDL) is
+// memory-resident and persists only through checkpoint snapshots, which
+// never run mid-transaction.
+func isRowKind(k wal.Kind) bool {
+	return k == wal.KindInsert || k == wal.KindUpdate || k == wal.KindDelete
+}
+
+// undoRecord reverts the effect of one row record from the before-image its
+// payload carries. It is idempotent and tolerant: a missing table (created
+// by the same doomed transaction) or an effect that never reached disk
+// leaves state unchanged. Non-row records are no-ops here.
+func (db *DB) undoRecord(rec wal.Record) error {
+	if !isRowKind(rec.Kind) {
+		return nil
+	}
+	tbl, err := db.eng.Table(rec.Table)
+	if errors.Is(err, catalog.ErrTableNotFound) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	switch rec.Kind {
+	case wal.KindInsert:
+		rowID, _, err := storage.DecodeStoredRow(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return tbl.RecoverDelete(rowID)
+	case wal.KindUpdate:
+		rowID, oldRow, _, err := storage.DecodeUpdatePayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return tbl.RecoverUpdate(rowID, oldRow)
+	case wal.KindDelete:
+		rowID, oldRow, err := storage.DecodeStoredRow(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return tbl.RecoverInsert(rowID, oldRow)
 	}
 	return nil
 }
@@ -260,11 +488,11 @@ func (db *DB) applyRecord(rec wal.Record) error {
 		if err != nil {
 			return err
 		}
-		rowID, row, err := storage.DecodeStoredRow(rec.Payload)
+		rowID, _, newRow, err := storage.DecodeUpdatePayload(rec.Payload)
 		if err != nil {
 			return err
 		}
-		return tbl.RecoverUpdate(rowID, row)
+		return tbl.RecoverUpdate(rowID, newRow)
 	case wal.KindDelete:
 		tbl, err := db.eng.Table(rec.Table)
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"bdbms/internal/catalog"
 	"bdbms/internal/storage"
+	"bdbms/internal/undo"
 	"bdbms/internal/value"
 	"bdbms/internal/wal"
 )
@@ -36,6 +37,7 @@ type Manager struct {
 	rules   *RuleSet
 	bitmaps map[string]*Bitmap
 	logger  Logger
+	undo    *undo.Log
 	// events accumulates an audit trail of cascade actions.
 	events []Event
 }
@@ -54,6 +56,11 @@ func NewManager(eng *storage.Engine) *Manager {
 // Dependency rules themselves are Go values (procedures are function
 // pointers) and must be re-registered by the application after reopen.
 func (m *Manager) SetLogger(l Logger) { m.logger = l }
+
+// SetUndo installs (or, with nil, clears) the open transaction's undo log;
+// bitmap transitions then push their inverse. Only touched under the
+// engine-wide exclusive statement lock.
+func (m *Manager) SetUndo(u *undo.Log) { m.undo = u }
 
 // markRecord is the WAL payload of one outdated-bitmap transition.
 type markRecord struct {
@@ -93,6 +100,11 @@ func (m *Manager) setMark(table string, rowID int64, col int, set bool) error {
 		b.Set(rowID, col)
 	} else {
 		b.Clear(rowID, col)
+	}
+	// setMark only runs on a real transition, so the before-image is the
+	// opposite bit.
+	if m.undo != nil {
+		m.undo.Push(func() error { m.RecoverMark(table, rowID, col, !set); return nil })
 	}
 	return nil
 }

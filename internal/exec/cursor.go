@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bdbms/internal/annotation"
@@ -32,10 +33,13 @@ import (
 // Query runs one A-SQL statement and returns a cursor over its result. args
 // bind the statement's `?` placeholders (left to right) and must match their
 // count. The context is checked inside the scan and join iterators, so
-// canceling it aborts a long-running query with ctx.Err(). For DML the
-// context is honored while matching rows and before the first mutation;
-// once writes begin the statement runs to completion (there is no rollback
-// log to undo a partial write).
+// canceling it aborts a long-running query with ctx.Err(). DML honors the
+// context while matching rows AND between row writes: a bare statement runs
+// in an implicit transaction, so cancellation (like any mid-statement
+// error) rolls its partial writes back before the error is returned.
+// Transaction-control statements (BEGIN/COMMIT/ROLLBACK/SAVEPOINT) drive
+// the session's transaction state — see Session.Begin — and while a
+// transaction is open every statement routes through it.
 //
 // For streaming cursors the session's read lock is held until Close; always
 // close the returned Rows (Close is idempotent, and exhausting the cursor
@@ -174,16 +178,30 @@ func streamableSelect(st *sqlparse.SelectStmt) bool {
 		!hasAggregate(st.Items)
 }
 
-// queryStmt routes a bound statement to the streaming pipeline when its
-// shape allows, or to eager execution wrapped in a materialized cursor.
+// queryStmt routes a bound statement: transaction control goes to the
+// session's transaction state; statements inside an open transaction run
+// under it (no extra locking — the transaction holds the exclusive lock);
+// bare streamable SELECTs stream under the shared lock; everything else
+// executes eagerly inside an implicit auto-commit transaction and is
+// wrapped in a materialized cursor.
 func (s *Session) queryStmt(ctx context.Context, stmt sqlparse.Statement, params value.Row, prep *Stmt) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if sqlparse.IsTxControl(stmt) {
+		msg, err := s.execTxControl(ctx, stmt)
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{message: msg, limit: -1}, nil
+	}
+	if tx := s.openTx(); tx != nil {
+		return tx.queryStmt(ctx, stmt, params, prep)
+	}
 	if sel, ok := stmt.(*sqlparse.SelectStmt); ok && !s.NoOptimize && streamableSelect(sel) {
 		return s.queryStream(ctx, sel, params, prep)
 	}
-	res, err := s.execStmtLocked(ctx, stmt, params)
+	res, err := s.execAutoCommit(ctx, stmt, params)
 	if err != nil {
 		return nil, err
 	}
@@ -381,11 +399,36 @@ type Rows struct {
 	limit    int // rows still to emit; -1 = unlimited
 	cur      ARow
 	valid    bool
+	ended    bool // iteration finished (exhausted, errored or closed)
 	err      error
 	closed   bool
 	affected int
 	message  string
 	unlock   func()
+
+	// Transaction-end invalidation: killErr is written before killed is
+	// set, so a Next observing killed also observes the error. Only these
+	// two fields may be touched from another goroutine (the transaction's
+	// context watcher); everything else is single-goroutine.
+	killErr error
+	killed  atomic.Bool
+	// txmu, set on cursors opened inside a transaction, is the owning
+	// transaction's mutex: Next holds it for the duration of each pull so
+	// the context watcher's auto-rollback cannot rewrite heap pages and
+	// B-trees underneath an in-flight iteration — the rollback waits for
+	// the current Next, which then observes killed and stops.
+	txmu *sync.Mutex
+}
+
+// invalidate kills a cursor whose transaction ended: the next Next returns
+// false and Err reports err. A cursor that already finished iterating keeps
+// its original outcome.
+func (r *Rows) invalidate(err error) {
+	if r.killed.Load() {
+		return
+	}
+	r.killErr = err
+	r.killed.Store(true)
 }
 
 // Columns returns the output column names (empty for DML/DDL results).
@@ -400,6 +443,16 @@ func (r *Rows) Message() string { return r.message }
 // Next advances to the next row. It returns false at end of stream, on
 // error (check Err), after Close, and once a LIMIT is exhausted.
 func (r *Rows) Next() bool {
+	if r.txmu != nil {
+		r.txmu.Lock()
+		defer r.txmu.Unlock()
+	}
+	if r.killed.Load() && !r.ended {
+		r.err = r.killErr
+		r.finish()
+		r.closed = true
+		return false
+	}
 	if r.closed || r.err != nil {
 		r.valid = false
 		return false
@@ -462,6 +515,7 @@ func (r *Rows) Close() error {
 // finish releases resources once; the cursor may still serve Err/Columns.
 func (r *Rows) finish() {
 	r.valid = false
+	r.ended = true
 	if r.unlock != nil {
 		r.unlock()
 		r.unlock = nil

@@ -138,7 +138,7 @@ func TestQueryContextCancelJoin(t *testing.T) {
 		rows.Close()
 	}
 
-	naive := *s
+	naive := sameEngineSession(s, s.User)
 	naive.NoOptimize = true
 	nrows, err := naive.Query(ctx, `SELECT GID FROM Gene`)
 	if err != nil {
@@ -484,14 +484,13 @@ func TestConcurrentSessionsExec(t *testing.T) {
 	s.Mu = &mu
 	loadGenes(t, s, 200)
 
-	reader := *s
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	for g := 0; g < 4; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r := reader
+			r := sameEngineSession(s, s.User)
 			for {
 				select {
 				case <-stop:
@@ -519,10 +518,10 @@ func TestConcurrentSessionsExec(t *testing.T) {
 			}
 		}()
 	}
-	writer := *s
+	writer := sameEngineSession(s, s.User)
 	for i := 0; i < 50; i++ {
-		mustExec(t, &writer, fmt.Sprintf(`INSERT INTO Gene VALUES ('W%04d', 'w', %d)`, i, i))
-		mustExec(t, &writer, fmt.Sprintf(`UPDATE Gene SET Score = %d WHERE GID = 'W%04d'`, i+1, i))
+		mustExec(t, writer, fmt.Sprintf(`INSERT INTO Gene VALUES ('W%04d', 'w', %d)`, i, i))
+		mustExec(t, writer, fmt.Sprintf(`UPDATE Gene SET Score = %d WHERE GID = 'W%04d'`, i+1, i))
 	}
 	close(stop)
 	wg.Wait()

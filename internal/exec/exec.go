@@ -28,6 +28,15 @@
 // Session.NoOptimize bypasses all of this and runs the reference
 // materialize-then-filter implementation; the plan-equivalence tests assert
 // both paths return identical rows, ordering and annotations.
+//
+// # Transactions
+//
+// Session.Begin (and the BEGIN/COMMIT/ROLLBACK/SAVEPOINT statements) group
+// statements into serializable ACID transactions; bare mutating statements
+// auto-commit inside an implicit transaction so a mid-statement failure
+// rolls back cleanly. See tx.go for the protocol: an engine-wide exclusive
+// lock for isolation, an in-memory undo log of before-images for rollback,
+// and TxBegin/TxCommit WAL framing for crash atomicity.
 package exec
 
 import (
@@ -66,12 +75,18 @@ var (
 // dependency manager flags a propagated cell as outdated.
 const OutdatedAnnTable = "Outdated"
 
-// Session executes statements on behalf of one user. A Session carries no
-// per-statement state, so one Session may be shared by several goroutines;
-// when Mu is set (core wires every session of a database to one lock),
-// statement execution is serialized engine-wide: SELECTs share a read lock
-// and run concurrently, everything that mutates state (DML, DDL, annotation
-// and approval commands) takes the lock exclusively.
+// Session executes statements on behalf of one user. When Mu is set (core
+// wires every session of a database to one lock), statement execution is
+// serialized engine-wide: SELECTs share a read lock and run concurrently,
+// everything that mutates state (DML, DDL, annotation and approval
+// commands) takes the lock exclusively.
+//
+// A Session without an open transaction may be shared by several
+// goroutines. Once Begin (or a BEGIN statement) opens a transaction the
+// session's statements route through it and must come from one goroutine at
+// a time until Commit/Rollback — the transaction holds the exclusive
+// engine lock for its whole lifetime, which is what gives readers
+// all-or-nothing visibility of its writes.
 type Session struct {
 	// Eng is the storage engine.
 	Eng *storage.Engine
@@ -95,8 +110,23 @@ type Session struct {
 	// Mu, when non-nil, is the engine-wide statement lock shared by every
 	// session of one database: read statements (SELECT, SHOW PENDING) take it
 	// shared, mutating statements take it exclusive. A streaming cursor holds
-	// the read lock until it is closed.
+	// the read lock until it is closed; an open transaction holds the
+	// exclusive lock from Begin to Commit/Rollback.
 	Mu *sync.RWMutex
+
+	// OnTxBegin / OnTxEnd, when both set (core wires them into every
+	// session), observe transaction lifecycle: Begin reports the new Tx
+	// before it is handed out, and every Commit/Rollback (watcher
+	// auto-rollback included) reports the end. The embedding database uses
+	// the pair to track open transactions so Close can roll back a leaked
+	// one instead of deadlocking on the lock it holds.
+	OnTxBegin func(*Tx)
+	OnTxEnd   func(*Tx)
+
+	// txMu guards tx, the session's open explicit transaction (nil outside
+	// BEGIN..COMMIT).
+	txMu sync.Mutex
+	tx   *Tx
 }
 
 // readOnlyStmt reports whether the statement only reads database state and
@@ -208,13 +238,6 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 	return s.drainStmt(stmt)
 }
 
-// execStmtLocked takes the statement-appropriate lock and executes.
-func (s *Session) execStmtLocked(ctx context.Context, stmt sqlparse.Statement, params value.Row) (*Result, error) {
-	unlock := s.lockFor(stmt)
-	defer unlock()
-	return s.execStmt(ctx, stmt, params)
-}
-
 // execStmt dispatches a parsed statement. The caller must already hold the
 // appropriate session lock; params carry the bound placeholder arguments
 // (nil when the statement has none).
@@ -317,9 +340,11 @@ func (s *Session) execDropAnnotationTable(st *sqlparse.DropAnnotationTableStmt) 
 // --- DML ---------------------------------------------------------------------------
 
 // DML cancellation contract: the context is honored while matching rows
-// (the long read phase) and before the first mutation; once writes begin
-// the statement runs to completion, because without a rollback log an abort
-// mid-write would leave the table partially updated.
+// (the long read phase) AND between row writes. Every statement runs inside
+// a transaction (the session's explicit one, or the implicit auto-commit
+// transaction the cursor layer wraps around it), so an abort mid-write no
+// longer strands a partial update — the undo log rolls the statement's
+// applied rows back before the error is returned.
 func (s *Session) execInsert(ctx context.Context, st *sqlparse.InsertStmt, params value.Row) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -334,6 +359,9 @@ func (s *Session) execInsert(ctx context.Context, st *sqlparse.InsertStmt, param
 	schema := tbl.Schema()
 	affected := 0
 	for _, exprRow := range st.Rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := make(value.Row, len(schema.Columns))
 		for i := range row {
 			row[i] = value.NewNull()
@@ -391,6 +419,9 @@ func (s *Session) execUpdate(ctx context.Context, st *sqlparse.UpdateStmt, param
 	schema := tbl.Schema()
 	affected := 0
 	for _, rowID := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		oldRow, err := tbl.Get(rowID)
 		if err != nil {
 			return nil, err
@@ -432,6 +463,9 @@ func (s *Session) execDelete(ctx context.Context, st *sqlparse.DeleteStmt, param
 	}
 	affected := 0
 	for _, rowID := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		oldRow, err := tbl.Get(rowID)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,536 @@
+package exec
+
+// Multi-statement ACID transactions.
+//
+// A transaction serializes against every other statement by holding the
+// engine-wide exclusive lock from Begin to Commit/Rollback, which is what
+// makes its writes invisible until COMMIT: no reader can run while they are
+// only partially applied. Atomicity is two-layered:
+//
+//   - In memory, every applied mutation pushes a compensating closure onto
+//     the transaction's undo log (internal/undo); ROLLBACK — explicit, via
+//     a canceled context, or the implicit statement-level rollback when a
+//     statement fails mid-transaction — runs the closures in reverse.
+//   - In the WAL, the transaction's records are framed by TxBegin/TxCommit
+//     (TxAbort on rollback); recovery redoes only committed frames and
+//     undoes, from the before-images the records carry, any effect of an
+//     uncommitted frame that reached disk through a buffer eviction.
+//
+// Auto-commit statements run inside an implicit transaction built from the
+// same two pieces (see execAutoCommit in cursor.go), so a mid-statement
+// error or context cancellation rolls the statement back instead of leaving
+// half-applied state — multi-row INSERTs, UPDATE cascades and annotation
+// side effects included.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"bdbms/internal/sqlparse"
+	"bdbms/internal/undo"
+	"bdbms/internal/value"
+	"bdbms/internal/wal"
+)
+
+// Transaction errors.
+var (
+	// ErrTxDone is returned by operations on a transaction that was already
+	// committed or rolled back (including auto-rollback via its context).
+	ErrTxDone = errors.New("exec: transaction has already been committed or rolled back")
+	// ErrTxOpen is returned by Begin when the session already has an open
+	// transaction; bdbms transactions do not nest.
+	ErrTxOpen = errors.New("exec: a transaction is already open on this session")
+	// ErrNoTx is returned by COMMIT/ROLLBACK/SAVEPOINT statements outside a
+	// transaction.
+	ErrNoTx = errors.New("exec: no transaction is open")
+	// ErrNoSavepoint is returned by ROLLBACK TO SAVEPOINT with an unknown
+	// (or already released) savepoint name.
+	ErrNoSavepoint = errors.New("exec: no such savepoint")
+)
+
+// txSavepoint is one live savepoint: a name plus the undo-log length at its
+// creation.
+type txSavepoint struct {
+	name string
+	mark int
+}
+
+// Tx is an open multi-statement transaction. It is created by
+// Session.Begin (or a BEGIN statement) and ended exactly once by Commit or
+// Rollback; canceling the Begin context rolls an abandoned transaction back
+// automatically, releasing the engine lock it holds.
+//
+// A Tx is safe for sequential use from any goroutine, but its statements
+// serialize on an internal mutex; cursors returned by Query must be
+// iterated before the transaction ends (ending it invalidates them with
+// ErrTxDone).
+type Tx struct {
+	sess *Session
+
+	mu      sync.Mutex
+	done    bool
+	endErr  error // why the transaction ended, when not a plain Commit
+	u       *undo.Log
+	saves   []txSavepoint
+	cursors []*Rows
+	stop    chan struct{} // closed when the transaction ends
+	unlock  func()        // releases the engine-wide exclusive lock
+}
+
+// Begin opens an explicit transaction on the session, taking the
+// engine-wide exclusive lock until Commit or Rollback. The context governs
+// the whole transaction: once it is canceled the transaction is rolled
+// back — even if abandoned — so a forgotten Tx cannot hold the database
+// lock forever. Transactions do not nest; a second Begin fails with
+// ErrTxOpen.
+func (s *Session) Begin(ctx context.Context) (*Tx, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tx := &Tx{sess: s, u: undo.New(), stop: make(chan struct{})}
+	// Publish the reservation with tx.mu held so a statement racing Begin
+	// on the same session blocks until the transaction is actually ready.
+	tx.mu.Lock()
+	s.txMu.Lock()
+	if s.tx != nil {
+		s.txMu.Unlock()
+		tx.mu.Unlock()
+		return nil, ErrTxOpen
+	}
+	s.tx = tx
+	s.txMu.Unlock()
+
+	if s.Mu != nil {
+		s.Mu.Lock()
+		tx.unlock = s.Mu.Unlock
+	}
+	fail := func(err error) (*Tx, error) {
+		tx.finishLocked(err)
+		tx.mu.Unlock()
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	// The frame is opened eagerly: an explicit transaction is visible in the
+	// log even before its first write.
+	if err := s.Eng.WAL().BeginTx(false); err != nil {
+		return fail(err)
+	}
+	s.installUndo(tx.u)
+	if s.OnTxBegin != nil {
+		s.OnTxBegin(tx)
+	}
+	tx.mu.Unlock()
+	if ctx.Done() != nil {
+		go tx.watch(ctx)
+	}
+	return tx, nil
+}
+
+// installUndo points every mutating subsystem at the open transaction's
+// undo log (nil clears the hooks). The caller must hold the engine-wide
+// exclusive lock.
+func (s *Session) installUndo(u *undo.Log) {
+	s.Eng.SetUndo(u)
+	if s.Ann != nil {
+		s.Ann.SetUndo(u)
+	}
+	if s.Prov != nil {
+		s.Prov.SetUndo(u)
+	}
+	if s.Dep != nil {
+		s.Dep.SetUndo(u)
+	}
+	if s.Auth != nil {
+		s.Auth.SetUndo(u)
+	}
+}
+
+// openTx returns the session's open transaction, or nil.
+func (s *Session) openTx() *Tx {
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	return s.tx
+}
+
+// InTx reports whether the session has an open explicit transaction.
+func (s *Session) InTx() bool { return s.openTx() != nil }
+
+// CloseTx rolls back the session's open transaction, if any — the cleanup
+// hook for shells and pools that hand sessions back without knowing whether
+// the user left a transaction open. It is a no-op (nil) otherwise.
+func (s *Session) CloseTx() error {
+	if tx := s.openTx(); tx != nil {
+		err := tx.Rollback()
+		if errors.Is(err, ErrTxDone) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// watch rolls the transaction back when its context is canceled before
+// Commit/Rollback.
+func (tx *Tx) watch(ctx context.Context) {
+	select {
+	case <-tx.stop:
+	case <-ctx.Done():
+		tx.mu.Lock()
+		if !tx.done {
+			_ = tx.rollbackLocked(ctx.Err())
+		}
+		tx.mu.Unlock()
+	}
+}
+
+// doneError renders the error for operations on an ended transaction.
+func (tx *Tx) doneError() error {
+	if tx.endErr != nil {
+		return fmt.Errorf("%w (rolled back: %v)", ErrTxDone, tx.endErr)
+	}
+	return ErrTxDone
+}
+
+// Commit makes the transaction's effects permanent: the TxCommit record
+// closes the WAL frame (recovery will replay the transaction from here on),
+// the undo log is discarded, and the engine lock is released. If the commit
+// record cannot be written the transaction is rolled back instead and the
+// error says so — an unclosed frame reads as aborted on recovery, so memory
+// and disk agree.
+func (tx *Tx) Commit() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return tx.doneError()
+	}
+	tx.invalidateCursorsLocked()
+	if err := tx.sess.Eng.WAL().CommitTx(); err != nil {
+		cerr := fmt.Errorf("exec: commit: %w", err)
+		if rbErr := tx.rollbackLocked(cerr); rbErr != nil && !errors.Is(rbErr, ErrTxDone) {
+			return errors.Join(cerr, rbErr)
+		}
+		return cerr
+	}
+	tx.u.Reset()
+	tx.finishLocked(nil)
+	return nil
+}
+
+// Rollback reverts every effect of the transaction and releases the engine
+// lock. Rolling back twice (or after Commit) returns ErrTxDone.
+func (tx *Tx) Rollback() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return tx.doneError()
+	}
+	return tx.rollbackLocked(nil)
+}
+
+// rollbackLocked reverts the transaction: open cursors are invalidated, the
+// undo log runs in reverse, the WAL frame is closed with TxAbort (best
+// effort — an unclosed frame reads as aborted on recovery anyway), and the
+// session/lock state is torn down. The caller must hold tx.mu.
+func (tx *Tx) rollbackLocked(cause error) error {
+	tx.invalidateCursorsLocked()
+	rbErr := tx.u.Rollback()
+	_ = tx.sess.Eng.WAL().AbortTx()
+	if cause == nil {
+		cause = rbErr
+	}
+	tx.finishLocked(cause)
+	return rbErr
+}
+
+// finishLocked marks the transaction ended and releases everything it
+// holds: the undo hooks, the session's tx slot, the watcher, and the engine
+// lock. The caller must hold tx.mu.
+func (tx *Tx) finishLocked(cause error) {
+	tx.done = true
+	tx.endErr = cause
+	close(tx.stop)
+	s := tx.sess
+	s.installUndo(nil)
+	s.txMu.Lock()
+	if s.tx == tx {
+		s.tx = nil
+	}
+	s.txMu.Unlock()
+	if tx.unlock != nil {
+		tx.unlock()
+		tx.unlock = nil
+	}
+	if s.OnTxEnd != nil {
+		s.OnTxEnd(tx)
+	}
+}
+
+// invalidateCursorsLocked kills the streaming cursors opened inside the
+// transaction: their next Next reports false with Err() == ErrTxDone.
+func (tx *Tx) invalidateCursorsLocked() {
+	for _, r := range tx.cursors {
+		r.invalidate(ErrTxDone)
+	}
+	tx.cursors = nil
+}
+
+// Savepoint establishes a named savepoint at the current point of the
+// transaction. Reusing a name shadows the earlier savepoint until a
+// rollback releases it, matching standard SQL semantics.
+func (tx *Tx) Savepoint(name string) error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return tx.doneError()
+	}
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("%w: empty savepoint name", sqlparse.ErrSyntax)
+	}
+	key := strings.ToLower(name)
+	if _, err := tx.sess.Eng.WAL().Append(wal.KindTxSavepoint, "", []byte(key)); err != nil {
+		return fmt.Errorf("exec: savepoint %s: %w", name, err)
+	}
+	tx.saves = append(tx.saves, txSavepoint{name: key, mark: tx.u.Len()})
+	return nil
+}
+
+// RollbackTo reverts the statements executed after the named savepoint and
+// keeps the transaction open. Savepoints created after it are released; the
+// named one survives and can be rolled back to again. If the rollback
+// marker cannot be logged the WHOLE transaction is rolled back (a later
+// COMMIT would otherwise re-commit the reverted statements on recovery) and
+// the returned error says so.
+func (tx *Tx) RollbackTo(name string) error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return tx.doneError()
+	}
+	key := strings.ToLower(name)
+	idx := -1
+	for i := len(tx.saves) - 1; i >= 0; i-- {
+		if tx.saves[i].name == key {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: %s", ErrNoSavepoint, name)
+	}
+	if _, err := tx.sess.Eng.WAL().Append(wal.KindTxRollbackTo, "", []byte(key)); err != nil {
+		aerr := fmt.Errorf("exec: rollback to savepoint %s failed to log, transaction rolled back: %w", name, err)
+		if rbErr := tx.rollbackLocked(aerr); rbErr != nil {
+			return errors.Join(aerr, rbErr)
+		}
+		return aerr
+	}
+	err := tx.u.RollbackTo(tx.saves[idx].mark)
+	tx.saves = tx.saves[:idx+1]
+	return err
+}
+
+// Query runs one statement inside the transaction and returns a cursor over
+// its result. Transaction-control SQL (COMMIT, ROLLBACK, SAVEPOINT, ...) is
+// accepted and routed to the matching Tx method.
+func (tx *Tx) Query(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	params, err := bindArgs(sqlparse.CountPlaceholders(stmt), args)
+	if err != nil {
+		return nil, err
+	}
+	if sqlparse.IsTxControl(stmt) {
+		msg, err := tx.sess.execTxControl(ctx, stmt)
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{message: msg, limit: -1}, nil
+	}
+	return tx.queryStmt(ctx, stmt, params, nil)
+}
+
+// Exec runs one statement inside the transaction and materializes the full
+// result.
+func (tx *Tx) Exec(sql string, args ...any) (*Result, error) {
+	rows, err := tx.Query(context.Background(), sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// queryStmt executes a parsed, bound statement inside the transaction. The
+// engine lock is already held by the transaction, so no locking happens
+// here; a mutating statement that fails is rolled back to its own start and
+// the transaction stays usable.
+func (tx *Tx) queryStmt(ctx context.Context, stmt sqlparse.Statement, params value.Row, prep *Stmt) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return nil, tx.doneError()
+	}
+	s := tx.sess
+	if sel, ok := stmt.(*sqlparse.SelectStmt); ok && !s.NoOptimize && streamableSelect(sel) {
+		rows, err := s.buildStream(ctx, sel, params, prep)
+		if err != nil {
+			return nil, err
+		}
+		// The cursor reads under the transaction's own exclusive lock; it
+		// is invalidated when the transaction ends, and each Next holds
+		// tx.mu so an auto-rollback never races an in-flight pull.
+		rows.txmu = &tx.mu
+		tx.cursors = append(tx.cursors, rows)
+		return rows, nil
+	}
+	var res *Result
+	var err error
+	if readOnlyStmt(stmt) {
+		res, err = s.execStmt(ctx, stmt, params)
+	} else {
+		res, err = tx.execMutationLocked(ctx, stmt, params)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{
+		cols:     res.Columns,
+		rows:     res.Rows,
+		affected: res.Affected,
+		message:  res.Message,
+		limit:    -1,
+	}, nil
+}
+
+// execMutationLocked runs one mutating statement with statement-level
+// atomicity: on error the statement's own effects are undone (the
+// transaction's earlier statements survive) and a TxStmtAbort marker tells
+// recovery to discard the statement's WAL records. If that marker cannot be
+// written, committing would resurrect the partial statement — so the whole
+// transaction is rolled back instead.
+func (tx *Tx) execMutationLocked(ctx context.Context, stmt sqlparse.Statement, params value.Row) (*Result, error) {
+	s := tx.sess
+	log := s.Eng.WAL()
+	mark := tx.u.Len()
+	recsBefore := log.FrameRecords()
+	res, err := s.execStmt(ctx, stmt, params)
+	if err == nil {
+		return res, nil
+	}
+	if rbErr := tx.u.RollbackTo(mark); rbErr != nil {
+		full := tx.rollbackLocked(rbErr)
+		return nil, errors.Join(err,
+			fmt.Errorf("exec: statement rollback failed, transaction rolled back: %w", rbErr), full)
+	}
+	if n := log.FrameRecords() - recsBefore; n > 0 {
+		payload := binary.AppendUvarint(nil, uint64(n))
+		if _, aerr := log.Append(wal.KindTxStmtAbort, "", payload); aerr != nil {
+			full := tx.rollbackLocked(aerr)
+			return nil, errors.Join(err,
+				fmt.Errorf("exec: statement abort marker failed, transaction rolled back: %w", aerr), full)
+		}
+	}
+	return nil, err
+}
+
+// execTxControl handles BEGIN/COMMIT/ROLLBACK/SAVEPOINT statements against
+// the session's transaction state, returning the utility message.
+func (s *Session) execTxControl(ctx context.Context, stmt sqlparse.Statement) (string, error) {
+	switch st := stmt.(type) {
+	case *sqlparse.BeginStmt:
+		if _, err := s.Begin(ctx); err != nil {
+			return "", err
+		}
+		return "transaction started", nil
+	case *sqlparse.CommitStmt:
+		tx := s.openTx()
+		if tx == nil {
+			return "", fmt.Errorf("%w: COMMIT", ErrNoTx)
+		}
+		if err := tx.Commit(); err != nil {
+			return "", err
+		}
+		return "transaction committed", nil
+	case *sqlparse.RollbackStmt:
+		tx := s.openTx()
+		if tx == nil {
+			return "", fmt.Errorf("%w: ROLLBACK", ErrNoTx)
+		}
+		if st.Savepoint != "" {
+			if err := tx.RollbackTo(st.Savepoint); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("rolled back to savepoint %s", strings.ToLower(st.Savepoint)), nil
+		}
+		if err := tx.Rollback(); err != nil {
+			return "", err
+		}
+		return "transaction rolled back", nil
+	case *sqlparse.SavepointStmt:
+		tx := s.openTx()
+		if tx == nil {
+			return "", fmt.Errorf("%w: SAVEPOINT", ErrNoTx)
+		}
+		if err := tx.Savepoint(st.Name); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("savepoint %s created", strings.ToLower(st.Name)), nil
+	default:
+		return "", fmt.Errorf("%w: %T", ErrUnsupported, stmt)
+	}
+}
+
+// execAutoCommit wraps one bare mutating statement in an implicit
+// transaction: undo hooks installed, WAL frame armed lazily (a statement
+// that logs nothing leaves no trace), committed on success and fully rolled
+// back — memory and, via recovery, disk — on any error, including context
+// cancellation mid-write. The statement-appropriate lock is taken for the
+// duration; read-only statements skip all of it.
+func (s *Session) execAutoCommit(ctx context.Context, stmt sqlparse.Statement, params value.Row) (*Result, error) {
+	unlock := s.lockFor(stmt)
+	defer unlock()
+	if readOnlyStmt(stmt) {
+		return s.execStmt(ctx, stmt, params)
+	}
+	u := undo.New()
+	s.installUndo(u)
+	defer s.installUndo(nil)
+	log := s.Eng.WAL()
+	if err := log.BeginTx(true); err != nil {
+		return nil, err
+	}
+	res, err := s.execStmt(ctx, stmt, params)
+	if err != nil {
+		if rbErr := u.Rollback(); rbErr != nil {
+			err = errors.Join(err, fmt.Errorf("exec: statement rollback: %w", rbErr))
+		}
+		_ = log.AbortTx()
+		return nil, err
+	}
+	if cerr := log.CommitTx(); cerr != nil {
+		cerr = fmt.Errorf("exec: commit statement: %w", cerr)
+		if rbErr := u.Rollback(); rbErr != nil {
+			cerr = errors.Join(cerr, fmt.Errorf("exec: statement rollback: %w", rbErr))
+		}
+		// Close the frame as aborted so a transient append failure does not
+		// wedge every later statement on "frame already open"; if even the
+		// abort marker is lost, recovery treats the next frame's TxBegin as
+		// an implicit abort of this one.
+		_ = log.AbortTx()
+		return nil, cerr
+	}
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package exec
+
+// Transactional workload fuzzing, extending the SQL-equivalence fuzzer:
+// a seeded generator interleaves BEGIN / SAVEPOINT / ROLLBACK [TO] / COMMIT
+// with DML (some statements deliberately invalid), executes the stream
+// against a real session, and mirrors ONLY the statements that actually
+// committed — auto-commit statements that succeeded, and the surviving
+// statements of committed transactions (savepoint rollbacks excluded) —
+// onto a step-indexed oracle session that knows nothing about transactions.
+// After every commit point the two databases must agree exactly; any
+// divergence means a rollback leaked or a commit lost writes, and the full
+// reproducing statement log is printed.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// txFuzzState mirrors the transaction semantics on the generator side: the
+// statements that will reach the oracle when (and if) the open transaction
+// commits.
+type txFuzzState struct {
+	inTx  bool
+	txBuf []string
+	saves []txSavepoint
+}
+
+func (st *txFuzzState) rollbackTo(name string) bool {
+	for i := len(st.saves) - 1; i >= 0; i-- {
+		if st.saves[i].name == name {
+			st.txBuf = st.txBuf[:st.saves[i].mark]
+			st.saves = st.saves[:i+1]
+			return true
+		}
+	}
+	return false
+}
+
+// genTxDML produces one DML statement over table T. Collisions (duplicate
+// primary keys) are likely by construction, so some statements fail — the
+// point: a failed statement must contribute nothing, committed or not.
+func genTxDML(r *rand.Rand) string {
+	switch r.Intn(10) {
+	case 0, 1, 2, 3: // INSERT, sometimes multi-row (fails atomically on a dup)
+		rows := 1 + r.Intn(3)
+		var vals []string
+		for i := 0; i < rows; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, %d, '%s')", r.Intn(30), r.Intn(100), pick(r, fuzzTexts)))
+		}
+		return `INSERT INTO T VALUES ` + strings.Join(vals, ", ")
+	case 4, 5, 6: // UPDATE a value column over a key range
+		return fmt.Sprintf(`UPDATE T SET V = V + %d WHERE K >= %d AND K < %d`,
+			1+r.Intn(9), r.Intn(20), 10+r.Intn(25))
+	case 7: // UPDATE the primary key itself (may collide)
+		return fmt.Sprintf(`UPDATE T SET K = K + %d WHERE K = %d`, 1+r.Intn(5), r.Intn(30))
+	case 8: // UPDATE the text column
+		return fmt.Sprintf(`UPDATE T SET S = '%s' WHERE V > %d`, pick(r, fuzzTexts), r.Intn(100))
+	default: // DELETE
+		return fmt.Sprintf(`DELETE FROM T WHERE K = %d OR V < %d`, r.Intn(30), r.Intn(20))
+	}
+}
+
+// canonTable renders T in a row-ID-independent canonical form (transactions
+// burn RowIDs that the oracle never sees, so only logical content may be
+// compared).
+func canonTable(t *testing.T, s *Session) string {
+	t.Helper()
+	res, err := s.Exec(`SELECT K, V, S FROM T ORDER BY K, V, S`)
+	if err != nil {
+		t.Fatalf("canon: %v", err)
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for i, v := range row.Values {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestTxWorkloadFuzz(t *testing.T) {
+	const seeds = 6
+	const ops = 150
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			real := newLockedSession(t)
+			oracle := newSession(t)
+			setup := `CREATE TABLE T (K INT NOT NULL PRIMARY KEY, V INT, S TEXT)`
+			mustExec(t, real, setup)
+			mustExec(t, oracle, setup)
+
+			var log []string // every statement issued, for the repro script
+			var committedLog []string
+			st := &txFuzzState{}
+			spNames := []string{"sa", "sb", "sc"}
+
+			issue := func(sql string) (ok bool) {
+				log = append(log, sql)
+				_, err := real.Exec(sql)
+				return err == nil
+			}
+			applyToOracle := func(stmts []string) {
+				for _, sql := range stmts {
+					committedLog = append(committedLog, sql)
+					if _, err := oracle.Exec(sql); err != nil {
+						t.Fatalf("oracle rejected committed statement %q: %v\nfull log:\n%s\ncommitted:\n%s",
+							sql, err, strings.Join(log, ";\n"), strings.Join(committedLog, ";\n"))
+					}
+				}
+			}
+			check := func(when string) {
+				t.Helper()
+				if got, want := canonTable(t, real), canonTable(t, oracle); got != want {
+					t.Fatalf("divergence %s:\n real:\n%s\n oracle:\n%s\nfull log:\n%s\ncommitted:\n%s",
+						when, got, want, strings.Join(log, ";\n"), strings.Join(committedLog, ";\n"))
+				}
+			}
+
+			for i := 0; i < ops; i++ {
+				if !st.inTx {
+					switch r.Intn(10) {
+					case 0, 1, 2:
+						if issue(`BEGIN`) {
+							st.inTx = true
+						} else {
+							t.Fatalf("BEGIN failed\nlog:\n%s", strings.Join(log, ";\n"))
+						}
+					case 3: // misuse: commit/rollback without a transaction
+						if issue(pick(r, []string{`COMMIT`, `ROLLBACK`, `SAVEPOINT sx`})) {
+							t.Fatalf("tx control outside tx succeeded\nlog:\n%s", strings.Join(log, ";\n"))
+						}
+					default:
+						sql := genTxDML(r)
+						if issue(sql) {
+							applyToOracle([]string{sql})
+						}
+						check("after auto-commit statement")
+					}
+					continue
+				}
+				switch r.Intn(12) {
+				case 0, 1: // COMMIT
+					if !issue(`COMMIT`) {
+						t.Fatalf("COMMIT failed\nlog:\n%s", strings.Join(log, ";\n"))
+					}
+					applyToOracle(st.txBuf)
+					st.inTx, st.txBuf, st.saves = false, nil, nil
+					check("after COMMIT")
+				case 2: // ROLLBACK
+					if !issue(`ROLLBACK`) {
+						t.Fatalf("ROLLBACK failed\nlog:\n%s", strings.Join(log, ";\n"))
+					}
+					st.inTx, st.txBuf, st.saves = false, nil, nil
+					check("after ROLLBACK")
+				case 3, 4: // SAVEPOINT (names repeat, shadowing earlier ones)
+					name := pick(r, spNames)
+					if !issue(`SAVEPOINT ` + name) {
+						t.Fatalf("SAVEPOINT failed\nlog:\n%s", strings.Join(log, ";\n"))
+					}
+					st.saves = append(st.saves, txSavepoint{name: name, mark: len(st.txBuf)})
+				case 5: // ROLLBACK TO SAVEPOINT (sometimes unknown)
+					name := pick(r, append(spNames, "missing"))
+					ok := issue(`ROLLBACK TO SAVEPOINT ` + name)
+					if mirrored := st.rollbackTo(name); mirrored != ok {
+						t.Fatalf("ROLLBACK TO %s: real ok=%v, mirror ok=%v\nlog:\n%s",
+							name, ok, mirrored, strings.Join(log, ";\n"))
+					}
+				case 6: // misuse: nested BEGIN must fail and change nothing
+					if issue(`BEGIN`) {
+						t.Fatalf("nested BEGIN succeeded\nlog:\n%s", strings.Join(log, ";\n"))
+					}
+				default:
+					sql := genTxDML(r)
+					if issue(sql) {
+						st.txBuf = append(st.txBuf, sql)
+					}
+				}
+			}
+			// Drain: a transaction still open at the end commits or rolls
+			// back at the coin's pleasure.
+			if st.inTx {
+				if r.Intn(2) == 0 {
+					if !issue(`COMMIT`) {
+						t.Fatal("final COMMIT failed")
+					}
+					applyToOracle(st.txBuf)
+				} else {
+					if !issue(`ROLLBACK`) {
+						t.Fatal("final ROLLBACK failed")
+					}
+				}
+			}
+			check("at end of workload")
+			if len(committedLog) == 0 {
+				t.Error("no statement ever committed; fuzz case is vacuous")
+			}
+		})
+	}
+}

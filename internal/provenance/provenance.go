@@ -17,6 +17,7 @@ import (
 
 	"bdbms/internal/annotation"
 	"bdbms/internal/catalog"
+	"bdbms/internal/undo"
 	"bdbms/internal/wal"
 )
 
@@ -116,6 +117,7 @@ type Manager struct {
 	ann    *annotation.Manager
 	agents map[string]bool
 	logger annotation.Logger
+	undo   *undo.Log
 	clock  func() time.Time
 }
 
@@ -135,6 +137,12 @@ func (m *Manager) SetClock(clock func() time.Time) { m.clock = clock }
 // reopen. Provenance records themselves are annotations and are made durable
 // by the annotation manager.
 func (m *Manager) SetLogger(l annotation.Logger) { m.logger = l }
+
+// SetUndo installs (or, with nil, clears) the open transaction's undo log;
+// agent (de)registrations then push their inverse. Only touched under the
+// engine-wide exclusive statement lock. Provenance attachments are
+// annotations and are covered by the annotation manager's hook.
+func (m *Manager) SetUndo(u *undo.Log) { m.undo = u }
 
 // logAgent appends one agent-registry record when a logger is wired. The
 // payload is "+name" for registration and "-name" for revocation.
@@ -177,6 +185,9 @@ func (m *Manager) RegisterAgent(name string) error {
 		return err
 	}
 	m.agents[strings.ToLower(name)] = true
+	if m.undo != nil {
+		m.undo.Push(func() error { m.RecoverAgent(name, false); return nil })
+	}
 	return nil
 }
 
@@ -191,6 +202,9 @@ func (m *Manager) UnregisterAgent(name string) error {
 		return err
 	}
 	delete(m.agents, strings.ToLower(name))
+	if m.undo != nil {
+		m.undo.Push(func() error { m.RecoverAgent(name, true); return nil })
+	}
 	return nil
 }
 

@@ -280,6 +280,46 @@ func (*GrantStmt) stmt()                {}
 func (*ApproveStmt) stmt()              {}
 func (*ShowPendingStmt) stmt()          {}
 
+// --- transaction control ------------------------------------------------------------
+
+// BeginStmt is BEGIN [TRANSACTION | WORK]: it opens an explicit multi-
+// statement transaction on the session.
+type BeginStmt struct{}
+
+// CommitStmt is COMMIT [TRANSACTION | WORK].
+type CommitStmt struct{}
+
+// RollbackStmt is ROLLBACK [TRANSACTION | WORK] [TO [SAVEPOINT] name]. An
+// empty Savepoint rolls back (and ends) the whole transaction; a named one
+// reverts only the statements executed after that savepoint and keeps the
+// transaction open.
+type RollbackStmt struct {
+	Savepoint string
+}
+
+// SavepointStmt is SAVEPOINT name.
+type SavepointStmt struct {
+	Name string
+}
+
+func (*BeginStmt) stmt()     {}
+func (*CommitStmt) stmt()    {}
+func (*RollbackStmt) stmt()  {}
+func (*SavepointStmt) stmt() {}
+
+// IsTxControl reports whether the statement is transaction control
+// (BEGIN/COMMIT/ROLLBACK/SAVEPOINT) rather than a query or mutation. The
+// executor routes these to the session's transaction state instead of the
+// statement dispatcher.
+func IsTxControl(stmt Statement) bool {
+	switch stmt.(type) {
+	case *BeginStmt, *CommitStmt, *RollbackStmt, *SavepointStmt:
+		return true
+	default:
+		return false
+	}
+}
+
 // --- placeholder inspection --------------------------------------------------------
 
 // CountPlaceholders returns the number of `?` parameter markers in the

@@ -52,6 +52,12 @@ var keywords = map[string]bool{
 	"PENDING": true, "SHOW": true, "OPERATIONS": true, "FOR": true,
 }
 
+// The transaction-control words (BEGIN, COMMIT, ROLLBACK, SAVEPOINT, and
+// the TRANSACTION/WORK noise words) are deliberately NOT reserved: they
+// only matter at statement-dispatch position, and reserving them would
+// break expressions over pre-existing columns named, say, Work or
+// Transaction. The parser matches them case-insensitively by text.
+
 // Lexer splits an A-SQL statement into tokens.
 type Lexer struct {
 	input string

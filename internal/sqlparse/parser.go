@@ -161,9 +161,22 @@ func (p *Parser) parseStatement() (Statement, error) {
 	p.placeholders = 0
 	t := p.peek()
 	if t.Kind != TokenKeyword {
+		// Transaction-control words are unreserved identifiers (so columns
+		// may carry those names); they are recognized only here, at
+		// statement-dispatch position.
+		if t.Kind == TokenIdent {
+			switch strings.ToUpper(t.Text) {
+			case "BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT":
+				return p.parseTxControl()
+			}
+		}
 		return nil, p.errorf("expected a statement keyword, found %q", t.Text)
 	}
 	switch t.Text {
+	case "BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT":
+		// Unreachable while these stay unreserved; kept so reserving them
+		// later cannot silently drop transaction control.
+		return p.parseTxControl()
 	case "SELECT":
 		return p.parseSelect()
 	case "INSERT":
@@ -192,6 +205,60 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseShow()
 	default:
 		return nil, p.errorf("unsupported statement %q", t.Text)
+	}
+}
+
+// --- transaction control ---------------------------------------------------------
+
+// matchWord consumes the next token when it is the given word — keyword or
+// bare identifier — compared case-insensitively. The transaction-control
+// vocabulary is matched this way because it is not reserved by the lexer.
+func (p *Parser) matchWord(word string) bool {
+	t := p.peek()
+	if (t.Kind == TokenKeyword || t.Kind == TokenIdent) && strings.EqualFold(t.Text, word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// parseTxControl parses BEGIN / COMMIT / ROLLBACK [TO [SAVEPOINT] name] /
+// SAVEPOINT name, with the optional TRANSACTION or WORK noise word.
+func (p *Parser) parseTxControl() (Statement, error) {
+	switch {
+	case p.matchWord("BEGIN"):
+		p.matchTxNoise()
+		return &BeginStmt{}, nil
+	case p.matchWord("COMMIT"):
+		p.matchTxNoise()
+		return &CommitStmt{}, nil
+	case p.matchWord("ROLLBACK"):
+		p.matchTxNoise()
+		stmt := &RollbackStmt{}
+		if p.matchKeyword("TO") {
+			p.matchWord("SAVEPOINT")
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Savepoint = name
+		}
+		return stmt, nil
+	case p.matchWord("SAVEPOINT"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &SavepointStmt{Name: name}, nil
+	default:
+		return nil, p.errorf("expected transaction statement, found %q", p.peek().Text)
+	}
+}
+
+// matchTxNoise consumes the optional TRANSACTION / WORK noise word.
+func (p *Parser) matchTxNoise() {
+	if !p.matchWord("TRANSACTION") {
+		p.matchWord("WORK")
 	}
 }
 

@@ -2,6 +2,7 @@ package sqlparse
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"bdbms/internal/value"
@@ -462,5 +463,74 @@ func TestSplitStatements(t *testing.T) {
 	// Untokenizable input comes back whole so execution surfaces the error.
 	if got := SplitStatements("SELECT 'unterminated"); len(got) != 1 {
 		t.Errorf("bad script split = %q", got)
+	}
+}
+
+func TestParseTransactionControl(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want Statement
+	}{
+		{`BEGIN`, &BeginStmt{}},
+		{`BEGIN TRANSACTION`, &BeginStmt{}},
+		{`begin work`, &BeginStmt{}},
+		{`COMMIT`, &CommitStmt{}},
+		{`COMMIT WORK`, &CommitStmt{}},
+		{`ROLLBACK`, &RollbackStmt{}},
+		{`ROLLBACK TRANSACTION`, &RollbackStmt{}},
+		{`ROLLBACK TO SAVEPOINT sp1`, &RollbackStmt{Savepoint: "sp1"}},
+		{`ROLLBACK TO sp1`, &RollbackStmt{Savepoint: "sp1"}},
+		{`SAVEPOINT before_update`, &SavepointStmt{Name: "before_update"}},
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.sql)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.sql, err)
+			continue
+		}
+		if fmt.Sprintf("%#v", got) != fmt.Sprintf("%#v", tc.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", tc.sql, got, tc.want)
+		}
+		if !IsTxControl(got) {
+			t.Errorf("IsTxControl(%q) = false", tc.sql)
+		}
+	}
+	if IsTxControl(&SelectStmt{}) {
+		t.Error("IsTxControl(SELECT) = true")
+	}
+	// A savepoint name is required.
+	for _, bad := range []string{`SAVEPOINT`, `ROLLBACK TO SAVEPOINT`, `ROLLBACK TO`} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want syntax error", bad)
+		}
+	}
+	// Scripts mix transaction control with ordinary statements.
+	stmts, err := ParseAll(`BEGIN; INSERT INTO T VALUES (1); ROLLBACK TO SAVEPOINT s; COMMIT;`)
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(stmts) != 4 {
+		t.Fatalf("ParseAll returned %d statements, want 4", len(stmts))
+	}
+}
+
+func TestTxWordsRemainValidIdentifiers(t *testing.T) {
+	// The transaction vocabulary is not reserved: pre-existing schemas with
+	// columns (or tables) named Work, Transaction, Savepoint, Begin, Commit
+	// or Rollback must stay creatable AND queryable.
+	for _, sql := range []string{
+		`CREATE TABLE Jobs (Work TEXT, Transaction INT, Savepoint TEXT)`,
+		`SELECT Work, Transaction FROM Jobs WHERE Work = 'x' AND Transaction > 1`,
+		`UPDATE Jobs SET Work = 'y' WHERE Savepoint IS NOT NULL`,
+		`SELECT Begin, Commit FROM Rollback WHERE Begin = Commit`,
+		`INSERT INTO Jobs (Work, Transaction) VALUES ('a', 1)`,
+	} {
+		if _, err := Parse(sql); err != nil {
+			t.Errorf("Parse(%q): %v", sql, err)
+		}
+	}
+	// And a statement-position BEGIN still starts a transaction.
+	if stmt := mustParse(t, `begin`); !IsTxControl(stmt) {
+		t.Error("statement-position begin not recognized as transaction control")
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"bdbms/internal/catalog"
 	"bdbms/internal/heap"
 	"bdbms/internal/pager"
+	"bdbms/internal/undo"
 	"bdbms/internal/value"
 	"bdbms/internal/wal"
 )
@@ -68,11 +69,30 @@ type Engine struct {
 	// switched off during recovery, when mutations are themselves replayed
 	// from the log.
 	logging atomic.Bool
+	// undo, when non-nil, is the open transaction's undo log: every applied
+	// mutation pushes its compensating action. Installed and cleared under
+	// the engine-wide exclusive statement lock, which also serializes every
+	// mutation, so plain field access is race-free.
+	undo *undo.Log
 }
 
 // SetLogging switches WAL appends on or off. Recovery disables logging while
 // replaying so replayed mutations are not re-appended to the log.
 func (e *Engine) SetLogging(enabled bool) { e.logging.Store(enabled) }
+
+// SetUndo installs (or, with nil, clears) the undo log of the open
+// transaction. While installed, every mutation — row DML, DDL, index builds
+// — pushes a compensating closure capturing its before-image, which is what
+// ROLLBACK (and the implicit rollback of a failed auto-commit statement)
+// runs. The caller must hold the engine-wide exclusive statement lock.
+func (e *Engine) SetUndo(u *undo.Log) { e.undo = u }
+
+// pushUndo records a compensating action when a transaction is open.
+func (e *Engine) pushUndo(fn func() error) {
+	if e.undo != nil {
+		e.undo.Push(fn)
+	}
+}
 
 // appendLog writes one logical WAL record unless logging is disabled.
 func (e *Engine) appendLog(kind wal.Kind, table string, payload []byte) error {
@@ -157,6 +177,7 @@ func (e *Engine) CreateTable(schema *catalog.Schema) (*Table, error) {
 	e.tables[strings.ToLower(schema.Name)] = t
 	e.mu.Unlock()
 	e.version.Add(1)
+	e.pushUndo(func() error { return e.RecoverDropTable(schema.Name) })
 	return t, nil
 }
 
@@ -187,8 +208,27 @@ func (e *Engine) DropTable(name string) error {
 	if err := e.cat.DropTable(name); err != nil {
 		return err
 	}
+	key := strings.ToLower(name)
 	e.mu.Lock()
-	delete(e.tables, strings.ToLower(name))
+	dropped := e.tables[key]
+	delete(e.tables, key)
+	e.mu.Unlock()
+	e.version.Add(1)
+	if dropped != nil {
+		// The Table object keeps its heap file and indexes alive, so undoing
+		// the drop is just re-registering it (and its catalog entry).
+		e.pushUndo(func() error { return e.reattach(dropped) })
+	}
+	return nil
+}
+
+// reattach restores a dropped table object — the undo of DropTable.
+func (e *Engine) reattach(t *Table) error {
+	if err := e.cat.CreateTable(t.schema); err != nil && !errors.Is(err, catalog.ErrTableExists) {
+		return err
+	}
+	e.mu.Lock()
+	e.tables[strings.ToLower(t.schema.Name)] = t
 	e.mu.Unlock()
 	e.version.Add(1)
 	return nil
@@ -292,6 +332,40 @@ func decodeStored(rec []byte) (int64, value.Row, error) {
 // values. Recovery uses it to replay logged mutations.
 func DecodeStoredRow(rec []byte) (int64, value.Row, error) { return decodeStored(rec) }
 
+// EncodeUpdatePayload frames a KindUpdate WAL payload: the length-prefixed
+// after-image followed by the before-image, both in the stored-row format.
+// Redo needs the new values; transactional crash recovery needs the old ones
+// to undo an uncommitted update whose page already reached disk.
+func EncodeUpdatePayload(rowID int64, oldRow, newRow value.Row) []byte {
+	newRec := encodeStored(rowID, newRow)
+	oldRec := encodeStored(rowID, oldRow)
+	out := binary.AppendUvarint(make([]byte, 0, len(newRec)+len(oldRec)+4), uint64(len(newRec)))
+	out = append(out, newRec...)
+	out = append(out, oldRec...)
+	return out
+}
+
+// DecodeUpdatePayload parses a KindUpdate WAL payload into the RowID and the
+// before- and after-images of the row.
+func DecodeUpdatePayload(payload []byte) (rowID int64, oldRow, newRow value.Row, err error) {
+	newLen, n := binary.Uvarint(payload)
+	if n <= 0 || uint64(len(payload)-n) < newLen {
+		return 0, nil, nil, fmt.Errorf("storage: malformed update payload")
+	}
+	rowID, newRow, err = decodeStored(payload[n : n+int(newLen)])
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	oldID, oldRow, err := decodeStored(payload[n+int(newLen):])
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if oldID != rowID {
+		return 0, nil, nil, fmt.Errorf("storage: update payload images disagree on RowID (%d vs %d)", rowID, oldID)
+	}
+	return rowID, oldRow, newRow, nil
+}
+
 func rowIDBytes(rowID int64) []byte {
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(rowID))
@@ -341,6 +415,7 @@ func (t *Table) Insert(row value.Row) (int64, error) {
 	if err := t.applyInsert(rowID, coerced); err != nil {
 		return 0, err
 	}
+	t.engine.pushUndo(func() error { return t.RecoverDelete(rowID) })
 	return rowID, nil
 }
 
@@ -428,7 +503,11 @@ func (t *Table) Update(rowID int64, row value.Row) error {
 	if len(newRec) > heap.MaxRecordSize {
 		return fmt.Errorf("%w: %d bytes", heap.ErrRecordTooLarge, len(newRec))
 	}
-	if err := t.engine.appendLog(wal.KindUpdate, t.schema.Name, newRec); err != nil {
+	// The WAL payload carries the after-image AND the before-image: redo
+	// replays the new values, and crash recovery rolls an uncommitted
+	// update back from the old ones even when the dirtied page was flushed
+	// by a buffer eviction before the crash.
+	if err := t.engine.appendLog(wal.KindUpdate, t.schema.Name, EncodeUpdatePayload(rowID, old, coerced)); err != nil {
 		return err
 	}
 	newRID, err := t.file.Update(rid, newRec)
@@ -448,6 +527,8 @@ func (t *Table) Update(rowID int64, row value.Row) error {
 			tree.Insert(coerced[idx].EncodeKey(nil), rowIDBytes(rowID))
 		}
 	}
+	before := old.Clone()
+	t.engine.pushUndo(func() error { return t.RecoverUpdate(rowID, before) })
 	return nil
 }
 
@@ -496,6 +577,8 @@ func (t *Table) Delete(rowID int64) error {
 		}
 		_ = tree.Delete(old[idx].EncodeKey(nil), rowIDBytes(rowID))
 	}
+	before := old.Clone()
+	t.engine.pushUndo(func() error { return t.RecoverInsert(rowID, before) })
 	return nil
 }
 
@@ -550,6 +633,7 @@ func (t *Table) CreateIndex(column string) error {
 	t.indexes[key] = tree
 	t.mu.Unlock()
 	t.engine.version.Add(1)
+	t.engine.pushUndo(func() error { t.dropIndex(key); return nil })
 
 	return t.Scan(func(rowID int64, row value.Row) bool {
 		if !row[idx].IsNull() {
@@ -557,6 +641,15 @@ func (t *Table) CreateIndex(column string) error {
 		}
 		return true
 	})
+}
+
+// dropIndex removes a secondary index — the undo of CreateIndex. The key is
+// the lower-cased column name.
+func (t *Table) dropIndex(key string) {
+	t.mu.Lock()
+	delete(t.indexes, key)
+	t.mu.Unlock()
+	t.engine.version.Add(1)
 }
 
 // HasIndex reports whether the column has an index.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"bdbms/internal/catalog"
+	"bdbms/internal/undo"
 	"bdbms/internal/value"
 	"bdbms/internal/wal"
 )
@@ -372,5 +373,64 @@ func TestIndexRangeBounds(t *testing.T) {
 				break
 			}
 		}
+	}
+}
+
+func TestUpdatePayloadRoundTrip(t *testing.T) {
+	oldRow := value.Row{value.NewText("a"), value.NewInt(1)}
+	newRow := value.Row{value.NewText("b"), value.NewInt(2)}
+	payload := EncodeUpdatePayload(7, oldRow, newRow)
+	rowID, gotOld, gotNew, err := DecodeUpdatePayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowID != 7 {
+		t.Errorf("rowID = %d", rowID)
+	}
+	if !gotOld[0].Equal(oldRow[0]) || !gotOld[1].Equal(oldRow[1]) {
+		t.Errorf("before-image %v, want %v", gotOld, oldRow)
+	}
+	if !gotNew[0].Equal(newRow[0]) || !gotNew[1].Equal(newRow[1]) {
+		t.Errorf("after-image %v, want %v", gotNew, newRow)
+	}
+	// Truncated or garbage payloads must error, not panic.
+	for _, bad := range [][]byte{nil, {0x80}, payload[:3], payload[:len(payload)-2]} {
+		if _, _, _, err := DecodeUpdatePayload(bad); err == nil {
+			t.Errorf("DecodeUpdatePayload(%v) succeeded on malformed input", bad)
+		}
+	}
+}
+
+func TestEngineUndoHooksRevertMutations(t *testing.T) {
+	eng := NewMemoryEngine()
+	u := undo.New()
+	eng.SetUndo(u)
+	tbl, err := eng.CreateTable(geneSchema("Gene"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := tbl.Insert(value.Row{value.NewText("JW1"), value.NewText("x"), value.NewSequence("AC")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Update(id, value.Row{value.NewText("JW1"), value.NewText("y"), value.NewSequence("GT")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("GName"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.HasTable("Gene") {
+		t.Error("undo did not revert CREATE TABLE")
+	}
+	// With the hook cleared, mutations stop pushing undo actions.
+	eng.SetUndo(nil)
+	if _, err := eng.CreateTable(geneSchema("Gene2")); err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 0 {
+		t.Errorf("cleared undo hook still recorded %d actions", u.Len())
 	}
 }

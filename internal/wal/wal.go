@@ -52,7 +52,40 @@ const (
 	KindDepMark
 	// KindProvAgent records provenance agent (de)registration.
 	KindProvAgent
+	// KindTxBegin opens a transaction frame: the data records that follow,
+	// up to the matching KindTxCommit or KindTxAbort, belong to one
+	// transaction. Statement execution is serialized engine-wide, so frames
+	// never interleave and records need no transaction ID.
+	KindTxBegin
+	// KindTxCommit closes a transaction frame: recovery redoes its records.
+	// A frame with no closing record (the process died mid-transaction) is
+	// rolled back on reopen from the before-images its records carry.
+	KindTxCommit
+	// KindTxAbort closes a rolled-back transaction frame: recovery undoes
+	// any of its effects that reached disk and skips the rest.
+	KindTxAbort
+	// KindTxSavepoint marks a savepoint inside an open frame (payload: name).
+	KindTxSavepoint
+	// KindTxRollbackTo records ROLLBACK TO SAVEPOINT (payload: name):
+	// recovery discards — and compensates on disk for — the frame records
+	// after the named savepoint.
+	KindTxRollbackTo
+	// KindTxStmtAbort records the mid-transaction rollback of one failed
+	// statement (payload: uvarint count of the data records to discard), so
+	// a later COMMIT does not commit the failed statement's partial effects.
+	KindTxStmtAbort
 )
+
+// IsTxControl reports whether the kind is a transaction-framing record
+// rather than a logical data record.
+func (k Kind) IsTxControl() bool {
+	switch k {
+	case KindTxBegin, KindTxCommit, KindTxAbort, KindTxSavepoint, KindTxRollbackTo, KindTxStmtAbort:
+		return true
+	default:
+		return false
+	}
+}
 
 // String names the kind.
 func (k Kind) String() string {
@@ -85,6 +118,18 @@ func (k Kind) String() string {
 		return "DEP-MARK"
 	case KindProvAgent:
 		return "PROV-AGENT"
+	case KindTxBegin:
+		return "TX-BEGIN"
+	case KindTxCommit:
+		return "TX-COMMIT"
+	case KindTxAbort:
+		return "TX-ABORT"
+	case KindTxSavepoint:
+		return "TX-SAVEPOINT"
+	case KindTxRollbackTo:
+		return "TX-ROLLBACK-TO"
+	case KindTxStmtAbort:
+		return "TX-STMT-ABORT"
 	default:
 		return fmt.Sprintf("KIND(%d)", uint8(k))
 	}
@@ -130,6 +175,14 @@ type Log struct {
 	// failAfter, when >= 0, is the number of further Appends allowed before
 	// ErrInjectedFailure; -1 disables fault injection.
 	failAfter int
+	// txOpen is true while a transaction frame is open (TxBegin written,
+	// closing record pending); txPending arms a lazy frame: the TxBegin is
+	// written immediately before the first data record, so an auto-commit
+	// statement that appends nothing leaves no frame behind.
+	txOpen    bool
+	txPending bool
+	// txRecords counts the data records appended inside the open frame.
+	txRecords int
 }
 
 // NewMemory returns an in-memory log.
@@ -189,10 +242,28 @@ func (l *Log) replay() error {
 	return err
 }
 
-// Append adds a record and returns its LSN.
+// Append adds a record and returns its LSN. When a lazy transaction frame is
+// armed (BeginTx(true)), the first data record transparently appends the
+// opening TxBegin first, so empty frames never reach the log.
 func (l *Log) Append(kind Kind, table string, payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.txPending && !kind.IsTxControl() {
+		if _, err := l.appendLocked(KindTxBegin, "", nil); err != nil {
+			return 0, err
+		}
+		l.txPending = false
+		l.txOpen = true
+	}
+	lsn, err := l.appendLocked(kind, table, payload)
+	if err == nil && l.txOpen && !kind.IsTxControl() {
+		l.txRecords++
+	}
+	return lsn, err
+}
+
+// appendLocked writes one record; the caller holds l.mu.
+func (l *Log) appendLocked(kind Kind, table string, payload []byte) (uint64, error) {
 	if l.failAfter == 0 {
 		return 0, ErrInjectedFailure
 	}
@@ -225,6 +296,88 @@ func (l *Log) Append(kind Kind, table string, payload []byte) (uint64, error) {
 	l.records = append(l.records, rec)
 	l.nextLSN++
 	return rec.LSN, nil
+}
+
+// BeginTx opens a transaction frame. Eager mode (lazy == false) appends the
+// TxBegin record immediately — explicit BEGIN statements use it so the frame
+// is visible in the log even while still empty. Lazy mode arms the frame
+// without touching the log; the TxBegin is appended just before the first
+// data record, which keeps statements that log nothing (GRANT, a DELETE
+// matching no rows) free of framing records. Frames never nest: statement
+// execution is serialized by the engine lock.
+func (l *Log) BeginTx(lazy bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.txOpen || l.txPending {
+		return fmt.Errorf("wal: transaction frame already open")
+	}
+	if lazy {
+		l.txPending = true
+		return nil
+	}
+	if _, err := l.appendLocked(KindTxBegin, "", nil); err != nil {
+		return err
+	}
+	l.txOpen = true
+	return nil
+}
+
+// CommitTx closes the open frame with a TxCommit record. A lazy frame that
+// never materialized commits for free. On error the frame is NOT committed —
+// the caller must treat the transaction as rolled back (recovery will, from
+// the unclosed frame).
+func (l *Log) CommitTx() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.txPending {
+		l.txPending = false
+		return nil
+	}
+	if !l.txOpen {
+		return nil
+	}
+	if _, err := l.appendLocked(KindTxCommit, "", nil); err != nil {
+		return err
+	}
+	l.txOpen = false
+	l.txRecords = 0
+	return nil
+}
+
+// AbortTx closes the open frame with a TxAbort record. Best effort: even
+// when the append fails (the injected-crash path), the frame state is
+// cleared — an unclosed frame at the log tail reads as aborted on recovery
+// anyway.
+func (l *Log) AbortTx() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.txPending {
+		l.txPending = false
+		return nil
+	}
+	if !l.txOpen {
+		return nil
+	}
+	l.txOpen = false
+	l.txRecords = 0
+	_, err := l.appendLocked(KindTxAbort, "", nil)
+	return err
+}
+
+// InTx reports whether a transaction frame is open or armed.
+func (l *Log) InTx() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.txOpen || l.txPending
+}
+
+// FrameRecords returns the number of data records appended inside the open
+// frame. The executor diffs it around a statement to emit the right
+// TxStmtAbort count when a mid-transaction statement fails.
+func (l *Log) FrameRecords() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.txRecords
 }
 
 // FailAfter arms a fault point for crash-injection tests: the next n Appends
@@ -274,7 +427,49 @@ func (l *Log) Truncate() error {
 		}
 	}
 	l.records = nil
+	l.txOpen = false
+	l.txPending = false
+	l.txRecords = 0
 	return nil
+}
+
+// TruncateFrom discards every record with an LSN at or above lsn, in memory
+// and on disk. Recovery uses it to drop the unclosed transaction frame a
+// crash left at the log tail — after its effects are undone, the records
+// must go too, or appends by the reopened database would extend a frame
+// that never commits. The LSN counter is left untouched, so LSNs stay
+// monotonic across the cut.
+func (l *Log) TruncateFrom(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := len(l.records)
+	for idx > 0 && l.records[idx-1].LSN >= lsn {
+		idx--
+	}
+	if idx == len(l.records) {
+		return nil
+	}
+	if l.file != nil {
+		var off int64
+		for _, rec := range l.records[:idx] {
+			off += recordSize(rec)
+		}
+		if err := l.file.Truncate(off); err != nil {
+			return fmt.Errorf("wal: truncate from LSN %d: %w", lsn, err)
+		}
+		if _, err := l.file.Seek(off, io.SeekStart); err != nil {
+			return err
+		}
+	}
+	l.records = l.records[:idx]
+	return nil
+}
+
+// recordSize returns the exact number of bytes writeRecord produced for
+// rec; TruncateFrom sums it over the surviving prefix to find the file
+// offset to cut at.
+func recordSize(rec Record) int64 {
+	return int64(recordHeaderSize + recordFixedFrame + len(rec.Table) + len(rec.Payload))
 }
 
 // Sync flushes a file-backed log to stable storage.
@@ -357,6 +552,18 @@ func (l *Log) Close() error {
 //	crc32(frame)  uint32
 //	frameLen      uint32
 //	frame: lsn uint64 | kind uint8 | unixNano int64 | tableLen uint16 | table | payload
+//
+// The size constants below mirror this layout; writeRecord, readRecord and
+// recordSize (which TruncateFrom uses to compute byte offsets) must all
+// move together when the format changes — TestRecordSizeMatchesWriter
+// cross-checks them.
+const (
+	// recordHeaderSize is the crc32 + frameLen prefix.
+	recordHeaderSize = 8
+	// recordFixedFrame is the fixed portion of the frame: lsn (8) +
+	// kind (1) + unixNano (8) + tableLen (2).
+	recordFixedFrame = 19
+)
 
 func writeRecord(w io.Writer, rec Record) error {
 	frame := make([]byte, 0, 32+len(rec.Table)+len(rec.Payload))
@@ -411,7 +618,7 @@ func readRecord(r *bufio.Reader, remaining int64) (Record, int64, error) {
 		}
 		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	if len(frame) < 19 {
+	if len(frame) < recordFixedFrame {
 		return Record{}, 0, fmt.Errorf("%w: short frame", ErrCorrupt)
 	}
 	rec := Record{
@@ -420,10 +627,10 @@ func readRecord(r *bufio.Reader, remaining int64) (Record, int64, error) {
 		Time: time.Unix(0, int64(binary.LittleEndian.Uint64(frame[9:17]))).UTC(),
 	}
 	tableLen := int(binary.LittleEndian.Uint16(frame[17:19]))
-	if len(frame) < 19+tableLen {
+	if len(frame) < recordFixedFrame+tableLen {
 		return Record{}, 0, fmt.Errorf("%w: bad table length", ErrCorrupt)
 	}
-	rec.Table = string(frame[19 : 19+tableLen])
-	rec.Payload = append([]byte(nil), frame[19+tableLen:]...)
-	return rec, int64(8 + len(frame)), nil
+	rec.Table = string(frame[recordFixedFrame : recordFixedFrame+tableLen])
+	rec.Payload = append([]byte(nil), frame[recordFixedFrame+tableLen:]...)
+	return rec, int64(recordHeaderSize + len(frame)), nil
 }

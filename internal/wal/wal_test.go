@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -316,5 +317,203 @@ func TestConcurrentReadersAndAppenders(t *testing.T) {
 func TestOpenBadPath(t *testing.T) {
 	if _, err := Open(filepath.Join(t.TempDir(), "missing-dir", "wal.log")); err == nil {
 		t.Error("open in missing directory should fail")
+	}
+}
+
+// --- transaction framing ------------------------------------------------------
+
+func kinds(l *Log) []Kind {
+	var out []Kind
+	for _, rec := range l.Records() {
+		out = append(out, rec.Kind)
+	}
+	return out
+}
+
+func kindsEqual(got, want []Kind) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLazyFrameMaterializesOnFirstDataRecord(t *testing.T) {
+	l := NewMemory()
+	if err := l.BeginTx(true); err != nil {
+		t.Fatal(err)
+	}
+	if !l.InTx() {
+		t.Fatal("lazy frame not armed")
+	}
+	// A frame with no data records commits without touching the log.
+	if err := l.CommitTx(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("empty lazy frame wrote %d records, want 0", l.Len())
+	}
+
+	// With data records, the TxBegin appears exactly before the first one.
+	if err := l.BeginTx(true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindInsert, "t", []byte("r1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindInsert, "t", []byte("r2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.FrameRecords(); got != 2 {
+		t.Fatalf("FrameRecords = %d, want 2", got)
+	}
+	if err := l.CommitTx(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KindTxBegin, KindInsert, KindInsert, KindTxCommit}
+	if got := kinds(l); !kindsEqual(got, want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+}
+
+func TestEagerFrameAndAbort(t *testing.T) {
+	l := NewMemory()
+	if err := l.BeginTx(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.BeginTx(false); err == nil {
+		t.Fatal("nested BeginTx succeeded")
+	}
+	if _, err := l.Append(KindDelete, "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AbortTx(); err != nil {
+		t.Fatal(err)
+	}
+	if l.InTx() {
+		t.Fatal("frame still open after abort")
+	}
+	want := []Kind{KindTxBegin, KindDelete, KindTxAbort}
+	if got := kinds(l); !kindsEqual(got, want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	// Control records never count as frame data.
+	if err := l.BeginTx(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindTxSavepoint, "", []byte("s1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.FrameRecords(); got != 0 {
+		t.Fatalf("FrameRecords after control record = %d, want 0", got)
+	}
+	if err := l.CommitTx(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateFromDropsTailOnDiskAndMemory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.wal")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsns []uint64
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append(KindInsert, "table", []byte{byte(i), byte(i >> 8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.TruncateFrom(lsns[3]); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Len(); got != 3 {
+		t.Fatalf("Len after TruncateFrom = %d, want 3", got)
+	}
+	// The LSN counter keeps ascending past the cut.
+	lsn, err := l.Append(KindDelete, "table", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn <= lsns[4] {
+		t.Fatalf("post-truncation LSN %d did not ascend past %d", lsn, lsns[4])
+	}
+	l.Close()
+
+	// Reopen from disk: the truncated records must be gone, the survivors
+	// and the post-truncation append intact.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs := re.Records()
+	if len(recs) != 4 {
+		t.Fatalf("reopened log holds %d records, want 4", len(recs))
+	}
+	for i := 0; i < 3; i++ {
+		if recs[i].LSN != lsns[i] {
+			t.Fatalf("record %d LSN = %d, want %d", i, recs[i].LSN, lsns[i])
+		}
+	}
+	if recs[3].LSN != lsn || recs[3].Kind != KindDelete {
+		t.Fatalf("tail record = LSN %d %s, want LSN %d DELETE", recs[3].LSN, recs[3].Kind, lsn)
+	}
+	// Truncating from an LSN beyond the tail is a no-op.
+	if err := re.TruncateFrom(lsn + 100); err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 4 {
+		t.Fatal("no-op TruncateFrom changed the log")
+	}
+}
+
+func TestInjectedFailureDuringLazyBegin(t *testing.T) {
+	l := NewMemory()
+	if err := l.BeginTx(true); err != nil {
+		t.Fatal(err)
+	}
+	l.FailAfter(0)
+	// The injected TxBegin fails, so the data record must not be written
+	// either — the frame stays pending and the log stays empty.
+	if _, err := l.Append(KindInsert, "t", nil); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("Append = %v, want ErrInjectedFailure", err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("log holds %d records after injected failure, want 0", l.Len())
+	}
+	if err := l.AbortTx(); err != nil {
+		t.Fatal(err)
+	}
+	if l.InTx() {
+		t.Fatal("frame still armed after abort")
+	}
+}
+
+// TestRecordSizeMatchesWriter cross-checks recordSize — which TruncateFrom
+// trusts to compute file offsets — against the bytes writeRecord actually
+// produces, so a format change cannot silently desynchronize them.
+func TestRecordSizeMatchesWriter(t *testing.T) {
+	for _, rec := range []Record{
+		{LSN: 1, Kind: KindInsert},
+		{LSN: 2, Kind: KindUpdate, Table: "Gene", Payload: []byte("payload")},
+		{LSN: 3, Kind: KindTxBegin, Table: "", Payload: nil},
+		{LSN: 4, Kind: KindAnnotation, Table: "a-much-longer-table-name", Payload: make([]byte, 300)},
+	} {
+		var buf bytes.Buffer
+		if err := writeRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := recordSize(rec), int64(buf.Len()); got != want {
+			t.Errorf("recordSize(%s table=%q payload=%d) = %d, writeRecord wrote %d",
+				rec.Kind, rec.Table, len(rec.Payload), got, want)
+		}
 	}
 }

@@ -1,0 +1,297 @@
+package bdbms_test
+
+// The concurrent isolation harness of the transactions issue: N writer
+// goroutines run transfer-style read-modify-write transactions against a
+// fixed-total invariant while reader goroutines continuously sum the table.
+// If a reader ever observes a partially committed (or partially rolled
+// back) transaction, the sum moves and the harness fails. Run under -race
+// by CI, the harness also proves the locking protocol itself is data-race
+// free.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"bdbms"
+	"bdbms/internal/exec"
+)
+
+const (
+	txAccounts  = 8
+	txSeedMoney = 100
+	txTotal     = txAccounts * txSeedMoney
+)
+
+func setupBank(t *testing.T) *bdbms.DB {
+	t.Helper()
+	db := bdbms.Open()
+	db.MustExec(`CREATE TABLE Account (ID INT NOT NULL PRIMARY KEY, Balance INT)`)
+	for i := 1; i <= txAccounts; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO Account VALUES (%d, %d)`, i, txSeedMoney))
+	}
+	return db
+}
+
+// sumBalances streams the whole table through a cursor — deliberately the
+// same read path a concurrent reporting query would use.
+func sumBalances(db *bdbms.DB, user string) (int64, error) {
+	rows, err := db.Session(user).Query(context.Background(), `SELECT Balance FROM Account`)
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	var sum, bal int64
+	for rows.Next() {
+		if err := rows.Scan(&bal); err != nil {
+			return 0, err
+		}
+		sum += bal
+	}
+	return sum, rows.Err()
+}
+
+// transfer moves amount between two accounts in one transaction, reading
+// both balances first (the classic read-modify-write shape). When commit is
+// false the transaction is rolled back instead — either way the invariant
+// must hold.
+func transfer(db *bdbms.DB, user string, from, to int, amount int64, commit bool) error {
+	tx, err := db.Session(user).Begin(context.Background())
+	if err != nil {
+		return err
+	}
+	read := func(id int) (int64, error) {
+		res, err := tx.Exec(`SELECT Balance FROM Account WHERE ID = ?`, id)
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Rows) != 1 {
+			return 0, fmt.Errorf("account %d: %d rows", id, len(res.Rows))
+		}
+		return res.Rows[0].Values[0].Int(), nil
+	}
+	fail := func(err error) error {
+		_ = tx.Rollback()
+		return err
+	}
+	fromBal, err := read(from)
+	if err != nil {
+		return fail(err)
+	}
+	if fromBal < amount {
+		amount = fromBal // never overdraw: balances stay non-negative
+	}
+	toBal, err := read(to)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := tx.Exec(`UPDATE Account SET Balance = ? WHERE ID = ?`, fromBal-amount, from); err != nil {
+		return fail(err)
+	}
+	if _, err := tx.Exec(`UPDATE Account SET Balance = ? WHERE ID = ?`, toBal+amount, to); err != nil {
+		return fail(err)
+	}
+	if commit {
+		return tx.Commit()
+	}
+	if err := tx.Rollback(); err != nil && !errors.Is(err, exec.ErrTxDone) {
+		return err
+	}
+	return nil
+}
+
+// TestConcurrentTransferInvariant is the acceptance harness: 4 writers x 40
+// transfers (a quarter rolled back) race 4 readers; every observed sum must
+// equal the fixed total — a reader seeing a partially committed transfer
+// would see money created or destroyed — and the final balances must be
+// non-negative (serialized read-modify-write transactions cannot
+// double-spend).
+func TestConcurrentTransferInvariant(t *testing.T) {
+	db := setupBank(t)
+	const writers, readers, transfers = 4, 4, 40
+
+	stop := make(chan struct{})
+	var readersWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		r := r
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			user := fmt.Sprintf("reader%d", r)
+			for reads := 0; ; reads++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sum, err := sumBalances(db, user)
+				if err != nil {
+					t.Errorf("%s read %d: %v", user, reads, err)
+					return
+				}
+				if sum != txTotal {
+					t.Errorf("%s observed torn sum %d, want %d: a partially committed transaction leaked", user, sum, txTotal)
+					return
+				}
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			rng := rand.New(rand.NewSource(int64(w+1) * 7919))
+			user := fmt.Sprintf("writer%d", w)
+			for i := 0; i < transfers; i++ {
+				from := 1 + rng.Intn(txAccounts)
+				to := 1 + rng.Intn(txAccounts)
+				if to == from {
+					to = 1 + to%txAccounts
+				}
+				commit := rng.Intn(4) != 0 // a quarter of the transactions roll back
+				if err := transfer(db, user, from, to, int64(1+rng.Intn(40)), commit); err != nil {
+					t.Errorf("%s transfer %d: %v", user, i, err)
+					return
+				}
+			}
+		}()
+	}
+
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+
+	sum, err := sumBalances(db, "final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != txTotal {
+		t.Fatalf("final sum %d, want %d", sum, txTotal)
+	}
+	rows, err := db.Query(context.Background(), `SELECT ID, Balance FROM Account`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var id, bal int64
+		if err := rows.Scan(&id, &bal); err != nil {
+			t.Fatal(err)
+		}
+		if bal < 0 {
+			t.Errorf("account %d overdrawn to %d: a lost update slipped through", id, bal)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseRollsBackLeakedTransaction: a transaction leaked without
+// Commit/Rollback holds the database's exclusive lock; Close must roll it
+// back and proceed instead of deadlocking in the checkpoint — guarded by a
+// timeout.
+func TestCloseRollsBackLeakedTransaction(t *testing.T) {
+	db := setupBank(t)
+	tx, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE Account SET Balance = 0 WHERE ID = 1`); err != nil {
+		t.Fatal(err)
+	}
+	// Leak tx: no Commit, no Rollback, background context (no watcher out).
+	done := make(chan error, 1)
+	go func() { done <- db.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked on the leaked transaction's lock")
+	}
+	if err := tx.Commit(); !errors.Is(err, exec.ErrTxDone) {
+		t.Fatalf("Commit after Close = %v, want ErrTxDone", err)
+	}
+	// The leaked write was rolled back, not committed by Close.
+	sum, err := sumBalances(db, "post-close")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != txTotal {
+		t.Fatalf("sum after Close = %d, want %d (leaked tx rolled back)", sum, txTotal)
+	}
+}
+
+// TestTxDurableAcrossReopen proves COMMIT's durability promise end to end
+// through the public API: committed transactions survive a crash (no
+// checkpoint), the uncommitted one is rolled back on reopen.
+func TestTxDurableAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	dataFile := dir + "/bank.db"
+
+	db, err := bdbms.OpenWith(bdbms.Options{DataFile: dataFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE Account (ID INT NOT NULL PRIMARY KEY, Balance INT)`)
+	db.MustExec(`INSERT INTO Account VALUES (1, 100), (2, 100)`)
+
+	tx, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE Account SET Balance = 70 WHERE ID = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE Account SET Balance = 130 WHERE ID = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second transaction is left open at the "crash".
+	open, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := open.Exec(`UPDATE Account SET Balance = 0 WHERE ID = 1`); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Commit, no Rollback, no Close — reopen from the files alone.
+	// (The open transaction holds the engine lock, so Close would deadlock;
+	// a real crash wouldn't call it either.)
+	re, err := bdbms.OpenWith(bdbms.Options{DataFile: dataFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rows, err := re.Query(context.Background(), `SELECT ID, Balance FROM Account`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	got := map[int64]int64{}
+	for rows.Next() {
+		var id, bal int64
+		if err := rows.Scan(&id, &bal); err != nil {
+			t.Fatal(err)
+		}
+		got[id] = bal
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 70 || got[2] != 130 {
+		t.Fatalf("reopened balances %v, want map[1:70 2:130] (committed tx durable, open tx rolled back)", got)
+	}
+}
