@@ -37,15 +37,25 @@
 //	}
 //	if err := rows.Err(); err != nil { ... }
 //
-// A SELECT of streamable shape (no DISTINCT, grouping, ORDER BY or set
-// operation) is served lazily from the planned iterator pipeline
-// (internal/exec): the WHERE clause is decomposed into conjuncts,
-// single-table predicates are pushed below the join into the table scans,
-// predicates on indexed columns probe the B+-tree instead of scanning the
-// heap, and equality conjuncts between tables drive hash equi-joins. The
-// first row of an indexed point query is returned without materializing
-// anything else, annotations are attached only to rows actually fetched,
-// and canceling the Query context aborts the scan mid-flight.
+// Every SELECT is served from the planned iterator pipeline (internal/exec):
+// the WHERE clause is decomposed into conjuncts, single-table predicates are
+// pushed below the join into the table scans, predicates on indexed columns
+// probe the B+-tree instead of scanning the heap, and equality conjuncts
+// between tables drive hash equi-joins. The first row of an indexed point
+// query is returned without materializing anything else, annotations are
+// attached only to rows actually fetched, and canceling the Query context
+// aborts the scan mid-flight.
+//
+// Blocking query shapes stream too, with bounded memory instead of full
+// materialization: GROUP BY and aggregates run through hash aggregation
+// with constant-size accumulators, DISTINCT and UNION through hash sets,
+// and ORDER BY through an external merge sort — these operators spill to a
+// temporary file when their working set exceeds Options.SpillBudget.
+// INTERSECT and EXCEPT stream their left operand but hold one in-memory
+// entry per distinct right-operand row (not budget-bounded). ORDER BY
+// combined with LIMIT k is executed by a Top-N heap whose resident result
+// state is O(k) regardless of table size, and ORDER BY may name columns
+// that are not in the SELECT list.
 //
 // Prepared statements are parsed once and — for streamable SELECTs —
 // planned once, with the cached plan revalidated against the schema
@@ -198,6 +208,13 @@ type Options struct {
 	CellLevelAnnotations bool
 	// EnforceAuth enables GRANT/REVOKE privilege checks on every statement.
 	EnforceAuth bool
+	// SpillBudget bounds, in bytes, the resident working set of each
+	// blocking query operator — grouped aggregation, DISTINCT, UNION and
+	// external sort — before it spills to a temporary file and finishes
+	// with a streaming merge. Zero selects the default (8 MiB per
+	// operator). Small budgets trade speed for memory; results are
+	// identical either way.
+	SpillBudget int
 }
 
 // DB is an open bdbms database.
@@ -225,6 +242,7 @@ func OpenWith(opts Options) (*DB, error) {
 	coreOpts := core.Options{
 		PoolSize:    opts.PoolSize,
 		EnforceAuth: opts.EnforceAuth,
+		SpillBudget: opts.SpillBudget,
 	}
 	var pgr pager.Pager
 	var wlog *wal.Log

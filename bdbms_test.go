@@ -346,3 +346,71 @@ func TestRenderRuneTruncation(t *testing.T) {
 		t.Errorf("TruncateCell(short) = %q", got)
 	}
 }
+
+// Example is the runnable quickstart from README.md: go test executes it and
+// verifies the printed output, so the documented code cannot rot.
+func Example() {
+	db := Open()
+	defer db.Close()
+
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GName TEXT, Score INT)`)
+	ins, _ := db.Prepare(`INSERT INTO Gene VALUES (?, ?, ?)`)
+	ins.Exec("JW0080", "mraW", 72)
+	ins.Exec("JW0055", "yabP", 41)
+	ins.Exec("JW0082", "ftsI", 90)
+
+	// Stream the two best-scoring genes: ORDER BY + LIMIT runs through a
+	// Top-N heap, and Score does not need to be in the SELECT list.
+	rows, _ := db.Query(context.Background(), `SELECT GID, GName FROM Gene ORDER BY Score DESC LIMIT 2`)
+	defer rows.Close()
+	for rows.Next() {
+		var gid, name string
+		rows.Scan(&gid, &name)
+		fmt.Println(gid, name)
+	}
+
+	// Transactions are serializable and atomic; ROLLBACK reverts everything.
+	tx, _ := db.Begin(context.Background())
+	tx.Exec(`UPDATE Gene SET Score = 0 WHERE GID = 'JW0082'`)
+	tx.Rollback()
+	res := db.MustExec(`SELECT Score FROM Gene WHERE GID = 'JW0082'`)
+	fmt.Println("score after rollback:", res.Rows[0].Values[0].String())
+
+	// Output:
+	// JW0082 ftsI
+	// JW0080 mraW
+	// score after rollback: 90
+}
+
+// Example_annotationPropagation shows the paper's core feature: annotations
+// attach to query-defined regions and propagate through SELECT, grouping and
+// set operations to the result cells they cover.
+func Example_annotationPropagation() {
+	db := Open()
+	defer db.Close()
+
+	db.MustExec(`CREATE TABLE Gene (GID TEXT NOT NULL PRIMARY KEY, GSequence SEQUENCE)`)
+	db.MustExec(`CREATE ANNOTATION TABLE Curation ON Gene`)
+	db.MustExec(`INSERT INTO Gene VALUES ('JW0080', 'ATGATGG'), ('JW0055', 'ATGAAAG')`)
+	db.MustExec(`ADD ANNOTATION TO Gene.Curation
+		VALUE '<Annotation>verified against RegulonDB</Annotation>'
+		ON (SELECT GSequence FROM Gene WHERE GID = 'JW0080')`)
+
+	res := db.MustExec(`SELECT GID, GSequence FROM Gene ANNOTATION(Curation) ORDER BY GID DESC`)
+	for _, row := range res.Rows {
+		fmt.Print(row.Values[0].String())
+		for _, ann := range row.AnnotationsFlat() {
+			fmt.Print(" <- ", ann.PlainBody())
+		}
+		fmt.Println()
+	}
+
+	// AWHERE keeps only rows with a matching annotation.
+	curated := db.MustExec(`SELECT GID FROM Gene ANNOTATION(Curation) AWHERE ANN.VALUE LIKE '%verified%'`)
+	fmt.Println("curated rows:", len(curated.Rows))
+
+	// Output:
+	// JW0080 <- verified against RegulonDB
+	// JW0055
+	// curated rows: 1
+}

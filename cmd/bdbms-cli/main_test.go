@@ -50,6 +50,23 @@ func TestScriptModeGolden(t *testing.T) {
 	checkGolden(t, filepath.Join("testdata", "basic.golden"), stdout)
 }
 
+// TestAnalyticsScriptGolden locks the streamed output of the blocking query
+// shapes (GROUP BY + HAVING, DISTINCT, Top-N, set operations) — all served
+// by the iterator pipeline — including ORDER BY on a column that is not in
+// the SELECT list, which used to be rejected with "ORDER BY supports output
+// columns only" and is now supported.
+func TestAnalyticsScriptGolden(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		[]string{"-quiet", "-script", "testdata/analytics.sql"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("unexpected stderr: %s", stderr)
+	}
+	checkGolden(t, filepath.Join("testdata", "analytics.golden"), stdout)
+}
+
 // TestDataFileAcrossInvocations is the two-invocation durability case: the
 // first invocation writes a database with -data, the second reopens the file
 // and queries (and extends) the recovered state.

@@ -1,0 +1,56 @@
+package bdbms
+
+// docs/SQL.md is executable documentation: every ```sql block is run, top
+// to bottom, against one fresh in-memory database as the admin user, and
+// every statement of a ```sql-error block must be rejected. A failure names
+// the file, line and statement, so a stale example breaks the build with a
+// pointer to the exact paragraph to fix.
+
+import (
+	"strings"
+	"testing"
+
+	"bdbms/internal/doccheck"
+	"bdbms/internal/sqlparse"
+)
+
+func TestDocsSQLExecutes(t *testing.T) {
+	snippets, err := doccheck.Snippets("docs/SQL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open()
+	defer db.Close()
+	s := db.Session("admin")
+	ranSQL, ranErr := 0, 0
+	for _, sn := range snippets {
+		switch sn.Lang {
+		case "sql":
+			for _, stmt := range sqlparse.SplitStatements(sn.Body) {
+				if strings.TrimSpace(stmt) == "" {
+					continue
+				}
+				if _, err := s.Exec(stmt); err != nil {
+					t.Fatalf("%s:%d: documented statement failed: %q: %v", sn.File, sn.Line, stmt, err)
+				}
+				ranSQL++
+			}
+		case "sql-error":
+			for _, stmt := range sqlparse.SplitStatements(sn.Body) {
+				if strings.TrimSpace(stmt) == "" {
+					continue
+				}
+				if _, err := s.Exec(stmt); err == nil {
+					t.Fatalf("%s:%d: statement documented as rejected succeeded: %q", sn.File, sn.Line, stmt)
+				}
+				ranErr++
+			}
+		}
+	}
+	if ranSQL < 30 {
+		t.Errorf("only %d documented statements executed; docs/SQL.md lost its examples", ranSQL)
+	}
+	if ranErr == 0 {
+		t.Error("no rejection examples executed")
+	}
+}

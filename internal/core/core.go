@@ -33,6 +33,11 @@ type Options struct {
 	AnnotationStore annotation.Store
 	// EnforceAuth enables GRANT/REVOKE checks on sessions by default.
 	EnforceAuth bool
+	// SpillBudget bounds, in bytes, the resident working set of each
+	// blocking query operator (grouped aggregation, DISTINCT, UNION,
+	// external sort) before it spills to a temp file; 0 uses the executor
+	// default.
+	SpillBudget int
 	// WAL is the write-ahead log; nil means a fresh in-memory log.
 	WAL *wal.Log
 	// CatalogPath is where checkpoints snapshot the catalog. Together with
@@ -209,6 +214,7 @@ func (db *DB) Session(user string) *exec.Session {
 		Auth:        db.auth,
 		User:        user,
 		EnforceAuth: db.opts.EnforceAuth,
+		SpillBudget: db.opts.SpillBudget,
 		Mu:          &db.stmtMu,
 		OnTxBegin:   db.trackTx,
 		OnTxEnd:     db.untrackTx,

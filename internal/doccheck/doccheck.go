@@ -1,0 +1,132 @@
+// Package doccheck keeps the documentation honest: it extracts fenced code
+// blocks and relative links from the repository's markdown files so tests
+// can execute the documented SQL, compile-check the documented Go, and fail
+// the build on a dead link. The docs job in CI additionally extracts the Go
+// snippets to disk (see the extract subcommand) and runs gofmt and go vet
+// over them.
+package doccheck
+
+import (
+	"bufio"
+	"fmt"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// Snippet is one fenced code block of a markdown file.
+type Snippet struct {
+	// File is the markdown file the snippet came from.
+	File string
+	// Line is the 1-based line of the opening fence.
+	Line int
+	// Lang is the fence info string (e.g. "go", "sql", "sql-error").
+	Lang string
+	// Body is the block content without the fences.
+	Body string
+}
+
+// Snippets returns every fenced code block of the markdown file, in order.
+func Snippets(path string) ([]Snippet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Snippet
+	var cur *Snippet
+	var body strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.HasPrefix(text, "```") {
+			if cur == nil {
+				cur = &Snippet{File: path, Line: line, Lang: strings.TrimSpace(strings.TrimPrefix(text, "```"))}
+				body.Reset()
+			} else {
+				cur.Body = body.String()
+				out = append(out, *cur)
+				cur = nil
+			}
+			continue
+		}
+		if cur != nil {
+			body.WriteString(text)
+			body.WriteByte('\n')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("%s:%d: unclosed code fence", path, cur.Line)
+	}
+	return out, nil
+}
+
+// Link is one markdown link target.
+type Link struct {
+	File   string
+	Line   int
+	Target string
+}
+
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// RelativeLinks returns the file-relative link targets of a markdown file
+// (external URLs and pure in-page anchors are skipped, and a target's own
+// anchor suffix is stripped).
+func RelativeLinks(path string) ([]Link, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Link
+	inFence := false
+	for i, text := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(text, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			out = append(out, Link{File: path, Line: i + 1, Target: target})
+		}
+	}
+	return out, nil
+}
+
+// CheckGoSnippet parses src as a complete Go source file and verifies it is
+// gofmt-clean; the returned error carries the parse or formatting problem.
+func CheckGoSnippet(src string) error {
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments); err != nil {
+		return err
+	}
+	formatted, err := format.Source([]byte(src))
+	if err != nil {
+		return err
+	}
+	if string(formatted) != src {
+		return fmt.Errorf("snippet is not gofmt-clean")
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot locates the repository root from this package's directory.
+const repoRoot = "../.."
+
+// docFiles returns README.md plus every markdown file under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{filepath.Join(repoRoot, "README.md")}
+	matches, err := filepath.Glob(filepath.Join(repoRoot, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, matches...)
+}
+
+// TestDocsLinks fails on any relative markdown link pointing at a missing
+// file.
+func TestDocsLinks(t *testing.T) {
+	for _, file := range docFiles(t) {
+		links, err := RelativeLinks(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, l := range links {
+			target := filepath.Join(filepath.Dir(file), l.Target)
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s:%d: broken link %q (%v)", l.File, l.Line, l.Target, err)
+			}
+		}
+	}
+}
+
+// TestDocsGoSnippets requires every fenced Go block in the docs to parse as
+// a complete source file and be gofmt-clean. (CI additionally extracts the
+// snippets and runs go vet on them inside the module.)
+func TestDocsGoSnippets(t *testing.T) {
+	total := 0
+	for _, file := range docFiles(t) {
+		snippets, err := Snippets(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, s := range snippets {
+			if s.Lang != "go" {
+				continue
+			}
+			total++
+			if err := CheckGoSnippet(s.Body); err != nil {
+				t.Errorf("%s:%d: %v", s.File, s.Line, err)
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("no Go snippets found in the docs; extraction is broken")
+	}
+}
+
+// TestDocsSQLBlocksPresent guards the executable-SQL contract: docs/SQL.md
+// must contain both runnable and must-fail SQL blocks for docs_sql_test.go
+// (repository root) to execute.
+func TestDocsSQLBlocksPresent(t *testing.T) {
+	snippets, err := Snippets(filepath.Join(repoRoot, "docs", "SQL.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, s := range snippets {
+		counts[s.Lang]++
+	}
+	if counts["sql"] < 5 {
+		t.Errorf("docs/SQL.md has %d sql blocks, want a full reference", counts["sql"])
+	}
+	if counts["sql-error"] == 0 {
+		t.Error("docs/SQL.md has no sql-error blocks; the rejection examples are gone")
+	}
+}

@@ -1,0 +1,61 @@
+// Command extract writes every fenced Go snippet of the given markdown
+// files into its own package directory (out/snippetNNN/main.go), so the CI
+// docs job can run gofmt and go vet over the documented code inside the
+// module. The output directory is recreated from scratch on every run.
+//
+// Usage: go run ./internal/doccheck/extract -out docs-snippets-tmp README.md docs/*.md
+//
+// The output directory must not start with "." or "_" — the Go tool ignores
+// such directories, and the whole point is vetting the snippets as packages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bdbms/internal/doccheck"
+)
+
+func main() {
+	out := flag.String("out", "docs-snippets-tmp", "output directory (recreated)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "extract: no markdown files given")
+		os.Exit(2)
+	}
+	if err := os.RemoveAll(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "extract:", err)
+		os.Exit(1)
+	}
+	n := 0
+	for _, file := range flag.Args() {
+		snippets, err := doccheck.Snippets(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "extract:", err)
+			os.Exit(1)
+		}
+		for _, s := range snippets {
+			if s.Lang != "go" {
+				continue
+			}
+			dir := filepath.Join(*out, fmt.Sprintf("snippet%03d", n))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "extract:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(dir, "main.go")
+			if err := os.WriteFile(path, []byte(s.Body), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "extract:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s <- %s:%d\n", path, s.File, s.Line)
+			n++
+		}
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "extract: no Go snippets found")
+		os.Exit(1)
+	}
+}

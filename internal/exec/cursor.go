@@ -16,19 +16,25 @@ import (
 
 // This file is the cursor layer of the executor: the Go-database-idiom
 // surface (Query / Prepare / Rows / Stmt) over the streaming SELECT
-// pipeline. A SELECT whose shape permits it (no DISTINCT, grouping,
-// aggregates, ORDER BY or set operations) streams: each Rows.Next pulls one
-// row through the scan/join iterators, decorates it with annotations and
-// outdated marks, applies AWHERE / FILTER and projects it — the full result
-// set is never materialized, and the first row of an indexed point query
-// costs a handful of allocations regardless of table size. Everything else
-// (grouped, ordered, compound and non-SELECT statements) executes eagerly
-// and is served from a materialized cursor with the same interface.
+// pipeline. Every SELECT shape executes through the iterator pipeline:
 //
-// Prepared statements parse once and, for streamable SELECTs, plan once: the
-// physical plan is cached on the Stmt and revalidated against the storage
-// engine's schema version, so re-executions skip both the parser and the
-// planner and only re-bind the `?` parameters.
+//	scan/join (iterator.go) -> decorate + AWHERE -> [group/HAVING/AHAVING]
+//	  -> FILTER -> project -> [DISTINCT] -> [set op] -> [sort | top-N]
+//
+// Fully per-row shapes (no grouping, duplicate elimination, ordering or set
+// operation) stream one row per Rows.Next: the full result set is never
+// materialized and the first row of an indexed point query costs a handful
+// of allocations regardless of table size. Blocking operators — grouped
+// aggregation (group.go), DISTINCT and set operations (setop.go), and
+// ordering (sort.go) — consume their input on the first Next but hold only
+// budget-bounded state: they spill to temp files (spill.go) instead of
+// materializing, and ORDER BY + LIMIT runs through a Top-N heap whose
+// resident cost is O(LIMIT). There is no eager fallback path.
+//
+// Prepared statements parse once and plan once: the physical plan is cached
+// on the Stmt and revalidated against the storage engine's schema version,
+// so re-executions skip both the parser and the planner and only re-bind the
+// `?` parameters.
 
 // Query runs one A-SQL statement and returns a cursor over its result. args
 // bind the statement's `?` placeholders (left to right) and must match their
@@ -163,27 +169,14 @@ func (s *Session) planFor(sel *sqlparse.SelectStmt) (*stmtPlan, error) {
 	}, nil
 }
 
-// streamableSelect reports whether the SELECT can be served row-at-a-time:
-// blocking operators (duplicate elimination, grouping and aggregation,
-// ordering, set operations) need the full input before the first output row
-// and fall back to the materialized path. AWHERE, FILTER and LIMIT are
-// per-row and stream fine.
-func streamableSelect(st *sqlparse.SelectStmt) bool {
-	return !st.Distinct &&
-		len(st.GroupBy) == 0 &&
-		st.Having == nil &&
-		st.AHaving == nil &&
-		len(st.OrderBy) == 0 &&
-		st.SetOp == sqlparse.SetNone &&
-		!hasAggregate(st.Items)
-}
-
 // queryStmt routes a bound statement: transaction control goes to the
 // session's transaction state; statements inside an open transaction run
 // under it (no extra locking — the transaction holds the exclusive lock);
-// bare streamable SELECTs stream under the shared lock; everything else
-// executes eagerly inside an implicit auto-commit transaction and is
-// wrapped in a materialized cursor.
+// bare SELECTs stream under the shared lock (every shape — blocking
+// operators spill rather than materialize); everything else executes inside
+// an implicit auto-commit transaction and is wrapped in a materialized
+// cursor. A NoOptimize session routes SELECTs through the naive reference
+// executor instead.
 func (s *Session) queryStmt(ctx context.Context, stmt sqlparse.Statement, params value.Row, prep *Stmt) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -198,7 +191,7 @@ func (s *Session) queryStmt(ctx context.Context, stmt sqlparse.Statement, params
 	if tx := s.openTx(); tx != nil {
 		return tx.queryStmt(ctx, stmt, params, prep)
 	}
-	if sel, ok := stmt.(*sqlparse.SelectStmt); ok && !s.NoOptimize && streamableSelect(sel) {
+	if sel, ok := stmt.(*sqlparse.SelectStmt); ok && !s.NoOptimize {
 		return s.queryStream(ctx, sel, params, prep)
 	}
 	res, err := s.execAutoCommit(ctx, stmt, params)
@@ -233,9 +226,55 @@ func (s *Session) queryStream(ctx context.Context, sel *sqlparse.SelectStmt, par
 }
 
 func (s *Session) buildStream(ctx context.Context, sel *sqlparse.SelectStmt, params value.Row, prep *Stmt) (*Rows, error) {
+	// The top level's LIMIT is enforced lazily by Rows.limit (so an
+	// unordered LIMIT stops pulling early); nested operands apply theirs
+	// inside buildSelectIter.
+	ait, cols, closers, err := s.buildSelectIter(ctx, sel, params, prep, false)
+	if err != nil {
+		for _, c := range closers {
+			c()
+		}
+		return nil, err
+	}
+	return &Rows{
+		cols:    cols,
+		ait:     ait,
+		limit:   sel.Limit,
+		closers: closers,
+	}, nil
+}
+
+// limitIter caps a nested operand's output at n rows, stopping its pulls
+// once the cap is reached (consistent with the cursor's lazy top-level
+// LIMIT).
+type limitIter struct {
+	in aRowIter
+	n  int
+}
+
+func (it *limitIter) Next() (ARow, bool, error) {
+	if it.n <= 0 {
+		return ARow{}, false, nil
+	}
+	row, ok, err := it.in.Next()
+	if err != nil || !ok {
+		return ARow{}, false, err
+	}
+	it.n--
+	return row, true, nil
+}
+
+// buildSelectIter assembles the full lazy pipeline of one SELECT (including
+// the right operand of a set operation, recursively). It returns the output
+// iterator, the output column names and the cleanup hooks of any spill files
+// the blocking operators may create. applyLimit is set for nested operands,
+// whose LIMIT binds to their own level (a trailing LIMIT in a compound
+// statement parses into the rightmost SELECT); the top level leaves it to
+// the cursor.
+func (s *Session) buildSelectIter(ctx context.Context, sel *sqlparse.SelectStmt, params value.Row, prep *Stmt, applyLimit bool) (aRowIter, []string, []func(), error) {
 	for _, ref := range sel.From {
 		if err := s.require(ref.Table, authz.PrivSelect); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 	var plan *stmtPlan
@@ -246,37 +285,110 @@ func (s *Session) buildStream(ctx context.Context, sel *sqlparse.SelectStmt, par
 		plan, err = s.planFor(sel)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
+	var closers []func()
 	it, err := s.buildPipeline(ctx, plan.phys, plan.bindings, params)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	it = &decorateIter{
 		in:     it,
 		dec:    s.newDecorator(plan.sources),
 		awhere: sel.AWhere,
-		filter: sel.Filter,
 		params: params,
 	}
+
+	// Grouped aggregation, HAVING and AHAVING — the same clause order the
+	// reference executor applies.
+	if len(sel.GroupBy) > 0 || hasAggregate(sel.Items) || sel.Having != nil {
+		sf := &spillFile{}
+		closers = append(closers, sf.Close)
+		g, err := newGroupAggIter(s, it, sel, plan.bindings, sf)
+		if err != nil {
+			return nil, nil, closers, err
+		}
+		it = g
+		if sel.Having != nil {
+			it = &havingIter{s: s, in: it, expr: sel.Having, bindings: plan.bindings, params: params}
+		}
+	}
+	if sel.AHaving != nil {
+		it = &annMatchIter{in: it, expr: sel.AHaving, params: params}
+	}
+	if sel.Filter != nil {
+		it = &annFilterIter{in: it, expr: sel.Filter, params: params}
+	}
+
+	// Projection, duplicate elimination, set operation and ordering. The
+	// order plan is resolved eagerly so unknown-column errors surface from
+	// Query itself, like the reference executor's.
 	proj := newProjector(s, plan.items, plan.bindings, params)
-	return &Rows{
-		cols:  proj.cols,
-		it:    it,
-		proj:  proj,
-		limit: sel.Limit,
-	}, nil
+	outputOnly := sel.Distinct || sel.SetOp != sqlparse.SetNone
+	var orderKeys []orderKey
+	if len(sel.OrderBy) > 0 {
+		orderKeys, err = buildOrderPlan(sel.OrderBy, proj.cols, plan.bindings, outputOnly)
+		if err != nil {
+			return nil, nil, closers, err
+		}
+	}
+
+	sortStage := func(in keyedIter) aRowIter {
+		if sel.Limit >= 0 {
+			return newTopNIter(in, orderKeys, sel.Limit)
+		}
+		sf := &spillFile{}
+		closers = append(closers, sf.Close)
+		return newSortIter(in, orderKeys, s.spillBudget(), sf)
+	}
+
+	var a aRowIter
+	if len(orderKeys) > 0 && !outputOnly {
+		// Plain ordered SELECT: sort keys may reference non-projected
+		// columns, extracted from the pre-projection row.
+		a = sortStage(&projectKeyIter{in: it, proj: proj, keys: orderKeys})
+	} else {
+		a = &projectIter{in: it, proj: proj}
+		if sel.Distinct {
+			sf := &spillFile{}
+			closers = append(closers, sf.Close)
+			a = newDistinctIter(a, s.spillBudget(), sf)
+		}
+		if sel.SetOp != sqlparse.SetNone {
+			right, _, rightClosers, err := s.buildSelectIter(ctx, sel.SetRight, params, nil, true)
+			closers = append(closers, rightClosers...)
+			if err != nil {
+				return nil, nil, closers, err
+			}
+			switch sel.SetOp {
+			case sqlparse.SetUnion:
+				sf := &spillFile{}
+				closers = append(closers, sf.Close)
+				a = newDistinctIter(newConcatIter(a, right), s.spillBudget(), sf)
+			case sqlparse.SetIntersect:
+				a = newSetOpIter(true, a, right)
+			case sqlparse.SetExcept:
+				a = newSetOpIter(false, a, right)
+			}
+		}
+		if len(orderKeys) > 0 {
+			a = sortStage(&outColKeyIter{in: a, keys: orderKeys})
+		}
+	}
+	if applyLimit && sel.Limit >= 0 {
+		a = &limitIter{in: a, n: sel.Limit}
+	}
+	return a, proj.cols, closers, nil
 }
 
 // decorateIter attaches annotations and outdated marks to each surviving
-// row, then applies the per-row annotation operators: AWHERE keeps a row
-// only when one of its annotations satisfies the condition, FILTER drops
-// annotations (not rows) failing the condition.
+// row, then applies AWHERE: a row survives only when one of its annotations
+// satisfies the condition. (FILTER runs later, above grouping, so AHAVING
+// observes unfiltered annotation sets — the reference clause order.)
 type decorateIter struct {
 	in     rowIter
 	dec    *decorator
 	awhere sqlparse.Expr
-	filter sqlparse.Expr
 	params value.Row
 }
 
@@ -294,11 +406,6 @@ func (it *decorateIter) Next() (execRow, bool, error) {
 			}
 			if !match {
 				continue
-			}
-		}
-		if it.filter != nil {
-			if err := filterRowAnns(it.filter, &r, it.params); err != nil {
-				return execRow{}, false, err
 			}
 		}
 		return r, true, nil
@@ -382,17 +489,23 @@ func argValue(a any) (value.Value, error) {
 
 // Rows is a cursor over a statement's result, modeled on database/sql: call
 // Next until it returns false, read the current row with Scan / Row /
-// Annotations, then check Err and Close. A streaming Rows holds the
-// session's shared lock until closed or exhausted; a materialized Rows
-// (DML, grouped or ordered SELECTs) holds nothing.
+// Annotations, then check Err and Close. A streaming Rows (every SELECT)
+// holds the session's shared lock until closed or exhausted; a materialized
+// Rows (DML/DDL results) holds nothing. Blocking operators inside the
+// pipeline (grouping, DISTINCT, set operations, ordering) consume their
+// input on the first Next; their spill files are released when the cursor
+// finishes.
 type Rows struct {
 	cols []string
 
-	// Streaming state (it != nil).
-	it   rowIter
-	proj *projector
+	// Streaming state (ait != nil): the assembled SELECT pipeline, already
+	// projected.
+	ait aRowIter
+	// closers release the spill files of blocking operators; run once by
+	// finish (end of stream, error, or Close).
+	closers []func()
 
-	// Materialized state (it == nil).
+	// Materialized state (ait == nil).
 	rows []ARow
 	pos  int
 
@@ -461,8 +574,8 @@ func (r *Rows) Next() bool {
 		r.finish()
 		return false
 	}
-	if r.it != nil {
-		row, ok, err := r.it.Next()
+	if r.ait != nil {
+		row, ok, err := r.ait.Next()
 		if err != nil {
 			r.err = err
 			r.finish()
@@ -472,13 +585,7 @@ func (r *Rows) Next() bool {
 			r.finish()
 			return false
 		}
-		ar, err := r.proj.row(row)
-		if err != nil {
-			r.err = err
-			r.finish()
-			return false
-		}
-		r.cur = ar
+		r.cur = row
 	} else {
 		if r.pos >= len(r.rows) {
 			r.finish()
@@ -516,6 +623,10 @@ func (r *Rows) Close() error {
 func (r *Rows) finish() {
 	r.valid = false
 	r.ended = true
+	for _, c := range r.closers {
+		c()
+	}
+	r.closers = nil
 	if r.unlock != nil {
 		r.unlock()
 		r.unlock = nil
@@ -630,7 +741,7 @@ func nativeValue(v value.Value) any {
 // Session.Exec and Stmt.Exec.
 func (r *Rows) materialize() (*Result, error) {
 	res := &Result{Columns: r.cols}
-	if r.it == nil && r.pos == 0 {
+	if r.ait == nil && r.pos == 0 {
 		res.Rows = r.rows
 	} else {
 		for r.Next() {

@@ -34,9 +34,13 @@ func TestQueryStreamsLazily(t *testing.T) {
 	if !rows.Next() {
 		t.Fatalf("no first row: %v", rows.Err())
 	}
-	dec, ok := rows.it.(*decorateIter)
+	proj, ok := rows.ait.(*projectIter)
 	if !ok {
-		t.Fatalf("pipeline root is %T, want *decorateIter", rows.it)
+		t.Fatalf("pipeline root is %T, want *projectIter", rows.ait)
+	}
+	dec, ok := proj.in.(*decorateIter)
+	if !ok {
+		t.Fatalf("pipeline stage is %T, want *decorateIter", proj.in)
 	}
 	scan, ok := dec.in.(*scanIter)
 	if !ok {

@@ -8,7 +8,9 @@
 //
 // SELECT evaluation is split between a planner and a streaming executor:
 //
-//	parse -> plan (planner.go) -> iterate (iterator.go) -> decorate -> group/project (select.go)
+//	parse -> plan (planner.go) -> iterate (iterator.go) -> decorate
+//	  -> group/aggregate (group.go) -> project (select.go)
+//	  -> distinct/set ops (setop.go) -> sort / top-N (sort.go)
 //
 // The planner decomposes WHERE into AND-conjuncts and places each one as
 // low in the pipeline as possible: single-table conjuncts run inside the
@@ -24,6 +26,10 @@
 // (table, RowID) origins while streaming; annotations and dependency
 // outdated marks are decorated onto the survivors afterwards, which makes
 // annotation propagation pay-per-result-row instead of pay-per-scanned-row.
+// Blocking operators — grouped aggregation, DISTINCT, set operations,
+// ORDER BY — hold only budget-bounded resident state (Session.SpillBudget)
+// and spill to temp files past it (spill.go); ORDER BY + LIMIT runs as a
+// Top-N heap with O(LIMIT) result memory.
 //
 // Session.NoOptimize bypasses all of this and runs the reference
 // materialize-then-filter implementation; the plan-equivalence tests assert
@@ -107,6 +113,13 @@ type Session struct {
 	// the semantic reference: the plan-equivalence tests and the baseline
 	// benchmarks run with NoOptimize set.
 	NoOptimize bool
+	// SpillBudget bounds, in bytes, the resident working set of each
+	// blocking operator in the streaming pipeline (grouped aggregation,
+	// DISTINCT, UNION, external sort): past the budget the operator spills
+	// its state to a temp file and finishes with a streaming merge. Zero
+	// selects the default (8 MiB per operator). INTERSECT/EXCEPT hold one
+	// in-memory entry per distinct right-operand row regardless of budget.
+	SpillBudget int
 	// Mu, when non-nil, is the engine-wide statement lock shared by every
 	// session of one database: read statements (SELECT, SHOW PENDING) take it
 	// shared, mutating statements take it exclusive. A streaming cursor holds

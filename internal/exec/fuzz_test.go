@@ -267,20 +267,23 @@ func (g *queryGen) genQuery(fc *fuzzCase) (string, string) {
 			}
 		}
 		proj := "*"
+		var allCols []string
+		for _, c := range ft.cols {
+			allCols = append(allCols, c.name)
+		}
 		if len(cols) > 0 && g.r.Intn(4) > 0 {
 			proj = strings.Join(cols, ", ")
 		} else {
-			cols = nil
-			for _, c := range ft.cols {
-				cols = append(cols, c.name)
-			}
+			cols = allCols
 		}
 		distinct := ""
 		if g.r.Intn(5) == 0 {
 			distinct = "DISTINCT "
 		}
 		wi, wp := g.boolExpr(ft, false, 2)
-		tail, _ := g.orderLimit(cols)
+		// Ordering may reference non-projected columns (rejected with
+		// DISTINCT — the error-equivalence path covers those draws).
+		tail, _ := g.orderLimit(cols, allCols)
 		from := g.fromClause(ft)
 		inline := fmt.Sprintf("SELECT %s%s FROM %s WHERE %s%s", distinct, proj, from, wi, tail)
 		prep := fmt.Sprintf("SELECT %s%s FROM %s WHERE %s%s", distinct, proj, from, wp, tail)
@@ -323,7 +326,7 @@ func (g *queryGen) genQuery(fc *fuzzCase) (string, string) {
 		w1i, w1p := g.boolExpr(t1, false, 1)
 		w2i, w2p := g.boolExpr(t2, false, 1)
 		base := "SELECT C FROM T1 WHERE %s " + op + " SELECT S FROM T2 WHERE %s"
-		tail, _ := g.orderLimit([]string{"C"})
+		tail, _ := g.orderLimit([]string{"C"}, nil)
 		return fmt.Sprintf(base, w1i, w2i) + tail, fmt.Sprintf(base, w1p, w2p) + tail
 	case 6: // annotation-aware query with AWHERE / FILTER
 		ft := pick(g.r, fc.tables)
@@ -371,18 +374,29 @@ func (g *queryGen) genQuery(fc *fuzzCase) (string, string) {
 	}
 }
 
-// orderLimit renders an optional ORDER BY (over the given output columns)
-// and LIMIT tail.
-func (g *queryGen) orderLimit(cols []string) (string, bool) {
+// orderLimit renders an optional ORDER BY and LIMIT tail. Keys usually come
+// from the output columns; when allCols is non-nil a key is occasionally
+// drawn from the full source column list instead, exercising ORDER BY on
+// non-projected columns (and its rejection under DISTINCT).
+func (g *queryGen) orderLimit(cols, allCols []string) (string, bool) {
 	var tail string
 	ordered := false
 	if len(cols) > 0 && g.r.Intn(3) == 0 {
-		col := pick(g.r, cols)
-		dir := ""
-		if g.r.Intn(2) == 0 {
-			dir = " DESC"
+		pool := cols
+		if len(allCols) > 0 && g.r.Intn(4) == 0 {
+			pool = allCols
 		}
-		tail += " ORDER BY " + col + dir
+		keys := 1 + g.r.Intn(2)
+		var parts []string
+		for i := 0; i < keys; i++ {
+			col := pick(g.r, pool)
+			dir := ""
+			if g.r.Intn(2) == 0 {
+				dir = " DESC"
+			}
+			parts = append(parts, col+dir)
+		}
+		tail += " ORDER BY " + strings.Join(parts, ", ")
 		ordered = true
 	}
 	if g.r.Intn(4) == 0 {
@@ -436,80 +450,110 @@ func TestSQLEquivalenceFuzz(t *testing.T) {
 		queriesPerSeed = 15
 	}
 	for _, seed := range seeds {
-		seed := seed
 		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
-			r := rand.New(rand.NewSource(seed))
-			fc := genCase(r)
-			s := newSession(t)
-			s.User = "admin"
-			for _, stmt := range fc.setup {
-				if _, err := s.Exec(stmt); err != nil {
-					t.Fatalf("setup %q: %v", stmt, err)
-				}
-			}
-			rejected := 0
-			for q := 0; q < queriesPerSeed; q++ {
-				g := &queryGen{r: r}
-				inline, prepared := g.genQuery(fc)
-
-				s.NoOptimize = true
-				naive, naiveErr := s.Exec(inline)
-				s.NoOptimize = false
-				planned, plannedErr := s.Exec(inline)
-				if naiveErr != nil {
-					// The generator can produce statements the engine
-					// rejects (e.g. ORDER BY over a set operation). The
-					// property still holds: every path must reject them.
-					if plannedErr == nil {
-						t.Fatalf("seed %d query %d: naive rejects (%v) but planned accepts\nquery: %s\nrepro script:\n%s",
-							seed, q, naiveErr, inline, reproScript(fc, inline))
-					}
-					if stmt, err := s.Prepare(prepared); err == nil {
-						if _, err := stmt.Exec(g.args...); err == nil {
-							t.Fatalf("seed %d query %d: naive rejects (%v) but prepared accepts\nquery: %s\nrepro script:\n%s",
-								seed, q, naiveErr, prepared, reproScript(fc, prepared))
-						}
-					}
-					rejected++
-					continue
-				}
-				if plannedErr != nil {
-					t.Fatalf("seed %d query %d: planned %q: %v\nrepro script:\n%s",
-						seed, q, inline, plannedErr, reproScript(fc, inline))
-				}
-				stmt, err := s.Prepare(prepared)
-				if err != nil {
-					t.Fatalf("seed %d query %d: prepare %q: %v", seed, q, prepared, err)
-				}
-				prepRes, err := stmt.Exec(g.args...)
-				if err != nil {
-					t.Fatalf("seed %d query %d: prepared exec %q args %v: %v", seed, q, prepared, g.args, err)
-				}
-
-				want := canonResult(naive)
-				if got := canonResult(planned); got != want {
-					t.Fatalf("seed %d query %d: planned != naive\nquery: %s\n got: %s\nwant: %s\nrepro script:\n%s",
-						seed, q, inline, got, want, reproScript(fc, inline))
-				}
-				if got := canonResult(prepRes); got != want {
-					t.Fatalf("seed %d query %d: prepared != naive\nquery: %s\nargs: %v\n got: %s\nwant: %s\nrepro script:\n%s",
-						seed, q, prepared, g.args, got, want, reproScript(fc, prepared))
-				}
-				// Re-execute the prepared statement to exercise the plan
-				// cache (second run must hit the cached physical plan).
-				prepRes2, err := stmt.Exec(g.args...)
-				if err != nil {
-					t.Fatalf("seed %d query %d: prepared re-exec: %v", seed, q, err)
-				}
-				if got := canonResult(prepRes2); got != want {
-					t.Fatalf("seed %d query %d: cached plan diverges\nquery: %s\nrepro script:\n%s",
-						seed, q, prepared, reproScript(fc, prepared))
-				}
-			}
-			if rejected > queriesPerSeed/2 {
-				t.Errorf("seed %d: %d/%d queries rejected; generator has drifted from the grammar",
-					seed, rejected, queriesPerSeed)
-			}
+			fuzzSeed(t, seed, queriesPerSeed, 0)
 		})
+	}
+}
+
+// TestSQLEquivalenceFuzzSpill re-runs equivalence seeds with a one-byte
+// spill budget, so every blocking operator (grouped aggregation, DISTINCT,
+// UNION, external sort) takes its spill path on every query — proving
+// planned == naive for the spilled operators too. The generated FLOAT
+// domain is exactly representable in binary, so spill-order-dependent
+// summation cannot introduce rounding differences.
+func TestSQLEquivalenceFuzzSpill(t *testing.T) {
+	seeds := []int64{11, 12, 13}
+	queriesPerSeed := 25
+	if testing.Short() {
+		seeds = seeds[:1]
+		queriesPerSeed = 10
+	}
+	spillEvents.Store(0)
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed-%d-spill", seed), func(t *testing.T) {
+			fuzzSeed(t, seed, queriesPerSeed, 1)
+		})
+	}
+	if spillEvents.Load() == 0 {
+		t.Error("spill-forcing seeds never spilled")
+	}
+}
+
+// fuzzSeed runs one generated database + workload with the given spill
+// budget (0 = default).
+func fuzzSeed(t *testing.T, seed int64, queriesPerSeed, spillBudget int) {
+	r := rand.New(rand.NewSource(seed))
+	fc := genCase(r)
+	s := newSession(t)
+	s.User = "admin"
+	s.SpillBudget = spillBudget
+	for _, stmt := range fc.setup {
+		if _, err := s.Exec(stmt); err != nil {
+			t.Fatalf("setup %q: %v", stmt, err)
+		}
+	}
+	rejected := 0
+	for q := 0; q < queriesPerSeed; q++ {
+		g := &queryGen{r: r}
+		inline, prepared := g.genQuery(fc)
+
+		s.NoOptimize = true
+		naive, naiveErr := s.Exec(inline)
+		s.NoOptimize = false
+		planned, plannedErr := s.Exec(inline)
+		if naiveErr != nil {
+			// The generator can produce statements the engine
+			// rejects (e.g. ORDER BY over a set operation). The
+			// property still holds: every path must reject them.
+			if plannedErr == nil {
+				t.Fatalf("seed %d query %d: naive rejects (%v) but planned accepts\nquery: %s\nrepro script:\n%s",
+					seed, q, naiveErr, inline, reproScript(fc, inline))
+			}
+			if stmt, err := s.Prepare(prepared); err == nil {
+				if _, err := stmt.Exec(g.args...); err == nil {
+					t.Fatalf("seed %d query %d: naive rejects (%v) but prepared accepts\nquery: %s\nrepro script:\n%s",
+						seed, q, naiveErr, prepared, reproScript(fc, prepared))
+				}
+			}
+			rejected++
+			continue
+		}
+		if plannedErr != nil {
+			t.Fatalf("seed %d query %d: planned %q: %v\nrepro script:\n%s",
+				seed, q, inline, plannedErr, reproScript(fc, inline))
+		}
+		stmt, err := s.Prepare(prepared)
+		if err != nil {
+			t.Fatalf("seed %d query %d: prepare %q: %v", seed, q, prepared, err)
+		}
+		prepRes, err := stmt.Exec(g.args...)
+		if err != nil {
+			t.Fatalf("seed %d query %d: prepared exec %q args %v: %v", seed, q, prepared, g.args, err)
+		}
+
+		want := canonResult(naive)
+		if got := canonResult(planned); got != want {
+			t.Fatalf("seed %d query %d: planned != naive\nquery: %s\n got: %s\nwant: %s\nrepro script:\n%s",
+				seed, q, inline, got, want, reproScript(fc, inline))
+		}
+		if got := canonResult(prepRes); got != want {
+			t.Fatalf("seed %d query %d: prepared != naive\nquery: %s\nargs: %v\n got: %s\nwant: %s\nrepro script:\n%s",
+				seed, q, prepared, g.args, got, want, reproScript(fc, prepared))
+		}
+		// Re-execute the prepared statement to exercise the plan
+		// cache (second run must hit the cached physical plan).
+		prepRes2, err := stmt.Exec(g.args...)
+		if err != nil {
+			t.Fatalf("seed %d query %d: prepared re-exec: %v", seed, q, err)
+		}
+		if got := canonResult(prepRes2); got != want {
+			t.Fatalf("seed %d query %d: cached plan diverges\nquery: %s\nrepro script:\n%s",
+				seed, q, prepared, reproScript(fc, prepared))
+		}
+	}
+	if rejected > queriesPerSeed/2 {
+		t.Errorf("seed %d: %d/%d queries rejected; generator has drifted from the grammar",
+			seed, rejected, queriesPerSeed)
 	}
 }

@@ -1,0 +1,452 @@
+package exec
+
+// Streaming grouped aggregation. groupAggIter replaces the naive executor's
+// materialize-then-group step in the cursor pipeline: it consumes its input
+// through a spillable hash table (spill.go) whose buckets hold a
+// representative row, the column-wise union of the group's annotations (the
+// paper's Section 3.4 semantics for grouping operators) and constant-size
+// aggregate accumulators instead of the member rows themselves — so a group
+// of a million rows costs the same resident memory as a group of one, and
+// the table as a whole is bounded by the session's spill budget.
+//
+// Output groups are emitted in first-seen order, exactly like the reference
+// executor's groupRows, even after spilling (every bucket carries the
+// sequence number of its first member).
+
+import (
+	"fmt"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/sqlparse"
+	"bdbms/internal/value"
+)
+
+// aggKind enumerates the supported accumulator shapes.
+type aggKind int
+
+const (
+	aggCountStar aggKind = iota
+	aggCount
+	aggSum
+	aggAvg
+	aggMin
+	aggMax
+)
+
+// aggSpec is one AggregateExpr node of the statement (SELECT list or HAVING)
+// resolved against the binding layout. Every syntactic occurrence gets its
+// own accumulator; the emitted rows resolve AggregateExpr nodes by pointer.
+type aggSpec struct {
+	node *sqlparse.AggregateExpr
+	kind aggKind
+	slot int // value slot of the aggregated column; -1 for COUNT(*)
+}
+
+// collectAggregates resolves every aggregate node reachable from the SELECT
+// items and HAVING clause. Resolution errors are deferred to the first input
+// row (via the returned error alongside the specs): the reference executor
+// only surfaces them when at least one group exists.
+func collectAggregates(st *sqlparse.SelectStmt, bindings []binding) ([]aggSpec, error) {
+	var specs []aggSpec
+	var firstErr error
+	add := func(e sqlparse.Expr) {
+		sqlparse.WalkExpr(e, func(sub sqlparse.Expr) {
+			agg, ok := sub.(*sqlparse.AggregateExpr)
+			if !ok {
+				return
+			}
+			spec := aggSpec{node: agg, slot: -1}
+			switch agg.Func {
+			case "COUNT":
+				spec.kind = aggCount
+				if agg.Star {
+					spec.kind = aggCountStar
+				}
+			case "SUM":
+				spec.kind = aggSum
+			case "AVG":
+				spec.kind = aggAvg
+			case "MIN":
+				spec.kind = aggMin
+			case "MAX":
+				spec.kind = aggMax
+			default:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: aggregate %s", ErrUnsupported, agg.Func)
+				}
+				return
+			}
+			if agg.Star && agg.Func != "COUNT" {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: %s(*)", ErrUnsupported, agg.Func)
+				}
+				return
+			}
+			if !agg.Star {
+				idx, _, err := resolveColumn(bindings, agg.Column)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				spec.slot = idx
+			}
+			specs = append(specs, spec)
+		})
+	}
+	for _, item := range st.Items {
+		if !item.Star {
+			add(item.Expr)
+		}
+	}
+	if st.Having != nil {
+		add(st.Having)
+	}
+	return specs, firstErr
+}
+
+// aggState is one accumulator. Its update, merge and final steps replicate
+// evalAggregate over the member list exactly: SUM is always a FLOAT (0 for an
+// all-NULL group), AVG of an all-NULL group is NULL, MIN/MAX keep the
+// earliest value on ties and propagate Compare's type-mismatch errors.
+type aggState struct {
+	count   int64
+	sum     float64
+	n       int64
+	best    value.Value
+	hasBest bool
+}
+
+func (a *aggState) update(kind aggKind, v value.Value) error {
+	switch kind {
+	case aggCountStar:
+		a.count++
+	case aggCount:
+		if !v.IsNull() {
+			a.count++
+		}
+	case aggSum, aggAvg:
+		if !v.IsNull() {
+			a.sum += v.Float()
+			a.n++
+		}
+	case aggMin, aggMax:
+		if v.IsNull() {
+			return nil
+		}
+		if !a.hasBest {
+			a.best, a.hasBest = v, true
+			return nil
+		}
+		c, err := v.Compare(a.best)
+		if err != nil {
+			return err
+		}
+		if (kind == aggMin && c < 0) || (kind == aggMax && c > 0) {
+			a.best = v
+		}
+	}
+	return nil
+}
+
+// merge folds src (accumulated over later members) into a.
+func (a *aggState) merge(kind aggKind, src *aggState) error {
+	a.count += src.count
+	a.sum += src.sum
+	a.n += src.n
+	if src.hasBest {
+		if !a.hasBest {
+			a.best, a.hasBest = src.best, true
+		} else {
+			c, err := src.best.Compare(a.best)
+			if err != nil {
+				return err
+			}
+			if (kind == aggMin && c < 0) || (kind == aggMax && c > 0) {
+				a.best = src.best
+			}
+		}
+	}
+	return nil
+}
+
+func (a *aggState) final(kind aggKind) value.Value {
+	switch kind {
+	case aggCountStar, aggCount:
+		return value.NewInt(a.count)
+	case aggSum:
+		return value.NewFloat(a.sum)
+	case aggAvg:
+		if a.n == 0 {
+			return value.NewNull()
+		}
+		return value.NewFloat(a.sum / float64(a.n))
+	default: // aggMin, aggMax
+		if !a.hasBest {
+			return value.NewNull()
+		}
+		return a.best
+	}
+}
+
+// groupBucket is the resident state of one group.
+type groupBucket struct {
+	vals value.Row
+	anns [][]*annotation.Annotation
+	aggs []aggState
+}
+
+// groupAggIter consumes its decorated input on the first Next and then emits
+// one execRow per group, in first-seen order, with the aggregate results
+// attached (execRow.aggVals) for the projector and HAVING to resolve.
+type groupAggIter struct {
+	s       *Session
+	in      rowIter
+	keyIdx  []int
+	specs   []aggSpec
+	specErr error
+	sf      *spillFile
+	grouper *spillGrouper[groupBucket]
+
+	started bool
+	next    func() (*groupBucket, bool, error)
+	keyBuf  []byte
+}
+
+// newGroupAggIter resolves the GROUP BY key slots eagerly (the reference
+// executor errors on an unknown grouping column even over empty input) and
+// defers aggregate-resolution errors to the first row.
+func newGroupAggIter(s *Session, in rowIter, st *sqlparse.SelectStmt, bindings []binding, sf *spillFile) (*groupAggIter, error) {
+	var keyIdx []int
+	for i := range st.GroupBy {
+		idx, _, err := resolveColumn(bindings, &st.GroupBy[i])
+		if err != nil {
+			return nil, err
+		}
+		keyIdx = append(keyIdx, idx)
+	}
+	specs, specErr := collectAggregates(st, bindings)
+	g := &groupAggIter{s: s, in: in, keyIdx: keyIdx, specs: specs, specErr: specErr, sf: sf}
+	g.grouper = newSpillGrouper(grouperOps[groupBucket]{
+		size:   g.bucketSize,
+		encode: g.encodeBucket,
+		decode: g.decodeBucket,
+		merge:  g.mergeBuckets,
+	}, s.spillBudget(), sf)
+	return g, nil
+}
+
+func (g *groupAggIter) bucketSize(b *groupBucket) int {
+	return sizeOfValues(b.vals) + sizeOfAnnCells(b.anns) + len(b.aggs)*56
+}
+
+func (g *groupAggIter) encodeBucket(dst []byte, b *groupBucket) []byte {
+	dst = appendValueRow(dst, b.vals)
+	dst = appendAnnCells(dst, b.anns)
+	for i := range b.aggs {
+		a := &b.aggs[i]
+		dst = appendVarint(dst, a.count)
+		dst = appendFloat(dst, a.sum)
+		dst = appendVarint(dst, a.n)
+		if a.hasBest {
+			dst = append(dst, 1)
+			dst = appendOneValue(dst, a.best)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+func (g *groupAggIter) decodeBucket(r *byteReader) (*groupBucket, error) {
+	b := &groupBucket{vals: r.row(), anns: r.annCells(), aggs: make([]aggState, len(g.specs))}
+	for i := range b.aggs {
+		a := &b.aggs[i]
+		a.count = r.varint()
+		a.sum = r.float()
+		a.n = r.varint()
+		if r.byteVal() != 0 {
+			a.best = r.oneValue()
+			a.hasBest = true
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return b, nil
+}
+
+func (g *groupAggIter) mergeBuckets(dst, src *groupBucket) error {
+	for c := range dst.anns {
+		if c < len(src.anns) {
+			dst.anns[c] = unionAnnotations(dst.anns[c], src.anns[c])
+		}
+	}
+	for i := range dst.aggs {
+		if err := dst.aggs[i].merge(g.specs[i].kind, &src.aggs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupKey renders the group key exactly like the reference executor
+// (strings.Join of Value.String() with NUL separators), so the two paths
+// always form identical groups.
+func (g *groupAggIter) groupKey(vals value.Row) string {
+	g.keyBuf = g.keyBuf[:0]
+	for i, idx := range g.keyIdx {
+		if i > 0 {
+			g.keyBuf = append(g.keyBuf, 0)
+		}
+		g.keyBuf = append(g.keyBuf, vals[idx].String()...)
+	}
+	return string(g.keyBuf)
+}
+
+func (g *groupAggIter) consume() error {
+	first := true
+	for {
+		r, ok, err := g.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if first {
+			first = false
+			if g.specErr != nil {
+				// The reference executor surfaces aggregate resolution errors
+				// only when at least one group exists.
+				return g.specErr
+			}
+		}
+		b, fresh, err := g.grouper.observe(g.groupKey(r.values), func() (*groupBucket, error) {
+			return &groupBucket{
+				vals: r.values,
+				anns: r.anns,
+				aggs: make([]aggState, len(g.specs)),
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
+		if !fresh {
+			grown := 0
+			for c := range b.anns {
+				if c < len(r.anns) && len(r.anns[c]) > 0 {
+					before := len(b.anns[c])
+					b.anns[c] = unionAnnotations(b.anns[c], r.anns[c])
+					grown += (len(b.anns[c]) - before) * 8
+				}
+			}
+			g.grouper.grow(grown)
+		}
+		for i := range g.specs {
+			spec := &g.specs[i]
+			v := value.Value{}
+			if spec.slot >= 0 {
+				v = r.values[spec.slot]
+			}
+			if err := b.aggs[i].update(spec.kind, v); err != nil {
+				return err
+			}
+		}
+		if err := g.grouper.maybeSpill(); err != nil {
+			return err
+		}
+	}
+}
+
+func (g *groupAggIter) Next() (execRow, bool, error) {
+	if !g.started {
+		g.started = true
+		if err := g.consume(); err != nil {
+			return execRow{}, false, err
+		}
+		next, err := g.grouper.finish()
+		if err != nil {
+			return execRow{}, false, err
+		}
+		g.next = next
+	}
+	b, ok, err := g.next()
+	if err != nil || !ok {
+		return execRow{}, false, err
+	}
+	aggVals := make(map[*sqlparse.AggregateExpr]value.Value, len(g.specs))
+	for i := range g.specs {
+		aggVals[g.specs[i].node] = b.aggs[i].final(g.specs[i].kind)
+	}
+	return execRow{values: b.vals, anns: b.anns, aggVals: aggVals}, true, nil
+}
+
+// havingIter filters grouped rows by the HAVING condition, resolving
+// aggregates from the rows' accumulator results.
+type havingIter struct {
+	s        *Session
+	in       rowIter
+	expr     sqlparse.Expr
+	bindings []binding
+	params   value.Row
+}
+
+func (it *havingIter) Next() (execRow, bool, error) {
+	for {
+		r, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return execRow{}, false, err
+		}
+		keep, err := it.s.evalBool(it.expr, it.bindings, r, r.group, it.params)
+		if err != nil {
+			return execRow{}, false, err
+		}
+		if keep {
+			return r, true, nil
+		}
+	}
+}
+
+// annMatchIter keeps rows with at least one annotation satisfying the
+// condition (AWHERE after grouping = AHAVING).
+type annMatchIter struct {
+	in     rowIter
+	expr   sqlparse.Expr
+	params value.Row
+}
+
+func (it *annMatchIter) Next() (execRow, bool, error) {
+	for {
+		r, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return execRow{}, false, err
+		}
+		match, err := annRowMatches(it.expr, &r, it.params)
+		if err != nil {
+			return execRow{}, false, err
+		}
+		if match {
+			return r, true, nil
+		}
+	}
+}
+
+// annFilterIter drops annotations (never rows) failing the FILTER condition.
+type annFilterIter struct {
+	in     rowIter
+	expr   sqlparse.Expr
+	params value.Row
+}
+
+func (it *annFilterIter) Next() (execRow, bool, error) {
+	r, ok, err := it.in.Next()
+	if err != nil || !ok {
+		return execRow{}, false, err
+	}
+	if err := filterRowAnns(it.expr, &r, it.params); err != nil {
+		return execRow{}, false, err
+	}
+	return r, true, nil
+}

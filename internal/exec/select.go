@@ -27,8 +27,14 @@ type execRow struct {
 	values  value.Row
 	anns    [][]*annotation.Annotation
 	origins []origin
-	// group holds the member rows when this row represents a GROUP BY group.
+	// group holds the member rows when this row represents a GROUP BY group
+	// built by the reference executor's groupRows.
 	group []execRow
+	// aggVals holds the pre-computed aggregate results when this row was
+	// built by the streaming groupAggIter, which accumulates aggregates
+	// incrementally instead of retaining group members. Expression
+	// evaluation resolves AggregateExpr nodes from here when set.
+	aggVals map[*sqlparse.AggregateExpr]value.Value
 }
 
 // binding describes one value slot of an execRow.
@@ -80,9 +86,41 @@ func (s *Session) execSelect(ctx context.Context, st *sqlparse.SelectStmt, param
 		}
 	}
 	if len(st.OrderBy) > 0 {
-		if err := orderRows(rows, cols, st.OrderBy); err != nil {
+		// Ordering resolves output columns first, then (without DISTINCT or
+		// a set operation, which discard the pre-projection rows) the FROM
+		// bindings — the same plan the streaming sort operators use.
+		outputOnly := st.Distinct || st.SetOp != sqlparse.SetNone
+		keys, err := buildOrderPlan(st.OrderBy, cols, plan.bindings, outputOnly)
+		if err != nil {
 			return nil, err
 		}
+		keyRows := make([]value.Row, len(rows))
+		for i := range rows {
+			kr := make(value.Row, len(keys))
+			for j, k := range keys {
+				if k.outIdx >= 0 {
+					kr[j] = rows[i].Values[k.outIdx]
+				} else {
+					// rows align 1:1 with the pre-projection plan rows here:
+					// binding keys are rejected when DISTINCT or a set
+					// operation changed the row set.
+					kr[j] = plan.rows[i].values[k.slot]
+				}
+			}
+			keyRows[i] = kr
+		}
+		perm := make([]int, len(rows))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(a, b int) bool {
+			return compareKeyRows(keyRows[perm[a]], keyRows[perm[b]], keys) < 0
+		})
+		sorted := make([]ARow, len(rows))
+		for i, p := range perm {
+			sorted[i] = rows[p]
+		}
+		rows = sorted
 	}
 	if st.Limit >= 0 && len(rows) > st.Limit {
 		rows = rows[:st.Limit]
@@ -558,45 +596,6 @@ func applySetOp(op sqlparse.SetOp, left, right []ARow) ([]ARow, error) {
 	}
 }
 
-func orderRows(rows []ARow, cols []string, orderBy []sqlparse.OrderItem) error {
-	type orderKey struct {
-		idx  int
-		desc bool
-	}
-	var keys []orderKey
-	for _, item := range orderBy {
-		col, ok := item.Expr.(*sqlparse.ColumnExpr)
-		if !ok {
-			return fmt.Errorf("%w: ORDER BY supports output columns only", ErrUnsupported)
-		}
-		idx := -1
-		for i, name := range cols {
-			if strings.EqualFold(name, col.Column) {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			return fmt.Errorf("%w: ORDER BY column %s", ErrUnknownColumn, col.Column)
-		}
-		keys = append(keys, orderKey{idx: idx, desc: item.Desc})
-	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range keys {
-			c, err := rows[i].Values[k.idx].Compare(rows[j].Values[k.idx])
-			if err != nil || c == 0 {
-				continue
-			}
-			if k.desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	return nil
-}
-
 // --- expression evaluation ---------------------------------------------------------------
 
 // resolveColumn finds the value index and binding of a column reference.
@@ -662,6 +661,13 @@ func (s *Session) evalValue(e sqlparse.Expr, bindings []binding, r execRow, grou
 		return r.values[idx], nil
 	}
 	aggFn := func(agg *sqlparse.AggregateExpr) (value.Value, error) {
+		if r.aggVals != nil {
+			v, ok := r.aggVals[agg]
+			if !ok {
+				return value.Value{}, fmt.Errorf("%w: internal: unregistered aggregate %s", ErrUnsupported, agg.Func)
+			}
+			return v, nil
+		}
 		members := group
 		if members == nil {
 			members = []execRow{r}

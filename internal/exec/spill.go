@@ -1,0 +1,599 @@
+package exec
+
+// Spill infrastructure for the blocking operators (grouped aggregation,
+// DISTINCT, external sort): a per-operator memory budget, a lazily created
+// temp-file pager shared by the operator's runs, binary codecs for rows and
+// annotations, and a partitioned hash table that moves itself to disk when
+// the budget is exceeded.
+//
+// The budget bounds the operator's *transient* state — the in-memory hash
+// table or sort batch — not the size of the input or the output: an operator
+// whose working set exceeds the budget flushes it to uvarint-framed records
+// in heap run files (internal/heap) on a pager.OpenTemp file, and finishes
+// with a streaming merge whose memory cost is one page buffer per run.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/heap"
+	"bdbms/internal/pager"
+	"bdbms/internal/value"
+)
+
+// spillEvents counts spill flushes across all operators; the spill tests use
+// it to prove a small budget actually pushed state to disk.
+var spillEvents atomic.Int64
+
+// defaultSpillBudget is the per-operator memory budget when the session does
+// not set one: each blocking operator (group, distinct, sort, top-n input)
+// may hold roughly this many bytes before spilling to its temp file.
+const defaultSpillBudget = 8 << 20
+
+// spillPartitions is the fan-out of a spilling hash table.
+const spillPartitions = 16
+
+// spillBudget returns the session's per-operator memory budget in bytes.
+func (s *Session) spillBudget() int {
+	if s.SpillBudget > 0 {
+		return s.SpillBudget
+	}
+	return defaultSpillBudget
+}
+
+// spillFile lazily opens one temp pager per blocking operator. It must be
+// closed when the operator's output is exhausted (the cursor's finish hook
+// does it), which also deletes the backing file.
+type spillFile struct {
+	pgr *pager.FilePager
+}
+
+func (sf *spillFile) pager() (pager.Pager, error) {
+	if sf.pgr == nil {
+		p, err := pager.OpenTemp("")
+		if err != nil {
+			return nil, err
+		}
+		sf.pgr = p
+	}
+	return sf.pgr, nil
+}
+
+// spilled reports whether a temp file was actually created.
+func (sf *spillFile) spilled() bool { return sf.pgr != nil }
+
+func (sf *spillFile) Close() {
+	if sf.pgr != nil {
+		_ = sf.pgr.Close()
+		sf.pgr = nil
+	}
+}
+
+// --- binary codec ---------------------------------------------------------------------------
+
+func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+func appendVarint(dst []byte, v int64) []byte   { return binary.AppendVarint(dst, v) }
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// byteReader decodes the codec above; the first error sticks.
+type byteReader struct {
+	buf []byte
+	err error
+}
+
+func (r *byteReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("exec: corrupt spill record")
+	}
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *byteReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *byteReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil || uint64(len(r.buf)) < n {
+		r.fail()
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *byteReader) str() string { return string(r.bytes()) }
+
+func (r *byteReader) byteVal() byte {
+	if r.err != nil || len(r.buf) == 0 {
+		r.fail()
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func (r *byteReader) float() float64 {
+	if r.err != nil || len(r.buf) < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf[:8]))
+	r.buf = r.buf[8:]
+	return v
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+	return append(dst, b[:]...)
+}
+
+func (r *byteReader) row() value.Row {
+	b := r.bytes()
+	if r.err != nil {
+		return nil
+	}
+	row, err := value.DecodeRow(b)
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	return row
+}
+
+func appendValueRow(dst []byte, row value.Row) []byte {
+	return appendBytes(dst, value.EncodeRow(row))
+}
+
+func (r *byteReader) oneValue() value.Value {
+	b := r.bytes()
+	if r.err != nil {
+		return value.Value{}
+	}
+	v, _, err := value.DecodeValue(b)
+	if err != nil {
+		r.err = err
+		return value.Value{}
+	}
+	return v
+}
+
+func appendOneValue(dst []byte, v value.Value) []byte {
+	return appendBytes(dst, v.Encode(nil))
+}
+
+// --- annotation codec -----------------------------------------------------------------------
+
+// Spilled rows carry their full annotation payload, so a round trip through
+// the temp file preserves propagation semantics exactly (IDs included, which
+// is what keeps union-by-ID deduplication correct when spilled and resident
+// rows merge).
+
+func appendAnnotation(dst []byte, a *annotation.Annotation) []byte {
+	dst = appendVarint(dst, a.ID)
+	dst = appendString(dst, a.AnnTable)
+	dst = appendString(dst, a.UserTable)
+	dst = appendString(dst, a.Body)
+	dst = appendString(dst, a.Author)
+	dst = appendVarint(dst, a.CreatedAt.UnixNano())
+	if a.Archived {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendVarint(dst, a.ArchivedAt.UnixNano())
+	dst = appendUvarint(dst, uint64(len(a.Regions)))
+	for _, rg := range a.Regions {
+		dst = appendString(dst, rg.Table)
+		dst = appendVarint(dst, int64(rg.ColStart))
+		dst = appendVarint(dst, int64(rg.ColEnd))
+		dst = appendVarint(dst, rg.RowStart)
+		dst = appendVarint(dst, rg.RowEnd)
+	}
+	return dst
+}
+
+func (r *byteReader) annotationRec() *annotation.Annotation {
+	a := &annotation.Annotation{
+		ID:        r.varint(),
+		AnnTable:  r.str(),
+		UserTable: r.str(),
+		Body:      r.str(),
+		Author:    r.str(),
+	}
+	a.CreatedAt = time.Unix(0, r.varint()).UTC()
+	a.Archived = r.byteVal() != 0
+	a.ArchivedAt = time.Unix(0, r.varint()).UTC()
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	a.Regions = make([]annotation.Region, 0, n)
+	for i := uint64(0); i < n; i++ {
+		a.Regions = append(a.Regions, annotation.Region{
+			Table:    r.str(),
+			ColStart: int(r.varint()),
+			ColEnd:   int(r.varint()),
+			RowStart: r.varint(),
+			RowEnd:   r.varint(),
+		})
+	}
+	return a
+}
+
+func appendAnnCells(dst []byte, anns [][]*annotation.Annotation) []byte {
+	dst = appendUvarint(dst, uint64(len(anns)))
+	for _, cell := range anns {
+		dst = appendUvarint(dst, uint64(len(cell)))
+		for _, a := range cell {
+			dst = appendAnnotation(dst, a)
+		}
+	}
+	return dst
+}
+
+func (r *byteReader) annCells() [][]*annotation.Annotation {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	anns := make([][]*annotation.Annotation, n)
+	for c := uint64(0); c < n; c++ {
+		m := r.uvarint()
+		if r.err != nil {
+			return nil
+		}
+		for i := uint64(0); i < m; i++ {
+			a := r.annotationRec()
+			if r.err != nil {
+				return nil
+			}
+			anns[c] = append(anns[c], a)
+		}
+	}
+	return anns
+}
+
+func appendARowRec(dst []byte, row ARow) []byte {
+	dst = appendValueRow(dst, row.Values)
+	return appendAnnCells(dst, row.Anns)
+}
+
+func (r *byteReader) aRow() ARow {
+	return ARow{Values: r.row(), Anns: r.annCells()}
+}
+
+// --- size estimation ------------------------------------------------------------------------
+
+// Budget accounting is approximate: it only needs to track the working set
+// closely enough that a small budget forces spilling and the default never
+// does on ordinary queries.
+
+func sizeOfValues(vals value.Row) int {
+	n := 24 + len(vals)*24
+	for _, v := range vals {
+		if t := v.Type(); t == value.Text || t == value.Sequence {
+			n += len(v.Text())
+		}
+	}
+	return n
+}
+
+func sizeOfAnnCells(anns [][]*annotation.Annotation) int {
+	n := 24 + len(anns)*24
+	for _, cell := range anns {
+		n += len(cell) * 8 // shared pointers
+	}
+	return n
+}
+
+func sizeOfARow(row ARow) int {
+	return sizeOfValues(row.Values) + sizeOfAnnCells(row.Anns)
+}
+
+// --- spillable hash table -------------------------------------------------------------------
+
+// grouperOps parameterizes spillGrouper over its bucket type: grouped
+// aggregation buckets (representative row + accumulators) and DISTINCT
+// buckets (one output row) share the partition/flush/merge machinery.
+type grouperOps[B any] struct {
+	// size estimates the resident bytes of a bucket.
+	size func(b *B) int
+	// encode serializes a bucket into a spill record.
+	encode func(dst []byte, b *B) []byte
+	// decode deserializes a spill record.
+	decode func(r *byteReader) (*B, error)
+	// merge folds src (observed later) into dst (observed earlier).
+	merge func(dst, src *B) error
+}
+
+type groupEntry[B any] struct {
+	seq    uint64
+	bucket *B
+}
+
+// spillGrouper is a hash table keyed by string that preserves first-seen
+// order and bounds its resident size: when the budget is exceeded the
+// resident entries are flushed to hash partitions on a temp file and the
+// table is cleared. finish merges each partition back together and streams
+// the entries in global first-seen order (every entry remembers the sequence
+// number of its first observation).
+type spillGrouper[B any] struct {
+	ops    grouperOps[B]
+	budget int
+	sf     *spillFile
+
+	m       map[string]*groupEntry[B]
+	order   []string
+	used    int
+	nextSeq uint64
+
+	parts   []*heap.RunWriter
+	spilled bool
+	encBuf  []byte
+}
+
+func newSpillGrouper[B any](ops grouperOps[B], budget int, sf *spillFile) *spillGrouper[B] {
+	return &spillGrouper[B]{ops: ops, budget: budget, sf: sf, m: map[string]*groupEntry[B]{}}
+}
+
+// observe returns the resident bucket for key (fresh reports whether it was
+// just inserted, at the next sequence number). A key may be observed fresh
+// again after a spill flushed its earlier bucket — the finish phase merges
+// the flushed generations back together by key.
+func (g *spillGrouper[B]) observe(key string, fresh func() (*B, error)) (*B, bool, error) {
+	if e, ok := g.m[key]; ok {
+		return e.bucket, false, nil
+	}
+	b, err := fresh()
+	if err != nil {
+		return nil, false, err
+	}
+	g.m[key] = &groupEntry[B]{seq: g.nextSeq, bucket: b}
+	g.nextSeq++
+	g.order = append(g.order, key)
+	g.used += len(key) + g.ops.size(b) + 48
+	return b, true, nil
+}
+
+// grow records extra resident bytes added to an existing bucket.
+func (g *spillGrouper[B]) grow(n int) { g.used += n }
+
+// maybeSpill flushes the resident table to the hash partitions when the
+// budget is exceeded.
+func (g *spillGrouper[B]) maybeSpill() error {
+	if g.used <= g.budget || len(g.m) == 0 {
+		return nil
+	}
+	return g.spill()
+}
+
+func partitionOf(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % spillPartitions)
+}
+
+func (g *spillGrouper[B]) spill() error {
+	pgr, err := g.sf.pager()
+	if err != nil {
+		return err
+	}
+	if g.parts == nil {
+		g.parts = make([]*heap.RunWriter, spillPartitions)
+		for i := range g.parts {
+			g.parts[i] = heap.NewRunWriter(pgr)
+		}
+	}
+	g.spilled = true
+	spillEvents.Add(1)
+	for _, key := range g.order {
+		e := g.m[key]
+		g.encBuf = g.encBuf[:0]
+		g.encBuf = appendUvarint(g.encBuf, e.seq)
+		g.encBuf = appendString(g.encBuf, key)
+		g.encBuf = g.ops.encode(g.encBuf, e.bucket)
+		if err := g.parts[partitionOf(key)].Append(g.encBuf); err != nil {
+			return err
+		}
+	}
+	g.m = map[string]*groupEntry[B]{}
+	g.order = g.order[:0]
+	g.used = 0
+	return nil
+}
+
+// finish seals the table and returns a pull iterator over the entries in
+// global first-seen order. When nothing was spilled this iterates the
+// resident table; otherwise each partition is re-merged in memory (bounded
+// by groups-per-partition, 1/16th of the distinct keys on average), written
+// back as a seq-ordered run, and the partition runs are streamed through a
+// k-way merge whose resident cost is one page plus one decoded bucket per
+// partition.
+func (g *spillGrouper[B]) finish() (func() (*B, bool, error), error) {
+	if !g.spilled {
+		i := 0
+		return func() (*B, bool, error) {
+			if i >= len(g.order) {
+				return nil, false, nil
+			}
+			b := g.m[g.order[i]].bucket
+			i++
+			return b, true, nil
+		}, nil
+	}
+	if err := g.spill(); err != nil { // flush the residual table
+		return nil, err
+	}
+	pgr, err := g.sf.pager()
+	if err != nil {
+		return nil, err
+	}
+	merged := make([]heap.Run, 0, len(g.parts))
+	for _, w := range g.parts {
+		run, err := w.Finish()
+		if err != nil {
+			return nil, err
+		}
+		out, err := g.mergePartition(pgr, run)
+		if err != nil {
+			return nil, err
+		}
+		merged = append(merged, out)
+	}
+	g.parts = nil
+	return g.mergeBySeq(pgr, merged)
+}
+
+// mergePartition folds one partition's records (several per key when flushes
+// interleaved) into single entries, orders them by first-seen seq and writes
+// them back as a new run.
+func (g *spillGrouper[B]) mergePartition(pgr pager.Pager, run heap.Run) (heap.Run, error) {
+	type ent struct {
+		seq    uint64
+		key    string
+		bucket *B
+	}
+	byKey := map[string]*ent{}
+	var order []*ent
+	rd := heap.NewRunReader(pgr, run)
+	for {
+		rec, ok, err := rd.Next()
+		if err != nil {
+			return heap.Run{}, err
+		}
+		if !ok {
+			break
+		}
+		r := &byteReader{buf: rec}
+		seq := r.uvarint()
+		key := r.str()
+		b, err := g.ops.decode(r)
+		if err == nil && r.err != nil {
+			err = r.err
+		}
+		if err != nil {
+			return heap.Run{}, err
+		}
+		if e, ok := byKey[key]; ok {
+			// Records of one key arrive in flush order, i.e. ascending seq:
+			// the resident entry is the earlier observation.
+			if err := g.ops.merge(e.bucket, b); err != nil {
+				return heap.Run{}, err
+			}
+			continue
+		}
+		e := &ent{seq: seq, key: key, bucket: b}
+		byKey[key] = e
+		order = append(order, e)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].seq < order[j].seq })
+	w := heap.NewRunWriter(pgr)
+	for _, e := range order {
+		g.encBuf = g.encBuf[:0]
+		g.encBuf = appendUvarint(g.encBuf, e.seq)
+		g.encBuf = appendString(g.encBuf, e.key)
+		g.encBuf = g.ops.encode(g.encBuf, e.bucket)
+		if err := w.Append(g.encBuf); err != nil {
+			return heap.Run{}, err
+		}
+	}
+	return w.Finish()
+}
+
+// mergeBySeq streams the seq-ordered partition runs in global seq order.
+func (g *spillGrouper[B]) mergeBySeq(pgr pager.Pager, runs []heap.Run) (func() (*B, bool, error), error) {
+	type head struct {
+		seq    uint64
+		bucket *B
+		rd     *heap.RunReader
+	}
+	var heads []*head
+	advance := func(h *head) (bool, error) {
+		rec, ok, err := h.rd.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		r := &byteReader{buf: rec}
+		h.seq = r.uvarint()
+		_ = r.bytes() // key, not needed after partition merge
+		b, err := g.ops.decode(r)
+		if err == nil && r.err != nil {
+			err = r.err
+		}
+		if err != nil {
+			return false, err
+		}
+		h.bucket = b
+		return true, nil
+	}
+	for _, run := range runs {
+		h := &head{rd: heap.NewRunReader(pgr, run)}
+		ok, err := advance(h)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			heads = append(heads, h)
+		}
+	}
+	return func() (*B, bool, error) {
+		if len(heads) == 0 {
+			return nil, false, nil
+		}
+		best := 0
+		for i := 1; i < len(heads); i++ {
+			if heads[i].seq < heads[best].seq {
+				best = i
+			}
+		}
+		b := heads[best].bucket
+		ok, err := advance(heads[best])
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			heads = append(heads[:best], heads[best+1:]...)
+		}
+		return b, true, nil
+	}, nil
+}

@@ -384,7 +384,7 @@ func (tx *Tx) queryStmt(ctx context.Context, stmt sqlparse.Statement, params val
 		return nil, tx.doneError()
 	}
 	s := tx.sess
-	if sel, ok := stmt.(*sqlparse.SelectStmt); ok && !s.NoOptimize && streamableSelect(sel) {
+	if sel, ok := stmt.(*sqlparse.SelectStmt); ok && !s.NoOptimize {
 		rows, err := s.buildStream(ctx, sel, params, prep)
 		if err != nil {
 			return nil, err

@@ -163,6 +163,9 @@ type FilePager struct {
 	n      uint64
 	stats  Stats
 	closed bool
+	// removePath, when set, is deleted on Close: OpenTemp pagers own their
+	// backing file and clean it up when the spill is done.
+	removePath string
 }
 
 // OpenFile opens (or creates) a file-backed pager at path.
@@ -177,6 +180,19 @@ func OpenFile(path string) (*FilePager, error) {
 		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
 	}
 	return &FilePager{f: f, n: uint64(info.Size()) / PageSize}, nil
+}
+
+// OpenTemp creates a pager over a fresh temporary file in dir (the system
+// temp directory when dir is empty). The file is private to this pager and
+// is deleted on Close — it is the spill surface used by the executor's
+// external sort and hash-aggregation operators, which need scratch space
+// that never outlives the query.
+func OpenTemp(dir string) (*FilePager, error) {
+	f, err := os.CreateTemp(dir, "bdbms-spill-*.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("pager: open temp spill file: %w", err)
+	}
+	return &FilePager{f: f, removePath: f.Name()}, nil
 }
 
 // Allocate implements Pager.
@@ -265,7 +281,8 @@ func (p *FilePager) Sync() error {
 	return p.f.Sync()
 }
 
-// Close implements Pager.
+// Close implements Pager. A pager created by OpenTemp also deletes its
+// backing file.
 func (p *FilePager) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -273,5 +290,11 @@ func (p *FilePager) Close() error {
 		return nil
 	}
 	p.closed = true
-	return p.f.Close()
+	err := p.f.Close()
+	if p.removePath != "" {
+		if rmErr := os.Remove(p.removePath); err == nil && rmErr != nil {
+			err = rmErr
+		}
+	}
+	return err
 }

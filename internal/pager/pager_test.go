@@ -2,6 +2,7 @@ package pager
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -119,5 +120,37 @@ func TestMemPagerIsolation(t *testing.T) {
 	again, _ := p.Read(id)
 	if again[0] != 42 {
 		t.Error("Read must return an isolated copy")
+	}
+}
+
+func TestOpenTempCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenTemp(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, PageSize)
+	data[7] = 7
+	if err := p.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(id)
+	if err != nil || got[7] != 7 {
+		t.Fatalf("read back: %v %v", got[7], err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("spill file missing before Close: %v %v", entries, err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = os.ReadDir(dir)
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("spill file not removed on Close: %v %v", entries, err)
 	}
 }
