@@ -156,6 +156,41 @@
 // and synced at checkpoints, so an OS-level power loss may drop the last
 // few records (whole frames at a time — never half a transaction); an
 // application crash loses nothing committed.
+//
+// # When the disk lies
+//
+// The contract above assumes the disk stores what it was told; this
+// section is the contract for when it doesn't. Every page in the data file
+// is framed with a 16-byte header carrying a CRC-32C checksum over the
+// page ID, format version and payload. Every read re-verifies the frame,
+// so a flipped bit (bit rot), a torn page (partially persisted write) or a
+// misdirected write (an intact frame landing at the wrong offset) fails
+// the read with an error wrapping pager.ErrPageCorrupt that names the file
+// and page — it can NEVER be served as ordinary data. Because Open scans
+// every live heap page to rebuild indexes, corruption in live data
+// surfaces at Open; corruption in unreferenced (orphaned) pages is caught
+// by Verify, which scrubs every allocated page plus the logical,
+// checkpoint-metadata and annotation layers. The guarantee across all
+// storage-fault classes is fail-stop, never silent wrong results.
+//
+// Write-path faults are contained the same way. A failed page write
+// (EIO/ENOSPC) during eviction or flush keeps the page dirty and resident,
+// so no update is lost and the operation that needed the eviction reports
+// the error. A failed fsync POISONS the pager (and the WAL): after one
+// Sync failure every later Sync returns pager.ErrSyncPoisoned, Checkpoint
+// refuses to truncate the WAL, and Close surfaces the error — the
+// database never claims durability it cannot prove, because a failed
+// fsync leaves the kernel's dirty pages in an unknowable state (fsyncgate).
+// Recovery from a poisoned database is reopening it: the WAL tail is still
+// intact and replays onto the last good checkpoint. A temp-file spill
+// hitting ENOSPC mid-query fails that query with exec.ErrSpill wrapping
+// the cause, removes the temp file, and leaves the session usable.
+//
+// DB.Verify and DB.Backup operationalize the contract: run Verify to
+// prove a database clean (or enumerate exactly what is broken and where),
+// and Backup to take a consistent online snapshot that itself opens and
+// verifies. Both are also available as `bdbms-cli verify` and
+// `bdbms-cli backup`.
 package bdbms
 
 import (
@@ -261,6 +296,8 @@ func OpenWith(opts Options) (*DB, error) {
 		coreOpts.WAL = wlog
 		coreOpts.CatalogPath = opts.DataFile + ".catalog"
 		coreOpts.ManifestPath = opts.DataFile + ".manifest"
+		coreOpts.DataPath = opts.DataFile
+		coreOpts.WALPath = opts.DataFile + ".wal"
 	}
 	if opts.CellLevelAnnotations {
 		coreOpts.AnnotationStore = annotation.NewCellStore()
@@ -303,6 +340,36 @@ func (db *DB) Close() error {
 	}
 	return err
 }
+
+// VerifyReport summarises a Verify scrub: what was covered and every
+// problem found. An empty Problems slice means the database is clean.
+type VerifyReport = core.VerifyReport
+
+// VerifyProblem is one finding of a Verify scrub.
+type VerifyProblem = core.VerifyProblem
+
+// Verify scrubs the whole database and reports every integrity problem it
+// can find: it reads back every allocated page through the checksumming
+// pager (bit rot, torn frames and misdirected writes fail the read — even
+// in orphaned pages no table references), cross-checks each table's heap
+// against its row index and secondary B+-trees, validates the checkpoint
+// manifest and catalog snapshot against the live engine, and proves every
+// annotation is reachable back through the spatial index. Verify takes the
+// exclusive statement lock for the duration, so concurrent statements wait
+// and none are observed half-applied. The returned error covers operational
+// failures only (e.g. the initial flush); integrity findings are in the
+// report's Problems.
+func (db *DB) Verify() (*VerifyReport, error) { return db.inner.Verify() }
+
+// Backup takes a consistent online snapshot of a durable database into
+// destDir (created if missing): the database is checkpointed under the
+// exclusive statement lock and the four files — page file, WAL, catalog and
+// manifest — are copied and fsynced. Concurrent statements block for the
+// duration and resume after; none of their effects can be half-captured.
+// The copy set is a normal database: restore is
+// OpenWith(Options{DataFile: filepath.Join(destDir, filepath.Base(orig))}),
+// and the copy passes Verify. Backup fails on a memory database.
+func (db *DB) Backup(destDir string) error { return db.inner.Backup(destDir) }
 
 // Query runs one A-SQL statement as the admin user and returns a cursor
 // over its result; args bind the statement's `?` placeholders. SELECTs of

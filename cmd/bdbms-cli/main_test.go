@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"bdbms/internal/pager"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
@@ -217,4 +219,128 @@ func TestAbandonedTransactionRolledBackOnExit(t *testing.T) {
 	if strings.Contains(stdout, "uncommitted") || strings.Contains(stdout, "mutated") {
 		t.Errorf("abandoned transaction leaked:\n%s", stdout)
 	}
+}
+
+// buildVerifyDB runs the verify fixture script against a fresh data file:
+// page 0 ends up orphaned (Scratch is dropped), page 1 holds Gene's rows.
+func buildVerifyDB(t *testing.T) string {
+	t.Helper()
+	dataFile := filepath.Join(t.TempDir(), "genes.db")
+	_, stderr, code := runCLI(t,
+		[]string{"-quiet", "-data", dataFile, "-script", "testdata/verify_build.sql"}, "")
+	if code != 0 {
+		t.Fatalf("build exit %d, stderr: %s", code, stderr)
+	}
+	return dataFile
+}
+
+// corruptPage flips one payload byte of the given page in place.
+func corruptPage(t *testing.T, dataFile string, id int) {
+	t.Helper()
+	f, err := os.OpenFile(dataFile, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	off := int64(pager.FrameOffset(pager.PageID(id))) + int64(pager.PageHeaderSize) + 37
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyCLIGolden locks the verify subcommand's three outcomes: a clean
+// report (exit 0), a FAILED report for damage the database survives opening
+// with (exit 1), and the does-not-open diagnostic for damage on a live page
+// (exit 1). Temp paths are normalized before golden comparison.
+func TestVerifyCLIGolden(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		dataFile := buildVerifyDB(t)
+		stdout, stderr, code := runCLI(t, []string{"verify", "-data", dataFile}, "")
+		if code != 0 {
+			t.Errorf("exit %d, want 0; stderr: %s", code, stderr)
+		}
+		checkGolden(t, filepath.Join("testdata", "verify_clean.golden"), stdout)
+	})
+	t.Run("orphan-page-corrupt", func(t *testing.T) {
+		dataFile := buildVerifyDB(t)
+		corruptPage(t, dataFile, 0)
+		stdout, _, code := runCLI(t, []string{"verify", "-data", dataFile}, "")
+		if code != 1 {
+			t.Errorf("exit %d, want 1", code)
+		}
+		stdout = strings.ReplaceAll(stdout, dataFile, "<data>")
+		// The checksum values depend on the corrupted byte's surroundings;
+		// they are deterministic for this fixture, so the golden pins them.
+		checkGolden(t, filepath.Join("testdata", "verify_corrupt_page.golden"), stdout)
+	})
+	t.Run("live-page-corrupt", func(t *testing.T) {
+		dataFile := buildVerifyDB(t)
+		corruptPage(t, dataFile, 1)
+		stdout, _, code := runCLI(t, []string{"verify", "-data", dataFile}, "")
+		if code != 1 {
+			t.Errorf("exit %d, want 1", code)
+		}
+		stdout = strings.ReplaceAll(stdout, dataFile, "<data>")
+		checkGolden(t, filepath.Join("testdata", "verify_unopenable.golden"), stdout)
+	})
+	t.Run("missing-data-flag", func(t *testing.T) {
+		_, stderr, code := runCLI(t, []string{"verify"}, "")
+		if code != 2 {
+			t.Errorf("exit %d, want 2", code)
+		}
+		if !strings.Contains(stderr, "-data") {
+			t.Errorf("usage error does not mention -data: %s", stderr)
+		}
+	})
+}
+
+// TestBackupCLIGolden locks the backup subcommand: the snapshot opens,
+// verifies clean (same report as the source), and a post-backup write to the
+// source does not leak into it.
+func TestBackupCLIGolden(t *testing.T) {
+	dataFile := buildVerifyDB(t)
+	dest := filepath.Join(t.TempDir(), "snap")
+
+	stdout, stderr, code := runCLI(t, []string{"backup", "-data", dataFile, "-dest", dest}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	stdout = strings.ReplaceAll(stdout, dest, "<dest>")
+	checkGolden(t, filepath.Join("testdata", "backup.golden"), stdout)
+
+	// Grow the source after the snapshot...
+	_, stderr, code = runCLI(t, []string{"-quiet", "-data", dataFile},
+		"INSERT INTO Gene VALUES ('JW9999', 'late', 1);\n\\q\n")
+	if code != 0 {
+		t.Fatalf("post-backup insert exit %d, stderr: %s", code, stderr)
+	}
+
+	// ...and the snapshot must still verify with the original counts.
+	snapData := filepath.Join(dest, filepath.Base(dataFile))
+	stdout, stderr, code = runCLI(t, []string{"verify", "-data", snapData}, "")
+	if code != 0 {
+		t.Errorf("snapshot verify exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, filepath.Join("testdata", "verify_clean.golden"), stdout)
+
+	stdout, _, code = runCLI(t, []string{"-quiet", "-data", snapData},
+		"SELECT COUNT(*) FROM Gene;\n\\q\n")
+	if code != 0 {
+		t.Fatalf("snapshot query exit %d", code)
+	}
+	if !strings.Contains(stdout, "3") || strings.Contains(stdout, "JW9999") {
+		t.Errorf("snapshot leaked post-backup state:\n%s", stdout)
+	}
+
+	t.Run("missing-flags", func(t *testing.T) {
+		_, _, code := runCLI(t, []string{"backup", "-data", dataFile}, "")
+		if code != 2 {
+			t.Errorf("exit %d, want 2", code)
+		}
+	})
 }

@@ -132,6 +132,22 @@ func (b *Pool) ensureRoomLocked() error {
 	victim := b.frames[victimID]
 	if victim.dirty {
 		if err := b.pgr.Write(victim.id, victim.data); err != nil {
+			// The in-pool buffer is now the only trustworthy copy of the
+			// victim (the disk may hold a half-persisted frame), so it must
+			// stay resident and dirty: evicting would let a later Fetch
+			// resurrect the stale on-disk version. Fall back to evicting
+			// the least recently used clean frame so reads keep working on
+			// a disk that rejects writes; only when every unpinned frame is
+			// dirty does the fetch fail.
+			for cl := el.Prev(); cl != nil; cl = cl.Prev() {
+				cleanID := cl.Value.(pager.PageID)
+				if clean := b.frames[cleanID]; !clean.dirty {
+					b.lru.Remove(cl)
+					delete(b.frames, cleanID)
+					b.stats.Evictions++
+					return nil
+				}
+			}
 			return fmt.Errorf("buffer: evict write-back: %w", err)
 		}
 		b.stats.WriteBacks++

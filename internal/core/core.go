@@ -46,6 +46,12 @@ type Options struct {
 	CatalogPath string
 	// ManifestPath is where checkpoints write the recovery manifest.
 	ManifestPath string
+	// DataPath is the path of the file behind Pager, when file-backed.
+	// Backup copies the file by this path; Verify names it in reports.
+	DataPath string
+	// WALPath is the path of the file behind WAL, when file-backed.
+	// Backup copies the log by this path.
+	WALPath string
 }
 
 // DB is an open bdbms database.
@@ -58,9 +64,12 @@ type DB struct {
 	opts Options
 	// wal is the engine's write-ahead log (shared with eng).
 	wal *wal.Log
-	// catalogPath / manifestPath locate the checkpoint files ("" = memory).
+	// catalogPath / manifestPath locate the checkpoint files ("" = memory);
+	// dataPath / walPath locate the page file and the log for Backup.
 	catalogPath  string
 	manifestPath string
+	dataPath     string
+	walPath      string
 	// stmtMu is the engine-wide statement lock shared by every session:
 	// SELECTs take it shared (and a streaming cursor holds it until closed),
 	// mutating statements take it exclusive, and an open transaction holds
@@ -165,6 +174,8 @@ func Open(opts Options) (*DB, error) {
 	if durable {
 		db.catalogPath = opts.CatalogPath
 		db.manifestPath = opts.ManifestPath
+		db.dataPath = opts.DataPath
+		db.walPath = opts.WALPath
 		if err := db.recover(); err != nil {
 			return nil, err
 		}

@@ -116,9 +116,27 @@ func (db *DB) Checkpoint() error {
 	return db.checkpointLocked()
 }
 
+// checkpointFaultHook, when set by tests, runs at the named points inside
+// checkpointLocked; returning an error aborts the checkpoint right there,
+// simulating a crash or EIO between two checkpoint steps. The points, in
+// order: "after-flush", "after-sync", "after-catalog", "after-manifest"
+// (the manifest rename — the commit point — has happened, the WAL still
+// holds the tail), "after-truncate".
+var checkpointFaultHook func(point string) error
+
+func checkpointFault(point string) error {
+	if checkpointFaultHook != nil {
+		return checkpointFaultHook(point)
+	}
+	return nil
+}
+
 func (db *DB) checkpointLocked() error {
 	if err := db.eng.FlushAll(); err != nil {
 		return fmt.Errorf("core: checkpoint flush: %w", err)
+	}
+	if err := checkpointFault("after-flush"); err != nil {
+		return err
 	}
 	if !db.durable() {
 		// Memory databases still log every mutation (the WAL doubles as the
@@ -128,6 +146,9 @@ func (db *DB) checkpointLocked() error {
 	}
 	if err := db.eng.SyncPager(); err != nil {
 		return fmt.Errorf("core: checkpoint sync: %w", err)
+	}
+	if err := checkpointFault("after-sync"); err != nil {
+		return err
 	}
 	m := &manifest{
 		CheckpointLSN: db.wal.NextLSN() - 1,
@@ -151,6 +172,9 @@ func (db *DB) checkpointLocked() error {
 	if err := db.eng.Catalog().SaveFile(db.catalogPath); err != nil {
 		return fmt.Errorf("core: checkpoint catalog: %w", err)
 	}
+	if err := checkpointFault("after-catalog"); err != nil {
+		return err
+	}
 	// The manifest rename is the commit point: a crash before it leaves the
 	// previous checkpoint plus an intact WAL; a crash after it leaves the new
 	// checkpoint, and replaying the not-yet-truncated WAL is harmless because
@@ -158,7 +182,15 @@ func (db *DB) checkpointLocked() error {
 	if err := saveManifest(db.manifestPath, m); err != nil {
 		return err
 	}
+	if err := checkpointFault("after-manifest"); err != nil {
+		return err
+	}
+	// Truncate refuses on a sync-poisoned log, so a WAL whose durability is
+	// in doubt is never discarded (see wal.ErrSyncPoisoned).
 	if err := db.wal.Truncate(); err != nil {
+		return err
+	}
+	if err := checkpointFault("after-truncate"); err != nil {
 		return err
 	}
 	return db.wal.Sync()

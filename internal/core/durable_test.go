@@ -53,6 +53,8 @@ func tryOpenDurable(dir string, poolSize int) (*durableDB, error) {
 		WAL:          wlog,
 		CatalogPath:  dataFile + ".catalog",
 		ManifestPath: dataFile + ".manifest",
+		DataPath:     dataFile,
+		WALPath:      dataFile + ".wal",
 	})
 	if err != nil {
 		wlog.Close()

@@ -14,6 +14,7 @@ package exec
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -26,6 +27,13 @@ import (
 	"bdbms/internal/pager"
 	"bdbms/internal/value"
 )
+
+// ErrSpill categorizes I/O failures on a query's spill surface (creating
+// the temp file, or reading/writing run pages in it — typically ENOSPC on
+// a full disk). A query failing with errors.Is(err, ErrSpill) lost only
+// its own scratch space: table data is untouched, the temp file has been
+// removed, and the session remains fully usable.
+var ErrSpill = errors.New("exec: query spill I/O failed")
 
 // spillEvents counts spill flushes across all operators; the spill tests use
 // it to prove a small budget actually pushed state to disk.
@@ -47,20 +55,27 @@ func (s *Session) spillBudget() int {
 	return defaultSpillBudget
 }
 
+// openSpillPager creates the temp pager backing an operator's spill file.
+// It is a variable so the fault-injection tests can swap in a pager that
+// runs out of disk mid-query.
+var openSpillPager = func() (pager.Pager, error) {
+	return pager.OpenTemp("")
+}
+
 // spillFile lazily opens one temp pager per blocking operator. It must be
 // closed when the operator's output is exhausted (the cursor's finish hook
 // does it), which also deletes the backing file.
 type spillFile struct {
-	pgr *pager.FilePager
+	pgr pager.Pager
 }
 
 func (sf *spillFile) pager() (pager.Pager, error) {
 	if sf.pgr == nil {
-		p, err := pager.OpenTemp("")
+		p, err := openSpillPager()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: create temp file: %w", ErrSpill, err)
 		}
-		sf.pgr = p
+		sf.pgr = spillPager{p}
 	}
 	return sf.pgr, nil
 }
@@ -73,6 +88,38 @@ func (sf *spillFile) Close() {
 		_ = sf.pgr.Close()
 		sf.pgr = nil
 	}
+}
+
+// spillPager wraps the temp-file pager so every I/O failure on the spill
+// surface is categorized under ErrSpill: the run writers and readers built
+// on it (heap.RunWriter/RunReader) propagate page errors verbatim, so
+// wrapping here covers all of them at once. Close passes through to the
+// embedded pager, which deletes the backing temp file.
+type spillPager struct {
+	pager.Pager
+}
+
+func (p spillPager) Allocate() (pager.PageID, error) {
+	id, err := p.Pager.Allocate()
+	if err != nil {
+		return id, fmt.Errorf("%w: %w", ErrSpill, err)
+	}
+	return id, nil
+}
+
+func (p spillPager) Read(id pager.PageID) ([]byte, error) {
+	data, err := p.Pager.Read(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrSpill, err)
+	}
+	return data, nil
+}
+
+func (p spillPager) Write(id pager.PageID, data []byte) error {
+	if err := p.Pager.Write(id, data); err != nil {
+		return fmt.Errorf("%w: %w", ErrSpill, err)
+	}
+	return nil
 }
 
 // --- binary codec ---------------------------------------------------------------------------

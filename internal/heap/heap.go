@@ -46,6 +46,12 @@ var (
 	ErrRecordTooLarge = errors.New("heap: record too large")
 	// ErrNotFound is returned when a RID does not reference a live record.
 	ErrNotFound = errors.New("heap: record not found")
+	// ErrPageCorrupt is returned when a page's slotted structure is
+	// malformed: a slot directory overrunning the record space, or a record
+	// extent outside the page. The pager's checksums catch disk-level rot
+	// before it gets here; this guards the logical layout, so garbage can
+	// never be handed up as a record (or panic a scan).
+	ErrPageCorrupt = errors.New("heap: page structure corrupt")
 )
 
 // File is a heap file: an ordered list of pages managed through a buffer pool.
@@ -110,6 +116,41 @@ func writeSlot(p []byte, i uint16, offset, length uint16) {
 	base := headerSize + int(i)*slotSize
 	binary.LittleEndian.PutUint16(p[base:base+2], offset)
 	binary.LittleEndian.PutUint16(p[base+2:base+4], length)
+}
+
+// checkPage validates the slotted-page invariants: the slot directory and
+// the record space must not overlap, and every live slot must reference an
+// extent inside the page at or above freeStart.
+func checkPage(id pager.PageID, data []byte) error {
+	h := readHeader(data)
+	if h.freeStart == 0 {
+		if h.numSlots != 0 {
+			return fmt.Errorf("%w: page %d: %d slots on an unformatted page", ErrPageCorrupt, id, h.numSlots)
+		}
+		return nil
+	}
+	if int(h.freeStart) > pager.PageSize || headerSize+int(h.numSlots)*slotSize > int(h.freeStart) {
+		return fmt.Errorf("%w: page %d: %d slots with record space starting at %d", ErrPageCorrupt, id, h.numSlots, h.freeStart)
+	}
+	for s := uint16(0); s < h.numSlots; s++ {
+		offset, length := readSlot(data, s)
+		if length == 0 {
+			continue
+		}
+		if int(offset) < int(h.freeStart) || int(offset)+int(length) > pager.PageSize {
+			return fmt.Errorf("%w: page %d slot %d: record [%d:%d) outside the record space", ErrPageCorrupt, id, s, offset, int(offset)+int(length))
+		}
+	}
+	return nil
+}
+
+// checkSlot bounds-checks one slot's extent (the cheap per-access guard;
+// Scan and Open run the full checkPage).
+func checkSlot(id pager.PageID, s uint16, offset, length uint16) error {
+	if int(offset)+int(length) > pager.PageSize || int(offset) < headerSize {
+		return fmt.Errorf("%w: page %d slot %d: record [%d:%d) outside the page", ErrPageCorrupt, id, s, offset, int(offset)+int(length))
+	}
+	return nil
 }
 
 // freeSpace returns the free bytes between the slot directory and record data.
@@ -207,6 +248,9 @@ func (f *File) Get(rid RID) ([]byte, error) {
 	if length == 0 {
 		return nil, fmt.Errorf("%w: %s (deleted)", ErrNotFound, rid)
 	}
+	if err := checkSlot(rid.Page, rid.Slot, offset, length); err != nil {
+		return nil, err
+	}
 	out := make([]byte, length)
 	copy(out, data[offset:int(offset)+int(length)])
 	return out, nil
@@ -226,6 +270,9 @@ func (f *File) Delete(rid RID) error {
 	offset, length := readSlot(data, rid.Slot)
 	if length == 0 {
 		return fmt.Errorf("%w: %s (already deleted)", ErrNotFound, rid)
+	}
+	if err := checkSlot(rid.Page, rid.Slot, offset, length); err != nil {
+		return err
 	}
 	writeSlot(data, rid.Slot, offset, 0)
 	f.pool.MarkDirty(rid.Page)
@@ -255,6 +302,10 @@ func (f *File) Update(rid RID, record []byte) (RID, error) {
 		f.pool.Unpin(rid.Page)
 		return RID{}, fmt.Errorf("%w: %s (deleted)", ErrNotFound, rid)
 	}
+	if err := checkSlot(rid.Page, rid.Slot, offset, length); err != nil {
+		f.pool.Unpin(rid.Page)
+		return RID{}, err
+	}
 	if len(record) <= int(length) {
 		copy(data[offset:], record)
 		writeSlot(data, rid.Slot, offset, uint16(len(record)))
@@ -275,6 +326,10 @@ func (f *File) Scan(fn func(rid RID, record []byte) bool) error {
 	for _, id := range f.pages {
 		data, err := f.pool.Fetch(id)
 		if err != nil {
+			return err
+		}
+		if err := checkPage(id, data); err != nil {
+			f.pool.Unpin(id)
 			return err
 		}
 		h := readHeader(data)

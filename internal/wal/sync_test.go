@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestSyncPoisoning: one failed fsync must poison the log — later Syncs
+// cannot spuriously report durability and Truncate refuses to discard the
+// only redo copy of recent records.
+func TestSyncPoisoning(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "test.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(KindInsert, "T", []byte("row")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("healthy sync: %v", err)
+	}
+	if err := l.SyncError(); err != nil {
+		t.Fatalf("healthy log reports poison: %v", err)
+	}
+
+	l.FailSyncAfter(0)
+	if err := l.Sync(); !errors.Is(err, ErrInjectedSyncFailure) {
+		t.Fatalf("armed sync = %v, want injected failure", err)
+	}
+	l.FailSyncAfter(-1) // disarming must not clear the poison
+	if err := l.Sync(); !errors.Is(err, ErrSyncPoisoned) {
+		t.Fatalf("post-failure sync = %v, want ErrSyncPoisoned", err)
+	}
+	if err := l.SyncError(); err == nil {
+		t.Fatal("SyncError = nil on a poisoned log")
+	}
+	if err := l.Truncate(); !errors.Is(err, ErrSyncPoisoned) {
+		t.Fatalf("truncate on poisoned log = %v, want refusal", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("refused truncate still dropped records: len = %d", l.Len())
+	}
+	// Appends still work: the engine keeps running, only durability
+	// reporting and truncation are off the table.
+	if _, err := l.Append(KindInsert, "T", []byte("row2")); err != nil {
+		t.Fatalf("append on poisoned log: %v", err)
+	}
+}
+
+// TestFailSyncAfterCountdown: n syncs succeed before the arm trips.
+func TestFailSyncAfterCountdown(t *testing.T) {
+	l := NewMemory()
+	l.FailSyncAfter(2)
+	for i := 0; i < 2; i++ {
+		if err := l.Sync(); err != nil {
+			t.Fatalf("sync %d within budget: %v", i, err)
+		}
+	}
+	if err := l.Sync(); !errors.Is(err, ErrInjectedSyncFailure) {
+		t.Fatalf("sync past budget = %v", err)
+	}
+}

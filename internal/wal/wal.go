@@ -158,6 +158,14 @@ var (
 	// reached the log: the record is neither written to disk nor kept in
 	// memory, and every later Append keeps failing.
 	ErrInjectedFailure = errors.New("wal: injected failure (simulated crash)")
+	// ErrInjectedSyncFailure is returned by Sync once an injected sync fault
+	// point (FailSyncAfter) trips.
+	ErrInjectedSyncFailure = errors.New("wal: injected sync failure")
+	// ErrSyncPoisoned marks a log whose Sync failed at least once. A failed
+	// fsync may have dropped the dirty log data from the kernel cache, so
+	// later syncs returning nil would spuriously report durability; the log
+	// stays poisoned, and refuses to Truncate, until reopened.
+	ErrSyncPoisoned = errors.New("wal: sync previously failed; durability cannot be trusted")
 )
 
 // errTorn marks a record cut short by a crash mid-append. Unlike a checksum
@@ -175,6 +183,12 @@ type Log struct {
 	// failAfter, when >= 0, is the number of further Appends allowed before
 	// ErrInjectedFailure; -1 disables fault injection.
 	failAfter int
+	// failSyncAfter, when >= 0, is the number of further Syncs allowed
+	// before ErrInjectedSyncFailure; -1 disables sync fault injection.
+	failSyncAfter int
+	// syncErr, once set, poisons every later Sync and Truncate (see
+	// ErrSyncPoisoned).
+	syncErr error
 	// txOpen is true while a transaction frame is open (TxBegin written,
 	// closing record pending); txPending arms a lazy frame: the TxBegin is
 	// written immediately before the first data record, so an auto-commit
@@ -186,7 +200,7 @@ type Log struct {
 }
 
 // NewMemory returns an in-memory log.
-func NewMemory() *Log { return &Log{nextLSN: 1, failAfter: -1} }
+func NewMemory() *Log { return &Log{nextLSN: 1, failAfter: -1, failSyncAfter: -1} }
 
 // Open opens (or creates) a file-backed log, replaying existing records into
 // memory so they can be iterated. A torn final record — the signature of a
@@ -197,7 +211,7 @@ func Open(path string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &Log{nextLSN: 1, file: f, failAfter: -1}
+	l := &Log{nextLSN: 1, file: f, failAfter: -1, failSyncAfter: -1}
 	if err := l.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -418,6 +432,11 @@ func (l *Log) EnsureNextLSN(min uint64) {
 func (l *Log) Truncate() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.syncErr != nil {
+		// The records being discarded are the only redo copy of recent
+		// commits; with durability in doubt they must stay.
+		return fmt.Errorf("wal: refusing to truncate: %w (first failure: %v)", ErrSyncPoisoned, l.syncErr)
+	}
 	if l.file != nil {
 		if err := l.file.Truncate(0); err != nil {
 			return fmt.Errorf("wal: truncate: %w", err)
@@ -472,14 +491,53 @@ func recordSize(rec Record) int64 {
 	return int64(recordHeaderSize + recordFixedFrame + len(rec.Table) + len(rec.Payload))
 }
 
-// Sync flushes a file-backed log to stable storage.
+// Sync flushes a file-backed log to stable storage. After one failed sync
+// (real or injected) the log is poisoned: every later Sync fails with
+// ErrSyncPoisoned rather than pretending the lost records became durable.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.syncErr != nil {
+		return fmt.Errorf("%w (first failure: %v)", ErrSyncPoisoned, l.syncErr)
+	}
+	if l.failSyncAfter == 0 {
+		l.syncErr = ErrInjectedSyncFailure
+		return ErrInjectedSyncFailure
+	}
+	if l.failSyncAfter > 0 {
+		l.failSyncAfter--
+	}
 	if l.file == nil {
 		return nil
 	}
-	return l.file.Sync()
+	if err := l.file.Sync(); err != nil {
+		l.syncErr = err
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// FailSyncAfter arms a sync fault point: the next n Syncs succeed, every
+// one after that fails with ErrInjectedSyncFailure and poisons the log. A
+// negative n disarms the fault point but does not clear poisoning — like a
+// real fsync failure, there is no way to prove the data made it.
+func (l *Log) FailSyncAfter(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 {
+		l.failSyncAfter = -1
+		return
+	}
+	l.failSyncAfter = n
+}
+
+// SyncError reports the poisoned state: nil while every Sync so far
+// succeeded, otherwise the first failure. Checkpoint consults it before
+// discarding redo information.
+func (l *Log) SyncError() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncErr
 }
 
 // Len returns the number of records.
