@@ -191,6 +191,26 @@
 // and Backup to take a consistent online snapshot that itself opens and
 // verifies. Both are also available as `bdbms-cli verify` and
 // `bdbms-cli backup`.
+//
+// # Network
+//
+// The engine also runs client/server: cmd/bdbms-server puts a DB behind
+// TCP, speaking a length-prefixed binary protocol (docs/PROTOCOL.md) with
+// named prepared statements, cursor paging and transaction control, and
+// internal/server/client is the Go client mirroring this package's shape
+// (Query returning a streaming Rows, Prepare, Begin/Commit/Rollback).
+// Statements received over the wire run through the same sessions as
+// embedded callers, so SQL semantics, annotation propagation and the
+// durability contract above are identical either way.
+//
+// Network connections authenticate with per-user secrets, registered via
+// SetCredential (session-scoped, like GRANT/REVOKE state — the server
+// installs them at startup from its -users flag) and checked in constant
+// time by Authenticate. The authenticated user is subject to the same
+// GRANT/REVOKE and approval checks as an embedded session. bdbms-cli
+// -connect runs the interactive shell remotely with byte-identical script
+// output, and bdbms-bench -net generates concurrent load, reporting
+// throughput and latency percentiles.
 package bdbms
 
 import (
@@ -425,6 +445,19 @@ func (db *DB) Dependencies() *dependency.Manager { return db.inner.Dependencies(
 
 // Authorization exposes the authorization manager.
 func (db *DB) Authorization() *authz.Manager { return db.inner.Authorization() }
+
+// SetCredential installs (or, with secret "", removes) a user's network
+// login secret. Credentials gate only the network server's Hello handshake
+// (internal/server); the embedded API trusts its caller. Like GRANT state,
+// credentials are session-scoped and not persisted.
+func (db *DB) SetCredential(user, secret string) { db.inner.Authorization().SetSecret(user, secret) }
+
+// Authenticate checks a user/secret pair against the credentials installed
+// by SetCredential, in constant time. It is the default auth hook of the
+// network server.
+func (db *DB) Authenticate(user, secret string) error {
+	return db.inner.Authorization().Authenticate(user, secret)
+}
 
 // Render formats a query result as a textual grid, listing each row's
 // propagated annotations beneath it — the CLI's (and the examples')

@@ -32,7 +32,22 @@ import (
 func main() {
 	exp := flag.String("experiment", "all", "experiment to run (E1..E9 or all)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	netMode := flag.Bool("net", false, "network benchmark: drive a bdbms-server with concurrent client connections instead of running E1-E9")
+	addr := flag.String("addr", "", "-net: server address (empty = spawn an in-process server)")
+	user := flag.String("user", "bench", "-net: login user")
+	secret := flag.String("secret", "bench", "-net: login secret")
+	conns := flag.Int("conns", 100, "-net: concurrent client connections")
+	duration := flag.Duration("duration", 3*time.Second, "-net: measurement duration")
+	workload := flag.String("workload", "mixed", "-net: point, insert or mixed")
+	rows := flag.Int("rows", 10000, "-net: seeded Bench table size")
 	flag.Parse()
+
+	if *netMode {
+		os.Exit(runNet(netConfig{
+			addr: *addr, user: *user, secret: *secret, conns: *conns,
+			duration: *duration, workload: *workload, rows: *rows,
+		}, os.Stdout))
+	}
 
 	experiments := []struct {
 		name string

@@ -1,0 +1,236 @@
+package main
+
+// Network benchmark mode: `bdbms-bench -net` drives a bdbms-server with N
+// concurrent client connections and reports throughput plus latency
+// percentiles — the load generator for the server subsystem, sized to be
+// meaningful anywhere from 100 to 10k connections.
+//
+// With -addr it targets a running server (credentials via -user/-secret);
+// without, it spawns an in-process server on a loopback port, so
+// `bdbms-bench -net -conns 100 -duration 1s` is a self-contained smoke.
+//
+// Workloads, all through prepared statements:
+//
+//	point  — indexed point SELECTs over the seeded rows
+//	insert — prepared single-row INSERTs (disjoint key ranges per conn)
+//	mixed  — 80% point reads, 20% transactional read-modify-writes
+//	         (BEGIN; UPDATE; COMMIT), the contended OLTP shape
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"bdbms"
+	"bdbms/internal/server"
+	"bdbms/internal/server/client"
+)
+
+type netConfig struct {
+	addr     string // empty = spawn an in-process server
+	user     string
+	secret   string
+	conns    int
+	duration time.Duration
+	workload string
+	rows     int // seeded table size
+}
+
+// runNet executes the network benchmark and returns a process exit code.
+func runNet(cfg netConfig, out io.Writer) int {
+	if cfg.conns <= 0 || cfg.rows <= 0 || cfg.duration <= 0 {
+		fmt.Fprintln(out, "bdbms-bench -net: -conns, -rows and -duration must be positive")
+		return 2
+	}
+	switch cfg.workload {
+	case "point", "insert", "mixed":
+	default:
+		fmt.Fprintf(out, "bdbms-bench -net: unknown workload %q (want point, insert or mixed)\n", cfg.workload)
+		return 2
+	}
+
+	addr := cfg.addr
+	if addr == "" {
+		var stop func()
+		var err error
+		addr, stop, err = spawnServer(cfg)
+		if err != nil {
+			fmt.Fprintf(out, "bdbms-bench -net: spawn server: %v\n", err)
+			return 1
+		}
+		defer stop()
+	}
+
+	// Seed through the wire so the tool works against a remote server too.
+	// A pre-existing Bench table is reused as-is.
+	if err := seedBench(addr, cfg); err != nil {
+		fmt.Fprintf(out, "bdbms-bench -net: seed: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(out, "workload=%s conns=%d duration=%v rows=%d server=%s\n",
+		cfg.workload, cfg.conns, cfg.duration, cfg.rows, addr)
+
+	type workerResult struct {
+		lats []time.Duration
+		errs int
+		err  error // first hard failure (dial/prepare), fatal for the run
+	}
+	results := make([]workerResult, cfg.conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	for w := 0; w < cfg.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			c, err := client.DialTimeout(addr, cfg.user, cfg.secret, 30*time.Second)
+			if err != nil {
+				r.err = fmt.Errorf("conn %d: %w", w, err)
+				return
+			}
+			defer c.Close()
+			read, err := c.Prepare(`SELECT V FROM Bench WHERE ID = ?`)
+			if err != nil {
+				r.err = fmt.Errorf("conn %d prepare: %w", w, err)
+				return
+			}
+			ins, err := c.Prepare(`INSERT INTO Bench VALUES (?, ?)`)
+			if err != nil {
+				r.err = fmt.Errorf("conn %d prepare: %w", w, err)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
+			// Disjoint insert key space per connection, above the seed range.
+			nextKey := int64(cfg.rows) + int64(w+1)<<32
+			for op := 0; time.Now().Before(deadline); op++ {
+				var err error
+				opStart := time.Now()
+				switch {
+				case cfg.workload == "point" || (cfg.workload == "mixed" && op%5 != 0):
+					err = pointRead(read, rng.Intn(cfg.rows))
+				case cfg.workload == "insert":
+					_, _, err = ins.Exec(nextKey, "payload")
+					nextKey++
+				default: // mixed write: transactional read-modify-write
+					err = rmw(c, rng.Intn(cfg.rows))
+				}
+				if err != nil {
+					r.errs++
+					continue
+				}
+				r.lats = append(r.lats, time.Since(opStart))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for i := range results {
+		if results[i].err != nil {
+			fmt.Fprintf(out, "bdbms-bench -net: %v\n", results[i].err)
+			return 1
+		}
+		all = append(all, results[i].lats...)
+		errs += results[i].errs
+	}
+	if len(all) == 0 {
+		fmt.Fprintln(out, "bdbms-bench -net: no operation completed")
+		return 1
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(all)-1))
+		return all[idx]
+	}
+	qps := float64(len(all)) / elapsed.Seconds()
+	fmt.Fprintf(out, "ops=%d errors=%d elapsed=%v\n", len(all), errs, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "qps=%.0f p50=%v p95=%v p99=%v max=%v\n",
+		qps, pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	return 0
+}
+
+func pointRead(read *client.Stmt, id int) error {
+	rows, err := read.Query(id)
+	if err != nil {
+		return err
+	}
+	for rows.Next() {
+	}
+	return rows.Close()
+}
+
+// rmw is the transactional read-modify-write: the contended shape, since
+// the engine serializes transactions behind its exclusive lock.
+func rmw(c *client.Conn, id int) error {
+	if err := c.Begin(); err != nil {
+		return err
+	}
+	if _, _, err := c.Exec(`UPDATE Bench SET V = ? WHERE ID = ?`, "touched", id); err != nil {
+		c.Rollback()
+		return err
+	}
+	return c.Commit()
+}
+
+// spawnServer starts an in-process server over a fresh memory database.
+func spawnServer(cfg netConfig) (addr string, stop func(), err error) {
+	db := bdbms.Open()
+	db.SetCredential(cfg.user, cfg.secret)
+	srv, err := server.New(server.Config{DB: db, MaxConns: cfg.conns + 16})
+	if err != nil {
+		db.Close()
+		return "", nil, err
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		db.Close()
+		return "", nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+		db.Close()
+	}
+	return srv.Addr().String(), stop, nil
+}
+
+// seedBench creates and fills the Bench table over the wire. An existing
+// table (remote server reuse) is kept as-is.
+func seedBench(addr string, cfg netConfig) error {
+	c, err := client.DialTimeout(addr, cfg.user, cfg.secret, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, _, err := c.Exec(`CREATE TABLE Bench (ID INT NOT NULL PRIMARY KEY, V TEXT)`); err != nil {
+		// Assume "already exists" from a previous run against the same
+		// server; the point-read keyspace [0, rows) is still valid.
+		return nil
+	}
+	ins, err := c.Prepare(`INSERT INTO Bench VALUES (?, ?)`)
+	if err != nil {
+		return err
+	}
+	if err := c.Begin(); err != nil {
+		return err
+	}
+	for i := 0; i < cfg.rows; i++ {
+		if _, _, err := ins.Exec(i, fmt.Sprintf("value-%06d", i)); err != nil {
+			c.Rollback()
+			return err
+		}
+	}
+	return c.Commit()
+}

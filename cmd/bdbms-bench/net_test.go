@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNetBenchSelfContained smokes every workload against a self-spawned
+// server: the run must complete, report qps and percentiles, and see zero
+// operation errors.
+func TestNetBenchSelfContained(t *testing.T) {
+	for _, workload := range []string{"point", "insert", "mixed"} {
+		t.Run(workload, func(t *testing.T) {
+			var out bytes.Buffer
+			code := runNet(netConfig{
+				user: "bench", secret: "bench",
+				conns: 8, duration: 300 * time.Millisecond,
+				workload: workload, rows: 200,
+			}, &out)
+			if code != 0 {
+				t.Fatalf("exit %d:\n%s", code, out.String())
+			}
+			s := out.String()
+			for _, want := range []string{"qps=", "p50=", "p99=", "errors=0"} {
+				if !strings.Contains(s, want) {
+					t.Errorf("output misses %q:\n%s", want, s)
+				}
+			}
+		})
+	}
+}
+
+func TestNetBenchValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := runNet(netConfig{workload: "nope", conns: 1, rows: 1, duration: time.Second}, &out); code != 2 {
+		t.Fatalf("bad workload exit = %d, want 2", code)
+	}
+	if code := runNet(netConfig{workload: "point", conns: 0, rows: 1, duration: time.Second}, &out); code != 2 {
+		t.Fatalf("zero conns exit = %d, want 2", code)
+	}
+}

@@ -74,8 +74,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	script := fs.String("script", "", "execute this A-SQL script file before reading stdin")
 	quiet := fs.Bool("quiet", false, "suppress the banner and prompts")
 	crashExit := fs.Bool("crash-exit", false, "exit after the script WITHOUT closing the database (crash-recovery testing: open transactions are neither committed nor rolled back in-process)")
+	connect := fs.String("connect", "", "connect to a bdbms-server at host:port instead of opening a database in-process")
+	secret := fs.String("secret", "", "login secret for -connect (pair with -user)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *connect != "" {
+		if *dataFile != "" || *enforce || *crashExit {
+			fmt.Fprintln(stderr, "bdbms-cli: -data, -enforce-auth and -crash-exit do not apply with -connect (the server owns the database)")
+			return 2
+		}
+		return runRemote(*connect, *user, *secret, *script, *quiet, stdin, stdout, stderr)
 	}
 
 	db, err := bdbms.OpenWith(bdbms.Options{DataFile: *dataFile, EnforceAuth: *enforce})
@@ -267,19 +276,20 @@ func runBackup(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// streamResult prints a cursor's result as it is pulled: the header first,
-// then one line per row the moment the row arrives, with the row's
-// annotations listed beneath it. Column widths are fixed from the header
-// (cells are truncated to 40 runes), trading the perfectly-fitted grid of
-// bdbms.Render for output that streams.
-func streamResult(w io.Writer, rows *bdbms.Rows) {
-	if msg := rows.Message(); msg != "" {
-		fmt.Fprintln(w, msg)
-	}
-	cols := rows.Columns()
-	if len(cols) == 0 {
-		return
-	}
+// annLine is one annotation line below a grid row, already flattened: the
+// shared format code below is agnostic to whether the annotation came from
+// the embedded cursor or across the wire.
+type annLine struct {
+	table, author, body string
+}
+
+// streamGrid prints a streaming result grid: header, separator, one line
+// per row the moment next yields it (annotations listed beneath), and the
+// row-count footer. Column widths are fixed from the header (cells are
+// truncated to 40 runes), trading the perfectly-fitted grid of bdbms.Render
+// for output that streams. Local and remote mode share this function, which
+// is what keeps their golden outputs byte-identical.
+func streamGrid(w io.Writer, cols []string, next func() ([]string, []annLine, bool)) {
 	widths := make([]int, len(cols))
 	for i, c := range cols {
 		widths[i] = utf8.RuneCountInString(c)
@@ -307,20 +317,44 @@ func streamResult(w io.Writer, rows *bdbms.Rows) {
 	}
 	writeRow(sep)
 	n := 0
-	cells := make([]string, len(cols))
-	for rows.Next() {
-		row := rows.Row()
-		for i := range cells {
-			cells[i] = ""
-			if i < len(row.Values) {
-				cells[i] = bdbms.TruncateCell(row.Values[i].String(), 40)
-			}
+	for {
+		cells, anns, ok := next()
+		if !ok {
+			break
 		}
 		writeRow(cells)
-		for _, ann := range row.AnnotationsFlat() {
-			fmt.Fprintf(w, "    [%s by %s] %s\n", ann.AnnTable, ann.Author, ann.PlainBody())
+		for _, ann := range anns {
+			fmt.Fprintf(w, "    [%s by %s] %s\n", ann.table, ann.author, ann.body)
 		}
 		n++
 	}
 	fmt.Fprintf(w, "(%d row(s))\n", n)
+}
+
+// streamResult prints an embedded cursor's result as it is pulled.
+func streamResult(w io.Writer, rows *bdbms.Rows) {
+	if msg := rows.Message(); msg != "" {
+		fmt.Fprintln(w, msg)
+	}
+	cols := rows.Columns()
+	if len(cols) == 0 {
+		return
+	}
+	streamGrid(w, cols, func() ([]string, []annLine, bool) {
+		if !rows.Next() {
+			return nil, nil, false
+		}
+		row := rows.Row()
+		cells := make([]string, len(cols))
+		for i := range cells {
+			if i < len(row.Values) {
+				cells[i] = bdbms.TruncateCell(row.Values[i].String(), 40)
+			}
+		}
+		var anns []annLine
+		for _, ann := range row.AnnotationsFlat() {
+			anns = append(anns, annLine{ann.AnnTable, ann.Author, ann.PlainBody()})
+		}
+		return cells, anns, true
+	})
 }

@@ -1,0 +1,151 @@
+package main
+
+// Remote mode: `bdbms-cli -connect host:port -user u -secret s` runs the
+// same shell against a bdbms-server instead of an in-process database. The
+// statement loop, script handling and output format are shared with local
+// mode (streamGrid), so a script produces byte-identical output either way;
+// the differences are where they must be — authentication is mandatory,
+// \tables needs catalog access the wire protocol does not expose, and an
+// open transaction is rolled back by the server when the connection drops.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bdbms"
+	"bdbms/internal/server/client"
+	"bdbms/internal/server/wire"
+	"bdbms/internal/sqlparse"
+)
+
+func runRemote(addr, user, secret, script string, quiet bool, stdin io.Reader, stdout, stderr io.Writer) int {
+	c, err := client.Dial(addr, user, secret)
+	if err != nil {
+		fmt.Fprintln(stderr, "bdbms-cli: connect:", err)
+		return 1
+	}
+	defer c.Close()
+
+	if !quiet {
+		fmt.Fprintf(stdout, "bdbms — connected to %s as %s (%s)\n", addr, user, c.ServerVersion())
+		fmt.Fprintln(stdout, "Enter A-SQL statements terminated by ';'.  \\q quits.")
+	}
+
+	runStmt := func(sql string) bool {
+		rows, err := c.Query(sql)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return false
+		}
+		streamRemoteResult(stdout, rows)
+		if err := rows.Close(); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return false
+		}
+		return true
+	}
+
+	if script != "" {
+		content, err := os.ReadFile(script)
+		if err != nil {
+			fmt.Fprintln(stderr, "bdbms-cli:", err)
+			return 1
+		}
+		// Same pre-validation as local mode: a syntax error anywhere in the
+		// script executes nothing.
+		if _, err := sqlparse.ParseAll(string(content)); err != nil {
+			fmt.Fprintln(stderr, "bdbms-cli:", err)
+			return 1
+		}
+		for _, stmt := range sqlparse.SplitStatements(string(content)) {
+			if !runStmt(stmt) {
+				return 1
+			}
+		}
+	}
+
+	scanner := bufio.NewScanner(stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var buf strings.Builder
+	if !quiet {
+		fmt.Fprint(stdout, "bdbms> ")
+	}
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch strings.TrimSpace(line) {
+		case "\\q", "\\quit", "exit", "quit":
+			return 0
+		case "\\tables":
+			fmt.Fprintln(stdout, "\\tables is unavailable in remote mode")
+			if !quiet {
+				fmt.Fprint(stdout, "bdbms> ")
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			runStmt(buf.String())
+			buf.Reset()
+			if !quiet {
+				fmt.Fprint(stdout, "bdbms> ")
+			}
+		}
+	}
+	if buf.Len() > 0 && strings.TrimSpace(buf.String()) != "" {
+		runStmt(buf.String())
+	}
+	return 0
+}
+
+// streamRemoteResult prints a network cursor through the shared grid code.
+// One format difference is forced by the protocol: a DML status message
+// arrives in the Complete frame at the END of the stream, so the cursor is
+// drained before the message prints — local mode knows it upfront.
+func streamRemoteResult(w io.Writer, rows *client.Rows) {
+	cols := rows.Columns()
+	if len(cols) == 0 {
+		for rows.Next() {
+		}
+		if msg := rows.Message(); msg != "" {
+			fmt.Fprintln(w, msg)
+		}
+		return
+	}
+	streamGrid(w, cols, func() ([]string, []annLine, bool) {
+		if !rows.Next() {
+			return nil, nil, false
+		}
+		row := rows.Row()
+		cells := make([]string, len(cols))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = bdbms.TruncateCell(row[i].String(), 40)
+			}
+		}
+		return cells, flatAnnLines(rows.Annotations()), true
+	})
+}
+
+// flatAnnLines mirrors exec.ARow.AnnotationsFlat across the wire: one line
+// per distinct annotation (deduplicated by ID when the same annotation
+// covers several cells; synthetic ID-0 annotations are kept individually).
+func flatAnnLines(cells [][]wire.Ann) []annLine {
+	seen := map[int64]bool{}
+	var out []annLine
+	for _, cell := range cells {
+		for _, a := range cell {
+			if a.ID != 0 {
+				if seen[a.ID] {
+					continue
+				}
+				seen[a.ID] = true
+			}
+			out = append(out, annLine{a.AnnTable, a.Author, a.PlainBody()})
+		}
+	}
+	return out
+}

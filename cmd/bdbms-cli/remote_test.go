@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bdbms"
+	"bdbms/internal/server"
+)
+
+// startTestServer serves an empty in-memory database (credential
+// cli:cli-secret for the admin user) on a random port.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	db := bdbms.Open()
+	db.SetCredential("admin", "cli-secret")
+	srv, err := server.New(server.Config{DB: db, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-serveDone; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		db.Close()
+	})
+	return srv.Addr().String()
+}
+
+// TestRemoteScriptGoldenMirrorsLocal is the remote-mode contract: the SAME
+// script checked against the SAME golden file as local-mode
+// TestScriptModeGolden. Running it over the wire — parse/bind/execute
+// frames, typed value encoding, annotation frames — must be byte-identical
+// to running it embedded.
+func TestRemoteScriptGoldenMirrorsLocal(t *testing.T) {
+	addr := startTestServer(t)
+	stdout, stderr, code := runCLI(t, []string{
+		"-quiet", "-connect", addr, "-user", "admin", "-secret", "cli-secret",
+		"-script", "testdata/basic.sql"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("unexpected stderr: %s", stderr)
+	}
+	checkGolden(t, filepath.Join("testdata", "basic.golden"), stdout)
+}
+
+func TestRemoteInteractive(t *testing.T) {
+	addr := startTestServer(t)
+	in := strings.Join([]string{
+		"CREATE TABLE G (N INT);",
+		"INSERT INTO G VALUES (1), (2), (3);",
+		"BEGIN;",
+		"INSERT INTO G VALUES (4);",
+		"ROLLBACK;",
+		"SELECT N FROM G WHERE N > 1;",
+		"\\q",
+	}, "\n") + "\n"
+	stdout, stderr, code := runCLI(t,
+		[]string{"-quiet", "-connect", addr, "-user", "admin", "-secret", "cli-secret"}, in)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"table G created", "3 row(s) inserted", "(2 row(s))"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output misses %q:\n%s\nstderr:%s", want, stdout, stderr)
+		}
+	}
+	if strings.Contains(stdout, "(3 row(s))") {
+		t.Errorf("rolled-back row visible:\n%s", stdout)
+	}
+}
+
+func TestRemoteAuthFailureExitsNonzero(t *testing.T) {
+	addr := startTestServer(t)
+	_, stderr, code := runCLI(t,
+		[]string{"-quiet", "-connect", addr, "-user", "admin", "-secret", "wrong"}, "")
+	if code == 0 {
+		t.Fatal("wrong secret exited 0")
+	}
+	if !strings.Contains(stderr, "authz.auth_failed") {
+		t.Errorf("stderr misses the stable code: %s", stderr)
+	}
+}
+
+func TestRemoteStatementErrorKeepsShellAlive(t *testing.T) {
+	addr := startTestServer(t)
+	in := strings.Join([]string{
+		"SELECT N FROM NoSuchTable;",
+		"CREATE TABLE G (N INT);",
+		"\\q",
+	}, "\n") + "\n"
+	stdout, stderr, code := runCLI(t,
+		[]string{"-quiet", "-connect", addr, "-user", "admin", "-secret", "cli-secret"}, in)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stderr, "catalog.table_not_found") {
+		t.Errorf("stderr misses categorized error: %s", stderr)
+	}
+	if !strings.Contains(stdout, "table G created") {
+		t.Errorf("shell died after statement error:\n%s", stdout)
+	}
+}
+
+func TestConnectFlagConflicts(t *testing.T) {
+	_, stderr, code := runCLI(t,
+		[]string{"-connect", "127.0.0.1:1", "-data", "x.db"}, "")
+	if code != 2 {
+		t.Fatalf("exit %d, want usage error 2 (stderr: %s)", code, stderr)
+	}
+}

@@ -1,0 +1,189 @@
+// Command bdbms-server serves a bdbms database over TCP, speaking the
+// length-prefixed binary protocol documented in docs/PROTOCOL.md. Clients
+// authenticate with a user/secret pair, get a session subject to the
+// database's GRANT/REVOKE checks, and run prepared statements, cursor-paged
+// queries and multi-statement transactions — the same A-SQL engine as the
+// embedded API, shared by any number of concurrent connections.
+//
+// With -data the served database is durable; without, it is an empty
+// in-memory database (useful for experiments and the bench client).
+// Credentials are session-scoped like GRANT state: they are installed at
+// startup from -users ("alice:secret,bob:hunter2"). With no -users flag the
+// server installs admin:admin and prints a loud warning — never expose that
+// to a network you don't own.
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops, in-flight
+// statements finish and deliver their responses, open transactions are
+// rolled back, open cursors closed, and the database checkpointed. A second
+// signal — or the -drain-timeout deadline — force-closes the stragglers
+// (still rolling back and checkpointing before exit).
+//
+// Usage:
+//
+//	bdbms-server [-addr :7070] [-data file.db] [-users alice:s1,bob:s2]
+//	             [-max-conns 1024] [-idle-timeout 5m] [-drain-timeout 10s]
+//	             [-enforce-auth] [-init script.sql] [-quiet]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bdbms"
+	"bdbms/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable daemon body. ready, when non-nil, receives the bound
+// listener address once the server accepts connections — tests use it to
+// dial without racing startup. The returned int is the process exit code.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("bdbms-server", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7070", "TCP address to listen on (host:port; port 0 picks a free port)")
+	dataFile := fs.String("data", "", "serve this durable database file (empty = in-memory)")
+	users := fs.String("users", "", "comma-separated user:secret pairs allowed to connect")
+	maxConns := fs.Int("max-conns", 1024, "maximum concurrent connections")
+	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "disconnect sessions idle this long")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits before force-closing connections")
+	enforce := fs.Bool("enforce-auth", false, "enable GRANT/REVOKE privilege checks on every statement")
+	initScript := fs.String("init", "", "execute this A-SQL script (as admin) before serving")
+	quiet := fs.Bool("quiet", false, "suppress startup banner and connection logs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "bdbms-server: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	logf := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Fprintf(stdout, format+"\n", a...)
+		}
+	}
+
+	db, err := bdbms.OpenWith(bdbms.Options{DataFile: *dataFile, EnforceAuth: *enforce})
+	if err != nil {
+		fmt.Fprintf(stderr, "bdbms-server: open: %v\n", err)
+		return 1
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			db.Close()
+		}
+	}()
+
+	if *initScript != "" {
+		script, err := os.ReadFile(*initScript)
+		if err != nil {
+			fmt.Fprintf(stderr, "bdbms-server: init: %v\n", err)
+			return 1
+		}
+		if _, err := db.ExecAll(string(script)); err != nil {
+			fmt.Fprintf(stderr, "bdbms-server: init: %v\n", err)
+			return 1
+		}
+	}
+
+	if err := installUsers(db, *users, stderr); err != nil {
+		fmt.Fprintf(stderr, "bdbms-server: %v\n", err)
+		return 2
+	}
+
+	srv, err := server.New(server.Config{
+		DB:          db,
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTimeout,
+		Logf: func(format string, a ...any) {
+			if !*quiet {
+				fmt.Fprintf(stderr, "bdbms-server: "+format+"\n", a...)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "bdbms-server: %v\n", err)
+		return 1
+	}
+	if err := srv.Listen(*addr); err != nil {
+		fmt.Fprintf(stderr, "bdbms-server: listen: %v\n", err)
+		return 1
+	}
+	bound := srv.Addr().String()
+	logf("bdbms-server listening on %s (data=%s)", bound, orMemory(*dataFile))
+	if ready != nil {
+		ready <- bound
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM; a second signal force-closes.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	shutdownDone := make(chan error, 1)
+	go func() {
+		sig := <-sigCh
+		logf("bdbms-server: %v received, draining (%v limit; signal again to force)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		go func() {
+			<-sigCh
+			cancel()
+		}()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintf(stderr, "bdbms-server: %v\n", err)
+		return 1
+	}
+	if err := <-shutdownDone; err != nil {
+		logf("bdbms-server: drain deadline hit, connections force-closed")
+	} else {
+		logf("bdbms-server: drained cleanly")
+	}
+	// Close checkpoints; run it explicitly so its error reaches the exit
+	// code (the deferred close is skipped).
+	closed = true
+	if err := db.Close(); err != nil {
+		fmt.Fprintf(stderr, "bdbms-server: close: %v\n", err)
+		return 1
+	}
+	logf("bdbms-server: database checkpointed, bye")
+	return 0
+}
+
+// installUsers parses "user:secret,user:secret" and installs each
+// credential. An empty spec installs admin:admin with a warning.
+func installUsers(db *bdbms.DB, spec string, stderr io.Writer) error {
+	if spec == "" {
+		db.SetCredential("admin", "admin")
+		fmt.Fprintln(stderr, "bdbms-server: WARNING: no -users given; installed default credential admin:admin — do not expose this server")
+		return nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		user, secret, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok || user == "" || secret == "" {
+			return fmt.Errorf("bad -users entry %q (want user:secret)", pair)
+		}
+		db.SetCredential(user, secret)
+	}
+	return nil
+}
+
+func orMemory(dataFile string) string {
+	if dataFile == "" {
+		return "memory"
+	}
+	return dataFile
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"bdbms"
+	"bdbms/internal/server/client"
+)
+
+// startDaemon runs the daemon body in-process with the given flags and
+// returns the bound address plus a channel with the eventual exit code.
+func startDaemon(t *testing.T, args ...string) (string, <-chan int, *bytes.Buffer) {
+	t.Helper()
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	var out bytes.Buffer
+	go func() { exit <- run(args, &out, &out, ready) }()
+	select {
+	case addr := <-ready:
+		return addr, exit, &out
+	case code := <-exit:
+		t.Fatalf("daemon exited with %d before binding:\n%s", code, out.String())
+		return "", nil, nil
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready:\n%s", out.String())
+		return "", nil, nil
+	}
+}
+
+func TestDaemonServesAndDrainsOnSignal(t *testing.T) {
+	dataFile := filepath.Join(t.TempDir(), "daemon.bdbms")
+	initFile := filepath.Join(t.TempDir(), "init.sql")
+	writeFile(t, initFile, `CREATE TABLE T (ID INT NOT NULL PRIMARY KEY, V TEXT);
+INSERT INTO T VALUES (1, 'seed');`)
+
+	addr, exit, out := startDaemon(t,
+		"-addr", "127.0.0.1:0",
+		"-data", dataFile,
+		"-init", initFile,
+		"-users", "admin:topsecret,alice:wonder",
+		"-drain-timeout", "10s",
+	)
+
+	// The custom credentials work; the default does not.
+	if _, err := client.Dial(addr, "admin", "admin"); err == nil {
+		t.Fatal("default credential accepted despite -users")
+	}
+	c, err := client.Dial(addr, "alice", "wonder")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, _, err := c.Exec(`INSERT INTO T VALUES (?, ?)`, 2, "net"); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	// Leave a transaction open so the drain has something to roll back.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Exec(`INSERT INTO T VALUES (?, ?)`, 99, "doomed"); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGTERM to our own process: the daemon's handler drains and exits 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d:\n%s", code, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM:\n%s", out.String())
+	}
+	c.Close()
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("missing drain notice in output:\n%s", out.String())
+	}
+
+	// The database reopens clean: committed rows present, the open
+	// transaction rolled back, Verify happy.
+	db, err := bdbms.OpenWith(bdbms.Options{DataFile: dataFile})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db.Close()
+	report, err := db.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Problems) != 0 {
+		t.Fatalf("Verify problems: %+v", report.Problems)
+	}
+	res := db.MustExec(`SELECT ID FROM T`)
+	var ids []int64
+	for _, r := range res.Rows {
+		ids = append(ids, r.Values[0].Int())
+	}
+	if len(ids) != 2 {
+		t.Fatalf("reopened rows = %v, want the two committed ids", ids)
+	}
+	for _, id := range ids {
+		if id == 99 {
+			t.Fatal("uncommitted transaction survived the drain")
+		}
+	}
+}
+
+func TestInstallUsersValidation(t *testing.T) {
+	db := bdbms.Open()
+	defer db.Close()
+	var warn bytes.Buffer
+	if err := installUsers(db, "", &warn); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warn.String(), "WARNING") {
+		t.Error("default credential installed without a warning")
+	}
+	if err := db.Authenticate("admin", "admin"); err != nil {
+		t.Errorf("default credential: %v", err)
+	}
+	if err := installUsers(db, "alice:a,bob:b", &warn); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Authenticate("bob", "b"); err != nil {
+		t.Errorf("bob: %v", err)
+	}
+	for _, bad := range []string{"alice", "alice:", ":secret", "a:b,,"} {
+		if err := installUsers(db, bad, &warn); err == nil {
+			t.Errorf("installUsers(%q) accepted", bad)
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@
 package authz
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"sort"
@@ -66,6 +67,9 @@ var (
 	ErrOpNotFound = errors.New("authz: operation not found")
 	// ErrNoApproval is returned when content approval is not enabled on a table.
 	ErrNoApproval = errors.New("authz: content approval not enabled")
+	// ErrAuthFailed is returned when a user/secret pair does not authenticate.
+	// The message never says whether the user or the secret was wrong.
+	ErrAuthFailed = errors.New("authz: authentication failed")
 )
 
 // Operation is one logged update under content-based approval.
@@ -128,6 +132,7 @@ type Manager struct {
 	eng       *storage.Engine
 	log       *wal.Log
 	users     map[string]map[string]bool // user -> set of groups
+	secrets   map[string]string          // user -> login secret (network auth)
 	admins    map[string]bool
 	grants    map[string]map[Privilege]bool // principal|table -> privileges
 	approvals map[string]*ApprovalConfig    // table (lower) -> config
@@ -152,6 +157,7 @@ func NewManager(eng *storage.Engine) *Manager {
 		eng:       eng,
 		log:       eng.WAL(),
 		users:     make(map[string]map[string]bool),
+		secrets:   make(map[string]string),
 		admins:    make(map[string]bool),
 		grants:    make(map[string]map[Privilege]bool),
 		approvals: make(map[string]*ApprovalConfig),
@@ -199,6 +205,42 @@ func (m *Manager) UserExists(name string) bool {
 	defer m.mu.RUnlock()
 	_, ok := m.users[strings.ToLower(name)]
 	return ok
+}
+
+// SetSecret installs (or, with "", removes) the user's login secret for
+// network authentication, registering the user if needed. Secrets are
+// session-scoped configuration like GRANT state: they are not persisted and
+// must be re-installed after reopening a durable database.
+func (m *Manager) SetSecret(user, secret string) {
+	m.CreateUser(user)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := strings.ToLower(user)
+	if secret == "" {
+		delete(m.secrets, key)
+		return
+	}
+	m.secrets[key] = secret
+}
+
+// Authenticate checks a user/secret pair for network login. It fails with
+// ErrAuthFailed for an unknown user, a wrong secret, or a user with no
+// secret installed — a user becomes connectable only by an explicit
+// SetSecret. The comparison is constant-time.
+func (m *Manager) Authenticate(user, secret string) error {
+	m.mu.RLock()
+	stored, ok := m.secrets[strings.ToLower(user)]
+	m.mu.RUnlock()
+	if !ok {
+		// Burn the comparison anyway so an attacker cannot time-probe which
+		// user names exist.
+		subtle.ConstantTimeCompare([]byte(secret), []byte(secret))
+		return ErrAuthFailed
+	}
+	if subtle.ConstantTimeCompare([]byte(stored), []byte(secret)) != 1 {
+		return ErrAuthFailed
+	}
+	return nil
 }
 
 // MemberOf reports whether the user belongs to the group.

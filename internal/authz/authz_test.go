@@ -322,3 +322,51 @@ func TestMonitorsColumn(t *testing.T) {
 		t.Error("empty column list monitors everything")
 	}
 }
+
+func TestCredentials(t *testing.T) {
+	eng, _ := newEngine(t)
+	m := NewManager(eng)
+
+	// No secret installed: nobody authenticates, not even with "".
+	if err := m.Authenticate("alice", ""); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("no-secret auth = %v, want ErrAuthFailed", err)
+	}
+
+	m.SetSecret("alice", "s3cret")
+	if err := m.Authenticate("alice", "s3cret"); err != nil {
+		t.Errorf("valid auth = %v", err)
+	}
+	// Usernames are case-insensitive like the rest of authz; secrets not.
+	if err := m.Authenticate("ALICE", "s3cret"); err != nil {
+		t.Errorf("case-insensitive user = %v", err)
+	}
+	if err := m.Authenticate("alice", "S3CRET"); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("wrong-case secret = %v, want ErrAuthFailed", err)
+	}
+	if err := m.Authenticate("alice", "wrong"); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("wrong secret = %v, want ErrAuthFailed", err)
+	}
+	if err := m.Authenticate("nobody", "s3cret"); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("unknown user = %v, want ErrAuthFailed", err)
+	}
+
+	// SetSecret registers the user for GRANT purposes.
+	if !m.UserExists("alice") {
+		t.Error("SetSecret did not register the user")
+	}
+
+	// Rotation: the old secret stops working, the new one starts.
+	m.SetSecret("alice", "rotated")
+	if err := m.Authenticate("alice", "s3cret"); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("stale secret = %v, want ErrAuthFailed", err)
+	}
+	if err := m.Authenticate("alice", "rotated"); err != nil {
+		t.Errorf("rotated secret = %v", err)
+	}
+
+	// Removal: "" uninstalls and the user becomes unconnectable again.
+	m.SetSecret("alice", "")
+	if err := m.Authenticate("alice", "rotated"); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("removed secret = %v, want ErrAuthFailed", err)
+	}
+}

@@ -1,0 +1,104 @@
+package errcode
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"bdbms/internal/authz"
+	"bdbms/internal/catalog"
+	"bdbms/internal/exec"
+	"bdbms/internal/pager"
+	"bdbms/internal/sqlparse"
+)
+
+func TestFromErrorMapsEverySentinel(t *testing.T) {
+	for _, s := range sentinels {
+		if got := FromError(s.err); got != s.code {
+			t.Errorf("FromError(%v) = %q, want %q", s.err, got, s.code)
+		}
+		// Wrapped sentinels classify identically: codes must survive the
+		// fmt.Errorf("%w") chains the executor builds.
+		wrapped := fmt.Errorf("outer context: %w", s.err)
+		if got := FromError(wrapped); got != s.code {
+			t.Errorf("FromError(wrapped %v) = %q, want %q", s.err, got, s.code)
+		}
+	}
+}
+
+func TestFromErrorFallbacks(t *testing.T) {
+	if got := FromError(nil); got != OK {
+		t.Errorf("FromError(nil) = %q, want OK", got)
+	}
+	if got := FromError(errors.New("novel failure")); got != Internal {
+		t.Errorf("FromError(unknown) = %q, want Internal", got)
+	}
+}
+
+func TestSpecificMappings(t *testing.T) {
+	cases := []struct {
+		err  error
+		code Code
+	}{
+		{sqlparse.ErrSyntax, Syntax},
+		{exec.ErrBadArgs, BadArgs},
+		{exec.ErrTxDone, TxDone},
+		{pager.ErrPageCorrupt, PageCorrupt},
+		{authz.ErrPermissionDenied, PermissionDenied},
+		{authz.ErrAuthFailed, AuthFailed},
+		{catalog.ErrTableNotFound, TableNotFound},
+		{context.Canceled, Canceled},
+	}
+	for _, c := range cases {
+		if got := FromError(c.err); got != c.code {
+			t.Errorf("FromError(%v) = %q, want %q", c.err, got, c.code)
+		}
+	}
+}
+
+func TestCategory(t *testing.T) {
+	cases := []struct {
+		code Code
+		cat  string
+	}{
+		{TxDone, "tx"},
+		{Syntax, "parse"},
+		{PageCorrupt, "storage"},
+		{NetShutdown, "net"},
+		{Internal, "internal"},
+		{OK, ""},
+	}
+	for _, c := range cases {
+		if got := c.code.Category(); got != c.cat {
+			t.Errorf("%q.Category() = %q, want %q", c.code, got, c.cat)
+		}
+	}
+}
+
+func TestCodesAreUniqueAndStable(t *testing.T) {
+	// Two different sentinels may share a code only when they mean the same
+	// failure class (the page-corrupt and sync-poisoned pairs); otherwise a
+	// duplicate constant value is a bug.
+	byCode := map[Code][]error{}
+	for _, s := range sentinels {
+		byCode[s.code] = append(byCode[s.code], s.err)
+	}
+	allowedShared := map[Code]bool{PageCorrupt: true, SyncPoisoned: true}
+	for code, errs := range byCode {
+		if len(errs) > 1 && !allowedShared[code] {
+			t.Errorf("code %q maps from %d sentinels: %v", code, len(errs), errs)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, c := range []Code{OK, Internal, TxDone, NetShutdown, NetConnLimit} {
+		if !Valid(c) {
+			t.Errorf("Valid(%q) = false, want true", c)
+		}
+	}
+	if Valid(Code("made.up")) {
+		t.Error(`Valid("made.up") = true, want false`)
+	}
+}
