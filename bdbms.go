@@ -63,14 +63,23 @@
 //
 // # Concurrency
 //
-// Sessions of one DB are safe for concurrent use: SELECTs share a read
-// lock and run in parallel, while DML, DDL, annotation and approval
-// statements serialize behind an exclusive lock. A streaming cursor holds
-// the read lock until it is closed or exhausted, so always Close the Rows.
-// Because a queued writer blocks new readers, finish (or Close) open
-// cursors before executing a write you wait on, and avoid opening nested
-// queries inside a Next loop while writers may be queued — either pattern
-// can deadlock, exactly as with a single-connection database/sql driver.
+// Sessions of one DB are safe for concurrent use. Readers and writers do
+// not block each other: a bare SELECT pins an MVCC snapshot and streams
+// from it holding no lock at all, so a cursor may stay open indefinitely —
+// across concurrent UPDATEs, other transactions, even nested queries
+// issued from inside its own Next loop — without stalling any writer or
+// being stalled by one. The cursor sees the committed state as of the
+// moment the query started (snapshot isolation); rows committed later are
+// invisible to it. Still Close the Rows: an open snapshot pins row
+// versions that garbage collection cannot reclaim.
+//
+// Writers take per-table write latches (plus a shared WAL latch that
+// serializes transaction frames in the log), granted in FIFO order, so
+// writes on disjoint tables only serialize where they genuinely conflict
+// and no writer is starved. Two explicit transactions that latch tables
+// incrementally can deadlock; the engine detects the cycle and fails the
+// statement that would close it with a storage.ErrDeadlock the
+// application can retry.
 //
 // Exec, ExecAll and MustExec remain as compatibility wrappers that drain a
 // cursor into a fully materialized Result.
@@ -94,13 +103,16 @@
 // partial rollbacks; a statement that fails mid-transaction is rolled back
 // by itself while the transaction survives.
 //
-// Isolation is serializable by construction: a transaction holds the
-// database's exclusive lock from Begin to Commit/Rollback, so readers
-// never observe a partially committed transaction — they run either
-// entirely before or entirely after it. The corollary: end transactions
-// promptly, and do not Begin while the same goroutine holds an open
-// cursor. Canceling the Begin context rolls an abandoned transaction back
-// automatically and releases the lock.
+// Writer isolation is serializable: a transaction latches every table it
+// writes (or reads from inside the transaction) at first touch and holds
+// the latches until Commit/Rollback — strict two-phase locking —  so
+// conflicting transactions run either entirely before or entirely after
+// one another. Snapshot readers never observe a partially committed
+// transaction: a transaction's effects become visible atomically, to
+// snapshots taken after its commit. The corollary: end transactions
+// promptly — latches, unlike snapshots, do queue other writers. Canceling
+// the Begin context rolls an abandoned transaction back automatically and
+// releases its latches.
 //
 // Bare statements auto-commit: each runs in an implicit transaction with
 // the same machinery, so a multi-row INSERT that fails halfway, a canceled
@@ -153,9 +165,13 @@
 // durable), GRANT/REVOKE state and the content-approval operation log
 // (session-scoped; approval records appear in the WAL for audit only), and
 // prepared statements. The WAL is written with ordinary unbuffered writes
-// and synced at checkpoints, so an OS-level power loss may drop the last
-// few records (whole frames at a time — never half a transaction); an
-// application crash loses nothing committed.
+// and, by default, synced at checkpoints — an OS-level power loss may then
+// drop the last few records (whole frames at a time — never half a
+// transaction), while an application crash loses nothing committed.
+// Options.SyncOnCommit closes that window: every COMMIT waits for the WAL
+// to be fsynced through its commit record, and concurrent commits share
+// one group-commit fsync so the upgrade costs one disk flush per batch,
+// not per transaction.
 //
 // # When the disk lies
 //
@@ -270,6 +286,15 @@ type Options struct {
 	// operator). Small budgets trade speed for memory; results are
 	// identical either way.
 	SpillBudget int
+	// SyncOnCommit makes every COMMIT (explicit or auto-commit) wait for
+	// the WAL to be fsynced through its commit record, upgrading the
+	// durability contract from "committed transactions survive an
+	// application crash" to "committed transactions survive power loss".
+	// Concurrent commits are group-committed: they share one fsync instead
+	// of paying one each, so the cost amortizes under load. Off by default
+	// (the WAL is then synced at checkpoints); meaningless without a
+	// DataFile.
+	SyncOnCommit bool
 }
 
 // DB is an open bdbms database.
@@ -295,9 +320,10 @@ func Open() *DB {
 // checkpointing.
 func OpenWith(opts Options) (*DB, error) {
 	coreOpts := core.Options{
-		PoolSize:    opts.PoolSize,
-		EnforceAuth: opts.EnforceAuth,
-		SpillBudget: opts.SpillBudget,
+		PoolSize:     opts.PoolSize,
+		EnforceAuth:  opts.EnforceAuth,
+		SpillBudget:  opts.SpillBudget,
+		SyncOnCommit: opts.SyncOnCommit,
 	}
 	var pgr pager.Pager
 	var wlog *wal.Log
@@ -374,18 +400,20 @@ type VerifyProblem = core.VerifyProblem
 // in orphaned pages no table references), cross-checks each table's heap
 // against its row index and secondary B+-trees, validates the checkpoint
 // manifest and catalog snapshot against the live engine, and proves every
-// annotation is reachable back through the spatial index. Verify takes the
-// exclusive statement lock for the duration, so concurrent statements wait
-// and none are observed half-applied. The returned error covers operational
+// annotation is reachable back through the spatial index. Verify quiesces
+// all writers for the duration (new writers queue, snapshot readers keep
+// streaming), so no statement is observed half-applied. The returned error
+// covers operational
 // failures only (e.g. the initial flush); integrity findings are in the
 // report's Problems.
 func (db *DB) Verify() (*VerifyReport, error) { return db.inner.Verify() }
 
 // Backup takes a consistent online snapshot of a durable database into
-// destDir (created if missing): the database is checkpointed under the
-// exclusive statement lock and the four files — page file, WAL, catalog and
-// manifest — are copied and fsynced. Concurrent statements block for the
-// duration and resume after; none of their effects can be half-captured.
+// destDir (created if missing): the database is checkpointed with all
+// writers quiesced and the four files — page file, WAL, catalog and
+// manifest — are copied and fsynced. Concurrent writers queue for the
+// duration and resume after (snapshot readers are unaffected); no
+// statement's effects can be half-captured.
 // The copy set is a normal database: restore is
 // OpenWith(Options{DataFile: filepath.Join(destDir, filepath.Base(orig))}),
 // and the copy passes Verify. Backup fails on a memory database.
@@ -405,9 +433,9 @@ func (db *DB) Prepare(sql string) (*Stmt, error) { return db.inner.Prepare(sql) 
 // Begin opens an explicit multi-statement transaction as the admin user:
 // every statement run through the returned Tx is atomic with the others,
 // invisible to other sessions until Commit, and fully reverted by Rollback.
-// The transaction holds the database's exclusive lock until it ends, so end
+// The transaction holds its per-table write latches until it ends, so end
 // it promptly; canceling ctx rolls an abandoned transaction back and
-// releases the lock. See the package documentation for the transactional
+// releases the latches. See the package documentation for the transactional
 // guarantees.
 func (db *DB) Begin(ctx context.Context) (*Tx, error) { return db.inner.Begin(ctx) }
 

@@ -18,10 +18,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -77,8 +79,8 @@ func runNet(cfg netConfig, out io.Writer) int {
 
 	type workerResult struct {
 		lats []time.Duration
-		errs int
-		err  error // first hard failure (dial/prepare), fatal for the run
+		errs map[string]int // op failures, keyed by errcode category
+		err  error          // first hard failure (dial/prepare), fatal for the run
 	}
 	results := make([]workerResult, cfg.conns)
 	var wg sync.WaitGroup
@@ -121,7 +123,10 @@ func runNet(cfg netConfig, out io.Writer) int {
 					err = rmw(c, rng.Intn(cfg.rows))
 				}
 				if err != nil {
-					r.errs++
+					if r.errs == nil {
+						r.errs = make(map[string]int)
+					}
+					r.errs[errCategory(err)]++
 					continue
 				}
 				r.lats = append(r.lats, time.Since(opStart))
@@ -133,15 +138,24 @@ func runNet(cfg netConfig, out io.Writer) int {
 
 	var all []time.Duration
 	errs := 0
+	byCode := make(map[string]int)
 	for i := range results {
 		if results[i].err != nil {
 			fmt.Fprintf(out, "bdbms-bench -net: %v\n", results[i].err)
 			return 1
 		}
 		all = append(all, results[i].lats...)
-		errs += results[i].errs
+		for code, n := range results[i].errs {
+			byCode[code] += n
+			errs += n
+		}
 	}
+	fmt.Fprintf(out, "ops=%d errors=%d%s elapsed=%v\n",
+		len(all), errs, errBreakdown(byCode), elapsed.Round(time.Millisecond))
 	if len(all) == 0 {
+		// Every single operation failed: there are no latencies to rank, so
+		// report the failure (with the breakdown above saying why) instead
+		// of dividing by zero.
 		fmt.Fprintln(out, "bdbms-bench -net: no operation completed")
 		return 1
 	}
@@ -151,11 +165,44 @@ func runNet(cfg netConfig, out io.Writer) int {
 		return all[idx]
 	}
 	qps := float64(len(all)) / elapsed.Seconds()
-	fmt.Fprintf(out, "ops=%d errors=%d elapsed=%v\n", len(all), errs, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "qps=%.0f p50=%v p95=%v p99=%v max=%v\n",
 		qps, pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
 	return 0
+}
+
+// errCategory buckets an operation failure for the errors-by-code report:
+// the server's stable errcode when it sent one, "transport" otherwise.
+func errCategory(err error) string {
+	var se *client.ServerError
+	if errors.As(err, &se) {
+		return string(se.Code)
+	}
+	return "transport"
+}
+
+// errBreakdown renders ` [code=n code=n ...]` sorted by code, or "" when the
+// run had no errors — keeping the `errors=0` token stable for scripts that
+// grep it.
+func errBreakdown(byCode map[string]int) string {
+	if len(byCode) == 0 {
+		return ""
+	}
+	codes := make([]string, 0, len(byCode))
+	for code := range byCode {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	var b strings.Builder
+	b.WriteString(" [")
+	for i, code := range codes {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", code, byCode[code])
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 func pointRead(read *client.Stmt, id int) error {
@@ -168,8 +215,9 @@ func pointRead(read *client.Stmt, id int) error {
 	return rows.Close()
 }
 
-// rmw is the transactional read-modify-write: the contended shape, since
-// the engine serializes transactions behind its exclusive lock.
+// rmw is the transactional read-modify-write: the contended shape — every
+// transaction here updates the same table, so they serialize on its write
+// latch (readers, on MVCC snapshots, never wait on them).
 func rmw(c *client.Conn, id int) error {
 	if err := c.Begin(); err != nil {
 		return err

@@ -38,6 +38,12 @@ type Options struct {
 	// external sort) before it spills to a temp file; 0 uses the executor
 	// default.
 	SpillBudget int
+	// SyncOnCommit makes every commit wait for the WAL to be fsynced
+	// through its last record before returning, upgrading durability from
+	// at-last-checkpoint to at-commit. Concurrent commits share one fsync
+	// (group commit). Off by default: the baseline contract is that a crash
+	// loses at most the work since the last checkpoint.
+	SyncOnCommit bool
 	// WAL is the write-ahead log; nil means a fresh in-memory log.
 	WAL *wal.Log
 	// CatalogPath is where checkpoints snapshot the catalog. Together with
@@ -70,16 +76,10 @@ type DB struct {
 	manifestPath string
 	dataPath     string
 	walPath      string
-	// stmtMu is the engine-wide statement lock shared by every session:
-	// SELECTs take it shared (and a streaming cursor holds it until closed),
-	// mutating statements take it exclusive, and an open transaction holds
-	// it exclusively from Begin to Commit/Rollback. This is what makes
-	// concurrent sessions safe.
-	stmtMu sync.RWMutex
 	// openTxMu guards openTxs, the transactions currently open across every
 	// session of this database. Close rolls them back before checkpointing
-	// — a leaked transaction holds stmtMu exclusively and would deadlock
-	// the checkpoint forever otherwise.
+	// — a leaked transaction holds per-table write latches, and the
+	// checkpoint's quiesce would deadlock on them forever otherwise.
 	openTxMu sync.Mutex
 	openTxs  map[*exec.Tx]struct{}
 }
@@ -141,6 +141,7 @@ func Open(opts Options) (*DB, error) {
 	if log == nil {
 		log = wal.NewMemory()
 	}
+	log.SetSyncOnCommit(opts.SyncOnCommit)
 	cat := catalog.New()
 	durable := opts.WAL != nil && opts.CatalogPath != "" && opts.ManifestPath != ""
 	if durable {
@@ -213,9 +214,10 @@ func (db *DB) Dependencies() *dependency.Manager { return db.dep }
 // Authorization returns the authorization manager.
 func (db *DB) Authorization() *authz.Manager { return db.auth }
 
-// Session creates an A-SQL execution session for the given user. Every
-// session shares the database's statement lock, so sessions of one DB may
-// run concurrently from multiple goroutines.
+// Session creates an A-SQL execution session for the given user. Sessions
+// of one DB run concurrently from multiple goroutines: SELECT cursors read
+// MVCC snapshots without locking, and mutating statements coordinate
+// through the engine's per-table write latches.
 func (db *DB) Session(user string) *exec.Session {
 	return &exec.Session{
 		Eng:         db.eng,
@@ -226,7 +228,6 @@ func (db *DB) Session(user string) *exec.Session {
 		User:        user,
 		EnforceAuth: db.opts.EnforceAuth,
 		SpillBudget: db.opts.SpillBudget,
-		Mu:          &db.stmtMu,
 		OnTxBegin:   db.trackTx,
 		OnTxEnd:     db.untrackTx,
 	}
@@ -255,8 +256,9 @@ func (db *DB) Prepare(sql string) (*exec.Stmt, error) {
 }
 
 // Begin opens an explicit multi-statement transaction as the built-in admin
-// user. The transaction holds the engine-wide exclusive lock until Commit
-// or Rollback; canceling ctx rolls an abandoned transaction back.
+// user. The transaction accumulates per-table write latches statement by
+// statement and holds them until Commit or Rollback; canceling ctx rolls an
+// abandoned transaction back, latches released.
 func (db *DB) Begin(ctx context.Context) (*exec.Tx, error) {
 	return db.Session("admin").Begin(ctx)
 }
@@ -264,8 +266,8 @@ func (db *DB) Begin(ctx context.Context) (*exec.Tx, error) {
 // Close checkpoints the database (flush + catalog/manifest snapshot + WAL
 // truncation for durable databases, a plain flush otherwise). Transactions
 // still open at Close — typically leaked on an error path without
-// Commit/Rollback — are rolled back first: they hold the exclusive
-// statement lock, and the checkpoint would otherwise block on it forever.
+// Commit/Rollback — are rolled back first: they hold write latches, and
+// the checkpoint's quiesce would otherwise block on them forever.
 // The pager and the WAL are owned by the caller when supplied in Options.
 func (db *DB) Close() error {
 	for _, tx := range db.leakedTxs() {

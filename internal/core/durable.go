@@ -107,12 +107,13 @@ func loadManifest(path string) (*manifest, error) {
 // Checkpoint makes the current committed state self-contained on disk and
 // truncates the WAL: dirty pages are flushed and synced, the catalog and the
 // memory-resident structures are snapshotted, and only then is the log
-// emptied. The statement lock is taken exclusively, so a checkpoint never
-// observes a half-applied statement. On a memory-backed database Checkpoint
-// degrades to FlushAll.
+// emptied. The engine's lock manager is quiesced — every writer drains and
+// new ones wait — so a checkpoint never observes a half-applied statement.
+// On a memory-backed database Checkpoint degrades to FlushAll.
 func (db *DB) Checkpoint() error {
-	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
+	locks := db.eng.Locks()
+	locks.Quiesce()
+	defer locks.Resume()
 	return db.checkpointLocked()
 }
 

@@ -6,8 +6,8 @@
 // checks each table's heap against its row index and B+-trees, validates
 // the checkpoint manifest and catalog against the live engine, and proves
 // every annotation is reachable through the annotation store's spatial
-// index. Backup is the consistent-snapshot half: checkpoint under the
-// exclusive statement lock, then copy the four files.
+// index. Backup is the consistent-snapshot half: checkpoint with all
+// writers quiesced, then copy the four files.
 package core
 
 import (
@@ -71,14 +71,15 @@ func (r *VerifyReport) addf(area, format string, args ...any) {
 }
 
 // Verify scrubs the whole database and returns a report of everything it
-// found. It takes the statement lock exclusively — concurrent statements
-// wait, none are observed half-applied — and flushes dirty pages first so
-// the on-disk scrub sees current content. The returned error covers
+// found. It quiesces the engine's lock manager — concurrent writers drain
+// and wait, none are observed half-applied — and flushes dirty pages first
+// so the on-disk scrub sees current content. The returned error covers
 // operational failures only (the flush); integrity findings, including
 // unreadable pages, are reported as Problems.
 func (db *DB) Verify() (*VerifyReport, error) {
-	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
+	locks := db.eng.Locks()
+	locks.Quiesce()
+	defer locks.Resume()
 	rep := &VerifyReport{}
 
 	if err := db.eng.FlushAll(); err != nil {
@@ -188,14 +189,16 @@ func (db *DB) verifyManifest(rep *VerifyReport) {
 }
 
 // Backup takes a consistent online snapshot of a durable database into
-// destDir: it checkpoints under the exclusive statement lock (so the page
+// destDir: it checkpoints with the lock manager quiesced (so the page
 // file alone carries the full committed state and the WAL is empty) and
 // copies the four files, fsyncing each. The copy set opens as a normal
 // database — restore is `bdbms.OpenWith(DataFile: destDir/<name>)` — and
-// passes Verify. Concurrent statements block for the duration.
+// passes Verify. Concurrent writers block for the duration; snapshot
+// readers do not.
 func (db *DB) Backup(destDir string) error {
-	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
+	locks := db.eng.Locks()
+	locks.Quiesce()
+	defer locks.Resume()
 	if !db.durable() || db.dataPath == "" {
 		return errors.New("core: backup requires a file-backed database")
 	}

@@ -11,6 +11,7 @@ import (
 	"bdbms/internal/annotation"
 	"bdbms/internal/authz"
 	"bdbms/internal/sqlparse"
+	"bdbms/internal/storage"
 	"bdbms/internal/value"
 )
 
@@ -47,16 +48,15 @@ import (
 // the session's transaction state — see Session.Begin — and while a
 // transaction is open every statement routes through it.
 //
-// For streaming cursors the session's read lock is held until Close; always
-// close the returned Rows (Close is idempotent, and exhausting the cursor
-// releases the lock as well).
-//
-// Lock contract: because sync.RWMutex blocks new readers once a writer is
-// waiting, do not issue a mutating statement — from any goroutine you then
-// wait on — while one of your cursors is still open, and do not open a
-// nested Query inside a Next loop if a writer may be queued concurrently;
-// either pattern can deadlock. Drain or Close the cursor first (Exec
-// materializes and never holds the lock across caller code).
+// A streaming cursor takes no locks: it pins an MVCC snapshot of the
+// committed state at Query time and reads through it, so concurrent writers
+// proceed unhindered and never shear the scan. Always close the returned
+// Rows (Close is idempotent, and exhausting the cursor releases the
+// snapshot as well) — an open snapshot pins row versions engine-wide.
+// Cursors can be held open across any other statement, including mutations
+// from the same or other goroutines and nested Queries inside a Next loop;
+// the cursor keeps reporting its snapshot, unaffected by what commits
+// meanwhile.
 func (s *Session) Query(ctx context.Context, sql string, args ...any) (*Rows, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -135,9 +135,12 @@ func (st *Stmt) Exec(args ...any) (*Result, error) {
 }
 
 // cachedPlan returns the statement's physical plan, replanning when the
-// schema version moved. The caller must hold the session's read lock, which
-// excludes concurrent DDL, so the version cannot change underneath the
-// check.
+// schema version moved. DDL can run concurrently with this check; a plan
+// cached against a version that moves immediately afterwards is still safe
+// to execute — it holds direct table references (dropped tables stay
+// readable through open snapshots) and index probes only ever produce
+// candidate supersets that the scan re-filters — it is merely stale, and the
+// next execution replans.
 func (st *Stmt) cachedPlan(s *Session, sel *sqlparse.SelectStmt) (*stmtPlan, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -171,12 +174,12 @@ func (s *Session) planFor(sel *sqlparse.SelectStmt) (*stmtPlan, error) {
 
 // queryStmt routes a bound statement: transaction control goes to the
 // session's transaction state; statements inside an open transaction run
-// under it (no extra locking — the transaction holds the exclusive lock);
-// bare SELECTs stream under the shared lock (every shape — blocking
+// under it (reading current state under the transaction's latches); bare
+// SELECTs stream from an MVCC snapshot, latch-free (every shape — blocking
 // operators spill rather than materialize); everything else executes inside
-// an implicit auto-commit transaction and is wrapped in a materialized
-// cursor. A NoOptimize session routes SELECTs through the naive reference
-// executor instead.
+// an implicit auto-commit transaction under per-table write latches and is
+// wrapped in a materialized cursor. A NoOptimize session routes SELECTs
+// through the naive reference executor instead.
 func (s *Session) queryStmt(ctx context.Context, stmt sqlparse.Statement, params value.Row, prep *Stmt) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -207,29 +210,29 @@ func (s *Session) queryStmt(ctx context.Context, stmt sqlparse.Statement, params
 	}, nil
 }
 
-// queryStream builds the lazy pipeline of a streamable SELECT. The session
-// read lock (when wired) is acquired here and held until the cursor is
-// closed or exhausted, so concurrent writers cannot shear a scan.
+// queryStream builds the lazy pipeline of a streamable SELECT. An MVCC
+// snapshot is pinned here and held until the cursor is closed or exhausted:
+// the cursor reads the committed state as of this moment, concurrent
+// writers notwithstanding, and holds no locks while doing so.
 func (s *Session) queryStream(ctx context.Context, sel *sqlparse.SelectStmt, params value.Row, prep *Stmt) (*Rows, error) {
-	unlock := func() {}
-	if s.Mu != nil {
-		s.Mu.RLock()
-		unlock = s.Mu.RUnlock
-	}
-	rows, err := s.buildStream(ctx, sel, params, prep)
+	snap := s.Eng.NewSnapshot()
+	rows, err := s.buildStream(ctx, sel, params, prep, snap)
 	if err != nil {
-		unlock()
+		snap.Close()
 		return nil, err
 	}
-	rows.unlock = unlock
+	rows.unlock = snap.Close
 	return rows, nil
 }
 
-func (s *Session) buildStream(ctx context.Context, sel *sqlparse.SelectStmt, params value.Row, prep *Stmt) (*Rows, error) {
+// buildStream assembles the cursor over one SELECT. snap, when non-nil, is
+// the MVCC snapshot every table read goes through; transaction cursors pass
+// nil and read the current state under the transaction's latches.
+func (s *Session) buildStream(ctx context.Context, sel *sqlparse.SelectStmt, params value.Row, prep *Stmt, snap *storage.Snapshot) (*Rows, error) {
 	// The top level's LIMIT is enforced lazily by Rows.limit (so an
 	// unordered LIMIT stops pulling early); nested operands apply theirs
 	// inside buildSelectIter.
-	ait, cols, closers, err := s.buildSelectIter(ctx, sel, params, prep, false)
+	ait, cols, closers, err := s.buildSelectIter(ctx, sel, params, prep, false, snap)
 	if err != nil {
 		for _, c := range closers {
 			c()
@@ -271,7 +274,7 @@ func (it *limitIter) Next() (ARow, bool, error) {
 // whose LIMIT binds to their own level (a trailing LIMIT in a compound
 // statement parses into the rightmost SELECT); the top level leaves it to
 // the cursor.
-func (s *Session) buildSelectIter(ctx context.Context, sel *sqlparse.SelectStmt, params value.Row, prep *Stmt, applyLimit bool) (aRowIter, []string, []func(), error) {
+func (s *Session) buildSelectIter(ctx context.Context, sel *sqlparse.SelectStmt, params value.Row, prep *Stmt, applyLimit bool, snap *storage.Snapshot) (aRowIter, []string, []func(), error) {
 	for _, ref := range sel.From {
 		if err := s.require(ref.Table, authz.PrivSelect); err != nil {
 			return nil, nil, nil, err
@@ -288,7 +291,7 @@ func (s *Session) buildSelectIter(ctx context.Context, sel *sqlparse.SelectStmt,
 		return nil, nil, nil, err
 	}
 	var closers []func()
-	it, err := s.buildPipeline(ctx, plan.phys, plan.bindings, params)
+	it, err := s.buildPipeline(ctx, plan.phys, plan.bindings, params, snap)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -355,7 +358,7 @@ func (s *Session) buildSelectIter(ctx context.Context, sel *sqlparse.SelectStmt,
 			a = newDistinctIter(a, s.spillBudget(), sf)
 		}
 		if sel.SetOp != sqlparse.SetNone {
-			right, _, rightClosers, err := s.buildSelectIter(ctx, sel.SetRight, params, nil, true)
+			right, _, rightClosers, err := s.buildSelectIter(ctx, sel.SetRight, params, nil, true, snap)
 			closers = append(closers, rightClosers...)
 			if err != nil {
 				return nil, nil, closers, err
@@ -490,7 +493,7 @@ func argValue(a any) (value.Value, error) {
 // Rows is a cursor over a statement's result, modeled on database/sql: call
 // Next until it returns false, read the current row with Scan / Row /
 // Annotations, then check Err and Close. A streaming Rows (every SELECT)
-// holds the session's shared lock until closed or exhausted; a materialized
+// pins an MVCC snapshot until closed or exhausted; a materialized
 // Rows (DML/DDL results) holds nothing. Blocking operators inside the
 // pipeline (grouping, DISTINCT, set operations, ordering) consume their
 // input on the first Next; their spill files are released when the cursor
@@ -610,8 +613,8 @@ func (r *Rows) Annotations() [][]*annotation.Annotation { return r.cur.Anns }
 // Err returns the error that terminated iteration, if any.
 func (r *Rows) Err() error { return r.err }
 
-// Close releases the cursor (and the session read lock a streaming cursor
-// holds). It is idempotent and safe to call at any point.
+// Close releases the cursor (and the MVCC snapshot a streaming cursor
+// pins). It is idempotent and safe to call at any point.
 func (r *Rows) Close() error {
 	r.finish()
 	r.closed = true

@@ -479,13 +479,11 @@ func TestRowsDMLResult(t *testing.T) {
 	rows.Close()
 }
 
-// TestConcurrentSessionsExec exercises the session lock at the exec layer:
-// parallel streaming readers and a writer sharing one lock must not race and
-// every reader must observe a consistent snapshot per cursor.
+// TestConcurrentSessionsExec exercises reader/writer concurrency at the
+// exec layer: parallel streaming readers against a concurrent writer must
+// not race, and every reader must observe a consistent snapshot per cursor.
 func TestConcurrentSessionsExec(t *testing.T) {
 	s := newSession(t)
-	var mu sync.RWMutex
-	s.Mu = &mu
 	loadGenes(t, s, 200)
 
 	var wg sync.WaitGroup

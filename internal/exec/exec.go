@@ -38,11 +38,15 @@
 // # Transactions
 //
 // Session.Begin (and the BEGIN/COMMIT/ROLLBACK/SAVEPOINT statements) group
-// statements into serializable ACID transactions; bare mutating statements
-// auto-commit inside an implicit transaction so a mid-statement failure
-// rolls back cleanly. See tx.go for the protocol: an engine-wide exclusive
-// lock for isolation, an in-memory undo log of before-images for rollback,
-// and TxBegin/TxCommit WAL framing for crash atomicity.
+// statements into ACID transactions; bare mutating statements auto-commit
+// inside an implicit transaction so a mid-statement failure rolls back
+// cleanly. See tx.go for the protocol: strict two-phase locking over
+// per-table latches for writer-writer isolation (writers remain
+// serializable), MVCC snapshots for latch-free SELECT cursors (readers get
+// snapshot isolation — see internal/storage/mvcc.go), an in-memory undo log
+// of before-images for rollback, and TxBegin/TxCommit WAL framing for crash
+// atomicity, with commits sharing fsyncs when commit-time durability is on
+// (wal.Log.SyncCommitted).
 package exec
 
 import (
@@ -81,18 +85,19 @@ var (
 // dependency manager flags a propagated cell as outdated.
 const OutdatedAnnTable = "Outdated"
 
-// Session executes statements on behalf of one user. When Mu is set (core
-// wires every session of a database to one lock), statement execution is
-// serialized engine-wide: SELECTs share a read lock and run concurrently,
-// everything that mutates state (DML, DDL, annotation and approval
-// commands) takes the lock exclusively.
+// Session executes statements on behalf of one user. Concurrency control
+// lives in the engine the session points at: SELECT cursors read MVCC
+// snapshots and take no locks, everything that mutates state (DML, DDL,
+// annotation and approval commands) runs under the per-table write latches
+// of Eng.Locks() — writers touching disjoint tables proceed in parallel up
+// to the shared WAL frame, writers on the same table serialize.
 //
 // A Session without an open transaction may be shared by several
 // goroutines. Once Begin (or a BEGIN statement) opens a transaction the
 // session's statements route through it and must come from one goroutine at
-// a time until Commit/Rollback — the transaction holds the exclusive
-// engine lock for its whole lifetime, which is what gives readers
-// all-or-nothing visibility of its writes.
+// a time until Commit/Rollback — the transaction holds its accumulated
+// latches for its whole lifetime, and its uncommitted writes stay invisible
+// to snapshot readers until COMMIT.
 type Session struct {
 	// Eng is the storage engine.
 	Eng *storage.Engine
@@ -120,12 +125,6 @@ type Session struct {
 	// selects the default (8 MiB per operator). INTERSECT/EXCEPT hold one
 	// in-memory entry per distinct right-operand row regardless of budget.
 	SpillBudget int
-	// Mu, when non-nil, is the engine-wide statement lock shared by every
-	// session of one database: read statements (SELECT, SHOW PENDING) take it
-	// shared, mutating statements take it exclusive. A streaming cursor holds
-	// the read lock until it is closed; an open transaction holds the
-	// exclusive lock from Begin to Commit/Rollback.
-	Mu *sync.RWMutex
 
 	// OnTxBegin / OnTxEnd, when both set (core wires them into every
 	// session), observe transaction lifecycle: Begin reports the new Tx
@@ -143,7 +142,7 @@ type Session struct {
 }
 
 // readOnlyStmt reports whether the statement only reads database state and
-// may run under the shared lock.
+// therefore needs no write latches or WAL frame.
 func readOnlyStmt(stmt sqlparse.Statement) bool {
 	switch stmt.(type) {
 	case *sqlparse.SelectStmt, *sqlparse.ShowPendingStmt:
@@ -151,20 +150,6 @@ func readOnlyStmt(stmt sqlparse.Statement) bool {
 	default:
 		return false
 	}
-}
-
-// lockFor acquires the session lock appropriate for the statement and
-// returns the matching release function (a no-op when no lock is wired).
-func (s *Session) lockFor(stmt sqlparse.Statement) func() {
-	if s.Mu == nil {
-		return func() {}
-	}
-	if readOnlyStmt(stmt) {
-		s.Mu.RLock()
-		return s.Mu.RUnlock
-	}
-	s.Mu.Lock()
-	return s.Mu.Unlock
 }
 
 // ARow is one result row: values plus, per output column, the annotations
@@ -506,9 +491,17 @@ func (s *Session) afterWrite(kind authz.OpKind, tbl *storage.Table, rowID int64,
 }
 
 // matchingRows returns the RowIDs of tbl satisfying where (all rows when
-// nil). The scan — a DML statement's long read phase — honors context
-// cancellation, checked periodically.
+// nil). When the WHERE clause contains an equality or range conjunct on an
+// indexed column it probes the index through the same access paths the SELECT
+// planner uses — a point UPDATE/DELETE then touches a handful of rows instead
+// of scanning the table, which matters doubly for mutations because their read
+// phase runs under the table's write latch. The full scan — still a DML
+// statement's long read phase — honors context cancellation, checked
+// periodically.
 func (s *Session) matchingRows(ctx context.Context, tbl *storage.Table, where sqlparse.Expr, params value.Row) ([]int64, error) {
+	if out, ok, err := s.probeMatchingRows(ctx, tbl, where, params); ok || err != nil {
+		return out, err
+	}
 	var out []int64
 	var evalErr error
 	scanned := 0
@@ -541,6 +534,68 @@ func (s *Session) matchingRows(ctx context.Context, tbl *storage.Table, where sq
 		return nil, evalErr
 	}
 	return out, nil
+}
+
+// probeMatchingRows is the index-probe fast path of matchingRows. It feeds
+// the WHERE conjuncts that resolve entirely against tbl to the SELECT
+// planner's access-path chooser and, when that yields an index probe, fetches
+// the candidate RowIDs from the index and re-evaluates the full predicate per
+// candidate — the probe only has to produce a superset. ok is false when no
+// probe applies and the caller must fall back to the heap scan. Mutations
+// read the current table state under its write latch, so no snapshot
+// augmentation is involved.
+func (s *Session) probeMatchingRows(ctx context.Context, tbl *storage.Table, where sqlparse.Expr, params value.Row) (ids []int64, ok bool, err error) {
+	if where == nil {
+		return nil, false, nil
+	}
+	schema := tbl.Schema()
+	src := &sourcePlan{tbl: tbl}
+	for _, e := range splitAnd(where, nil) {
+		resolved := true
+		pure := walkColumns(e, func(col *sqlparse.ColumnExpr) {
+			if col.Table != "" && !strings.EqualFold(col.Table, tbl.Name()) {
+				resolved = false
+				return
+			}
+			if schema.ColumnIndex(col.Column) < 0 {
+				resolved = false
+			}
+		})
+		if pure && resolved {
+			src.preds = append(src.preds, compiledPred{expr: e})
+		}
+	}
+	s.chooseAccessPath(src)
+	if src.access.kind == accessFullScan {
+		return nil, false, nil
+	}
+	cands, err := s.scanRowIDs(src, params, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]int64, 0, len(cands))
+	for i, rowID := range cands {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+		}
+		row, err := tbl.Get(rowID)
+		if err != nil {
+			if errors.Is(err, storage.ErrRowNotFound) {
+				continue
+			}
+			return nil, false, err
+		}
+		v, err := s.evalRowExpr(where, tbl, rowID, row, params)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.Type() == value.Bool && v.Bool() {
+			out = append(out, rowID)
+		}
+	}
+	return out, true, nil
 }
 
 // evalConst evaluates an expression with no row context (literals,

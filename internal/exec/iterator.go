@@ -78,11 +78,17 @@ func evalPreds(preds []compiledPred, vals value.Row, offset int, params value.Ro
 // single-table predicates before a row leaves the scan. The RowID list comes
 // either from the heap (full scan) or from a B+-tree probe (index scan); in
 // both cases it is sorted, so downstream operators see the same order.
+//
+// When snap is non-nil, every row fetch goes through the MVCC snapshot: the
+// scan sees the committed state at cursor-open time no matter what writers
+// do meanwhile. A nil snap reads the current heap — that is the mode for
+// cursors inside an explicit transaction, whose latches exclude writers.
 type scanIter struct {
 	ctx    context.Context
 	src    *sourcePlan
 	ids    []int64
 	params value.Row
+	snap   *storage.Snapshot
 	pos    int
 }
 
@@ -92,8 +98,7 @@ func (it *scanIter) Next() (execRow, bool, error) {
 	}
 	for it.pos < len(it.ids) {
 		// Re-check cancellation periodically inside the loop: a selective
-		// predicate can reject long stretches of rows within one Next call,
-		// and the stream holds the engine-wide read lock the whole time.
+		// predicate can reject long stretches of rows within one Next call.
 		if it.pos&1023 == 1023 {
 			if err := it.ctx.Err(); err != nil {
 				return execRow{}, false, err
@@ -101,7 +106,13 @@ func (it *scanIter) Next() (execRow, bool, error) {
 		}
 		rowID := it.ids[it.pos]
 		it.pos++
-		vals, err := it.src.tbl.Get(rowID)
+		var vals value.Row
+		var err error
+		if it.snap != nil {
+			vals, err = it.snap.Get(it.src.tbl, rowID)
+		} else {
+			vals, err = it.src.tbl.Get(rowID)
+		}
 		if errors.Is(err, storage.ErrRowNotFound) || errors.Is(err, heap.ErrNotFound) {
 			// Row deleted between listing and fetch; mirror Table.Scan.
 			continue

@@ -592,10 +592,19 @@ func (s *Session) explainSelect(st *sqlparse.SelectStmt) (string, error) {
 // the bound parameters; when the argument cannot be converted to the indexed
 // column's key space the scan falls back to the full RowID list, which is
 // always correct because the originating predicate is re-applied in the scan.
-func (s *Session) scanRowIDs(src *sourcePlan, params value.Row) ([]int64, error) {
+//
+// Under a snapshot the index trees still reflect the CURRENT rows, so every
+// probe result is widened with the rows the snapshot sees differently
+// (updated or deleted since it was taken) — the probe only needs to produce
+// a superset, the scan re-applies every pushed predicate per row.
+func (s *Session) scanRowIDs(src *sourcePlan, params value.Row, snap *storage.Snapshot) ([]int64, error) {
 	switch src.access.kind {
 	case accessIndexEq:
-		return src.tbl.IndexLookup(src.access.column, src.access.eq)
+		ids, err := src.tbl.IndexLookup(src.access.column, src.access.eq)
+		if err != nil || snap == nil {
+			return ids, err
+		}
+		return snap.AugmentRowIDs(src.tbl, ids), nil
 	case accessIndexEqParam:
 		v, err := s.evalConst(src.access.eqExpr, params)
 		if err != nil {
@@ -604,12 +613,26 @@ func (s *Session) scanRowIDs(src *sourcePlan, params value.Row) ([]int64, error)
 		colType := src.tbl.Schema().Columns[src.tbl.Schema().ColumnIndex(src.access.column)].Type
 		probe, _, usable := indexProbeValue(colType, v)
 		if !usable {
+			if snap != nil {
+				return snap.RowIDs(src.tbl), nil
+			}
 			return src.tbl.RowIDs(), nil
 		}
-		return src.tbl.IndexLookup(src.access.column, probe)
+		ids, err := src.tbl.IndexLookup(src.access.column, probe)
+		if err != nil || snap == nil {
+			return ids, err
+		}
+		return snap.AugmentRowIDs(src.tbl, ids), nil
 	case accessIndexRange:
-		return src.tbl.IndexRange(src.access.column, src.access.lo, src.access.loStrict, src.access.hi, src.access.hiStrict)
+		ids, err := src.tbl.IndexRange(src.access.column, src.access.lo, src.access.loStrict, src.access.hi, src.access.hiStrict)
+		if err != nil || snap == nil {
+			return ids, err
+		}
+		return snap.AugmentRowIDs(src.tbl, ids), nil
 	default:
+		if snap != nil {
+			return snap.RowIDs(src.tbl), nil
+		}
 		return src.tbl.RowIDs(), nil
 	}
 }
@@ -617,19 +640,19 @@ func (s *Session) scanRowIDs(src *sourcePlan, params value.Row) ([]int64, error)
 // buildPipeline assembles the iterator tree of the planned FROM/WHERE
 // pipeline (scans, joins, post-join filters and residual conjuncts). Both
 // the materializing runPlan and the streaming cursor pull from it.
-func (s *Session) buildPipeline(ctx context.Context, plan *physicalPlan, bindings []binding, params value.Row) (rowIter, error) {
-	ids, err := s.scanRowIDs(plan.sources[0], params)
+func (s *Session) buildPipeline(ctx context.Context, plan *physicalPlan, bindings []binding, params value.Row, snap *storage.Snapshot) (rowIter, error) {
+	ids, err := s.scanRowIDs(plan.sources[0], params, snap)
 	if err != nil {
 		return nil, err
 	}
-	var it rowIter = &scanIter{ctx: ctx, src: plan.sources[0], ids: ids, params: params}
+	var it rowIter = &scanIter{ctx: ctx, src: plan.sources[0], ids: ids, params: params, snap: snap}
 	for i := range plan.steps {
 		step := &plan.steps[i]
-		rids, err := s.scanRowIDs(step.right, params)
+		rids, err := s.scanRowIDs(step.right, params, snap)
 		if err != nil {
 			return nil, err
 		}
-		rightRows, err := drainIter(&scanIter{ctx: ctx, src: step.right, ids: rids, params: params})
+		rightRows, err := drainIter(&scanIter{ctx: ctx, src: step.right, ids: rids, params: params, snap: snap})
 		if err != nil {
 			return nil, err
 		}
@@ -657,7 +680,7 @@ func (s *Session) runPlan(ctx context.Context, plan *physicalPlan, bindings []bi
 	if len(plan.sources) == 0 {
 		return nil, nil
 	}
-	it, err := s.buildPipeline(ctx, plan, bindings, params)
+	it, err := s.buildPipeline(ctx, plan, bindings, params, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,114 @@
+package exec
+
+// Latch-scope extraction: which per-table write latches a statement must
+// hold. Scopes are lower-cased table names plus the reserved
+// storage.ScopeSchema for DDL; storage.ScopeWAL is NOT included here — it is
+// acquired separately, after the table scopes, when the write frame is
+// armed (see execAutoCommit and Tx.armFrameLocked). Acquiring tables first
+// and the shared WAL scope last means two writers touching the same table
+// serialize on the table latch before either reaches the WAL, which keeps
+// the common single-table workloads cycle-free; genuinely cyclic
+// acquisitions are caught by the lock manager's deadlock detector.
+//
+// The extracted set errs on the side of inclusion: a mutating statement
+// latches the tables it reads as well as the tables it writes (an
+// ADD ANNOTATION latches its ON (SELECT ...) sources), so every statement
+// observes a stable state of everything it touches — writer isolation stays
+// serializable.
+
+import (
+	"strings"
+
+	"bdbms/internal/sqlparse"
+	"bdbms/internal/storage"
+)
+
+// writeScopes returns the latch scopes of one mutating statement. Bare
+// SELECT and SHOW PENDING never reach here — reads go through MVCC
+// snapshots (or, inside a transaction, through selectScopes + the
+// transaction's latches).
+func (s *Session) writeScopes(stmt sqlparse.Statement) []string {
+	set := make(map[string]bool)
+	add := func(table string) {
+		if table != "" {
+			set[strings.ToLower(table)] = true
+		}
+	}
+	switch st := stmt.(type) {
+	case *sqlparse.InsertStmt:
+		add(st.Table)
+	case *sqlparse.UpdateStmt:
+		add(st.Table)
+	case *sqlparse.DeleteStmt:
+		add(st.Table)
+	case *sqlparse.CreateTableStmt:
+		add(st.Table)
+		set[storage.ScopeSchema] = true
+	case *sqlparse.DropTableStmt:
+		add(st.Table)
+		set[storage.ScopeSchema] = true
+	case *sqlparse.CreateIndexStmt:
+		add(st.Table)
+		set[storage.ScopeSchema] = true
+	case *sqlparse.CreateAnnotationTableStmt:
+		add(st.UserTable)
+	case *sqlparse.DropAnnotationTableStmt:
+		add(st.UserTable)
+	case *sqlparse.AddAnnotationStmt:
+		for _, t := range st.Targets {
+			add(t.UserTable)
+		}
+		selectScopes(st.On, set)
+	case *sqlparse.ArchiveAnnotationStmt:
+		for _, t := range st.Targets {
+			add(t.UserTable)
+		}
+		selectScopes(st.On, set)
+	case *sqlparse.StartContentApprovalStmt:
+		add(st.Table)
+	case *sqlparse.StopContentApprovalStmt:
+		add(st.Table)
+	case *sqlparse.GrantStmt:
+		add(st.Table)
+	case *sqlparse.ApproveStmt:
+		// A disapproval executes the operation's inverse statement against
+		// the operation's table; resolve it up front from the approval log.
+		// Unknown operation: latch nothing extra — the statement will fail
+		// its lookup under ScopeWAL anyway.
+		if s.Auth != nil {
+			if op, err := s.Auth.Operation(st.OpID); err == nil {
+				add(op.Table)
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for scope := range set {
+		out = append(out, scope)
+	}
+	return out
+}
+
+// selectScopes collects, into set, the lower-cased names of every table a
+// SELECT reads — FROM entries plus set-operation operands, recursively.
+func selectScopes(sel *sqlparse.SelectStmt, set map[string]bool) {
+	for sel != nil {
+		for _, ref := range sel.From {
+			if ref.Table != "" {
+				set[strings.ToLower(ref.Table)] = true
+			}
+		}
+		sel = sel.SetRight
+	}
+}
+
+// selectScopeList is selectScopes in slice form, for transaction statements
+// that latch their read set.
+func selectScopeList(sel *sqlparse.SelectStmt) []string {
+	set := make(map[string]bool)
+	selectScopes(sel, set)
+	out := make([]string, 0, len(set))
+	for scope := range set {
+		out = append(out, scope)
+	}
+	return out
+}

@@ -2,10 +2,15 @@ package exec
 
 // Multi-statement ACID transactions.
 //
-// A transaction serializes against every other statement by holding the
-// engine-wide exclusive lock from Begin to Commit/Rollback, which is what
-// makes its writes invisible until COMMIT: no reader can run while they are
-// only partially applied. Atomicity is two-layered:
+// A transaction serializes against other writers by strict two-phase
+// locking over per-table latches: each statement latches the tables it
+// touches (reads included) as it runs, and everything is held until
+// Commit/Rollback. Its first mutating statement additionally latches the
+// shared WAL scope and arms the transaction's WAL frame; from then on no
+// other writer runs until the transaction ends. Bare SELECT cursors are NOT
+// blocked by any of this — they read MVCC snapshots of the last committed
+// state (see internal/storage/mvcc.go), so a transaction's writes are
+// invisible to them until COMMIT by construction. Atomicity is two-layered:
 //
 //   - In memory, every applied mutation pushes a compensating closure onto
 //     the transaction's undo log (internal/undo); ROLLBACK — explicit, via
@@ -31,6 +36,7 @@ import (
 	"sync"
 
 	"bdbms/internal/sqlparse"
+	"bdbms/internal/storage"
 	"bdbms/internal/undo"
 	"bdbms/internal/value"
 	"bdbms/internal/wal"
@@ -62,7 +68,7 @@ type txSavepoint struct {
 // Tx is an open multi-statement transaction. It is created by
 // Session.Begin (or a BEGIN statement) and ended exactly once by Commit or
 // Rollback; canceling the Begin context rolls an abandoned transaction back
-// automatically, releasing the engine lock it holds.
+// automatically, releasing every latch it holds.
 //
 // A Tx is safe for sequential use from any goroutine, but its statements
 // serialize on an internal mutex; cursors returned by Query must be
@@ -78,15 +84,23 @@ type Tx struct {
 	saves   []txSavepoint
 	cursors []*Rows
 	stop    chan struct{} // closed when the transaction ends
-	unlock  func()        // releases the engine-wide exclusive lock
+	// locker accumulates the per-table latches of every statement, held
+	// until the transaction ends (strict two-phase locking).
+	locker *storage.Locker
+	// mark is the transaction's MVCC write frame, non-nil once the WAL
+	// frame is armed (first mutating statement); snapshots taken while it
+	// is active keep seeing the pre-transaction row images.
+	mark *storage.WriteMark
 }
 
-// Begin opens an explicit transaction on the session, taking the
-// engine-wide exclusive lock until Commit or Rollback. The context governs
-// the whole transaction: once it is canceled the transaction is rolled
-// back — even if abandoned — so a forgotten Tx cannot hold the database
-// lock forever. Transactions do not nest; a second Begin fails with
-// ErrTxOpen.
+// Begin opens an explicit transaction on the session. Begin itself takes no
+// latches and writes nothing: latches accrue per statement, and the WAL
+// frame is armed by the first mutating statement — so a transaction that
+// only reads neither blocks writers on other tables nor leaves a trace in
+// the log. The context governs the whole transaction: once it is canceled
+// the transaction is rolled back — even if abandoned — so a forgotten Tx
+// cannot hold its latches forever. Transactions do not nest; a second Begin
+// fails with ErrTxOpen.
 func (s *Session) Begin(ctx context.Context) (*Tx, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -94,7 +108,12 @@ func (s *Session) Begin(ctx context.Context) (*Tx, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	tx := &Tx{sess: s, u: undo.New(), stop: make(chan struct{})}
+	tx := &Tx{
+		sess:   s,
+		u:      undo.New(),
+		stop:   make(chan struct{}),
+		locker: s.Eng.Locks().NewLocker(),
+	}
 	// Publish the reservation with tx.mu held so a statement racing Begin
 	// on the same session blocks until the transaction is actually ready.
 	tx.mu.Lock()
@@ -107,24 +126,11 @@ func (s *Session) Begin(ctx context.Context) (*Tx, error) {
 	s.tx = tx
 	s.txMu.Unlock()
 
-	if s.Mu != nil {
-		s.Mu.Lock()
-		tx.unlock = s.Mu.Unlock
-	}
-	fail := func(err error) (*Tx, error) {
+	if err := ctx.Err(); err != nil {
 		tx.finishLocked(err)
 		tx.mu.Unlock()
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return fail(err)
-	}
-	// The frame is opened eagerly: an explicit transaction is visible in the
-	// log even before its first write.
-	if err := s.Eng.WAL().BeginTx(false); err != nil {
-		return fail(err)
-	}
-	s.installUndo(tx.u)
 	if s.OnTxBegin != nil {
 		s.OnTxBegin(tx)
 	}
@@ -135,9 +141,29 @@ func (s *Session) Begin(ctx context.Context) (*Tx, error) {
 	return tx, nil
 }
 
+// armFrameLocked readies the transaction for its first mutation: it latches
+// the shared WAL scope (serializing against every other write frame), opens
+// the transaction's WAL frame, installs the undo hooks and registers the
+// MVCC write mark. Idempotent; the caller must hold tx.mu.
+func (tx *Tx) armFrameLocked() error {
+	if tx.mark != nil {
+		return nil
+	}
+	s := tx.sess
+	if err := tx.locker.Acquire(storage.ScopeWAL); err != nil {
+		return err
+	}
+	if err := s.Eng.WAL().BeginTx(false); err != nil {
+		return err
+	}
+	s.installUndo(tx.u)
+	tx.mark = s.Eng.BeginWrite()
+	return nil
+}
+
 // installUndo points every mutating subsystem at the open transaction's
-// undo log (nil clears the hooks). The caller must hold the engine-wide
-// exclusive lock.
+// undo log (nil clears the hooks). The caller must hold the WAL latch
+// (storage.ScopeWAL), which serializes write frames.
 func (s *Session) installUndo(u *undo.Log) {
 	s.Eng.SetUndo(u)
 	if s.Ann != nil {
@@ -202,10 +228,13 @@ func (tx *Tx) doneError() error {
 
 // Commit makes the transaction's effects permanent: the TxCommit record
 // closes the WAL frame (recovery will replay the transaction from here on),
-// the undo log is discarded, and the engine lock is released. If the commit
+// the undo log is discarded, and every latch is released. If the commit
 // record cannot be written the transaction is rolled back instead and the
 // error says so — an unclosed frame reads as aborted on recovery, so memory
-// and disk agree.
+// and disk agree. When commit-time fsync is enabled (Options.SyncOnCommit)
+// the commit additionally waits, after releasing its latches, for the WAL
+// to be synced through its last record — concurrent commits share one fsync
+// (group commit), and a sync failure is reported to every one of them.
 func (tx *Tx) Commit() error {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -213,7 +242,9 @@ func (tx *Tx) Commit() error {
 		return tx.doneError()
 	}
 	tx.invalidateCursorsLocked()
-	if err := tx.sess.Eng.WAL().CommitTx(); err != nil {
+	log := tx.sess.Eng.WAL()
+	armed := tx.mark != nil
+	if err := log.CommitTx(); err != nil {
 		cerr := fmt.Errorf("exec: commit: %w", err)
 		if rbErr := tx.rollbackLocked(cerr); rbErr != nil && !errors.Is(rbErr, ErrTxDone) {
 			return errors.Join(cerr, rbErr)
@@ -221,12 +252,21 @@ func (tx *Tx) Commit() error {
 		return cerr
 	}
 	tx.u.Reset()
+	var lsn uint64
+	if armed {
+		lsn = log.LastLSN()
+	}
 	tx.finishLocked(nil)
+	if armed {
+		if serr := log.SyncCommitted(lsn); serr != nil {
+			return fmt.Errorf("exec: commit sync: %w", serr)
+		}
+	}
 	return nil
 }
 
-// Rollback reverts every effect of the transaction and releases the engine
-// lock. Rolling back twice (or after Commit) returns ErrTxDone.
+// Rollback reverts every effect of the transaction and releases its
+// latches. Rolling back twice (or after Commit) returns ErrTxDone.
 func (tx *Tx) Rollback() error {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -237,9 +277,11 @@ func (tx *Tx) Rollback() error {
 }
 
 // rollbackLocked reverts the transaction: open cursors are invalidated, the
-// undo log runs in reverse, the WAL frame is closed with TxAbort (best
-// effort — an unclosed frame reads as aborted on recovery anyway), and the
-// session/lock state is torn down. The caller must hold tx.mu.
+// undo log runs in reverse (under the latches the transaction still holds,
+// so nothing observes the intermediate states), the WAL frame is closed
+// with TxAbort (best effort — an unclosed frame reads as aborted on
+// recovery anyway), and the session/latch state is torn down. The caller
+// must hold tx.mu.
 func (tx *Tx) rollbackLocked(cause error) error {
 	tx.invalidateCursorsLocked()
 	rbErr := tx.u.Rollback()
@@ -252,23 +294,28 @@ func (tx *Tx) rollbackLocked(cause error) error {
 }
 
 // finishLocked marks the transaction ended and releases everything it
-// holds: the undo hooks, the session's tx slot, the watcher, and the engine
-// lock. The caller must hold tx.mu.
+// holds: the undo hooks and MVCC write mark (if the frame was armed), the
+// session's tx slot, the watcher, and every latch — the context watcher's
+// auto-rollback ends here too, so an abandoned transaction can never strand
+// a latch. The caller must hold tx.mu; heap state must be final (committed
+// or rolled back) before the write mark is released, because releasing it
+// is what lets new snapshots see this transaction's outcome.
 func (tx *Tx) finishLocked(cause error) {
 	tx.done = true
 	tx.endErr = cause
 	close(tx.stop)
 	s := tx.sess
-	s.installUndo(nil)
+	if tx.mark != nil {
+		s.installUndo(nil)
+		s.Eng.EndWrite(tx.mark)
+		tx.mark = nil
+	}
 	s.txMu.Lock()
 	if s.tx == tx {
 		s.tx = nil
 	}
 	s.txMu.Unlock()
-	if tx.unlock != nil {
-		tx.unlock()
-		tx.unlock = nil
-	}
+	tx.locker.ReleaseAll()
 	if s.OnTxEnd != nil {
 		s.OnTxEnd(tx)
 	}
@@ -296,6 +343,11 @@ func (tx *Tx) Savepoint(name string) error {
 		return fmt.Errorf("%w: empty savepoint name", sqlparse.ErrSyntax)
 	}
 	key := strings.ToLower(name)
+	// A savepoint record must land inside the transaction's WAL frame, so
+	// creating one arms the frame like a mutation would.
+	if err := tx.armFrameLocked(); err != nil {
+		return fmt.Errorf("exec: savepoint %s: %w", name, err)
+	}
 	if _, err := tx.sess.Eng.WAL().Append(wal.KindTxSavepoint, "", []byte(key)); err != nil {
 		return fmt.Errorf("exec: savepoint %s: %w", name, err)
 	}
@@ -370,10 +422,14 @@ func (tx *Tx) Exec(sql string, args ...any) (*Result, error) {
 	return rows.materialize()
 }
 
-// queryStmt executes a parsed, bound statement inside the transaction. The
-// engine lock is already held by the transaction, so no locking happens
-// here; a mutating statement that fails is rolled back to its own start and
-// the transaction stays usable.
+// queryStmt executes a parsed, bound statement inside the transaction,
+// latching first: a SELECT latches the tables it reads (two-phase locking
+// over reads is what keeps writer isolation serializable — think
+// SELECT-then-UPDATE transfer patterns), a mutation latches its write set
+// and arms the WAL frame. Latches accumulate until the transaction ends. A
+// statement refused with storage.ErrDeadlock fails alone — the transaction
+// stays usable and keeps what it already holds. A mutating statement that
+// fails is rolled back to its own start and the transaction stays usable.
 func (tx *Tx) queryStmt(ctx context.Context, stmt sqlparse.Statement, params value.Row, prep *Stmt) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -384,17 +440,23 @@ func (tx *Tx) queryStmt(ctx context.Context, stmt sqlparse.Statement, params val
 		return nil, tx.doneError()
 	}
 	s := tx.sess
-	if sel, ok := stmt.(*sqlparse.SelectStmt); ok && !s.NoOptimize {
-		rows, err := s.buildStream(ctx, sel, params, prep)
-		if err != nil {
+	if sel, ok := stmt.(*sqlparse.SelectStmt); ok {
+		if err := tx.locker.Acquire(selectScopeList(sel)...); err != nil {
 			return nil, err
 		}
-		// The cursor reads under the transaction's own exclusive lock; it
-		// is invalidated when the transaction ends, and each Next holds
-		// tx.mu so an auto-rollback never races an in-flight pull.
-		rows.txmu = &tx.mu
-		tx.cursors = append(tx.cursors, rows)
-		return rows, nil
+		if !s.NoOptimize {
+			rows, err := s.buildStream(ctx, sel, params, prep, nil)
+			if err != nil {
+				return nil, err
+			}
+			// The cursor reads the current state under the transaction's
+			// latches (so it observes the transaction's own writes); it is
+			// invalidated when the transaction ends, and each Next holds
+			// tx.mu so an auto-rollback never races an in-flight pull.
+			rows.txmu = &tx.mu
+			tx.cursors = append(tx.cursors, rows)
+			return rows, nil
+		}
 	}
 	var res *Result
 	var err error
@@ -423,6 +485,16 @@ func (tx *Tx) queryStmt(ctx context.Context, stmt sqlparse.Statement, params val
 // transaction is rolled back instead.
 func (tx *Tx) execMutationLocked(ctx context.Context, stmt sqlparse.Statement, params value.Row) (*Result, error) {
 	s := tx.sess
+	// Latch the statement's tables before touching the WAL scope: writers
+	// on the same table serialize on the table latch first, keeping the
+	// common workloads cycle-free (a genuine cycle with another transaction
+	// fails this statement with storage.ErrDeadlock, transaction intact).
+	if err := tx.locker.Acquire(s.writeScopes(stmt)...); err != nil {
+		return nil, err
+	}
+	if err := tx.armFrameLocked(); err != nil {
+		return nil, err
+	}
 	log := s.Eng.WAL()
 	mark := tx.u.Len()
 	recsBefore := log.FrameRecords()
@@ -494,30 +566,44 @@ func (s *Session) execTxControl(ctx context.Context, stmt sqlparse.Statement) (s
 }
 
 // execAutoCommit wraps one bare mutating statement in an implicit
-// transaction: undo hooks installed, WAL frame armed lazily (a statement
-// that logs nothing leaves no trace), committed on success and fully rolled
-// back — memory and, via recovery, disk — on any error, including context
-// cancellation mid-write. The statement-appropriate lock is taken for the
-// duration; read-only statements skip all of it.
+// transaction: per-table write latches and the WAL scope taken up front
+// (tables first, WAL last — one sorted batch per group, so auto-commit
+// statements never deadlock each other), undo hooks installed, WAL frame
+// armed lazily (a statement that logs nothing leaves no trace), committed
+// on success and fully rolled back — memory and, via recovery, disk — on
+// any error, including context cancellation mid-write. Read-only statements
+// skip all of it: SHOW PENDING reads the internally-locked approval state,
+// and a NoOptimize SELECT reads the current heap (its per-row reads are
+// individually consistent; naive-executor sessions are single-actor by
+// construction).
 func (s *Session) execAutoCommit(ctx context.Context, stmt sqlparse.Statement, params value.Row) (*Result, error) {
-	unlock := s.lockFor(stmt)
-	defer unlock()
 	if readOnlyStmt(stmt) {
 		return s.execStmt(ctx, stmt, params)
 	}
-	u := undo.New()
-	s.installUndo(u)
-	defer s.installUndo(nil)
-	log := s.Eng.WAL()
-	if err := log.BeginTx(true); err != nil {
+	locker := s.Eng.Locks().NewLocker()
+	defer locker.ReleaseAll()
+	if err := locker.Acquire(s.writeScopes(stmt)...); err != nil {
 		return nil, err
 	}
+	if err := locker.Acquire(storage.ScopeWAL); err != nil {
+		return nil, err
+	}
+	u := undo.New()
+	s.installUndo(u)
+	log := s.Eng.WAL()
+	if err := log.BeginTx(true); err != nil {
+		s.installUndo(nil)
+		return nil, err
+	}
+	mark := s.Eng.BeginWrite()
 	res, err := s.execStmt(ctx, stmt, params)
 	if err != nil {
 		if rbErr := u.Rollback(); rbErr != nil {
 			err = errors.Join(err, fmt.Errorf("exec: statement rollback: %w", rbErr))
 		}
 		_ = log.AbortTx()
+		s.Eng.EndWrite(mark)
+		s.installUndo(nil)
 		return nil, err
 	}
 	if cerr := log.CommitTx(); cerr != nil {
@@ -530,7 +616,19 @@ func (s *Session) execAutoCommit(ctx context.Context, stmt sqlparse.Statement, p
 		// abort marker is lost, recovery treats the next frame's TxBegin as
 		// an implicit abort of this one.
 		_ = log.AbortTx()
+		s.Eng.EndWrite(mark)
+		s.installUndo(nil)
 		return nil, cerr
+	}
+	lsn := log.LastLSN()
+	s.Eng.EndWrite(mark)
+	s.installUndo(nil)
+	// Release the latches before waiting on durability: the fsync is shared
+	// (group commit), and holding latches across it would serialize commits
+	// on the disk instead of on data conflicts.
+	locker.ReleaseAll()
+	if serr := log.SyncCommitted(lsn); serr != nil {
+		return nil, fmt.Errorf("exec: commit sync: %w", serr)
 	}
 	return res, nil
 }

@@ -10,12 +10,24 @@ package exec
 // After every commit point the two databases must agree exactly; any
 // divergence means a rollback leaked or a commit lost writes, and the full
 // reproducing statement log is printed.
+//
+// 64 workers run their workloads concurrently against ONE shared engine —
+// each on its own table with a private oracle, so the comparison stays
+// deterministic while the workers contend on the latch manager, the WAL
+// scope and the MVCC machinery. Run under -race by CI.
 
 import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
+
+	"bdbms/internal/annotation"
+	"bdbms/internal/authz"
+	"bdbms/internal/dependency"
+	"bdbms/internal/provenance"
+	"bdbms/internal/storage"
 )
 
 // txFuzzState mirrors the transaction semantics on the generator side: the
@@ -38,10 +50,11 @@ func (st *txFuzzState) rollbackTo(name string) bool {
 	return false
 }
 
-// genTxDML produces one DML statement over table T. Collisions (duplicate
-// primary keys) are likely by construction, so some statements fail — the
-// point: a failed statement must contribute nothing, committed or not.
-func genTxDML(r *rand.Rand) string {
+// genTxDML produces one DML statement over the worker's table. Collisions
+// (duplicate primary keys) are likely by construction, so some statements
+// fail — the point: a failed statement must contribute nothing, committed or
+// not.
+func genTxDML(r *rand.Rand, tbl string) string {
 	switch r.Intn(10) {
 	case 0, 1, 2, 3: // INSERT, sometimes multi-row (fails atomically on a dup)
 		rows := 1 + r.Intn(3)
@@ -49,27 +62,26 @@ func genTxDML(r *rand.Rand) string {
 		for i := 0; i < rows; i++ {
 			vals = append(vals, fmt.Sprintf("(%d, %d, '%s')", r.Intn(30), r.Intn(100), pick(r, fuzzTexts)))
 		}
-		return `INSERT INTO T VALUES ` + strings.Join(vals, ", ")
+		return `INSERT INTO ` + tbl + ` VALUES ` + strings.Join(vals, ", ")
 	case 4, 5, 6: // UPDATE a value column over a key range
-		return fmt.Sprintf(`UPDATE T SET V = V + %d WHERE K >= %d AND K < %d`,
-			1+r.Intn(9), r.Intn(20), 10+r.Intn(25))
+		return fmt.Sprintf(`UPDATE %s SET V = V + %d WHERE K >= %d AND K < %d`,
+			tbl, 1+r.Intn(9), r.Intn(20), 10+r.Intn(25))
 	case 7: // UPDATE the primary key itself (may collide)
-		return fmt.Sprintf(`UPDATE T SET K = K + %d WHERE K = %d`, 1+r.Intn(5), r.Intn(30))
+		return fmt.Sprintf(`UPDATE %s SET K = K + %d WHERE K = %d`, tbl, 1+r.Intn(5), r.Intn(30))
 	case 8: // UPDATE the text column
-		return fmt.Sprintf(`UPDATE T SET S = '%s' WHERE V > %d`, pick(r, fuzzTexts), r.Intn(100))
+		return fmt.Sprintf(`UPDATE %s SET S = '%s' WHERE V > %d`, tbl, pick(r, fuzzTexts), r.Intn(100))
 	default: // DELETE
-		return fmt.Sprintf(`DELETE FROM T WHERE K = %d OR V < %d`, r.Intn(30), r.Intn(20))
+		return fmt.Sprintf(`DELETE FROM %s WHERE K = %d OR V < %d`, tbl, r.Intn(30), r.Intn(20))
 	}
 }
 
-// canonTable renders T in a row-ID-independent canonical form (transactions
-// burn RowIDs that the oracle never sees, so only logical content may be
-// compared).
-func canonTable(t *testing.T, s *Session) string {
-	t.Helper()
-	res, err := s.Exec(`SELECT K, V, S FROM T ORDER BY K, V, S`)
+// canonFuzzTable renders the table in a row-ID-independent canonical form
+// (transactions burn RowIDs that the oracle never sees, so only logical
+// content may be compared).
+func canonFuzzTable(s *Session, tbl string) (string, error) {
+	res, err := s.Exec(`SELECT K, V, S FROM ` + tbl + ` ORDER BY K, V, S`)
 	if err != nil {
-		t.Fatalf("canon: %v", err)
+		return "", fmt.Errorf("canon %s: %w", tbl, err)
 	}
 	var b strings.Builder
 	for _, row := range res.Rows {
@@ -81,127 +93,192 @@ func canonTable(t *testing.T, s *Session) string {
 		}
 		b.WriteByte('\n')
 	}
-	return b.String()
+	return b.String(), nil
+}
+
+// newOracleSession builds a private single-user session on its own fresh
+// engine — the transaction-oblivious mirror each fuzz worker compares
+// against. (newSession without the *testing.T, usable from worker
+// goroutines.)
+func newOracleSession() *Session {
+	eng := storage.NewMemoryEngine()
+	ann := annotation.NewManager(eng.Catalog(), engineResolver{eng: eng})
+	return &Session{
+		Eng:  eng,
+		Ann:  ann,
+		Prov: provenance.NewManager(ann),
+		Dep:  dependency.NewManager(eng),
+		Auth: authz.NewManager(eng),
+		User: "oracle",
+	}
+}
+
+// runTxFuzzWorker drives one seeded workload on its own table of the shared
+// engine, mirroring commits onto a private oracle. Any divergence is
+// returned as an error carrying the full reproducing statement log.
+func runTxFuzzWorker(seed int64, shared *Session, ops int) error {
+	r := rand.New(rand.NewSource(seed))
+	real := sameEngineSession(shared, fmt.Sprintf("fuzz%d", seed))
+	oracle := newOracleSession()
+	tbl := fmt.Sprintf("T%d", seed)
+	setup := fmt.Sprintf(`CREATE TABLE %s (K INT NOT NULL PRIMARY KEY, V INT, S TEXT)`, tbl)
+	if _, err := real.Exec(setup); err != nil {
+		return err
+	}
+	if _, err := oracle.Exec(setup); err != nil {
+		return err
+	}
+
+	var log []string // every statement issued, for the repro script
+	var committedLog []string
+	st := &txFuzzState{}
+	spNames := []string{"sa", "sb", "sc"}
+
+	issue := func(sql string) (ok bool) {
+		log = append(log, sql)
+		_, err := real.Exec(sql)
+		return err == nil
+	}
+	fatalf := func(format string, args ...any) error {
+		return fmt.Errorf("worker %d: %s\nfull log:\n%s\ncommitted:\n%s",
+			seed, fmt.Sprintf(format, args...), strings.Join(log, ";\n"), strings.Join(committedLog, ";\n"))
+	}
+	applyToOracle := func(stmts []string) error {
+		for _, sql := range stmts {
+			committedLog = append(committedLog, sql)
+			if _, err := oracle.Exec(sql); err != nil {
+				return fatalf("oracle rejected committed statement %q: %v", sql, err)
+			}
+		}
+		return nil
+	}
+	check := func(when string) error {
+		got, err := canonFuzzTable(real, tbl)
+		if err != nil {
+			return fatalf("%v", err)
+		}
+		want, err := canonFuzzTable(oracle, tbl)
+		if err != nil {
+			return fatalf("%v", err)
+		}
+		if got != want {
+			return fatalf("divergence %s:\n real:\n%s\n oracle:\n%s", when, got, want)
+		}
+		return nil
+	}
+
+	for i := 0; i < ops; i++ {
+		if !st.inTx {
+			switch r.Intn(10) {
+			case 0, 1, 2:
+				if issue(`BEGIN`) {
+					st.inTx = true
+				} else {
+					return fatalf("BEGIN failed")
+				}
+			case 3: // misuse: commit/rollback without a transaction
+				if issue(pick(r, []string{`COMMIT`, `ROLLBACK`, `SAVEPOINT sx`})) {
+					return fatalf("tx control outside tx succeeded")
+				}
+			default:
+				sql := genTxDML(r, tbl)
+				if issue(sql) {
+					if err := applyToOracle([]string{sql}); err != nil {
+						return err
+					}
+				}
+				if err := check("after auto-commit statement"); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		switch r.Intn(12) {
+		case 0, 1: // COMMIT
+			if !issue(`COMMIT`) {
+				return fatalf("COMMIT failed")
+			}
+			if err := applyToOracle(st.txBuf); err != nil {
+				return err
+			}
+			st.inTx, st.txBuf, st.saves = false, nil, nil
+			if err := check("after COMMIT"); err != nil {
+				return err
+			}
+		case 2: // ROLLBACK
+			if !issue(`ROLLBACK`) {
+				return fatalf("ROLLBACK failed")
+			}
+			st.inTx, st.txBuf, st.saves = false, nil, nil
+			if err := check("after ROLLBACK"); err != nil {
+				return err
+			}
+		case 3, 4: // SAVEPOINT (names repeat, shadowing earlier ones)
+			name := pick(r, spNames)
+			if !issue(`SAVEPOINT ` + name) {
+				return fatalf("SAVEPOINT failed")
+			}
+			st.saves = append(st.saves, txSavepoint{name: name, mark: len(st.txBuf)})
+		case 5: // ROLLBACK TO SAVEPOINT (sometimes unknown)
+			name := pick(r, append(spNames, "missing"))
+			ok := issue(`ROLLBACK TO SAVEPOINT ` + name)
+			if mirrored := st.rollbackTo(name); mirrored != ok {
+				return fatalf("ROLLBACK TO %s: real ok=%v, mirror ok=%v", name, ok, mirrored)
+			}
+		case 6: // misuse: nested BEGIN must fail and change nothing
+			if issue(`BEGIN`) {
+				return fatalf("nested BEGIN succeeded")
+			}
+		default:
+			sql := genTxDML(r, tbl)
+			if issue(sql) {
+				st.txBuf = append(st.txBuf, sql)
+			}
+		}
+	}
+	// Drain: a transaction still open at the end commits or rolls back at
+	// the coin's pleasure.
+	if st.inTx {
+		if r.Intn(2) == 0 {
+			if !issue(`COMMIT`) {
+				return fatalf("final COMMIT failed")
+			}
+			if err := applyToOracle(st.txBuf); err != nil {
+				return err
+			}
+		} else {
+			if !issue(`ROLLBACK`) {
+				return fatalf("final ROLLBACK failed")
+			}
+		}
+	}
+	if err := check("at end of workload"); err != nil {
+		return err
+	}
+	if len(committedLog) == 0 {
+		return fmt.Errorf("worker %d: no statement ever committed; fuzz case is vacuous", seed)
+	}
+	return nil
 }
 
 func TestTxWorkloadFuzz(t *testing.T) {
-	const seeds = 6
-	const ops = 150
-	for seed := int64(1); seed <= seeds; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
-			r := rand.New(rand.NewSource(seed))
-			real := newLockedSession(t)
-			oracle := newSession(t)
-			setup := `CREATE TABLE T (K INT NOT NULL PRIMARY KEY, V INT, S TEXT)`
-			mustExec(t, real, setup)
-			mustExec(t, oracle, setup)
-
-			var log []string // every statement issued, for the repro script
-			var committedLog []string
-			st := &txFuzzState{}
-			spNames := []string{"sa", "sb", "sc"}
-
-			issue := func(sql string) (ok bool) {
-				log = append(log, sql)
-				_, err := real.Exec(sql)
-				return err == nil
-			}
-			applyToOracle := func(stmts []string) {
-				for _, sql := range stmts {
-					committedLog = append(committedLog, sql)
-					if _, err := oracle.Exec(sql); err != nil {
-						t.Fatalf("oracle rejected committed statement %q: %v\nfull log:\n%s\ncommitted:\n%s",
-							sql, err, strings.Join(log, ";\n"), strings.Join(committedLog, ";\n"))
-					}
-				}
-			}
-			check := func(when string) {
-				t.Helper()
-				if got, want := canonTable(t, real), canonTable(t, oracle); got != want {
-					t.Fatalf("divergence %s:\n real:\n%s\n oracle:\n%s\nfull log:\n%s\ncommitted:\n%s",
-						when, got, want, strings.Join(log, ";\n"), strings.Join(committedLog, ";\n"))
-				}
-			}
-
-			for i := 0; i < ops; i++ {
-				if !st.inTx {
-					switch r.Intn(10) {
-					case 0, 1, 2:
-						if issue(`BEGIN`) {
-							st.inTx = true
-						} else {
-							t.Fatalf("BEGIN failed\nlog:\n%s", strings.Join(log, ";\n"))
-						}
-					case 3: // misuse: commit/rollback without a transaction
-						if issue(pick(r, []string{`COMMIT`, `ROLLBACK`, `SAVEPOINT sx`})) {
-							t.Fatalf("tx control outside tx succeeded\nlog:\n%s", strings.Join(log, ";\n"))
-						}
-					default:
-						sql := genTxDML(r)
-						if issue(sql) {
-							applyToOracle([]string{sql})
-						}
-						check("after auto-commit statement")
-					}
-					continue
-				}
-				switch r.Intn(12) {
-				case 0, 1: // COMMIT
-					if !issue(`COMMIT`) {
-						t.Fatalf("COMMIT failed\nlog:\n%s", strings.Join(log, ";\n"))
-					}
-					applyToOracle(st.txBuf)
-					st.inTx, st.txBuf, st.saves = false, nil, nil
-					check("after COMMIT")
-				case 2: // ROLLBACK
-					if !issue(`ROLLBACK`) {
-						t.Fatalf("ROLLBACK failed\nlog:\n%s", strings.Join(log, ";\n"))
-					}
-					st.inTx, st.txBuf, st.saves = false, nil, nil
-					check("after ROLLBACK")
-				case 3, 4: // SAVEPOINT (names repeat, shadowing earlier ones)
-					name := pick(r, spNames)
-					if !issue(`SAVEPOINT ` + name) {
-						t.Fatalf("SAVEPOINT failed\nlog:\n%s", strings.Join(log, ";\n"))
-					}
-					st.saves = append(st.saves, txSavepoint{name: name, mark: len(st.txBuf)})
-				case 5: // ROLLBACK TO SAVEPOINT (sometimes unknown)
-					name := pick(r, append(spNames, "missing"))
-					ok := issue(`ROLLBACK TO SAVEPOINT ` + name)
-					if mirrored := st.rollbackTo(name); mirrored != ok {
-						t.Fatalf("ROLLBACK TO %s: real ok=%v, mirror ok=%v\nlog:\n%s",
-							name, ok, mirrored, strings.Join(log, ";\n"))
-					}
-				case 6: // misuse: nested BEGIN must fail and change nothing
-					if issue(`BEGIN`) {
-						t.Fatalf("nested BEGIN succeeded\nlog:\n%s", strings.Join(log, ";\n"))
-					}
-				default:
-					sql := genTxDML(r)
-					if issue(sql) {
-						st.txBuf = append(st.txBuf, sql)
-					}
-				}
-			}
-			// Drain: a transaction still open at the end commits or rolls
-			// back at the coin's pleasure.
-			if st.inTx {
-				if r.Intn(2) == 0 {
-					if !issue(`COMMIT`) {
-						t.Fatal("final COMMIT failed")
-					}
-					applyToOracle(st.txBuf)
-				} else {
-					if !issue(`ROLLBACK`) {
-						t.Fatal("final ROLLBACK failed")
-					}
-				}
-			}
-			check("at end of workload")
-			if len(committedLog) == 0 {
-				t.Error("no statement ever committed; fuzz case is vacuous")
-			}
-		})
+	const workers = 64
+	const ops = 60
+	shared := newSession(t)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs <- runTxFuzzWorker(int64(g+1), shared, ops)
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -11,7 +11,6 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -20,20 +19,21 @@ import (
 	"bdbms/internal/storage"
 )
 
-// newLockedSession builds a session wired to an engine-wide lock, the way
-// core wires real databases — transactions need the lock to exist.
+// newLockedSession builds a session the way core wires real databases.
+// (Historically this attached the engine-wide statement lock; concurrency
+// control now lives in the engine — MVCC snapshots plus per-table latches —
+// so there is nothing extra to wire, but the name stays on the many tests
+// that exercise transactional behavior through it.)
 func newLockedSession(t *testing.T) *Session {
 	t.Helper()
-	s := newSession(t)
-	s.Mu = &sync.RWMutex{}
-	return s
+	return newSession(t)
 }
 
-// sameEngineSession returns a second session over the same engine and lock.
+// sameEngineSession returns a second session over the same engine.
 func sameEngineSession(s *Session, user string) *Session {
 	return &Session{
 		Eng: s.Eng, Ann: s.Ann, Prov: s.Prov, Dep: s.Dep, Auth: s.Auth,
-		User: user, Mu: s.Mu,
+		User: user,
 	}
 }
 
@@ -372,13 +372,26 @@ func TestAbandonedTxReleasesLockOnCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Abandon the transaction (no Commit/Rollback) and cancel its context:
-	// the watcher must roll it back and release the engine lock, or the
-	// whole database stays wedged.
+	// the watcher must roll it back and release every latch it holds, or a
+	// later writer on the table blocks forever. (Snapshot readers would not
+	// even notice — they never see the uncommitted write — so the probe
+	// below is a writer.) Wait for the watcher before asserting.
 	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.InTx() {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned transaction was not auto-rolled back after 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
 
 	other := sameEngineSession(s, "bob")
 	done := make(chan string, 1)
 	go func() {
+		if _, err := other.Exec(`UPDATE Acct SET Bal = Bal + 0 WHERE ID = 1`); err != nil {
+			done <- err.Error()
+			return
+		}
 		res, err := other.Exec(`SELECT Bal FROM Acct WHERE ID = 1`)
 		if err != nil {
 			done <- err.Error()
@@ -390,10 +403,10 @@ func TestAbandonedTxReleasesLockOnCancel(t *testing.T) {
 	case got := <-done:
 		// The abandoned transaction's write must have been rolled back.
 		if got != "100" {
-			t.Fatalf("reader saw Bal=%s, want the rolled-back 100", got)
+			t.Fatalf("writer+reader saw Bal=%s, want the rolled-back 100", got)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("abandoned transaction still holds the engine lock after 5s")
+		t.Fatal("abandoned transaction still holds its table latch after 5s")
 	}
 	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
 		t.Fatalf("Commit after auto-rollback = %v, want ErrTxDone", err)

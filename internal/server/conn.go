@@ -248,9 +248,9 @@ func (c *conn) forceClose() {
 }
 
 // teardown releases everything the connection holds, in dependency order:
-// open cursors first (each Close releases the engine read lock it holds),
-// then the open transaction (rolled back, releasing the exclusive lock),
-// then the socket. Idempotent — every exit path runs it.
+// open cursors first (each Close releases its pinned MVCC snapshot), then
+// the open transaction (rolled back, releasing its per-table write
+// latches), then the socket. Idempotent — every exit path runs it.
 func (c *conn) teardown() {
 	c.mu.Lock()
 	if c.closed {

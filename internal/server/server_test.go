@@ -322,7 +322,7 @@ func TestIdleTimeout(t *testing.T) {
 	assertClosed(t, nc)
 }
 
-func TestClientVanishMidCursorReleasesReadLock(t *testing.T) {
+func TestClientVanishMidCursorReleasesResources(t *testing.T) {
 	db := openTestDB(t)
 	db.MustExec(`CREATE TABLE T (ID INT NOT NULL PRIMARY KEY)`)
 	for i := 0; i < 100; i++ {
@@ -330,8 +330,8 @@ func TestClientVanishMidCursorReleasesReadLock(t *testing.T) {
 	}
 	_, addr := startServer(t, db, func(c *Config) { c.IdleTimeout = 200 * time.Millisecond })
 
-	// Open a paged cursor (server holds the engine read lock across the
-	// suspension) and then vanish without closing anything.
+	// Open a paged cursor (the server keeps its MVCC snapshot pinned across
+	// the suspension) and then vanish without closing anything.
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
@@ -350,9 +350,10 @@ func TestClientVanishMidCursorReleasesReadLock(t *testing.T) {
 	}
 	nc.Close()
 
-	// A write from another connection must eventually succeed: the server
-	// notices the dead client (teardown or idle reap) and closes the cursor,
-	// releasing the read lock the queued writer needs.
+	// A write from another connection must succeed promptly — MVCC cursors
+	// hold no locks, so the dead client cannot wedge it — and the server
+	// must notice the dead client (teardown or idle reap) and close the
+	// cursor, releasing its pinned snapshot so row versions are reclaimed.
 	c := dial(t, addr)
 	done := make(chan error, 1)
 	go func() {

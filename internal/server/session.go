@@ -147,10 +147,11 @@ func (s *session) handleBind(m wire.Bind) bool {
 
 // quiesceExcept closes every open cursor except keep's. It runs before
 // anything that executes a statement, enforcing the one-active-cursor
-// policy: with the engine's write-preferring RWMutex, a connection that
-// starts a write while its own cursor holds the read lock would deadlock
-// itself AND stall every other connection behind the queued writer. Closing
-// the connection's other cursors first makes that impossible; clients that
+// policy. Cursors read MVCC snapshots and hold no locks, so an open cursor
+// can no longer deadlock its own connection's writes or stall anyone else;
+// the policy survives because each open cursor pins row versions engine-wide
+// (and spill files on disk), and a protocol whose portals implicitly closed
+// on the next Execute must keep doing so for existing clients. Clients that
 // want interleaved result sets page them explicitly with Fetch.
 func (s *session) quiesceExcept(keep *portal) {
 	for _, p := range s.ports {
@@ -198,8 +199,8 @@ func (s *session) handleFetch(m wire.Fetch) bool {
 // stream sends the next batch of the portal's result: a RowHeader (first
 // batch only), up to max Row frames (max <= 0 means all), then Suspended if
 // the quota ran out or Complete when the cursor is exhausted. Exhaustion
-// closes the cursor immediately — the engine read lock is never held while
-// waiting for the next client request unless rows genuinely remain.
+// closes the cursor immediately — its MVCC snapshot is never kept pinned
+// while waiting for the next client request unless rows genuinely remain.
 func (s *session) stream(name string, p *portal, max int) bool {
 	if !p.sentHdr {
 		if !s.c.send(wire.TypeRowHeader, wire.RowHeader{Columns: p.rows.Columns()}.Encode()) {
@@ -221,8 +222,8 @@ func (s *session) stream(name string, p *portal, max int) bool {
 		p.produced++
 	}
 	if max > 0 && sent == max {
-		// Quota reached with the cursor (and its read lock) intentionally
-		// held open for the next Fetch.
+		// Quota reached with the cursor (and its pinned snapshot)
+		// intentionally held open for the next Fetch.
 		return s.c.send(wire.TypeSuspended, nil)
 	}
 	err := p.rows.Err()
@@ -290,9 +291,10 @@ func (s *session) closePortal(name string) {
 }
 
 // close releases everything the session holds: every open cursor (each
-// Close releases the engine read lock — this is what lets the server
-// survive a client that vanishes mid-stream), then the open transaction,
-// rolled back. Runs on every disconnect path, graceful or not.
+// Close releases its pinned MVCC snapshot — this is what lets the engine
+// reclaim row versions when a client vanishes mid-stream), then the open
+// transaction, rolled back (releasing its write latches). Runs on every
+// disconnect path, graceful or not.
 func (s *session) close() {
 	for name := range s.ports {
 		s.closePortal(name)

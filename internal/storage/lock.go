@@ -1,0 +1,250 @@
+package storage
+
+// Per-scope write latches replace the old engine-wide exclusive statement
+// lock. A scope is a name — usually a table name, plus two reserved scopes —
+// and at most one Locker owns a scope at a time. Readers never appear here:
+// SELECT cursors read MVCC snapshots (see mvcc.go) and take no latches at
+// all. Writers latch exactly what they touch, so writes on disjoint tables
+// only serialize where they genuinely conflict (the shared WAL frame).
+//
+// Deadlock strategy, two-layered:
+//
+//   - Statements that know their full scope set up front (auto-commit DML,
+//     DDL) acquire it as one sorted batch, so they can never cycle with each
+//     other.
+//   - Explicit transactions latch incrementally, statement by statement, and
+//     hold everything until commit (strict two-phase locking — this is what
+//     keeps writer isolation serializable). Incremental acquisition can
+//     cycle, so every wait runs a wait-for-graph walk first and the locker
+//     that would close a cycle gets ErrDeadlock instead of blocking.
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Reserved scope names. The \x00 prefix keeps them out of the table
+// namespace and sorts them ahead of every table in batch acquisition.
+const (
+	// ScopeSchema serializes DDL: table create/drop and index builds latch it
+	// alongside the table scope, so catalog shape changes are one-at-a-time.
+	ScopeSchema = "\x00schema"
+	// ScopeWAL serializes WAL transaction frames. The log's frame state is a
+	// single slot (records carry no transaction ID), so the frame of one
+	// writer — from its first logged mutation to its commit record — must
+	// finish before another begins. Every mutating statement or transaction
+	// acquires ScopeWAL before arming its frame and holds it until the frame
+	// closes.
+	ScopeWAL = "\x00wal"
+)
+
+// ErrDeadlock is returned when acquiring a scope would close a wait cycle
+// between lockers. The statement that receives it fails (its transaction
+// survives and still holds its latches); retrying after the conflicting
+// transaction finishes succeeds.
+var ErrDeadlock = errors.New("storage: deadlock detected between concurrent transactions")
+
+// LockManager hands out named exclusive scopes and the "world" lock that
+// maintenance operations (checkpoint, verify, backup) use to quiesce all
+// writers at once.
+type LockManager struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	owners map[string]*Locker
+	// queues holds, per contended scope, the lockers waiting for it in
+	// arrival order. Grants are FIFO: a freed scope goes to the queue head,
+	// never to whichever waiter happens to wake first — without this, a
+	// steady stream of writers can starve one unlucky transaction for
+	// seconds (cond.Broadcast wakes all waiters and lets them barge).
+	queues map[string][]*Locker
+
+	// world is held shared by every locker for as long as it holds any
+	// scope, and exclusively by Quiesce. Snapshot readers bypass it: they
+	// coordinate with writers through row versions, not locks.
+	world sync.RWMutex
+}
+
+// NewLockManager builds an empty lock manager.
+func NewLockManager() *LockManager {
+	lm := &LockManager{owners: make(map[string]*Locker), queues: make(map[string][]*Locker)}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// Quiesce blocks until every writer has released its scopes and keeps new
+// writers out until Resume. Checkpoint, Verify and Backup run under it so
+// they observe no half-applied statement.
+func (lm *LockManager) Quiesce() { lm.world.Lock() }
+
+// Resume lets writers back in after Quiesce.
+func (lm *LockManager) Resume() { lm.world.Unlock() }
+
+// Locker is one lock-holding actor: an auto-commit statement or an explicit
+// transaction. Scopes accumulate across Acquire calls and are released all
+// at once — strict two-phase locking.
+type Locker struct {
+	lm   *LockManager
+	held map[string]bool
+	// waiting is the scope this locker currently blocks on ("" when
+	// running); it is the wait-for edge of the deadlock detector. Guarded by
+	// lm.mu.
+	waiting string
+	world   bool // holds lm.world.RLock
+}
+
+// NewLocker creates a locker with no scopes.
+func (lm *LockManager) NewLocker() *Locker {
+	return &Locker{lm: lm, held: make(map[string]bool)}
+}
+
+// Acquire takes exclusive ownership of every scope, sorted so that batch
+// acquirers cannot cycle with each other. Already-held scopes are skipped —
+// re-latching within a transaction is a no-op. On ErrDeadlock nothing new
+// was acquired beyond the scopes taken earlier in this same call; the locker
+// keeps everything it held before the call (release is all-or-nothing at
+// ReleaseAll).
+func (l *Locker) Acquire(scopes ...string) error {
+	lm := l.lm
+	want := make([]string, 0, len(scopes))
+	seen := make(map[string]bool, len(scopes))
+	for _, s := range scopes {
+		if s == "" || seen[s] || l.held[s] {
+			continue
+		}
+		seen[s] = true
+		want = append(want, s)
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	sort.Strings(want)
+	if !l.world {
+		// Taken before lm.mu: a pending Quiesce blocks new writers here
+		// while current holders (which already hold the shared side) drain.
+		lm.world.RLock()
+		l.world = true
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, s := range want {
+		lm.queues[s] = append(lm.queues[s], l)
+		for {
+			owner := lm.owners[s]
+			if owner == l {
+				lm.dequeue(s, l)
+				break
+			}
+			if owner == nil && lm.queues[s][0] == l {
+				lm.owners[s] = l
+				l.held[s] = true
+				lm.dequeue(s, l)
+				break
+			}
+			// The locker blocking us is the current owner or — when the scope
+			// is momentarily free but we are not at the head — the waiter the
+			// grant belongs to. A queue head is never blocked on anything
+			// else (a locker sits in at most one queue, the one it currently
+			// waits on), so routing the deadlock walk through it is safe.
+			blocker := owner
+			if blocker == nil {
+				blocker = lm.queues[s][0]
+			}
+			if lm.wouldDeadlock(l, blocker) {
+				l.waiting = ""
+				lm.dequeue(s, l)
+				// Our departure may promote the waiter behind us to head.
+				lm.cond.Broadcast()
+				l.releaseWorldIfIdle()
+				return ErrDeadlock
+			}
+			l.waiting = s
+			lm.cond.Wait()
+		}
+		l.waiting = ""
+	}
+	return nil
+}
+
+// dequeue removes the locker from the scope's FIFO wait queue. Called with
+// lm.mu held.
+func (lm *LockManager) dequeue(s string, l *Locker) {
+	q := lm.queues[s]
+	for i, w := range q {
+		if w == l {
+			lm.queues[s] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(lm.queues[s]) == 0 {
+		delete(lm.queues, s)
+	}
+}
+
+// wouldDeadlock walks the wait-for chain starting at owner and reports
+// whether it leads back to me. Called with lm.mu held. Chains, not trees:
+// each locker waits on at most one scope at a time, so the walk is a simple
+// pointer chase with a visited set against concurrent-release artifacts.
+func (lm *LockManager) wouldDeadlock(me, owner *Locker) bool {
+	visited := make(map[*Locker]bool)
+	for cur := owner; cur != nil && !visited[cur]; {
+		if cur == me {
+			return true
+		}
+		visited[cur] = true
+		next := cur.waiting
+		if next == "" {
+			return false
+		}
+		cur = lm.owners[next]
+	}
+	return false
+}
+
+// releaseWorldIfIdle drops the shared world lock when no scopes are held, so
+// a failed first Acquire does not pin maintenance out. Called with lm.mu
+// held (safe: world is a different lock).
+func (l *Locker) releaseWorldIfIdle() {
+	if l.world && len(l.held) == 0 {
+		l.lm.world.RUnlock()
+		l.world = false
+	}
+}
+
+// Holds reports whether the locker currently owns the scope.
+func (l *Locker) Holds(scope string) bool {
+	l.lm.mu.Lock()
+	defer l.lm.mu.Unlock()
+	return l.held[scope]
+}
+
+// HeldScopes returns the scopes currently owned, sorted. Diagnostic.
+func (l *Locker) HeldScopes() []string {
+	l.lm.mu.Lock()
+	defer l.lm.mu.Unlock()
+	out := make([]string, 0, len(l.held))
+	for s := range l.held {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReleaseAll releases every held scope and the shared world lock, waking all
+// waiters. Idempotent.
+func (l *Locker) ReleaseAll() {
+	lm := l.lm
+	lm.mu.Lock()
+	for s := range l.held {
+		if lm.owners[s] == l {
+			delete(lm.owners, s)
+		}
+		delete(l.held, s)
+	}
+	lm.cond.Broadcast()
+	lm.mu.Unlock()
+	if l.world {
+		lm.world.RUnlock()
+		l.world = false
+	}
+}

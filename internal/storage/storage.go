@@ -69,12 +69,29 @@ type Engine struct {
 	// switched off during recovery, when mutations are themselves replayed
 	// from the log.
 	logging atomic.Bool
-	// undo, when non-nil, is the open transaction's undo log: every applied
-	// mutation pushes its compensating action. Installed and cleared under
-	// the engine-wide exclusive statement lock, which also serializes every
-	// mutation, so plain field access is race-free.
+	// undo, when non-nil, is the open write frame's undo log: every applied
+	// mutation pushes its compensating action. Write frames are serialized
+	// by the exclusive ScopeWAL latch (see lock.go), under which undo is
+	// installed and cleared, so plain field access is race-free.
 	undo *undo.Log
+
+	// locks hands out the per-table write latches and the quiesce lock.
+	locks *LockManager
+
+	// MVCC state (see mvcc.go). mvccMu guards activeMarks and snaps and
+	// orders snapshot creation against write-frame finish. Lock order:
+	// a Table's t.mu may be held when taking mvccMu, never the reverse.
+	mvccMu      sync.Mutex
+	verSeq      atomic.Uint64
+	activeMarks map[*WriteMark]bool
+	snaps       map[*Snapshot]bool
+	// curMark is the write frame currently applying mutations (nil outside
+	// frames); mutations tag their version entries with it.
+	curMark atomic.Pointer[WriteMark]
 }
+
+// Locks returns the engine's lock manager.
+func (e *Engine) Locks() *LockManager { return e.locks }
 
 // SetLogging switches WAL appends on or off. Recovery disables logging while
 // replaying so replayed mutations are not re-appended to the log.
@@ -84,7 +101,7 @@ func (e *Engine) SetLogging(enabled bool) { e.logging.Store(enabled) }
 // transaction. While installed, every mutation — row DML, DDL, index builds
 // — pushes a compensating closure capturing its before-image, which is what
 // ROLLBACK (and the implicit rollback of a failed auto-commit statement)
-// runs. The caller must hold the engine-wide exclusive statement lock.
+// runs. The caller must hold ScopeWAL, which serializes write frames.
 func (e *Engine) SetUndo(u *undo.Log) { e.undo = u }
 
 // pushUndo records a compensating action when a transaction is open.
@@ -127,11 +144,14 @@ func NewEngine(cfg Config) *Engine {
 		log = wal.NewMemory()
 	}
 	e := &Engine{
-		pgr:    pgr,
-		pool:   buffer.New(pgr, poolSize),
-		cat:    cat,
-		log:    log,
-		tables: make(map[string]*Table),
+		pgr:         pgr,
+		pool:        buffer.New(pgr, poolSize),
+		cat:         cat,
+		log:         log,
+		tables:      make(map[string]*Table),
+		locks:       NewLockManager(),
+		activeMarks: make(map[*WriteMark]bool),
+		snaps:       make(map[*Snapshot]bool),
 	}
 	e.logging.Store(true)
 	return e
@@ -288,6 +308,15 @@ type Table struct {
 	rowIndex map[int64]heap.RID
 	indexes  map[string]*btree.Tree
 	nextRow  int64
+
+	// versions is the MVCC before-image list (see mvcc.go), guarded by mu.
+	// versionsBase is the absolute index of versions[0]: pruning shifts the
+	// slice but snapshot overlays address entries by absolute position.
+	// versionsDead counts pruned entries still pinned by the backing array,
+	// driving the amortized compaction in pruneVersions.
+	versions     []versionEntry
+	versionsBase uint64
+	versionsDead int
 }
 
 // Schema returns the table's schema.
@@ -420,6 +449,7 @@ func (t *Table) Insert(row value.Row) (int64, error) {
 	if err := t.applyInsert(rowID, coerced); err != nil {
 		return 0, err
 	}
+	t.appendVersion(rowID, nil, false)
 	t.engine.pushUndo(func() error { return t.RecoverDelete(rowID) })
 	return rowID, nil
 }
@@ -445,15 +475,18 @@ func (t *Table) applyInsert(rowID int64, coerced value.Row) error {
 	return nil
 }
 
-// Get returns the row with the given RowID.
+// Get returns the row with the given RowID. The read lock is held across
+// the heap access: a concurrent Update may move the record to a new RID,
+// and the heap file itself is only safe to read while no writer holds mu.
 func (t *Table) Get(rowID int64) (value.Row, error) {
 	t.mu.RLock()
 	rid, ok := t.rowIndex[rowID]
-	t.mu.RUnlock()
 	if !ok {
+		t.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s row %d", ErrRowNotFound, t.schema.Name, rowID)
 	}
 	rec, err := t.file.Get(rid)
+	t.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -533,6 +566,7 @@ func (t *Table) Update(rowID int64, row value.Row) error {
 		}
 	}
 	before := old.Clone()
+	t.appendVersion(rowID, old.Clone(), true)
 	t.engine.pushUndo(func() error { return t.RecoverUpdate(rowID, before) })
 	return nil
 }
@@ -583,6 +617,7 @@ func (t *Table) Delete(rowID int64) error {
 		_ = tree.Delete(old[idx].EncodeKey(nil), rowIDBytes(rowID))
 	}
 	before := old.Clone()
+	t.appendVersion(rowID, old.Clone(), true)
 	t.engine.pushUndo(func() error { return t.RecoverInsert(rowID, before) })
 	return nil
 }
@@ -625,27 +660,34 @@ func (t *Table) CreateIndex(column string) error {
 		return fmt.Errorf("%w: %s.%s", catalog.ErrColumnNotFound, t.schema.Name, column)
 	}
 	key := strings.ToLower(column)
-	t.mu.Lock()
-	if _, ok := t.indexes[key]; ok {
-		t.mu.Unlock()
+	t.mu.RLock()
+	_, exists := t.indexes[key]
+	t.mu.RUnlock()
+	if exists {
 		return nil
 	}
 	if err := t.engine.appendLog(wal.KindCreateIndex, t.schema.Name, []byte(column)); err != nil {
-		t.mu.Unlock()
 		return err
 	}
+	// Backfill into a private tree and only then install it: concurrent
+	// snapshot readers probe t.indexes under the read lock, so a tree must
+	// never become visible while still being built. No writer can run here —
+	// DDL holds the table's write latch — so the scan sees every row.
 	tree := btree.New(btree.DefaultOrder)
-	t.indexes[key] = tree
-	t.mu.Unlock()
-	t.engine.version.Add(1)
-	t.engine.pushUndo(func() error { t.dropIndex(key); return nil })
-
-	return t.Scan(func(rowID int64, row value.Row) bool {
+	if err := t.Scan(func(rowID int64, row value.Row) bool {
 		if !row[idx].IsNull() {
 			tree.Insert(row[idx].EncodeKey(nil), rowIDBytes(rowID))
 		}
 		return true
-	})
+	}); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.indexes[key] = tree
+	t.mu.Unlock()
+	t.engine.version.Add(1)
+	t.engine.pushUndo(func() error { t.dropIndex(key); return nil })
+	return nil
 }
 
 // dropIndex removes a secondary index — the undo of CreateIndex. The key is
@@ -665,11 +707,13 @@ func (t *Table) HasIndex(column string) bool {
 	return ok
 }
 
-// LookupEqual returns the RowIDs whose indexed column equals v.
+// LookupEqual returns the RowIDs whose indexed column equals v. The read
+// lock is held across the probe: B+-trees are mutated in place by writers
+// holding the write lock.
 func (t *Table) LookupEqual(column string, v value.Value) ([]int64, error) {
 	t.mu.RLock()
+	defer t.mu.RUnlock()
 	tree, ok := t.indexes[strings.ToLower(column)]
-	t.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, t.schema.Name, column)
 	}
@@ -706,8 +750,8 @@ func (t *Table) IndexLookup(column string, v value.Value) ([]int64, error) {
 // pushed-down >=, >, <=, < predicates need.
 func (t *Table) IndexRange(column string, lo value.Value, loStrict bool, hi value.Value, hiStrict bool) ([]int64, error) {
 	t.mu.RLock()
+	defer t.mu.RUnlock()
 	tree, ok := t.indexes[strings.ToLower(column)]
-	t.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, t.schema.Name, column)
 	}

@@ -1,0 +1,150 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestSyncCommittedDefaultOff: with commit-time fsync disabled (the default)
+// SyncCommitted is a no-op — durability stays checkpoint-based and commits
+// never block on the disk.
+func TestSyncCommittedDefaultOff(t *testing.T) {
+	l := NewMemory()
+	lsn, err := l.Append(KindInsert, "T", []byte("row"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.SyncOnCommit() {
+		t.Fatal("SyncOnCommit should default to off")
+	}
+	// Even a poisoned log does not fail commits when the option is off:
+	// the durability contract being waived is exactly the point.
+	l.FailSyncAfter(0)
+	_ = l.Sync()
+	if err := l.SyncCommitted(lsn); err != nil {
+		t.Fatalf("SyncCommitted with option off = %v, want nil", err)
+	}
+}
+
+// TestSyncCommittedCoversBatch: one flush covers every record appended
+// before it ran. The fault-point budget proves no second fsync happens: with
+// exactly one successful sync allowed, the second commit must be satisfied
+// by the first commit's flush or it would trip the injected failure.
+func TestSyncCommittedCoversBatch(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "gc.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetSyncOnCommit(true)
+	l.FailSyncAfter(1) // budget: exactly one successful fsync
+
+	lsn1, err := l.Append(KindInsert, "T", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := l.Append(KindInsert, "T", []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SyncCommitted(lsn1); err != nil {
+		t.Fatalf("leader commit: %v", err)
+	}
+	// lsn2 was appended before the leader's flush captured the tail, so it
+	// is already durable; a second fsync here would exhaust the budget.
+	if err := l.SyncCommitted(lsn2); err != nil {
+		t.Fatalf("covered commit re-synced instead of riding the batch: %v", err)
+	}
+	// A record appended after the flush does need a new fsync — which the
+	// exhausted budget turns into a failure, proving the accounting.
+	lsn3, err := l.Append(KindInsert, "T", []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SyncCommitted(lsn3); !errors.Is(err, ErrInjectedSyncFailure) {
+		t.Fatalf("post-batch commit = %v, want injected sync failure", err)
+	}
+	// And from here the log is poisoned for every later commit.
+	if err := l.SyncCommitted(lsn3); !errors.Is(err, ErrSyncPoisoned) {
+		t.Fatalf("commit after poison = %v, want ErrSyncPoisoned", err)
+	}
+}
+
+// TestSyncCommittedPoisonFailsAllWaiters: when the shared fsync fails, every
+// commit in the batch must see the failure — leader and parked followers
+// alike. A failed fsync may have lost any of the batched records, so none of
+// those commits may report durability.
+func TestSyncCommittedPoisonFailsAllWaiters(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "gc.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetSyncOnCommit(true)
+	l.FailSyncAfter(0) // the very next fsync fails
+
+	const writers = 16
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, aerr := l.Append(KindInsert, "T", []byte{byte(i)})
+			if aerr != nil {
+				errs <- aerr
+				return
+			}
+			errs <- l.SyncCommitted(lsn)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("a commit reported durability after the batch fsync failed")
+		}
+		if !errors.Is(err, ErrInjectedSyncFailure) && !errors.Is(err, ErrSyncPoisoned) {
+			t.Fatalf("unexpected commit error: %v", err)
+		}
+	}
+}
+
+// TestSyncCommittedConcurrentHealthy: many concurrent commits on a healthy
+// log all succeed and the synced watermark reaches the tail. (Run under
+// -race this also shakes out ticket/watermark races.)
+func TestSyncCommittedConcurrentHealthy(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "gc.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetSyncOnCommit(true)
+
+	const writers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				lsn, aerr := l.Append(KindInsert, "T", fmt.Appendf(nil, "%d-%d", i, j))
+				if aerr != nil {
+					t.Error(aerr)
+					return
+				}
+				if serr := l.SyncCommitted(lsn); serr != nil {
+					t.Error(serr)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := l.SyncCommitted(l.LastLSN()); err != nil {
+		t.Fatalf("final watermark sync: %v", err)
+	}
+}

@@ -54,8 +54,8 @@ const (
 	KindProvAgent
 	// KindTxBegin opens a transaction frame: the data records that follow,
 	// up to the matching KindTxCommit or KindTxAbort, belong to one
-	// transaction. Statement execution is serialized engine-wide, so frames
-	// never interleave and records need no transaction ID.
+	// transaction. Write frames are serialized by the storage layer's WAL
+	// latch, so frames never interleave and records need no transaction ID.
 	KindTxBegin
 	// KindTxCommit closes a transaction frame: recovery redoes its records.
 	// A frame with no closing record (the process died mid-transaction) is
@@ -197,6 +197,23 @@ type Log struct {
 	txPending bool
 	// txRecords counts the data records appended inside the open frame.
 	txRecords int
+	// syncOnCommit gates group commit: when set, SyncCommitted really
+	// fsyncs. Off by default — the base durability contract is
+	// durability-at-checkpoint, and SyncCommitted is then a no-op.
+	syncOnCommit bool
+	// syncedLSN is the highest LSN known flushed to stable storage by a
+	// SyncCommitted flush. Commits at or below it return without syncing.
+	syncedLSN uint64
+	// flush is the in-flight group-commit ticket: non-nil while some commit
+	// is running Sync on behalf of everyone appended so far. Later commits
+	// park on it instead of issuing their own fsync.
+	flush *flushTicket
+}
+
+// flushTicket is one shared group-commit flush: followers park on done and
+// re-examine the log state when the leader closes it.
+type flushTicket struct {
+	done chan struct{}
 }
 
 // NewMemory returns an in-memory log.
@@ -317,8 +334,8 @@ func (l *Log) appendLocked(kind Kind, table string, payload []byte) (uint64, err
 // is visible in the log even while still empty. Lazy mode arms the frame
 // without touching the log; the TxBegin is appended just before the first
 // data record, which keeps statements that log nothing (GRANT, a DELETE
-// matching no rows) free of framing records. Frames never nest: statement
-// execution is serialized by the engine lock.
+// matching no rows) free of framing records. Frames never nest: every write
+// frame runs under the storage layer's exclusive WAL latch.
 func (l *Log) BeginTx(lazy bool) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -515,6 +532,95 @@ func (l *Log) Sync() error {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	return nil
+}
+
+// SetSyncOnCommit switches commit-time fsync (group commit) on or off.
+// Off (the default), SyncCommitted is a no-op and durability is provided at
+// checkpoint boundaries, as before. On, every commit blocks until its
+// records are on stable storage — batched: concurrent commits share one
+// fsync instead of paying one each.
+func (l *Log) SetSyncOnCommit(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncOnCommit = on
+}
+
+// SyncOnCommit reports whether commit-time fsync is enabled.
+func (l *Log) SyncOnCommit() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncOnCommit
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 when the
+// log has always been empty). A committing writer captures it while still
+// holding the WAL latch and passes it to SyncCommitted after releasing.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// SyncCommitted blocks until every record up to lsn is on stable storage —
+// the group-commit entry point, called by each committing writer AFTER it
+// released its latches so concurrent commits can batch. The first arrival
+// becomes the flush leader: it captures the current log tail and runs one
+// Sync covering every record appended so far. Commits arriving while that
+// flush is in flight park on its ticket; when it completes they are either
+// covered (their LSN is under the flushed tail) or loop to lead the next
+// flush — at most two fsyncs of latency for any commit, one fsync total per
+// batch.
+//
+// A failed or poisoned Sync fails EVERY commit waiting here, leader and
+// parked followers alike: a failed fsync may have lost any of the batched
+// records, so none of them may report durability (the PR 6 sticky-poisoning
+// contract, extended to batches).
+//
+// When SetSyncOnCommit is off (the default), SyncCommitted returns nil
+// immediately and durability remains checkpoint-based.
+func (l *Log) SyncCommitted(lsn uint64) error {
+	l.mu.Lock()
+	if !l.syncOnCommit {
+		l.mu.Unlock()
+		return nil
+	}
+	for {
+		if l.syncErr != nil {
+			err := fmt.Errorf("%w (first failure: %v)", ErrSyncPoisoned, l.syncErr)
+			l.mu.Unlock()
+			return err
+		}
+		if l.syncedLSN >= lsn {
+			l.mu.Unlock()
+			return nil
+		}
+		if t := l.flush; t != nil {
+			// Park on the in-flight flush; re-check everything when it
+			// lands (it may not cover lsn, or it may have poisoned the log).
+			l.mu.Unlock()
+			<-t.done
+			l.mu.Lock()
+			continue
+		}
+		// Become the flush leader for everything appended so far.
+		t := &flushTicket{done: make(chan struct{})}
+		l.flush = t
+		cover := l.nextLSN - 1
+		l.mu.Unlock()
+		err := l.Sync()
+		l.mu.Lock()
+		l.flush = nil
+		if err == nil && cover > l.syncedLSN {
+			l.syncedLSN = cover
+		}
+		close(t.done)
+		if err != nil {
+			l.mu.Unlock()
+			return err
+		}
+		// cover >= lsn by construction (our records were appended before
+		// this call), so the next loop iteration returns nil.
+	}
 }
 
 // FailSyncAfter arms a sync fault point: the next n Syncs succeed, every

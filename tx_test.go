@@ -104,15 +104,16 @@ func transfer(db *bdbms.DB, user string, from, to int, amount int64, commit bool
 	return nil
 }
 
-// TestConcurrentTransferInvariant is the acceptance harness: 4 writers x 40
-// transfers (a quarter rolled back) race 4 readers; every observed sum must
+// TestConcurrentTransferInvariant is the acceptance harness: 32 writers x 20
+// transfers (a quarter rolled back) race 32 readers — 64 goroutines total
+// hammering the MVCC/latch protocol under -race; every observed sum must
 // equal the fixed total — a reader seeing a partially committed transfer
 // would see money created or destroyed — and the final balances must be
 // non-negative (serialized read-modify-write transactions cannot
 // double-spend).
 func TestConcurrentTransferInvariant(t *testing.T) {
 	db := setupBank(t)
-	const writers, readers, transfers = 4, 4, 40
+	const writers, readers, transfers = 32, 32, 20
 
 	stop := make(chan struct{})
 	var readersWG sync.WaitGroup
@@ -195,9 +196,9 @@ func TestConcurrentTransferInvariant(t *testing.T) {
 }
 
 // TestCloseRollsBackLeakedTransaction: a transaction leaked without
-// Commit/Rollback holds the database's exclusive lock; Close must roll it
-// back and proceed instead of deadlocking in the checkpoint — guarded by a
-// timeout.
+// Commit/Rollback still holds its per-table write latches; Close must roll
+// it back and proceed instead of deadlocking in the shutdown checkpoint
+// (which quiesces the lock manager) — guarded by a timeout.
 func TestCloseRollsBackLeakedTransaction(t *testing.T) {
 	db := setupBank(t)
 	tx, err := db.Begin(context.Background())
@@ -267,9 +268,8 @@ func TestTxDurableAcrossReopen(t *testing.T) {
 	if _, err := open.Exec(`UPDATE Account SET Balance = 0 WHERE ID = 1`); err != nil {
 		t.Fatal(err)
 	}
-	// Crash: no Commit, no Rollback, no Close — reopen from the files alone.
-	// (The open transaction holds the engine lock, so Close would deadlock;
-	// a real crash wouldn't call it either.)
+	// Crash: no Commit, no Rollback, no Close — reopen from the files alone,
+	// exactly as recovery after a real crash would.
 	re, err := bdbms.OpenWith(bdbms.Options{DataFile: dataFile})
 	if err != nil {
 		t.Fatal(err)
