@@ -1012,29 +1012,62 @@ func BenchmarkExternalSort(b *testing.B) {
 }
 
 // BenchmarkGroupBySpill measures hash aggregation over 100k rows into ~1k
-// groups, in memory versus under a 64 KB budget (partition spill + re-merge).
+// groups, in memory versus under a 64 KB budget (partition spill + re-merge),
+// on the vectorized batch pipeline versus the row-at-a-time scan it replaced.
 func BenchmarkGroupBySpill(b *testing.B) {
 	for _, bench := range []struct {
 		name   string
 		budget int
 	}{{"in-memory", 0}, {"spill-64k", 64 << 10}} {
-		b.Run(bench.name, func(b *testing.B) {
-			db, err := OpenWith(Options{SpillBudget: bench.budget})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer db.Close()
-			loadEventTable(b, db, 100000)
-			s := db.Session("admin")
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res, err := s.Exec(`SELECT Grp, COUNT(*), SUM(Score), MAX(Score) FROM Events GROUP BY Grp`)
+		for _, path := range []string{"vectorized", "row-at-a-time"} {
+			b.Run(bench.name+"/"+path, func(b *testing.B) {
+				db, err := OpenWith(Options{SpillBudget: bench.budget})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if len(res.Rows) != 997 {
-					b.Fatalf("groups = %d", len(res.Rows))
+				defer db.Close()
+				loadEventTable(b, db, 100000)
+				s := db.Session("admin")
+				s.NoVectorize = path == "row-at-a-time"
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := s.Exec(`SELECT Grp, COUNT(*), SUM(Score), MAX(Score) FROM Events GROUP BY Grp`)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Rows) != 997 {
+						b.Fatalf("groups = %d", len(res.Rows))
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFullScanAggregate measures an ungrouped aggregate over a filtered
+// 100k-row full scan — the pure scan->filter->agg shape the vectorized batch
+// pipeline targets: columnar chunks, a typed comparison kernel narrowing the
+// selection vector, and batch-at-a-time group consumption, against the same
+// plan run row at a time.
+func BenchmarkFullScanAggregate(b *testing.B) {
+	db := Open()
+	defer db.Close()
+	loadEventTable(b, db, 100000)
+	query := `SELECT COUNT(*), SUM(Score), MIN(Score), MAX(Score) FROM Events WHERE Score < 50000`
+	for _, path := range []string{"vectorized", "row-at-a-time"} {
+		b.Run(path, func(b *testing.B) {
+			s := db.Session("admin")
+			s.NoVectorize = path == "row-at-a-time"
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := s.Exec(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 1 || res.Rows[0].Values[0].Int() == 0 {
+					b.Fatalf("bad aggregate result: %v", res.Rows)
 				}
 			}
 		})

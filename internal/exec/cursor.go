@@ -311,6 +311,15 @@ func (s *Session) buildSelectIter(ctx context.Context, sel *sqlparse.SelectStmt,
 		if err != nil {
 			return nil, nil, closers, err
 		}
+		// Vectorized aggregation: when the input is the batch scan adapter and
+		// nothing between scan and aggregation does per-row work (no
+		// annotation decoration, no AWHERE), consume column vectors directly.
+		if d, ok := it.(*decorateIter); ok && !d.dec.anyWork && d.awhere == nil {
+			if b, ok := d.in.(*batchRowsIter); ok {
+				g.batches = b.src
+				g.annWidth = d.dec.totalCols
+			}
+		}
 		it = g
 		if sel.Having != nil {
 			it = &havingIter{s: s, in: it, expr: sel.Having, bindings: plan.bindings, params: params}

@@ -42,12 +42,21 @@ func TestQueryStreamsLazily(t *testing.T) {
 	if !ok {
 		t.Fatalf("pipeline stage is %T, want *decorateIter", proj.in)
 	}
-	scan, ok := dec.in.(*scanIter)
-	if !ok {
-		t.Fatalf("pipeline source is %T, want *scanIter", dec.in)
-	}
-	if scan.pos > 2 {
-		t.Errorf("scan advanced %d rows for the first result; cursor is not lazy", scan.pos)
+	// The default pipeline source for a plain full scan is the vectorized
+	// batch adapter, which is lazy at chunk granularity: the first row must
+	// not have decoded more than the first chunk. A NoVectorize session keeps
+	// the row-at-a-time scan, lazy per row.
+	switch src := dec.in.(type) {
+	case *batchRowsIter:
+		if src.src.ci > 1 {
+			t.Errorf("batch scan decoded %d chunks for the first result; cursor is not lazy", src.src.ci)
+		}
+	case *scanIter:
+		if src.pos > 2 {
+			t.Errorf("scan advanced %d rows for the first result; cursor is not lazy", src.pos)
+		}
+	default:
+		t.Fatalf("pipeline source is %T, want *batchRowsIter or *scanIter", dec.in)
 	}
 	var gid, name string
 	if err := rows.Scan(&gid, &name); err != nil {

@@ -118,6 +118,11 @@ type Session struct {
 	// the semantic reference: the plan-equivalence tests and the baseline
 	// benchmarks run with NoOptimize set.
 	NoOptimize bool
+	// NoVectorize keeps planned SELECTs on the row-at-a-time scan instead of
+	// the vectorized batch path (batch.go). The two paths must be
+	// indistinguishable result-wise; the execution fuzzer runs every query
+	// both ways to prove it.
+	NoVectorize bool
 	// SpillBudget bounds, in bytes, the resident working set of each
 	// blocking operator in the streaming pipeline (grouped aggregation,
 	// DISTINCT, UNION, external sort): past the budget the operator spills

@@ -449,10 +449,14 @@ func TestSQLEquivalenceFuzz(t *testing.T) {
 		seeds = seeds[:3]
 		queriesPerSeed = 15
 	}
+	batchScans.Store(0)
 	for _, seed := range seeds {
 		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
 			fuzzSeed(t, seed, queriesPerSeed, 0)
 		})
+	}
+	if batchScans.Load() == 0 {
+		t.Error("no generated query ran the vectorized scan; the batched path is untested")
 	}
 }
 
@@ -470,6 +474,7 @@ func TestSQLEquivalenceFuzzSpill(t *testing.T) {
 		queriesPerSeed = 10
 	}
 	spillEvents.Store(0)
+	batchScans.Store(0)
 	for _, seed := range seeds {
 		t.Run(fmt.Sprintf("seed-%d-spill", seed), func(t *testing.T) {
 			fuzzSeed(t, seed, queriesPerSeed, 1)
@@ -477,6 +482,9 @@ func TestSQLEquivalenceFuzzSpill(t *testing.T) {
 	}
 	if spillEvents.Load() == 0 {
 		t.Error("spill-forcing seeds never spilled")
+	}
+	if batchScans.Load() == 0 {
+		t.Error("spill-forcing seeds never ran the vectorized scan; batched aggregation never spilled")
 	}
 }
 
@@ -502,12 +510,22 @@ func fuzzSeed(t *testing.T, seed int64, queriesPerSeed, spillBudget int) {
 		naive, naiveErr := s.Exec(inline)
 		s.NoOptimize = false
 		planned, plannedErr := s.Exec(inline)
+		// Third way: the planned pipeline with vectorization disabled, so the
+		// batched scan/filter/aggregate path and the row-at-a-time path are
+		// held to identical results on every query.
+		s.NoVectorize = true
+		rowPath, rowErr := s.Exec(inline)
+		s.NoVectorize = false
 		if naiveErr != nil {
 			// The generator can produce statements the engine
 			// rejects (e.g. ORDER BY over a set operation). The
 			// property still holds: every path must reject them.
 			if plannedErr == nil {
 				t.Fatalf("seed %d query %d: naive rejects (%v) but planned accepts\nquery: %s\nrepro script:\n%s",
+					seed, q, naiveErr, inline, reproScript(fc, inline))
+			}
+			if rowErr == nil {
+				t.Fatalf("seed %d query %d: naive rejects (%v) but NoVectorize planned accepts\nquery: %s\nrepro script:\n%s",
 					seed, q, naiveErr, inline, reproScript(fc, inline))
 			}
 			if stmt, err := s.Prepare(prepared); err == nil {
@@ -532,9 +550,17 @@ func fuzzSeed(t *testing.T, seed int64, queriesPerSeed, spillBudget int) {
 			t.Fatalf("seed %d query %d: prepared exec %q args %v: %v", seed, q, prepared, g.args, err)
 		}
 
+		if rowErr != nil {
+			t.Fatalf("seed %d query %d: NoVectorize planned %q: %v\nrepro script:\n%s",
+				seed, q, inline, rowErr, reproScript(fc, inline))
+		}
 		want := canonResult(naive)
 		if got := canonResult(planned); got != want {
 			t.Fatalf("seed %d query %d: planned != naive\nquery: %s\n got: %s\nwant: %s\nrepro script:\n%s",
+				seed, q, inline, got, want, reproScript(fc, inline))
+		}
+		if got := canonResult(rowPath); got != want {
+			t.Fatalf("seed %d query %d: NoVectorize planned != naive\nquery: %s\n got: %s\nwant: %s\nrepro script:\n%s",
 				seed, q, inline, got, want, reproScript(fc, inline))
 		}
 		if got := canonResult(prepRes); got != want {

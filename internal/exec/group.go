@@ -18,6 +18,7 @@ import (
 
 	"bdbms/internal/annotation"
 	"bdbms/internal/sqlparse"
+	"bdbms/internal/storage"
 	"bdbms/internal/value"
 )
 
@@ -106,16 +107,79 @@ func collectAggregates(st *sqlparse.SelectStmt, bindings []binding) ([]aggSpec, 
 	return specs, firstErr
 }
 
-// aggState is one accumulator. Its update, merge and final steps replicate
-// evalAggregate over the member list exactly: SUM is always a FLOAT (0 for an
-// all-NULL group), AVG of an all-NULL group is NULL, MIN/MAX keep the
-// earliest value on ties and propagate Compare's type-mismatch errors.
+// aggState is one accumulator. It is the single implementation of aggregate
+// semantics: the naive reference executor (evalAggregate), the streaming
+// grouped path and its spill codec all fold through these update/merge/final
+// steps, so the three executors cannot drift apart.
+//
+// SUM and AVG accumulate INT inputs in an exact int64 (isum) for as long as
+// every input is an integer and the running total fits; the first FLOAT input
+// or int64 overflow promotes the accumulator to float64 (inexact), matching
+// the all-float behaviour the executor had before. SUM of an all-INT group is
+// therefore exact — and an INT — even beyond 2^53; SUM of an all-NULL group
+// stays 0, AVG of an all-NULL group is NULL, MIN/MAX keep the earliest value
+// on ties and propagate Compare's type-mismatch errors.
 type aggState struct {
 	count   int64
-	sum     float64
+	sum     float64 // float accumulation, meaningful once inexact
+	isum    int64   // exact integer accumulation while !inexact
+	inexact bool    // a FLOAT joined, or isum overflowed
 	n       int64
 	best    value.Value
 	hasBest bool
+}
+
+// addInt64 adds two int64s, reporting false on overflow.
+func addInt64(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// total returns the accumulated sum as a float64, whichever representation
+// holds it.
+func (a *aggState) total() float64 {
+	if a.inexact {
+		return a.sum
+	}
+	return float64(a.isum)
+}
+
+// addInt folds one non-NULL int64 into the SUM/AVG accumulator without
+// boxing — the vectorized consume path's equivalent of addNum on an INT.
+func (a *aggState) addInt(x int64) {
+	if !a.inexact {
+		if s, ok := addInt64(a.isum, x); ok {
+			a.isum = s
+			return
+		}
+		a.sum, a.inexact, a.isum = float64(a.isum), true, 0
+	}
+	a.sum += float64(x)
+}
+
+// addFloat folds one non-NULL float64 into the SUM/AVG accumulator.
+func (a *aggState) addFloat(x float64) {
+	if !a.inexact {
+		a.sum, a.inexact, a.isum = float64(a.isum), true, 0
+	}
+	a.sum += x
+}
+
+// addNum folds one non-NULL value into the SUM/AVG accumulator.
+func (a *aggState) addNum(v value.Value) {
+	if !a.inexact && v.Type() == value.Int {
+		if s, ok := addInt64(a.isum, v.Int()); ok {
+			a.isum = s
+			return
+		}
+	}
+	if !a.inexact {
+		a.sum, a.inexact, a.isum = float64(a.isum), true, 0
+	}
+	a.sum += v.Float()
 }
 
 func (a *aggState) update(kind aggKind, v value.Value) error {
@@ -128,7 +192,7 @@ func (a *aggState) update(kind aggKind, v value.Value) error {
 		}
 	case aggSum, aggAvg:
 		if !v.IsNull() {
-			a.sum += v.Float()
+			a.addNum(v)
 			a.n++
 		}
 	case aggMin, aggMax:
@@ -153,7 +217,15 @@ func (a *aggState) update(kind aggKind, v value.Value) error {
 // merge folds src (accumulated over later members) into a.
 func (a *aggState) merge(kind aggKind, src *aggState) error {
 	a.count += src.count
-	a.sum += src.sum
+	if !a.inexact && !src.inexact {
+		if s, ok := addInt64(a.isum, src.isum); ok {
+			a.isum = s
+		} else {
+			a.sum, a.inexact, a.isum = float64(a.isum)+float64(src.isum), true, 0
+		}
+	} else {
+		a.sum, a.inexact, a.isum = a.total()+src.total(), true, 0
+	}
 	a.n += src.n
 	if src.hasBest {
 		if !a.hasBest {
@@ -176,12 +248,15 @@ func (a *aggState) final(kind aggKind) value.Value {
 	case aggCountStar, aggCount:
 		return value.NewInt(a.count)
 	case aggSum:
-		return value.NewFloat(a.sum)
+		if a.inexact {
+			return value.NewFloat(a.sum)
+		}
+		return value.NewInt(a.isum)
 	case aggAvg:
 		if a.n == 0 {
 			return value.NewNull()
 		}
-		return value.NewFloat(a.sum / float64(a.n))
+		return value.NewFloat(a.total() / float64(a.n))
 	default: // aggMin, aggMax
 		if !a.hasBest {
 			return value.NewNull()
@@ -209,9 +284,19 @@ type groupAggIter struct {
 	sf      *spillFile
 	grouper *spillGrouper[groupBucket]
 
+	// batches, when set, feeds the aggregation column vectors directly
+	// (consumeBatches) instead of pulling adapted rows from in. The cursor
+	// sets it only when nothing between the scan and the aggregation does
+	// per-row work (no annotation decoration, no AWHERE); annWidth is the
+	// decorator's total column count, so buckets carry the same empty
+	// annotation layout the row path would attach.
+	batches  *batchScanIter
+	annWidth int
+
 	started bool
 	next    func() (*groupBucket, bool, error)
 	keyBuf  []byte
+	delta   groupBucket // reused scratch for appendDelta records
 }
 
 // newGroupAggIter resolves the GROUP BY key slots eagerly (the reference
@@ -229,10 +314,11 @@ func newGroupAggIter(s *Session, in rowIter, st *sqlparse.SelectStmt, bindings [
 	specs, specErr := collectAggregates(st, bindings)
 	g := &groupAggIter{s: s, in: in, keyIdx: keyIdx, specs: specs, specErr: specErr, sf: sf}
 	g.grouper = newSpillGrouper(grouperOps[groupBucket]{
-		size:   g.bucketSize,
-		encode: g.encodeBucket,
-		decode: g.decodeBucket,
-		merge:  g.mergeBuckets,
+		size:       g.bucketSize,
+		encode:     g.encodeBucket,
+		decode:     g.decodeBucket,
+		decodeInto: g.decodeBucketInto,
+		merge:      g.mergeBuckets,
 	}, s.spillBudget(), sf)
 	return g, nil
 }
@@ -242,12 +328,27 @@ func (g *groupAggIter) bucketSize(b *groupBucket) int {
 }
 
 func (g *groupAggIter) encodeBucket(dst []byte, b *groupBucket) []byte {
-	dst = appendValueRow(dst, b.vals)
+	// A nil representative row marks a re-observation bucket: an earlier
+	// flush generation already spilled this group's row (and the merge keeps
+	// only the earliest generation's payload), so the record carries just the
+	// accumulators.
+	if b.vals == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendValueRow(dst, b.vals)
+	}
 	dst = appendAnnCells(dst, b.anns)
 	for i := range b.aggs {
 		a := &b.aggs[i]
 		dst = appendVarint(dst, a.count)
 		dst = appendFloat(dst, a.sum)
+		dst = appendVarint(dst, a.isum)
+		if a.inexact {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
 		dst = appendVarint(dst, a.n)
 		if a.hasBest {
 			dst = append(dst, 1)
@@ -260,21 +361,56 @@ func (g *groupAggIter) encodeBucket(dst []byte, b *groupBucket) []byte {
 }
 
 func (g *groupAggIter) decodeBucket(r *byteReader) (*groupBucket, error) {
-	b := &groupBucket{vals: r.row(), anns: r.annCells(), aggs: make([]aggState, len(g.specs))}
+	b := &groupBucket{}
+	if err := g.decodeBucketInto(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// decodeBucketInto decodes a spill record into a reusable bucket (the
+// accumulator slice is retained across calls; everything else is replaced).
+func (g *groupAggIter) decodeBucketInto(r *byteReader, b *groupBucket) error {
+	b.vals = nil
+	if r.byteVal() != 0 {
+		b.vals = r.row()
+	}
+	b.anns = r.annCells()
+	if cap(b.aggs) < len(g.specs) {
+		b.aggs = make([]aggState, len(g.specs))
+	} else {
+		b.aggs = b.aggs[:len(g.specs)]
+	}
 	for i := range b.aggs {
 		a := &b.aggs[i]
 		a.count = r.varint()
 		a.sum = r.float()
+		a.isum = r.varint()
+		a.inexact = r.byteVal() != 0
 		a.n = r.varint()
+		a.best, a.hasBest = value.Value{}, false
 		if r.byteVal() != 0 {
 			a.best = r.oneValue()
 			a.hasBest = true
 		}
 	}
-	if r.err != nil {
-		return nil, r.err
+	return r.err
+}
+
+// resetDelta clears and returns the reusable single-observation bucket the
+// consume loops encode through appendDelta when the resident table is frozen.
+func (g *groupAggIter) resetDelta() *groupBucket {
+	d := &g.delta
+	d.vals, d.anns = nil, nil
+	if cap(d.aggs) < len(g.specs) {
+		d.aggs = make([]aggState, len(g.specs))
+	} else {
+		d.aggs = d.aggs[:len(g.specs)]
+		for i := range d.aggs {
+			d.aggs[i] = aggState{}
+		}
 	}
-	return b, nil
+	return d
 }
 
 func (g *groupAggIter) mergeBuckets(dst, src *groupBucket) error {
@@ -291,10 +427,10 @@ func (g *groupAggIter) mergeBuckets(dst, src *groupBucket) error {
 	return nil
 }
 
-// groupKey renders the group key exactly like the reference executor
-// (strings.Join of Value.String() with NUL separators), so the two paths
-// always form identical groups.
-func (g *groupAggIter) groupKey(vals value.Row) string {
+// groupKeyBytes renders the group key into the reused key buffer exactly like
+// the reference executor (strings.Join of Value.String() with NUL
+// separators), so the two paths always form identical groups.
+func (g *groupAggIter) groupKeyBytes(vals value.Row) []byte {
 	g.keyBuf = g.keyBuf[:0]
 	for i, idx := range g.keyIdx {
 		if i > 0 {
@@ -302,7 +438,7 @@ func (g *groupAggIter) groupKey(vals value.Row) string {
 		}
 		g.keyBuf = append(g.keyBuf, vals[idx].String()...)
 	}
-	return string(g.keyBuf)
+	return g.keyBuf
 }
 
 func (g *groupAggIter) consume() error {
@@ -323,17 +459,12 @@ func (g *groupAggIter) consume() error {
 				return g.specErr
 			}
 		}
-		b, fresh, err := g.grouper.observe(g.groupKey(r.values), func() (*groupBucket, error) {
-			return &groupBucket{
-				vals: r.values,
-				anns: r.anns,
-				aggs: make([]aggState, len(g.specs)),
-			}, nil
-		})
-		if err != nil {
-			return err
-		}
-		if !fresh {
+		key := g.groupKeyBytes(r.values)
+		b := g.grouper.lookup(key)
+		delta := false
+		switch {
+		case b != nil:
+			// Resident group: fold this member's annotations in.
 			grown := 0
 			for c := range b.anns {
 				if c < len(r.anns) && len(r.anns[c]) > 0 {
@@ -343,6 +474,24 @@ func (g *groupAggIter) consume() error {
 				}
 			}
 			g.grouper.grow(grown)
+		case !g.grouper.overflowing():
+			b = &groupBucket{
+				vals: r.values,
+				anns: r.anns,
+				aggs: make([]aggState, len(g.specs)),
+			}
+			g.grouper.insert(string(key), b)
+		default:
+			// Frozen table: this observation spills as a delta record. The
+			// member's annotations always ride along; the representative row
+			// only until the key's first delta is on disk (the merge keeps
+			// the earliest payload and drops the rest).
+			delta = true
+			b = g.resetDelta()
+			b.anns = r.anns
+			if !g.grouper.flushedBefore(key) {
+				b.vals = r.values
+			}
 		}
 		for i := range g.specs {
 			spec := &g.specs[i]
@@ -354,8 +503,101 @@ func (g *groupAggIter) consume() error {
 				return err
 			}
 		}
-		if err := g.grouper.maybeSpill(); err != nil {
+		if delta {
+			if err := g.grouper.appendDelta(key, b); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// consumeBatches is the vectorized twin of consume: it folds column vectors
+// into the same spillable hash table, building group keys without boxing and
+// updating INT/FLOAT SUM/AVG accumulators straight from the typed vectors.
+// Group formation, first-seen order, NULL handling, error surfacing and spill
+// behaviour are identical to the row path — the fuzzer runs both and diffs.
+func (g *groupAggIter) consumeBatches() error {
+	bs := g.batches
+	off := bs.src.offset
+	first := true
+	for {
+		b, ok, err := bs.nextBatch()
+		if err != nil {
 			return err
+		}
+		if !ok {
+			return nil
+		}
+		if first {
+			first = false
+			if g.specErr != nil {
+				return g.specErr
+			}
+		}
+		for _, i := range b.sel {
+			g.keyBuf = g.keyBuf[:0]
+			for ki, idx := range g.keyIdx {
+				if ki > 0 {
+					g.keyBuf = append(g.keyBuf, 0)
+				}
+				g.keyBuf = b.vecs[idx-off].appendKeyString(g.keyBuf, i)
+			}
+			bkt := g.grouper.lookup(g.keyBuf)
+			delta := false
+			if bkt == nil {
+				if !g.grouper.overflowing() {
+					bkt = &groupBucket{
+						vals: b.rowValues(i),
+						anns: make([][]*annotation.Annotation, g.annWidth),
+						aggs: make([]aggState, len(g.specs)),
+					}
+					g.grouper.insert(string(g.keyBuf), bkt)
+				} else {
+					// Frozen table: spill this observation as a delta record.
+					// The representative row rides along only until the key's
+					// first delta is on disk; batched input carries no
+					// annotations to fold.
+					delta = true
+					bkt = g.resetDelta()
+					if !g.grouper.flushedBefore(g.keyBuf) {
+						bkt.vals = b.rowValues(i)
+						bkt.anns = make([][]*annotation.Annotation, g.annWidth)
+					}
+				}
+			}
+			for si := range g.specs {
+				spec := &g.specs[si]
+				a := &bkt.aggs[si]
+				if spec.slot < 0 {
+					// COUNT(*) is the only slotless aggregate.
+					a.count++
+					continue
+				}
+				v := &b.vecs[spec.slot-off]
+				if v.null(i) {
+					// Every slotted aggregate ignores NULL.
+					continue
+				}
+				switch {
+				case spec.kind == aggCount:
+					a.count++
+				case (spec.kind == aggSum || spec.kind == aggAvg) && v.kind == storage.ColInt:
+					a.addInt(v.ints[i])
+					a.n++
+				case (spec.kind == aggSum || spec.kind == aggAvg) && v.kind == storage.ColFloat:
+					a.addFloat(v.flts[i])
+					a.n++
+				default:
+					if err := a.update(spec.kind, v.valueAt(i)); err != nil {
+						return err
+					}
+				}
+			}
+			if delta {
+				if err := g.grouper.appendDelta(g.keyBuf, bkt); err != nil {
+					return err
+				}
+			}
 		}
 	}
 }
@@ -363,7 +605,11 @@ func (g *groupAggIter) consume() error {
 func (g *groupAggIter) Next() (execRow, bool, error) {
 	if !g.started {
 		g.started = true
-		if err := g.consume(); err != nil {
+		consume := g.consume
+		if g.batches != nil {
+			consume = g.consumeBatches
+		}
+		if err := consume(); err != nil {
 			return execRow{}, false, err
 		}
 		next, err := g.grouper.finish()

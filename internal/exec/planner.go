@@ -641,11 +641,19 @@ func (s *Session) scanRowIDs(src *sourcePlan, params value.Row, snap *storage.Sn
 // pipeline (scans, joins, post-join filters and residual conjuncts). Both
 // the materializing runPlan and the streaming cursor pull from it.
 func (s *Session) buildPipeline(ctx context.Context, plan *physicalPlan, bindings []binding, params value.Row, snap *storage.Snapshot) (rowIter, error) {
-	ids, err := s.scanRowIDs(plan.sources[0], params, snap)
-	if err != nil {
-		return nil, err
+	var it rowIter
+	if bs := s.tryBatchScan(ctx, plan.sources[0], params, snap); bs != nil && len(plan.steps) == 0 {
+		// Single-source full scan under a current snapshot: run vectorized.
+		// The adapter emits the same rows (values, origins, order) the row
+		// scan would, so everything downstream is oblivious.
+		it = &batchRowsIter{src: bs}
+	} else {
+		ids, err := s.scanRowIDs(plan.sources[0], params, snap)
+		if err != nil {
+			return nil, err
+		}
+		it = &scanIter{ctx: ctx, src: plan.sources[0], ids: ids, params: params, snap: snap}
 	}
-	var it rowIter = &scanIter{ctx: ctx, src: plan.sources[0], ids: ids, params: params, snap: snap}
 	for i := range plan.steps {
 		step := &plan.steps[i]
 		rids, err := s.scanRowIDs(step.right, params, snap)

@@ -696,45 +696,32 @@ func evalAggregate(agg *sqlparse.AggregateExpr, bindings []binding, members []ex
 	if err != nil {
 		return value.Value{}, err
 	}
-	var vals []value.Value
-	for _, m := range members {
-		if !m.values[idx].IsNull() {
-			vals = append(vals, m.values[idx])
-		}
-	}
+	// The reference executor folds through the same aggState accumulator the
+	// streaming grouped path uses, so the two (and the spill codec between
+	// them) share one implementation of aggregate semantics — including the
+	// exact-int64 SUM/AVG path with overflow promotion to float.
+	var kind aggKind
 	switch agg.Func {
 	case "COUNT":
-		return value.NewInt(int64(len(vals))), nil
-	case "SUM", "AVG":
-		sum := 0.0
-		for _, v := range vals {
-			sum += v.Float()
-		}
-		if agg.Func == "SUM" {
-			return value.NewFloat(sum), nil
-		}
-		if len(vals) == 0 {
-			return value.NewNull(), nil
-		}
-		return value.NewFloat(sum / float64(len(vals))), nil
-	case "MIN", "MAX":
-		if len(vals) == 0 {
-			return value.NewNull(), nil
-		}
-		best := vals[0]
-		for _, v := range vals[1:] {
-			c, err := v.Compare(best)
-			if err != nil {
-				return value.Value{}, err
-			}
-			if (agg.Func == "MIN" && c < 0) || (agg.Func == "MAX" && c > 0) {
-				best = v
-			}
-		}
-		return best, nil
+		kind = aggCount
+	case "SUM":
+		kind = aggSum
+	case "AVG":
+		kind = aggAvg
+	case "MIN":
+		kind = aggMin
+	case "MAX":
+		kind = aggMax
 	default:
 		return value.Value{}, fmt.Errorf("%w: aggregate %s", ErrUnsupported, agg.Func)
 	}
+	var a aggState
+	for _, m := range members {
+		if err := a.update(kind, m.values[idx]); err != nil {
+			return value.Value{}, err
+		}
+	}
+	return a.final(kind), nil
 }
 
 type colResolver func(*sqlparse.ColumnExpr) (value.Value, error)

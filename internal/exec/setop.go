@@ -37,6 +37,10 @@ var distinctOps = grouperOps[distinctBucket]{
 		}
 		return b, nil
 	},
+	decodeInto: func(r *byteReader, b *distinctBucket) error {
+		b.row = r.aRow()
+		return r.err
+	},
 	merge: func(dst, src *distinctBucket) error {
 		mergeDupAnns(&dst.row, &src.row)
 		return nil
@@ -77,17 +81,21 @@ func (d *distinctIter) consume() error {
 			return nil
 		}
 		d.keyBuf = appendRowKey(d.keyBuf[:0], row)
-		b, fresh, err := d.grouper.observe(string(d.keyBuf), func() (*distinctBucket, error) {
-			return &distinctBucket{row: row}, nil
-		})
-		if err != nil {
-			return err
-		}
-		if !fresh {
+		if b := d.grouper.lookup(d.keyBuf); b != nil {
 			mergeDupAnns(&b.row, &row)
-		}
-		if err := d.grouper.maybeSpill(); err != nil {
-			return err
+		} else if !d.grouper.overflowing() {
+			d.grouper.insert(string(d.keyBuf), &distinctBucket{row: row})
+		} else {
+			// Frozen table: every non-resident observation streams to disk as
+			// a delta. Once a delta for this row is on disk its values are
+			// redundant — only the annotations of later duplicates matter.
+			delta := distinctBucket{row: row}
+			if d.grouper.flushedBefore(d.keyBuf) {
+				delta.row = ARow{Anns: row.Anns}
+			}
+			if err := d.grouper.appendDelta(d.keyBuf, &delta); err != nil {
+				return err
+			}
 		}
 	}
 }

@@ -16,7 +16,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -232,20 +231,22 @@ func appendValueRow(dst []byte, row value.Row) []byte {
 }
 
 func (r *byteReader) oneValue() value.Value {
-	b := r.bytes()
 	if r.err != nil {
 		return value.Value{}
 	}
-	v, _, err := value.DecodeValue(b)
+	v, n, err := value.DecodeValue(r.buf)
 	if err != nil {
 		r.err = err
 		return value.Value{}
 	}
+	r.buf = r.buf[n:]
 	return v
 }
 
+// appendOneValue writes one self-delimiting value (DecodeValue reports how
+// many bytes it consumed, so no length frame is needed).
 func appendOneValue(dst []byte, v value.Value) []byte {
-	return appendBytes(dst, v.Encode(nil))
+	return v.Encode(dst)
 }
 
 // --- annotation codec -----------------------------------------------------------------------
@@ -340,13 +341,26 @@ func (r *byteReader) annCells() [][]*annotation.Annotation {
 	return anns
 }
 
+// appendARowRec frames one ARow. A nil Values slice is encoded as a
+// payload-free record (flag 0): the DISTINCT grouper spills those for keys
+// whose first observation already went to disk, since the merge discards
+// every later observation's values anyway.
 func appendARowRec(dst []byte, row ARow) []byte {
-	dst = appendValueRow(dst, row.Values)
+	if row.Values == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendValueRow(dst, row.Values)
+	}
 	return appendAnnCells(dst, row.Anns)
 }
 
 func (r *byteReader) aRow() ARow {
-	return ARow{Values: r.row(), Anns: r.annCells()}
+	var vals value.Row
+	if r.byteVal() != 0 {
+		vals = r.row()
+	}
+	return ARow{Values: vals, Anns: r.annCells()}
 }
 
 // --- size estimation ------------------------------------------------------------------------
@@ -389,6 +403,11 @@ type grouperOps[B any] struct {
 	encode func(dst []byte, b *B) []byte
 	// decode deserializes a spill record.
 	decode func(r *byteReader) (*B, error)
+	// decodeInto, when non-nil, deserializes a spill record into a reusable
+	// scratch bucket. The merge phase uses it for records that fold into an
+	// already-resident entry — by far the common case for a spilling
+	// aggregation, where it saves two allocations per record.
+	decodeInto func(r *byteReader, b *B) error
 	// merge folds src (observed later) into dst (observed earlier).
 	merge func(dst, src *B) error
 }
@@ -399,11 +418,14 @@ type groupEntry[B any] struct {
 }
 
 // spillGrouper is a hash table keyed by string that preserves first-seen
-// order and bounds its resident size: when the budget is exceeded the
-// resident entries are flushed to hash partitions on a temp file and the
-// table is cleared. finish merges each partition back together and streams
-// the entries in global first-seen order (every entry remembers the sequence
-// number of its first observation).
+// order and bounds its resident size: once the budget is reached the resident
+// table freezes — keys already resident keep folding in memory for free, and
+// every observation of any other key streams to a hash partition on a temp
+// file as a small delta record (appendDelta). finish flushes the resident
+// entries once, merges each partition's records back together by key, and
+// streams the entries in global first-seen order (every record carries the
+// sequence number of the observation that produced it; the merge keeps the
+// earliest).
 type spillGrouper[B any] struct {
 	ops    grouperOps[B]
 	budget int
@@ -417,49 +439,136 @@ type spillGrouper[B any] struct {
 	parts   []*heap.RunWriter
 	spilled bool
 	encBuf  []byte
+
+	// flushed remembers keys that already have a delta record on disk, capped
+	// at flushedCap entries so the side table stays a small fraction of the
+	// budget. A key found here already has a spilled record carrying its
+	// representative payload (the merge keeps the earliest observation's
+	// payload and discards every later one), so callers may strip the payload
+	// from the key's subsequent deltas. Keys beyond the cap simply spill
+	// their payload every time, which the merge discards: slower, never
+	// wrong.
+	flushed    map[string]struct{}
+	flushedCap int
 }
 
 func newSpillGrouper[B any](ops grouperOps[B], budget int, sf *spillFile) *spillGrouper[B] {
-	return &spillGrouper[B]{ops: ops, budget: budget, sf: sf, m: map[string]*groupEntry[B]{}}
+	return &spillGrouper[B]{ops: ops, budget: budget, sf: sf, m: map[string]*groupEntry[B]{}, flushedCap: budget / 32}
 }
 
-// observe returns the resident bucket for key (fresh reports whether it was
-// just inserted, at the next sequence number). A key may be observed fresh
-// again after a spill flushed its earlier bucket — the finish phase merges
-// the flushed generations back together by key.
-func (g *spillGrouper[B]) observe(key string, fresh func() (*B, error)) (*B, bool, error) {
-	if e, ok := g.m[key]; ok {
-		return e.bucket, false, nil
+// flushedBefore reports whether an earlier delta already spilled this key
+// (and with it the key's representative payload). Indexing the map through
+// string(key) does not allocate, so the consume loops can probe with their
+// reusable key buffers.
+func (g *spillGrouper[B]) flushedBefore(key []byte) bool {
+	_, ok := g.flushed[string(key)]
+	return ok
+}
+
+// lookup returns the resident bucket for a key held in a reusable byte
+// buffer, or nil. The map index through string(key) does not allocate on a
+// hit, which is what the per-row consume loops need: one lookup per input
+// row, allocation only when a group is genuinely new (insert).
+func (g *spillGrouper[B]) lookup(key []byte) *B {
+	if e, ok := g.m[string(key)]; ok {
+		return e.bucket
 	}
-	b, err := fresh()
-	if err != nil {
-		return nil, false, err
-	}
+	return nil
+}
+
+// insert adds a fresh bucket for a key lookup just missed, at the next
+// sequence number. Callers must check overflowing() first: once the budget is
+// reached, non-resident keys go through appendDelta instead.
+func (g *spillGrouper[B]) insert(key string, b *B) {
 	g.m[key] = &groupEntry[B]{seq: g.nextSeq, bucket: b}
 	g.nextSeq++
 	g.order = append(g.order, key)
 	g.used += len(key) + g.ops.size(b) + 48
-	return b, true, nil
 }
 
 // grow records extra resident bytes added to an existing bucket.
 func (g *spillGrouper[B]) grow(n int) { g.used += n }
 
-// maybeSpill flushes the resident table to the hash partitions when the
-// budget is exceeded.
-func (g *spillGrouper[B]) maybeSpill() error {
-	if g.used <= g.budget || len(g.m) == 0 {
-		return nil
+// overflowing reports whether the resident table has reached the budget and
+// is frozen: observations of non-resident keys must spill as delta records.
+func (g *spillGrouper[B]) overflowing() bool { return g.used > g.budget }
+
+// appendDelta spills one observation of a non-resident key to the key's hash
+// partition. The bucket is a caller-owned scratch holding just this
+// observation's state; it is encoded immediately and never retained, so the
+// per-observation cost is one varint-framed record append — no map insert, no
+// bucket allocation, no later re-flush. The key is remembered in the flushed
+// set (capped) so the caller can strip the representative payload from the
+// key's subsequent deltas.
+func (g *spillGrouper[B]) appendDelta(key []byte, b *B) error {
+	pgr, err := g.sf.pager()
+	if err != nil {
+		return err
 	}
-	return g.spill()
+	if g.parts == nil {
+		g.parts = make([]*heap.RunWriter, spillPartitions)
+		for i := range g.parts {
+			g.parts[i] = heap.NewRunWriter(pgr)
+		}
+		g.spilled = true
+		spillEvents.Add(1)
+	}
+	g.encBuf = g.encBuf[:0]
+	g.encBuf = appendUvarint(g.encBuf, g.nextSeq)
+	g.nextSeq++
+	g.encBuf = appendBytes(g.encBuf, key)
+	g.encBuf = g.ops.encode(g.encBuf, b)
+	if err := g.parts[partitionBytes(key, 0)].Append(g.encBuf); err != nil {
+		return err
+	}
+	if !g.flushedBefore(key) && g.flushedCap > 0 {
+		if g.flushed == nil {
+			g.flushed = make(map[string]struct{}, 64)
+		}
+		if len(g.flushed) < g.flushedCap {
+			g.flushed[string(key)] = struct{}{}
+		}
+	}
+	return nil
 }
 
-func partitionOf(key string) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % spillPartitions)
+func partitionOf(key string) int { return partitionAt(key, 0) }
+
+// partitionAt hashes a key into one of the spill partitions, salted by the
+// re-partitioning depth so a hot partition's keys redistribute when its merge
+// recurses (an unsalted hash would map them all to one sub-partition again).
+// FNV-1a, inlined so the per-delta hot path allocates nothing.
+func partitionAt(key string, depth int) int {
+	h := (uint32(2166136261) ^ uint32(byte(depth))) * 16777619
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % spillPartitions)
 }
 
+// partitionBytes is partitionAt for a key held in a reusable byte buffer;
+// the two must agree for every key.
+func partitionBytes(key []byte, depth int) int {
+	h := (uint32(2166136261) ^ uint32(byte(depth))) * 16777619
+	for _, c := range key {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return int(h % spillPartitions)
+}
+
+// maxMergeDepth caps the recursive re-partitioning of the merge phase. Each
+// level splits a partition's keys 16 ways, so the cap is only reached when
+// 16^6 splits still leave more distinct keys than the budget holds — at that
+// point the merge proceeds in memory (the pre-existing behaviour for every
+// partition).
+const maxMergeDepth = 6
+
+// spill writes every resident entry to its hash partition. It runs once, at
+// finish time, when delta records were appended: the resident entries must
+// join the same merge so each key ends up with a single output bucket. (A
+// resident key never has delta records — residency means every observation
+// folded in memory — but its record still lands in the partition its hash
+// selects, alongside other keys' deltas.)
 func (g *spillGrouper[B]) spill() error {
 	pgr, err := g.sf.pager()
 	if err != nil {
@@ -483,7 +592,7 @@ func (g *spillGrouper[B]) spill() error {
 			return err
 		}
 	}
-	g.m = map[string]*groupEntry[B]{}
+	clear(g.m)
 	g.order = g.order[:0]
 	g.used = 0
 	return nil
@@ -521,20 +630,29 @@ func (g *spillGrouper[B]) finish() (func() (*B, bool, error), error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := g.mergePartition(pgr, run)
+		outs, err := g.mergePartition(pgr, run, 0)
 		if err != nil {
 			return nil, err
 		}
-		merged = append(merged, out)
+		merged = append(merged, outs...)
 	}
 	g.parts = nil
 	return g.mergeBySeq(pgr, merged)
 }
 
 // mergePartition folds one partition's records (several per key when flushes
-// interleaved) into single entries, orders them by first-seen seq and writes
-// them back as a new run.
-func (g *spillGrouper[B]) mergePartition(pgr pager.Pager, run heap.Run) (heap.Run, error) {
+// interleaved) into single entries and writes them back as seq-ordered runs
+// whose key sets are disjoint, ready for the final k-way merge.
+//
+// The resident merge table itself respects the spill budget: each key's
+// records fold into its resident entry as they stream past (a single dominant
+// key costs one entry no matter how many flushes it survived), but once the
+// resident keys exceed the budget, records of every further key are routed —
+// framing intact, in order — to sub-partitions under a depth-salted hash and
+// merged recursively. A key's first record decides its side, and the hash is
+// deterministic, so all records of one key land in exactly one run. At
+// maxMergeDepth the merge proceeds in memory regardless of the budget.
+func (g *spillGrouper[B]) mergePartition(pgr pager.Pager, run heap.Run, depth int) ([]heap.Run, error) {
 	type ent struct {
 		seq    uint64
 		key    string
@@ -542,36 +660,75 @@ func (g *spillGrouper[B]) mergePartition(pgr pager.Pager, run heap.Run) (heap.Ru
 	}
 	byKey := map[string]*ent{}
 	var order []*ent
+	resident := 0
+	var sub []*heap.RunWriter
+	var scratch *B
 	rd := heap.NewRunReader(pgr, run)
+	var rdr byteReader
 	for {
 		rec, ok, err := rd.Next()
 		if err != nil {
-			return heap.Run{}, err
+			return nil, err
 		}
 		if !ok {
 			break
 		}
-		r := &byteReader{buf: rec}
+		rdr = byteReader{buf: rec}
+		r := &rdr
 		seq := r.uvarint()
-		key := r.str()
+		keyBytes := r.bytes()
+		if e, ok := byKey[string(keyBytes)]; ok {
+			// Records of one key arrive in append order, i.e. ascending seq:
+			// the resident entry is the earlier observation.
+			var b *B
+			if g.ops.decodeInto != nil {
+				if scratch == nil {
+					scratch = new(B)
+				}
+				err = g.ops.decodeInto(r, scratch)
+				b = scratch
+			} else {
+				b, err = g.ops.decode(r)
+			}
+			if err == nil && r.err != nil {
+				err = r.err
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := g.ops.merge(e.bucket, b); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if resident > g.budget && depth < maxMergeDepth {
+			// Over budget: defer this key (and all its later records, which
+			// hash identically) to a sub-partition instead of growing the
+			// resident table. The record is re-appended verbatim — seq, key
+			// and bucket framing included.
+			if sub == nil {
+				sub = make([]*heap.RunWriter, spillPartitions)
+				for i := range sub {
+					sub[i] = heap.NewRunWriter(pgr)
+				}
+			}
+			if err := sub[partitionBytes(keyBytes, depth+1)].Append(rec); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		b, err := g.ops.decode(r)
 		if err == nil && r.err != nil {
 			err = r.err
 		}
 		if err != nil {
-			return heap.Run{}, err
+			return nil, err
 		}
-		if e, ok := byKey[key]; ok {
-			// Records of one key arrive in flush order, i.e. ascending seq:
-			// the resident entry is the earlier observation.
-			if err := g.ops.merge(e.bucket, b); err != nil {
-				return heap.Run{}, err
-			}
-			continue
-		}
+		key := string(keyBytes)
 		e := &ent{seq: seq, key: key, bucket: b}
 		byKey[key] = e
 		order = append(order, e)
+		resident += len(key) + g.ops.size(b) + 48
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].seq < order[j].seq })
 	w := heap.NewRunWriter(pgr)
@@ -581,10 +738,29 @@ func (g *spillGrouper[B]) mergePartition(pgr pager.Pager, run heap.Run) (heap.Ru
 		g.encBuf = appendString(g.encBuf, e.key)
 		g.encBuf = g.ops.encode(g.encBuf, e.bucket)
 		if err := w.Append(g.encBuf); err != nil {
-			return heap.Run{}, err
+			return nil, err
 		}
 	}
-	return w.Finish()
+	out, err := w.Finish()
+	if err != nil {
+		return nil, err
+	}
+	runs := []heap.Run{out}
+	for _, sw := range sub {
+		srun, err := sw.Finish()
+		if err != nil {
+			return nil, err
+		}
+		if srun.Head == pager.InvalidPageID {
+			continue
+		}
+		sruns, err := g.mergePartition(pgr, srun, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, sruns...)
+	}
+	return runs, nil
 }
 
 // mergeBySeq streams the seq-ordered partition runs in global seq order.

@@ -95,6 +95,25 @@ func (s *Sequence) Decode() string {
 	return b.String()
 }
 
+// AppendDecoded appends the decompressed bytes to dst and returns the
+// extended slice. It is the vector-decode entry point of the columnar scan
+// path: callers expand a compressed per-column byte vector (dictionary codes,
+// validity flags) into a reusable buffer without a string allocation per
+// chunk.
+func (s *Sequence) AppendDecoded(dst []byte) []byte {
+	if cap(dst)-len(dst) < s.n {
+		grown := make([]byte, len(dst), len(dst)+s.n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, r := range s.runs {
+		for i := 0; i < r.Len; i++ {
+			dst = append(dst, r.Char)
+		}
+	}
+	return dst
+}
+
 // Len returns the decompressed length.
 func (s *Sequence) Len() int { return s.n }
 

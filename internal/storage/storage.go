@@ -317,7 +317,28 @@ type Table struct {
 	versions     []versionEntry
 	versionsBase uint64
 	versionsDead int
+
+	// writeSeq counts heap mutations of this table; the columnar scan cache
+	// (columnar.go) is tagged with the count at build time and discarded the
+	// moment it no longer matches. colMu serializes cache builds so two
+	// concurrent analytic queries don't both pay the O(rows) construction.
+	writeSeq atomic.Uint64
+	colCache atomic.Pointer[ColData]
+	colMu    sync.Mutex
 }
+
+// noteWrite invalidates the columnar scan cache after any heap mutation.
+// It is called from every path that changes stored rows (insert, update,
+// delete, and their recovery/undo appliers); writeSeq only ever advances, so
+// a cache tagged with an older count can never be mistaken for current.
+func (t *Table) noteWrite() {
+	t.writeSeq.Add(1)
+	t.colCache.Store(nil)
+}
+
+// WriteSeq exposes the mutation count so the executor can verify a columnar
+// chunk set is still current at scan-build time.
+func (t *Table) WriteSeq() uint64 { return t.writeSeq.Load() }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *catalog.Schema { return t.schema }
@@ -461,6 +482,7 @@ func (t *Table) applyInsert(rowID int64, coerced value.Row) error {
 	if err != nil {
 		return err
 	}
+	t.noteWrite()
 	if rowID >= t.nextRow {
 		t.nextRow = rowID + 1
 	}
@@ -552,6 +574,7 @@ func (t *Table) Update(rowID int64, row value.Row) error {
 	if err != nil {
 		return err
 	}
+	t.noteWrite()
 	t.rowIndex[rowID] = newRID
 	for col, tree := range t.indexes {
 		idx := t.schema.ColumnIndex(col)
@@ -608,6 +631,7 @@ func (t *Table) Delete(rowID int64) error {
 	if err := t.file.Delete(rid); err != nil {
 		return err
 	}
+	t.noteWrite()
 	delete(t.rowIndex, rowID)
 	for col, tree := range t.indexes {
 		idx := t.schema.ColumnIndex(col)
@@ -1051,6 +1075,7 @@ func (t *Table) applyUpdate(rowID int64, coerced value.Row) error {
 	if err != nil {
 		return err
 	}
+	t.noteWrite()
 	t.rowIndex[rowID] = newRID
 	for col, tree := range t.indexes {
 		idx := t.schema.ColumnIndex(col)
@@ -1086,6 +1111,7 @@ func (t *Table) RecoverDelete(rowID int64) error {
 	if err := t.file.Delete(rid); err != nil {
 		return err
 	}
+	t.noteWrite()
 	delete(t.rowIndex, rowID)
 	for col, tree := range t.indexes {
 		idx := t.schema.ColumnIndex(col)
