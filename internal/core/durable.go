@@ -26,6 +26,7 @@ import (
 	"bdbms/internal/dependency"
 	"bdbms/internal/pager"
 	"bdbms/internal/provenance"
+	"bdbms/internal/stats"
 	"bdbms/internal/storage"
 	"bdbms/internal/wal"
 )
@@ -40,6 +41,10 @@ type manifestTable struct {
 	NextRow int64 `json:"next_row"`
 	// Indexes are the indexed column names (the trees are rebuilt by scan).
 	Indexes []string `json:"indexes,omitempty"`
+	// Stats is the planner-statistics snapshot as of the checkpoint, possibly
+	// drifted (checkpoints never pay for a rebuild). Absent when statistics
+	// were never built.
+	Stats *stats.Table `json:"stats,omitempty"`
 }
 
 // manifest is the checkpoint manifest: everything beyond heap pages and the
@@ -160,6 +165,7 @@ func (db *DB) checkpointLocked() error {
 			Name:    tbl.Name(),
 			NextRow: tbl.NextRowID(),
 			Indexes: tbl.IndexColumns(),
+			Stats:   tbl.CurrentStats(),
 		}
 		for _, id := range tbl.HeapPages() {
 			mt.Pages = append(mt.Pages, uint64(id))
@@ -232,9 +238,11 @@ func (db *DB) recover() error {
 			for i, id := range mt.Pages {
 				pages[i] = pager.PageID(id)
 			}
-			if _, err := db.eng.AttachTable(schema, pages, mt.NextRow, mt.Indexes); err != nil {
+			tbl, err := db.eng.AttachTable(schema, pages, mt.NextRow, mt.Indexes)
+			if err != nil {
 				return err
 			}
+			tbl.AdoptStats(mt.Stats)
 		}
 		db.ann.RestoreSnapshot(m.Annotations, m.NextAnnotationID)
 		db.dep.RestoreSnapshot(m.Outdated)
@@ -245,7 +253,16 @@ func (db *DB) recover() error {
 		ckptLSN = m.CheckpointLSN
 	}
 
-	return db.replayRecords(db.wal.Since(ckptLSN))
+	if err := db.replayRecords(db.wal.Since(ckptLSN)); err != nil {
+		return err
+	}
+	// WAL replay maintained the adopted statistics incrementally; rebuild any
+	// that picked up mutations so a reopened database carries statistics
+	// byte-equivalent to a fresh recompute.
+	for _, tbl := range db.eng.Tables() {
+		tbl.FreshenStats()
+	}
+	return nil
 }
 
 // replayRecords is the redo/undo pass over the WAL tail. Records outside a

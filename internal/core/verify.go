@@ -20,12 +20,13 @@ import (
 
 	"bdbms/internal/annotation"
 	"bdbms/internal/pager"
+	"bdbms/internal/storage"
 )
 
 // VerifyProblem is one finding of the scrub.
 type VerifyProblem struct {
 	// Area names the layer the problem was found in: "page", "table:<name>",
-	// "manifest", "catalog" or "annotation".
+	// "stats:<name>", "manifest", "catalog" or "annotation".
 	Area string
 	// Detail is the human-readable description.
 	Detail string
@@ -118,6 +119,7 @@ func (db *DB) Verify() (*VerifyReport, error) {
 			}
 			owner[pg] = tbl.Name()
 		}
+		db.verifyStats(rep, tbl)
 	}
 
 	// Layer 3 — checkpoint metadata: the manifest must parse and only
@@ -157,6 +159,52 @@ func (db *DB) Verify() (*VerifyReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// verifyStats cross-checks a table's incrementally-maintained planner
+// statistics against a from-scratch recompute: row and NULL counts must be
+// exact, the widened-only range must contain the true range, and the frozen
+// distinct counts must sit within the documented drift bound |Distinct -
+// exact| <= Mods. Tables whose statistics were never built are skipped —
+// absent statistics are a valid planner state, not a defect. Neither side of
+// the comparison mutates the database (CurrentStats does not rebuild,
+// ComputeStats is pure).
+func (db *DB) verifyStats(rep *VerifyReport, tbl *storage.Table) {
+	cur := tbl.CurrentStats()
+	if cur == nil {
+		return
+	}
+	area := "stats:" + tbl.Name()
+	exact, err := tbl.ComputeStats()
+	if err != nil {
+		rep.addf(area, "recompute failed: %v", err)
+		return
+	}
+	if cur.Rows != exact.Rows {
+		rep.addf(area, "row count %d, exact %d", cur.Rows, exact.Rows)
+	}
+	if len(cur.Cols) != len(exact.Cols) {
+		rep.addf(area, "%d column entries, schema has %d columns", len(cur.Cols), len(exact.Cols))
+		return
+	}
+	for i := range cur.Cols {
+		cc, ec := cur.Cols[i], exact.Cols[i]
+		col := tbl.Schema().Columns[i].Name
+		if cc.Nulls != ec.Nulls {
+			rep.addf(area, "column %s: NULL count %d, exact %d", col, cc.Nulls, ec.Nulls)
+		}
+		if ec.HasRange && (!cc.HasRange || cc.Min > ec.Min || cc.Max < ec.Max) {
+			rep.addf(area, "column %s: range [%v, %v] does not contain the true range [%v, %v]",
+				col, cc.Min, cc.Max, ec.Min, ec.Max)
+		}
+		drift := cc.Distinct - ec.Distinct
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > cur.Mods {
+			rep.addf(area, "column %s: distinct drift %d exceeds the mod counter %d", col, drift, cur.Mods)
+		}
+	}
 }
 
 // verifyManifest checks the on-disk manifest: it must parse, reference only

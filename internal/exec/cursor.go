@@ -290,8 +290,42 @@ func (s *Session) buildSelectIter(ctx context.Context, sel *sqlparse.SelectStmt,
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	// Projection layout and order plan are resolved before the pipeline is
+	// built: unknown-column errors surface from Query itself (like the
+	// reference executor's), and the sort-elision check below needs the
+	// resolved order keys to decide the scan order.
+	proj := newProjector(s, plan.items, plan.bindings, params)
+	outputOnly := sel.Distinct || sel.SetOp != sqlparse.SetNone
+	var orderKeys []orderKey
+	if len(sel.OrderBy) > 0 {
+		orderKeys, err = buildOrderPlan(sel.OrderBy, proj.cols, plan.bindings, outputOnly)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	// Sort elision: a single-source full scan ordered by one ascending
+	// NOT NULL indexed column can stream the heap in index order instead of
+	// sorting. Only snapshot cursors elide — the ordered RowID list is read
+	// from the live index, so it is valid exactly when the snapshot still
+	// sees the current heap; the IDs are captured BEFORE that check so a
+	// concurrent writer between the two steps makes the check fail rather
+	// than the list lie. Transaction cursors (snap == nil) keep sorting.
+	var orderedIDs []int64
+	sortElided := false
+	if len(orderKeys) > 0 && !outputOnly && snap != nil {
+		if col, ok := sortElisionColumn(sel, plan.phys, proj, orderKeys); ok {
+			src := plan.phys.sources[0]
+			ids, idErr := src.tbl.IndexOrderedRowIDs(col)
+			if idErr == nil && snap.SeesCurrentHeap(src.tbl) {
+				orderedIDs = ids
+				sortElided = true
+			}
+		}
+	}
+
 	var closers []func()
-	it, err := s.buildPipeline(ctx, plan.phys, plan.bindings, params, snap)
+	it, err := s.buildPipeline(ctx, plan.phys, plan.bindings, params, snap, orderedIDs)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -332,21 +366,12 @@ func (s *Session) buildSelectIter(ctx context.Context, sel *sqlparse.SelectStmt,
 		it = &annFilterIter{in: it, expr: sel.Filter, params: params}
 	}
 
-	// Projection, duplicate elimination, set operation and ordering. The
-	// order plan is resolved eagerly so unknown-column errors surface from
-	// Query itself, like the reference executor's.
-	proj := newProjector(s, plan.items, plan.bindings, params)
-	outputOnly := sel.Distinct || sel.SetOp != sqlparse.SetNone
-	var orderKeys []orderKey
-	if len(sel.OrderBy) > 0 {
-		orderKeys, err = buildOrderPlan(sel.OrderBy, proj.cols, plan.bindings, outputOnly)
-		if err != nil {
-			return nil, nil, closers, err
-		}
-	}
-
+	// Projection, duplicate elimination, set operation and ordering.
 	sortStage := func(in keyedIter) aRowIter {
-		if sel.Limit >= 0 {
+		// Top-N beats a full sort when the limit undercuts the estimated
+		// input size; a LIMIT that would keep (nearly) everything sorts
+		// once instead of maintaining a same-sized heap.
+		if topNWins(sel.Limit, plan.phys) {
 			return newTopNIter(in, orderKeys, sel.Limit)
 		}
 		sf := &spillFile{}
@@ -355,7 +380,10 @@ func (s *Session) buildSelectIter(ctx context.Context, sel *sqlparse.SelectStmt,
 	}
 
 	var a aRowIter
-	if len(orderKeys) > 0 && !outputOnly {
+	if sortElided {
+		// The scan already streams in the requested order; project and done.
+		a = &projectIter{in: it, proj: proj}
+	} else if len(orderKeys) > 0 && !outputOnly {
 		// Plain ordered SELECT: sort keys may reference non-projected
 		// columns, extracted from the pre-projection row.
 		a = sortStage(&projectKeyIter{in: it, proj: proj, keys: orderKeys})

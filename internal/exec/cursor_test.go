@@ -541,6 +541,7 @@ func TestConcurrentSessionsExec(t *testing.T) {
 // TestPlaceholderPlanShapes checks explain output for deferred probes.
 func TestPlaceholderPlanShapes(t *testing.T) {
 	s := newSession(t)
+	s.NoReorder = true // assert syntactic shapes; cost-based shapes have goldens
 	loadGenes(t, s, 10)
 	mustExec(t, s, `CREATE TABLE Protein (PID TEXT NOT NULL PRIMARY KEY, GID TEXT)`)
 	for _, tc := range []struct{ sql, want string }{

@@ -123,6 +123,16 @@ type Session struct {
 	// indistinguishable result-wise; the execution fuzzer runs every query
 	// both ways to prove it.
 	NoVectorize bool
+	// NoReorder pins the join order to the syntactic FROM order and disables
+	// the other cost-based join choice (nested loop when cheaper than a hash
+	// build), so every keyed join stays a hash join. Result-wise the two
+	// modes must be indistinguishable; the plan-shape tests set it to assert
+	// the syntactic pipeline, and the join-order fuzzer compares both modes.
+	NoReorder bool
+	// NoStats makes the planner ignore table statistics and fall back to raw
+	// row counts with default selectivities — the deterministic way to
+	// exercise (and EXPLAIN) the stats-missing fallback.
+	NoStats bool
 	// SpillBudget bounds, in bytes, the resident working set of each
 	// blocking operator in the streaming pipeline (grouped aggregation,
 	// DISTINCT, UNION, external sort): past the budget the operator spills
@@ -150,7 +160,7 @@ type Session struct {
 // therefore needs no write latches or WAL frame.
 func readOnlyStmt(stmt sqlparse.Statement) bool {
 	switch stmt.(type) {
-	case *sqlparse.SelectStmt, *sqlparse.ShowPendingStmt:
+	case *sqlparse.SelectStmt, *sqlparse.ShowPendingStmt, *sqlparse.ExplainStmt:
 		return true
 	default:
 		return false
@@ -278,6 +288,8 @@ func (s *Session) execStmt(ctx context.Context, stmt sqlparse.Statement, params 
 		return s.execApprove(st)
 	case *sqlparse.ShowPendingStmt:
 		return s.execShowPending(st)
+	case *sqlparse.ExplainStmt:
+		return s.execExplain(ctx, st, params)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnsupported, stmt)
 	}

@@ -116,17 +116,48 @@ type joinStep struct {
 // physicalPlan is the planned FROM/WHERE pipeline of one SELECT.
 type physicalPlan struct {
 	sources []*sourcePlan
-	steps   []joinStep // len(sources)-1 entries
+	steps   []joinStep // len(sources)-1 entries, in EXECUTION order
 	// residual holds WHERE parts the pipeline could not place (aggregates,
 	// unresolvable columns); they are evaluated naively on the final rows.
 	residual []sqlparse.Expr
+	// order is the execution order of the sources (indexes into sources);
+	// nil or the identity means syntactic execution. steps are compiled
+	// against this order, with prefix-side slots in the execution layout.
+	order []int
+	// reordered reports that order differs from the syntactic FROM order;
+	// the pipeline then restores the syntactic column layout and row order
+	// above the joins (restoreIter), so every downstream stage — residual
+	// filters, decoration, projection, ordering — is oblivious.
+	reordered bool
+	// srcRows, stepRows and estRows are the cost model's cardinality
+	// estimates: per source (syntactic index), after each execution step,
+	// and out of the whole join pipeline. noStats marks sources planned
+	// without table statistics. EXPLAIN renders all of them.
+	srcRows  []float64
+	stepRows []float64
+	estRows  float64
+	noStats  []bool
 }
 
-// String renders the plan shape for tests and debugging, e.g.
-// "IndexScan(gene.gid =) -> HashJoin(protein) -> Filter".
+// execOrder returns the execution order of the sources, defaulting to the
+// syntactic order.
+func (p *physicalPlan) execOrder() []int {
+	if p.order != nil {
+		return p.order
+	}
+	order := make([]int, len(p.sources))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// String renders the plan shape in execution order for tests and debugging,
+// e.g. "IndexScan(gene.gid =) -> HashJoin(protein) -> Filter".
 func (p *physicalPlan) String() string {
 	var b strings.Builder
-	for i, src := range p.sources {
+	for i, si := range p.execOrder() {
+		src := p.sources[si]
 		if i > 0 {
 			step := p.steps[i-1]
 			if len(step.leftKey) > 0 {
@@ -141,24 +172,33 @@ func (p *physicalPlan) String() string {
 			}
 			continue
 		}
-		switch src.access.kind {
-		case accessIndexEq:
-			fmt.Fprintf(&b, "IndexScan(%s.%s =)", src.tbl.Name(), src.access.column)
-		case accessIndexEqParam:
-			fmt.Fprintf(&b, "IndexScan(%s.%s = ?)", src.tbl.Name(), src.access.column)
-		case accessIndexRange:
-			fmt.Fprintf(&b, "IndexScan(%s.%s range)", src.tbl.Name(), src.access.column)
-		default:
-			fmt.Fprintf(&b, "SeqScan(%s)", src.tbl.Name())
-		}
+		b.WriteString(scanDesc(src))
 		if len(src.preds) > 0 {
 			b.WriteString(" -> Filter")
 		}
+	}
+	if p.reordered {
+		b.WriteString(" -> Restore")
 	}
 	if len(p.residual) > 0 {
 		b.WriteString(" -> Residual")
 	}
 	return b.String()
+}
+
+// scanDesc renders a source's access path, e.g. "SeqScan(T)" or
+// "IndexScan(T.Col =)".
+func scanDesc(src *sourcePlan) string {
+	switch src.access.kind {
+	case accessIndexEq:
+		return fmt.Sprintf("IndexScan(%s.%s =)", src.tbl.Name(), src.access.column)
+	case accessIndexEqParam:
+		return fmt.Sprintf("IndexScan(%s.%s = ?)", src.tbl.Name(), src.access.column)
+	case accessIndexRange:
+		return fmt.Sprintf("IndexScan(%s.%s range)", src.tbl.Name(), src.access.column)
+	default:
+		return fmt.Sprintf("SeqScan(%s)", src.tbl.Name())
+	}
 }
 
 func describeScan(src *sourcePlan) string {
@@ -389,21 +429,30 @@ func (s *Session) planSelect(st *sqlparse.SelectStmt, sources []*sourcePlan, bin
 		s.chooseAccessPath(src)
 	}
 
-	// Assign multi-table conjuncts to the join step that completes them,
-	// extracting hash keys from two-source equality conjuncts.
-	plan.steps = make([]joinStep, len(sources)-1)
-	for i := range plan.steps {
-		plan.steps[i].right = sources[i+1]
+	// Estimate per-source cardinalities from the table statistics and choose
+	// the join order by cost (cost.go); the syntactic order is kept unless a
+	// candidate is strictly cheaper, and Session.NoReorder pins it
+	// unconditionally. The chosen order's steps are compiled with their
+	// prefix-side slots in the execution row layout.
+	m := s.newCostModel(sources, slotSource)
+	plan.srcRows = m.est
+	plan.noStats = make([]bool, len(sources))
+	for i := range sources {
+		plan.noStats[i] = m.tstats[i] == nil
 	}
-	for _, ac := range multi {
-		step := &plan.steps[ac.maxSrc-1]
-		if lk, rk, ok := s.hashKeyParts(ac, sources, slotSource); ok {
-			step.leftKey = append(step.leftKey, lk)
-			step.rightKey = append(step.rightKey, rk)
-			continue
+	order := m.identity()
+	if !s.NoReorder && len(sources) > 1 {
+		order = m.chooseOrder(multi)
+	}
+	plan.order = order
+	for i, si := range order {
+		if si != i {
+			plan.reordered = true
+			plansReordered.Add(1)
+			break
 		}
-		step.post = append(step.post, compiledPred{expr: ac.expr, slots: ac.slots})
 	}
+	plan.steps, plan.stepRows, plan.estRows = m.buildSteps(order, multi, !s.NoReorder)
 	return plan
 }
 
@@ -507,43 +556,6 @@ func tighterHigh(a value.Value, aStrict bool, b value.Value, bStrict bool) bool 
 	return c < 0 || (c == 0 && aStrict && !bStrict)
 }
 
-// hashKeyParts recognizes `left.col = right.col` conjuncts connecting the
-// join step's right source to the already-joined prefix. The two columns'
-// declared types must share a comparison class: hash lookup silently returns
-// "no match" where the naive `=` would raise a type error, so incomparable
-// pairs stay as post-join filters to preserve error behavior.
-func (s *Session) hashKeyParts(ac analyzedConjunct, sources []*sourcePlan, slotSource []int) (joinKeyCol, joinKeyCol, bool) {
-	bin, ok := ac.expr.(*sqlparse.BinaryExpr)
-	if !ok || bin.Op != "=" || len(ac.sources) != 2 {
-		return joinKeyCol{}, joinKeyCol{}, false
-	}
-	lcol, lok := bin.Left.(*sqlparse.ColumnExpr)
-	rcol, rok := bin.Right.(*sqlparse.ColumnExpr)
-	if !lok || !rok {
-		return joinKeyCol{}, joinKeyCol{}, false
-	}
-	lslot, rslot := ac.slots[lcol], ac.slots[rcol]
-	if slotSource[lslot] == slotSource[rslot] {
-		return joinKeyCol{}, joinKeyCol{}, false
-	}
-	// Normalize so l is the prefix side and r the new (right) source.
-	if slotSource[lslot] > slotSource[rslot] {
-		lslot, rslot = rslot, lslot
-	}
-	if slotSource[rslot] != ac.maxSrc {
-		return joinKeyCol{}, joinKeyCol{}, false
-	}
-	right := sources[slotSource[rslot]]
-	lType := columnTypeAt(sources, slotSource, lslot)
-	rType := columnTypeAt(sources, slotSource, rslot)
-	lClass, rClass := classOf(lType), classOf(rType)
-	if lClass != rClass || lClass == classOther {
-		return joinKeyCol{}, joinKeyCol{}, false
-	}
-	return joinKeyCol{slot: lslot, class: lClass},
-		joinKeyCol{slot: rslot - right.offset, class: rClass}, true
-}
-
 func columnTypeAt(sources []*sourcePlan, slotSource []int, slot int) value.Type {
 	src := sources[slotSource[slot]]
 	return src.tbl.Schema().Columns[slot-src.offset].Type
@@ -572,17 +584,6 @@ func (s *Session) resolveSources(from []sqlparse.TableRef) ([]*sourcePlan, []bin
 		offset += len(cols)
 	}
 	return sources, bindings, slotSource, nil
-}
-
-// explainSelect renders the physical plan the optimizer would choose for the
-// statement's FROM/WHERE pipeline; used by the plan-shape tests (and a
-// natural hook for a future EXPLAIN statement).
-func (s *Session) explainSelect(st *sqlparse.SelectStmt) (string, error) {
-	sources, bindings, slotSource, err := s.resolveSources(st.From)
-	if err != nil {
-		return "", err
-	}
-	return s.planSelect(st, sources, bindings, slotSource).String(), nil
 }
 
 // --- execution -----------------------------------------------------------------------------
@@ -639,20 +640,28 @@ func (s *Session) scanRowIDs(src *sourcePlan, params value.Row, snap *storage.Sn
 
 // buildPipeline assembles the iterator tree of the planned FROM/WHERE
 // pipeline (scans, joins, post-join filters and residual conjuncts). Both
-// the materializing runPlan and the streaming cursor pull from it.
-func (s *Session) buildPipeline(ctx context.Context, plan *physicalPlan, bindings []binding, params value.Row, snap *storage.Snapshot) (rowIter, error) {
+// the materializing runPlan and the streaming cursor pull from it. Sources
+// are scanned and joined in the plan's execution order; a reordered plan
+// restores the syntactic layout and row order before the residual filter.
+// orderedIDs, when non-nil, is a pre-captured index-ordered RowID list for
+// the (single) source — the sort-elision path of buildSelectIter — and
+// bypasses the vectorized batch scan, which only reads in RowID order.
+func (s *Session) buildPipeline(ctx context.Context, plan *physicalPlan, bindings []binding, params value.Row, snap *storage.Snapshot, orderedIDs []int64) (rowIter, error) {
+	first := plan.sources[plan.execOrder()[0]]
 	var it rowIter
-	if bs := s.tryBatchScan(ctx, plan.sources[0], params, snap); bs != nil && len(plan.steps) == 0 {
+	if orderedIDs != nil {
+		it = &scanIter{ctx: ctx, src: first, ids: orderedIDs, params: params, snap: snap}
+	} else if bs := s.tryBatchScan(ctx, first, params, snap); bs != nil && len(plan.steps) == 0 {
 		// Single-source full scan under a current snapshot: run vectorized.
 		// The adapter emits the same rows (values, origins, order) the row
 		// scan would, so everything downstream is oblivious.
 		it = &batchRowsIter{src: bs}
 	} else {
-		ids, err := s.scanRowIDs(plan.sources[0], params, snap)
+		ids, err := s.scanRowIDs(first, params, snap)
 		if err != nil {
 			return nil, err
 		}
-		it = &scanIter{ctx: ctx, src: plan.sources[0], ids: ids, params: params, snap: snap}
+		it = &scanIter{ctx: ctx, src: first, ids: ids, params: params, snap: snap}
 	}
 	for i := range plan.steps {
 		step := &plan.steps[i]
@@ -673,6 +682,9 @@ func (s *Session) buildPipeline(ctx context.Context, plan *physicalPlan, binding
 			it = &filterIter{in: it, preds: step.post, params: params}
 		}
 	}
+	if plan.reordered {
+		it = &restoreIter{in: it, plan: plan}
+	}
 	if len(plan.residual) > 0 {
 		// Residual conjuncts (aggregates over single rows, late resolution
 		// errors) are evaluated exactly like the naive executor evaluates
@@ -688,7 +700,7 @@ func (s *Session) runPlan(ctx context.Context, plan *physicalPlan, bindings []bi
 	if len(plan.sources) == 0 {
 		return nil, nil
 	}
-	it, err := s.buildPipeline(ctx, plan, bindings, params, nil)
+	it, err := s.buildPipeline(ctx, plan, bindings, params, nil, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -62,6 +62,62 @@ func buildOrderPlan(orderBy []sqlparse.OrderItem, cols []string, bindings []bind
 	return keys, nil
 }
 
+// sortElisionColumn reports whether the SELECT's ordering can be satisfied by
+// scanning its single source in index order instead of sorting, and names the
+// ordering column. Eligible shape: one source read by full scan (probes
+// already subset the heap in probe order), no grouping or aggregation, and a
+// single ascending key resolving to a NOT NULL indexed table column. NOT NULL
+// matters because B+-trees omit NULL keys, so only then does the index stream
+// every live row; ascending-only because the tree ascends. EncodeKey is
+// order-preserving per type and the index yields RowID-ascending runs within
+// equal keys — exactly the order a stable sort over the RowID-ordered scan
+// produces, so elision is invisible to the equivalence suite.
+func sortElisionColumn(sel *sqlparse.SelectStmt, phys *physicalPlan, proj *projector, orderKeys []orderKey) (string, bool) {
+	if len(phys.sources) != 1 || len(phys.steps) != 0 {
+		return "", false
+	}
+	if len(sel.GroupBy) > 0 || hasAggregate(sel.Items) || sel.Having != nil {
+		return "", false
+	}
+	if len(orderKeys) != 1 || orderKeys[0].desc {
+		return "", false
+	}
+	src := phys.sources[0]
+	if src.access.kind != accessFullScan {
+		return "", false
+	}
+	slot := orderKeys[0].slot
+	if orderKeys[0].outIdx >= 0 {
+		oc := proj.outCols[orderKeys[0].outIdx]
+		switch {
+		case oc.index >= 0: // star-expanded: direct slot
+			slot = oc.index
+		default:
+			// Explicit item: only a plain column reference is a raw slot
+			// value; computed expressions keep the sort.
+			ce, ok := oc.item.expr.(*sqlparse.ColumnExpr)
+			if !ok {
+				return "", false
+			}
+			idx, _, err := resolveColumn(proj.bindings, ce)
+			if err != nil {
+				return "", false
+			}
+			slot = idx
+		}
+	}
+	ci := slot - src.offset
+	schema := src.tbl.Schema()
+	if ci < 0 || ci >= len(schema.Columns) {
+		return "", false
+	}
+	col := schema.Columns[ci]
+	if !col.NotNull || !src.tbl.HasIndex(col.Name) {
+		return "", false
+	}
+	return col.Name, true
+}
+
 // compareKeyRows orders two extracted key rows. Incomparable values (type
 // mismatch) are treated as equal on that key, exactly like the reference
 // sort's comparator.

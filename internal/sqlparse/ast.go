@@ -307,6 +307,16 @@ func (*CommitStmt) stmt()    {}
 func (*RollbackStmt) stmt()  {}
 func (*SavepointStmt) stmt() {}
 
+// ExplainStmt is EXPLAIN <statement>: it renders the execution plan of its
+// target without executing it. Like the transaction-control words, EXPLAIN
+// is an unreserved identifier recognized only at statement-dispatch
+// position, so columns may carry the name.
+type ExplainStmt struct {
+	Target Statement
+}
+
+func (*ExplainStmt) stmt() {}
+
 // IsTxControl reports whether the statement is transaction control
 // (BEGIN/COMMIT/ROLLBACK/SAVEPOINT) rather than a query or mutation. The
 // executor routes these to the session's transaction state instead of the
@@ -364,6 +374,8 @@ func WalkExprs(stmt Statement, fn func(Expr)) {
 		if st.On != nil {
 			walkSelectExprs(st.On, fn)
 		}
+	case *ExplainStmt:
+		WalkExprs(st.Target, fn)
 	}
 }
 

@@ -168,6 +168,8 @@ func (p *Parser) parseStatement() (Statement, error) {
 			switch strings.ToUpper(t.Text) {
 			case "BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT":
 				return p.parseTxControl()
+			case "EXPLAIN":
+				return p.parseExplain()
 			}
 		}
 		return nil, p.errorf("expected a statement keyword, found %q", t.Text)
@@ -220,6 +222,19 @@ func (p *Parser) matchWord(word string) bool {
 		return true
 	}
 	return false
+}
+
+// parseExplain parses EXPLAIN <statement>. The recursive parseStatement
+// call resets the placeholder counter, which is correct: CountPlaceholders
+// walks into the target, so an EXPLAIN binds exactly the arguments its
+// target would.
+func (p *Parser) parseExplain() (Statement, error) {
+	p.next() // EXPLAIN
+	target, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{Target: target}, nil
 }
 
 // parseTxControl parses BEGIN / COMMIT / ROLLBACK [TO [SAVEPOINT] name] /

@@ -1,0 +1,225 @@
+// Package stats maintains per-table statistics for the cost-based query
+// planner: an exact live row count plus, per column, the NULL count, the
+// number of distinct values, and (for numeric columns) the value range.
+//
+// The lifecycle mirrors the paper's "keep it cheap, keep it honest" storage
+// philosophy. A Table is built exactly by scanning the heap (Builder), then
+// maintained incrementally by the storage layer's mutation hooks:
+//
+//   - Rows and Nulls are exact at all times (insert/delete/update adjust
+//     them directly);
+//   - Min/Max are widened on insert and update but never narrowed on
+//     delete, so they stay conservative bounds on the true range;
+//   - Distinct is frozen between exact rebuilds — a mutation can change the
+//     true distinct count by at most one per Mods increment, so the drift
+//     bound |Distinct - exact| <= Mods holds by construction.
+//
+// Mods counts the mutations applied since the last exact build. Once it
+// crosses the drift threshold (Drifted), the owner rescans the heap and
+// replaces the incremental state with a fresh exact build. The struct is
+// plain data with JSON tags so checkpoints can snapshot it into the manifest
+// and recovery can adopt it like every other durable structure.
+package stats
+
+import (
+	"bdbms/internal/value"
+)
+
+// Column holds the statistics of one table column.
+type Column struct {
+	// Nulls is the exact number of NULL values in the column.
+	Nulls int64 `json:"nulls"`
+	// Distinct is the number of distinct non-NULL values as of the last
+	// exact build. It is frozen between builds; the documented drift bound
+	// is |Distinct - exact| <= Table.Mods.
+	Distinct int64 `json:"distinct"`
+	// HasRange reports whether Min/Max hold a meaningful numeric range.
+	// Only INT and FLOAT columns track ranges.
+	HasRange bool    `json:"has_range,omitempty"`
+	Min      float64 `json:"min,omitempty"`
+	Max      float64 `json:"max,omitempty"`
+}
+
+// Table holds the statistics of one table.
+type Table struct {
+	// Rows is the exact live row count.
+	Rows int64 `json:"rows"`
+	// Mods counts mutations since the last exact build: +1 per insert or
+	// delete, +2 per update (an update removes one value and adds another,
+	// so it can move a column's distinct count by up to two).
+	Mods int64 `json:"mods"`
+	// BaseRows is the row count at the last exact build; the drift
+	// threshold scales with it.
+	BaseRows int64    `json:"base_rows"`
+	Cols     []Column `json:"cols"`
+}
+
+// Clone returns a deep copy.
+func (t *Table) Clone() *Table {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.Cols = append([]Column(nil), t.Cols...)
+	return &c
+}
+
+// Equal reports whether two statistics snapshots are identical.
+func (t *Table) Equal(o *Table) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Rows != o.Rows || t.Mods != o.Mods || t.BaseRows != o.BaseRows || len(t.Cols) != len(o.Cols) {
+		return false
+	}
+	for i := range t.Cols {
+		if t.Cols[i] != o.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Drifted reports whether enough mutations accumulated since the last exact
+// build that the frozen Distinct counts (and the widened-only ranges) should
+// be recomputed. The threshold is max(64, BaseRows/5): small tables tolerate
+// a fixed amount of churn, large tables a fifth of their size.
+func (t *Table) Drifted() bool {
+	if t == nil {
+		return false
+	}
+	limit := t.BaseRows / 5
+	if limit < 64 {
+		limit = 64
+	}
+	return t.Mods > limit
+}
+
+// numeric extracts the float64 ordering key of a numeric value; ok is false
+// for every other type (ranges are tracked for INT and FLOAT columns only).
+func numeric(v value.Value) (float64, bool) {
+	switch v.Type() {
+	case value.Int:
+		return float64(v.Int()), true
+	case value.Float:
+		return v.Float(), true
+	default:
+		return 0, false
+	}
+}
+
+// widen grows the column's range to cover v (numeric non-NULL values only).
+func (c *Column) widen(v value.Value) {
+	f, ok := numeric(v)
+	if !ok {
+		return
+	}
+	if !c.HasRange {
+		c.HasRange = true
+		c.Min, c.Max = f, f
+		return
+	}
+	if f < c.Min {
+		c.Min = f
+	}
+	if f > c.Max {
+		c.Max = f
+	}
+}
+
+// NoteInsert records one inserted row.
+func (t *Table) NoteInsert(row value.Row) {
+	if t == nil || len(row) != len(t.Cols) {
+		return
+	}
+	t.Rows++
+	t.Mods++
+	for i := range row {
+		if row[i].IsNull() {
+			t.Cols[i].Nulls++
+			continue
+		}
+		t.Cols[i].widen(row[i])
+	}
+}
+
+// NoteDelete records one deleted row (its old values).
+func (t *Table) NoteDelete(old value.Row) {
+	if t == nil || len(old) != len(t.Cols) {
+		return
+	}
+	t.Rows--
+	t.Mods++
+	for i := range old {
+		if old[i].IsNull() {
+			t.Cols[i].Nulls--
+		}
+		// Min/Max are never narrowed: they remain conservative bounds until
+		// the next exact rebuild.
+	}
+}
+
+// NoteUpdate records one updated row (old and new values).
+func (t *Table) NoteUpdate(old, new value.Row) {
+	if t == nil || len(old) != len(t.Cols) || len(new) != len(t.Cols) {
+		return
+	}
+	t.Mods += 2
+	for i := range new {
+		if old[i].IsNull() {
+			t.Cols[i].Nulls--
+		}
+		if new[i].IsNull() {
+			t.Cols[i].Nulls++
+			continue
+		}
+		t.Cols[i].widen(new[i])
+	}
+}
+
+// Builder computes an exact statistics snapshot from a full scan.
+type Builder struct {
+	rows int64
+	cols []Column
+	sets []map[string]struct{}
+}
+
+// NewBuilder returns a builder for a table with numCols columns.
+func NewBuilder(numCols int) *Builder {
+	b := &Builder{
+		cols: make([]Column, numCols),
+		sets: make([]map[string]struct{}, numCols),
+	}
+	for i := range b.sets {
+		b.sets[i] = make(map[string]struct{})
+	}
+	return b
+}
+
+// Add feeds one row to the builder.
+func (b *Builder) Add(row value.Row) {
+	if len(row) != len(b.cols) {
+		return
+	}
+	b.rows++
+	for i := range row {
+		if row[i].IsNull() {
+			b.cols[i].Nulls++
+			continue
+		}
+		// EncodeKey is the order-preserving serialization the B+-trees use;
+		// it distinguishes exactly the values the indexes distinguish.
+		b.sets[i][string(row[i].EncodeKey(nil))] = struct{}{}
+		b.cols[i].widen(row[i])
+	}
+}
+
+// Build finalizes the exact snapshot: Mods is zero and BaseRows equals Rows,
+// so Drifted starts false and the drift bound starts tight.
+func (b *Builder) Build() *Table {
+	t := &Table{Rows: b.rows, BaseRows: b.rows, Cols: append([]Column(nil), b.cols...)}
+	for i := range t.Cols {
+		t.Cols[i].Distinct = int64(len(b.sets[i]))
+	}
+	return t
+}

@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"bdbms/internal/value"
+)
+
+func row(vs ...any) value.Row {
+	out := make(value.Row, len(vs))
+	for i, v := range vs {
+		switch x := v.(type) {
+		case nil:
+			out[i] = value.NewNull()
+		case int:
+			out[i] = value.NewInt(int64(x))
+		case float64:
+			out[i] = value.NewFloat(x)
+		case string:
+			out[i] = value.NewText(x)
+		default:
+			panic("bad test value")
+		}
+	}
+	return out
+}
+
+func TestBuilderExactCounts(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(row(1, "a", nil))
+	b.Add(row(2, "a", 3.5))
+	b.Add(row(2, "b", nil))
+	st := b.Build()
+	if st.Rows != 3 || st.Mods != 0 || st.BaseRows != 3 {
+		t.Fatalf("rows=%d mods=%d base=%d", st.Rows, st.Mods, st.BaseRows)
+	}
+	if st.Cols[0].Distinct != 2 || st.Cols[1].Distinct != 2 || st.Cols[2].Distinct != 1 {
+		t.Fatalf("distinct: %+v", st.Cols)
+	}
+	if st.Cols[2].Nulls != 2 {
+		t.Fatalf("nulls: %+v", st.Cols[2])
+	}
+	if !st.Cols[0].HasRange || st.Cols[0].Min != 1 || st.Cols[0].Max != 2 {
+		t.Fatalf("int range: %+v", st.Cols[0])
+	}
+	if st.Cols[1].HasRange {
+		t.Fatalf("text column grew a range: %+v", st.Cols[1])
+	}
+	if !st.Cols[2].HasRange || st.Cols[2].Min != 3.5 || st.Cols[2].Max != 3.5 {
+		t.Fatalf("float range: %+v", st.Cols[2])
+	}
+}
+
+func TestIncrementalMatchesExactWithinDriftBound(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	b := NewBuilder(2)
+	var live []value.Row
+	for i := 0; i < 200; i++ {
+		rw := row(r.Intn(20), r.Intn(5))
+		live = append(live, rw)
+		b.Add(rw)
+	}
+	st := b.Build()
+
+	// Random workload of inserts, deletes and updates through the Note hooks.
+	for i := 0; i < 300; i++ {
+		switch op := r.Intn(3); {
+		case op == 0 || len(live) == 0:
+			rw := row(r.Intn(25), r.Intn(6))
+			live = append(live, rw)
+			st.NoteInsert(rw)
+		case op == 1:
+			j := r.Intn(len(live))
+			st.NoteDelete(live[j])
+			live = append(live[:j], live[j+1:]...)
+		default:
+			j := r.Intn(len(live))
+			nw := row(r.Intn(25), r.Intn(6))
+			st.NoteUpdate(live[j], nw)
+			live[j] = nw
+		}
+	}
+
+	// Exact recompute over the surviving rows.
+	eb := NewBuilder(2)
+	for _, rw := range live {
+		eb.Add(rw)
+	}
+	exact := eb.Build()
+
+	if st.Rows != exact.Rows {
+		t.Fatalf("Rows drifted: incremental %d, exact %d", st.Rows, exact.Rows)
+	}
+	for c := range st.Cols {
+		ic, ec := st.Cols[c], exact.Cols[c]
+		if ic.Nulls != ec.Nulls {
+			t.Fatalf("col %d Nulls: incremental %d, exact %d", c, ic.Nulls, ec.Nulls)
+		}
+		if ec.HasRange && (!ic.HasRange || ic.Min > ec.Min || ic.Max < ec.Max) {
+			t.Fatalf("col %d range not conservative: incremental [%v,%v], exact [%v,%v]",
+				c, ic.Min, ic.Max, ec.Min, ec.Max)
+		}
+		drift := ic.Distinct - ec.Distinct
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > st.Mods {
+			t.Fatalf("col %d distinct drift %d exceeds Mods %d", c, drift, st.Mods)
+		}
+	}
+	if !st.Drifted() {
+		t.Fatalf("300 mods on a 200-row base should cross the drift threshold (mods=%d)", st.Mods)
+	}
+}
+
+func TestNilAndMismatchedArityAreIgnored(t *testing.T) {
+	// Every entry point tolerates a nil receiver: statistics are advisory,
+	// and the storage hooks fire whether or not stats were ever built.
+	var nilT *Table
+	if nilT.Clone() != nil {
+		t.Fatal("Clone of nil must be nil")
+	}
+	if nilT.Drifted() {
+		t.Fatal("nil stats cannot have drifted")
+	}
+	if !nilT.Equal(nil) {
+		t.Fatal("nil == nil")
+	}
+	nilT.NoteInsert(row(1))
+	nilT.NoteDelete(row(1))
+	nilT.NoteUpdate(row(1), row(2))
+
+	b := NewBuilder(2)
+	b.Add(row(1, "a"))
+	st := b.Build()
+	if st.Equal(nil) || nilT.Equal(st) {
+		t.Fatal("nil != non-nil")
+	}
+
+	// Rows of the wrong arity (schema changed under a stale snapshot) are
+	// dropped rather than corrupting the counters.
+	before := st.Clone()
+	st.NoteInsert(row(1))
+	st.NoteDelete(row(1, "a", "extra"))
+	st.NoteUpdate(row(1), row(2))
+	b.Add(row("too", "many", "cols"))
+	if !st.Equal(before) {
+		t.Fatalf("mismatched-arity mutation changed stats: %+v", st)
+	}
+
+	// Equal compares every field.
+	mut := before.Clone()
+	mut.Cols[1].Nulls++
+	if before.Equal(mut) {
+		t.Fatal("differing column stats compare equal")
+	}
+	mut = before.Clone()
+	mut.BaseRows++
+	if before.Equal(mut) {
+		t.Fatal("differing BaseRows compare equal")
+	}
+	short := before.Clone()
+	short.Cols = short.Cols[:1]
+	if before.Equal(short) {
+		t.Fatal("differing arity compares equal")
+	}
+}
+
+func TestDriftThresholdScalesWithBase(t *testing.T) {
+	small := &Table{BaseRows: 10, Mods: 64}
+	if small.Drifted() {
+		t.Fatal("64 mods is within the fixed floor")
+	}
+	small.Mods = 65
+	if !small.Drifted() {
+		t.Fatal("65 mods crosses the fixed floor")
+	}
+	big := &Table{BaseRows: 1000, Mods: 200}
+	if big.Drifted() {
+		t.Fatal("200 mods on 1000 base rows is within BaseRows/5")
+	}
+	big.Mods = 201
+	if !big.Drifted() {
+		t.Fatal("201 mods on 1000 base rows crosses BaseRows/5")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	b := NewBuilder(1)
+	b.Add(row(1))
+	st := b.Build()
+	c := st.Clone()
+	if !st.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.NoteInsert(row(2))
+	if st.Equal(c) {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+	if st.Rows != 1 {
+		t.Fatalf("original mutated: %+v", st)
+	}
+}

@@ -1,0 +1,192 @@
+package storage
+
+// Storage-level lifecycle of the planner statistics: lazy build on first
+// Stats call, incremental maintenance through Insert/Update/Delete, drift-
+// triggered rebuild, the recovery hooks (AdoptStats / FreshenStats), and the
+// index-order enumeration the sort-elision plan relies on.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bdbms/internal/catalog"
+	"bdbms/internal/stats"
+	"bdbms/internal/value"
+)
+
+func scoreSchema(name string) *catalog.Schema {
+	return &catalog.Schema{
+		Name: name,
+		Columns: []catalog.Column{
+			{Name: "ID", Type: value.Int, NotNull: true},
+			{Name: "Score", Type: value.Int},
+		},
+		PrimaryKey: "ID",
+	}
+}
+
+func scoreRow(id int64, score any) value.Row {
+	v := value.NewNull()
+	if s, ok := score.(int); ok {
+		v = value.NewInt(int64(s))
+	}
+	return value.Row{value.NewInt(id), v}
+}
+
+func TestStatsLazyBuildAndIncrementalMaintenance(t *testing.T) {
+	e := NewMemoryEngine()
+	tbl, err := e.CreateTable(scoreSchema("S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur := tbl.CurrentStats(); cur != nil {
+		t.Fatalf("statistics exist before first Stats call: %+v", cur)
+	}
+	for i := int64(1); i <= 10; i++ {
+		if _, err := tbl.Insert(scoreRow(i, int(i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tbl.Stats()
+	if st == nil || st.Rows != 10 || st.Mods != 0 {
+		t.Fatalf("first build: %+v", st)
+	}
+	if st.Cols[1].Distinct != 4 || !st.Cols[1].HasRange || st.Cols[1].Min != 0 || st.Cols[1].Max != 3 {
+		t.Fatalf("Score column stats: %+v", st.Cols[1])
+	}
+
+	// Mutations maintain the exact fields and widen the range.
+	id, err := tbl.Insert(scoreRow(11, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Update(id, scoreRow(11, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	cur := tbl.CurrentStats()
+	if cur.Rows != 10 || cur.Mods != 4 {
+		t.Fatalf("after insert+update+delete: %+v", cur)
+	}
+	if cur.Cols[1].Nulls != 1 || cur.Cols[1].Max != 99 {
+		t.Fatalf("Score column after churn: %+v", cur.Cols[1])
+	}
+
+	// A non-drifted Stats call serves the cached snapshot unchanged.
+	if again := tbl.Stats(); again.Mods != 4 {
+		t.Fatalf("cached Stats rebuilt early: %+v", again)
+	}
+
+	// ComputeStats is a pure recompute: exact, and it must not touch the cache.
+	exact, err := tbl.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Mods != 0 || exact.Rows != 10 {
+		t.Fatalf("recompute: %+v", exact)
+	}
+	if tbl.CurrentStats().Mods != 4 {
+		t.Fatal("ComputeStats mutated the cached statistics")
+	}
+
+	// Enough churn crosses the drift threshold and the next Stats rebuilds.
+	for i := 0; i < 70; i++ {
+		rid, err := tbl.Insert(scoreRow(int64(100+i), i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Delete(rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tbl.CurrentStats().Drifted() {
+		t.Fatalf("140 mods on a 10-row base should drift: %+v", tbl.CurrentStats())
+	}
+	fresh := tbl.Stats()
+	if fresh.Mods != 0 || fresh.Rows != 10 {
+		t.Fatalf("drift-triggered rebuild: %+v", fresh)
+	}
+}
+
+func TestStatsAdoptAndFreshen(t *testing.T) {
+	e := NewMemoryEngine()
+	tbl, err := e.CreateTable(scoreSchema("S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(scoreRow(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot with the wrong arity is discarded, not installed.
+	tbl.AdoptStats(&stats.Table{Rows: 1, Cols: []stats.Column{{}}})
+	if tbl.CurrentStats() != nil {
+		t.Fatal("mis-shaped snapshot was adopted")
+	}
+	tbl.AdoptStats(nil)
+	if tbl.CurrentStats() != nil {
+		t.Fatal("nil snapshot was adopted")
+	}
+
+	// FreshenStats without statistics (or without mods) is a no-op.
+	tbl.FreshenStats()
+	if tbl.CurrentStats() != nil {
+		t.Fatal("FreshenStats invented statistics")
+	}
+
+	good := tbl.Stats()
+	tbl.FreshenStats()
+	if !tbl.CurrentStats().Equal(good) {
+		t.Fatal("FreshenStats with zero mods rebuilt")
+	}
+
+	// Adopt a checkpoint snapshot with pending mods; freshening must leave
+	// state equal to an exact recompute.
+	snap := good.Clone()
+	snap.Mods = 3
+	snap.Cols[1].Distinct += 2
+	tbl.AdoptStats(snap)
+	tbl.FreshenStats()
+	exact, err := tbl.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.CurrentStats().Equal(exact) {
+		t.Fatalf("freshened != exact:\n cur: %+v\nexact: %+v", tbl.CurrentStats(), exact)
+	}
+}
+
+func TestIndexOrderedRowIDs(t *testing.T) {
+	e := NewMemoryEngine()
+	tbl, err := e.CreateTable(scoreSchema("S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.IndexOrderedRowIDs("Score"); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("unindexed column: %v", err)
+	}
+	if err := tbl.CreateIndex("Score"); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.HasIndex("score") {
+		t.Fatal("HasIndex(score) must be true (case-insensitive)")
+	}
+	// Insert out of key order, with a duplicate key to prove RowID-ascending
+	// runs within equal keys.
+	for i, score := range []int{30, 10, 20, 10} {
+		if _, err := tbl.Insert(scoreRow(int64(i+1), score)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := tbl.IndexOrderedRowIDs("Score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 4, 3, 1} // scores 10,10,20,30; ties by RowID
+	if fmt.Sprint(ids) != fmt.Sprint(want) {
+		t.Fatalf("index order = %v, want %v", ids, want)
+	}
+}

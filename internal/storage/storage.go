@@ -26,6 +26,7 @@ import (
 	"bdbms/internal/catalog"
 	"bdbms/internal/heap"
 	"bdbms/internal/pager"
+	"bdbms/internal/stats"
 	"bdbms/internal/undo"
 	"bdbms/internal/value"
 	"bdbms/internal/wal"
@@ -325,6 +326,12 @@ type Table struct {
 	writeSeq atomic.Uint64
 	colCache atomic.Pointer[ColData]
 	colMu    sync.Mutex
+
+	// stats is the planner's statistics snapshot, guarded by mu. It is nil
+	// until the first Stats call (or checkpoint adoption) and maintained
+	// incrementally by the mutation paths afterwards; Stats rebuilds it
+	// exactly once the drift threshold is crossed.
+	stats *stats.Table
 }
 
 // noteWrite invalidates the columnar scan cache after any heap mutation.
@@ -483,6 +490,7 @@ func (t *Table) applyInsert(rowID int64, coerced value.Row) error {
 		return err
 	}
 	t.noteWrite()
+	t.stats.NoteInsert(coerced)
 	if rowID >= t.nextRow {
 		t.nextRow = rowID + 1
 	}
@@ -575,6 +583,7 @@ func (t *Table) Update(rowID int64, row value.Row) error {
 		return err
 	}
 	t.noteWrite()
+	t.stats.NoteUpdate(old, coerced)
 	t.rowIndex[rowID] = newRID
 	for col, tree := range t.indexes {
 		idx := t.schema.ColumnIndex(col)
@@ -632,6 +641,7 @@ func (t *Table) Delete(rowID int64) error {
 		return err
 	}
 	t.noteWrite()
+	t.stats.NoteDelete(old)
 	delete(t.rowIndex, rowID)
 	for col, tree := range t.indexes {
 		idx := t.schema.ColumnIndex(col)
@@ -805,6 +815,126 @@ func (t *Table) IndexRange(column string, lo value.Value, loStrict bool, hi valu
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
+}
+
+// IndexOrderedRowIDs returns every live RowID ordered by the indexed column's
+// value ascending (RowID-ascending within equal keys). Rows whose column is
+// NULL are absent — B+-trees do not index NULLs — so callers must only rely
+// on this order when the column cannot hold NULL. The planner uses it to
+// elide sorts when an index already yields the requested order.
+func (t *Table) IndexOrderedRowIDs(column string) ([]int64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	tree, ok := t.indexes[strings.ToLower(column)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, t.schema.Name, column)
+	}
+	out := make([]int64, 0, len(t.rowIndex))
+	var perKey []int64
+	tree.AscendRange(nil, nil, func(key []byte, values [][]byte) bool {
+		perKey = perKey[:0]
+		for _, vb := range values {
+			perKey = append(perKey, rowIDFromBytes(vb))
+		}
+		sort.Slice(perKey, func(i, j int) bool { return perKey[i] < perKey[j] })
+		out = append(out, perKey...)
+		return true
+	})
+	return out, nil
+}
+
+// --- planner statistics -------------------------------------------------------
+
+// computeStatsLocked rebuilds exact statistics by scanning the heap. Caller
+// holds t.mu (either mode: the scan only reads).
+func (t *Table) computeStatsLocked() (*stats.Table, error) {
+	b := stats.NewBuilder(len(t.schema.Columns))
+	var decodeErr error
+	err := t.file.Scan(func(rid heap.RID, rec []byte) bool {
+		_, row, decErr := decodeStored(rec)
+		if decErr != nil {
+			decodeErr = decErr
+			return false
+		}
+		b.Add(row)
+		return true
+	})
+	if err == nil {
+		err = decodeErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// Stats returns a snapshot of the table's planner statistics, building them
+// from a heap scan on first use and rebuilding them once incremental drift
+// crosses the threshold. Returns nil when the heap cannot be scanned — the
+// planner treats missing stats as "fall back to defaults", never as an error.
+func (t *Table) Stats() *stats.Table {
+	t.mu.RLock()
+	if t.stats != nil && !t.stats.Drifted() {
+		s := t.stats.Clone()
+		t.mu.RUnlock()
+		return s
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats != nil && !t.stats.Drifted() {
+		return t.stats.Clone()
+	}
+	s, err := t.computeStatsLocked()
+	if err != nil {
+		return nil
+	}
+	t.stats = s
+	return s.Clone()
+}
+
+// CurrentStats returns the current statistics as-is — possibly drifted, nil
+// if never built — without triggering a rebuild. Checkpoints snapshot this
+// (rebuilding inside a checkpoint would penalize the commit path) and Verify
+// reads it (Verify must not mutate the database it is scrubbing).
+func (t *Table) CurrentStats() *stats.Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats.Clone()
+}
+
+// ComputeStats runs a pure exact recompute without touching the cached
+// statistics. Verify compares it against CurrentStats.
+func (t *Table) ComputeStats() (*stats.Table, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.computeStatsLocked()
+}
+
+// AdoptStats installs a checkpointed statistics snapshot during recovery.
+// A snapshot whose column count disagrees with the schema is discarded
+// (stats are advisory; a stale manifest must not wedge recovery).
+func (t *Table) AdoptStats(s *stats.Table) {
+	if s == nil || len(s.Cols) != len(t.schema.Columns) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = s.Clone()
+}
+
+// FreshenStats rebuilds the statistics exactly if any mutations were applied
+// on top of the last exact build. Recovery calls it after WAL replay so that
+// reopened statistics are byte-equivalent to a fresh recompute.
+func (t *Table) FreshenStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats == nil || t.stats.Mods == 0 {
+		return
+	}
+	if s, err := t.computeStatsLocked(); err == nil {
+		t.stats = s
+	}
 }
 
 // --- durability: manifest accessors and recovery appliers ---------------------
@@ -1076,6 +1206,7 @@ func (t *Table) applyUpdate(rowID int64, coerced value.Row) error {
 		return err
 	}
 	t.noteWrite()
+	t.stats.NoteUpdate(old, coerced)
 	t.rowIndex[rowID] = newRID
 	for col, tree := range t.indexes {
 		idx := t.schema.ColumnIndex(col)
@@ -1112,6 +1243,7 @@ func (t *Table) RecoverDelete(rowID int64) error {
 		return err
 	}
 	t.noteWrite()
+	t.stats.NoteDelete(old)
 	delete(t.rowIndex, rowID)
 	for col, tree := range t.indexes {
 		idx := t.schema.ColumnIndex(col)
